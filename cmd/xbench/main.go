@@ -1,0 +1,149 @@
+// Command xbench regenerates the paper's evaluation tables and
+// figures (Section 5, Appendix C) on the embedded engine.
+//
+// Usage:
+//
+//	xbench -experiment fig3|appc-small|appc-large|appc-dblp|joins|\
+//	                   ablate-pathfilter|ablate-fkjoin|all
+//	       [-scale N] [-reps N] [-budget 60s] [-seed N] [-noverify]
+//
+// Scale 1 approximates the paper's small (12 MB) XMark document;
+// appc-large uses 10x (the paper's 113 MB document). Timings cannot
+// match a 2006 Oracle installation; the reproduction target is the
+// relative shape of each table (see EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "which experiment to run")
+	scale := flag.Float64("scale", 1, "workload scale (1 = paper's small document)")
+	reps := flag.Int("reps", 5, "timed repetitions per query (the paper used 5)")
+	budget := flag.Duration("budget", 60*time.Second, "per-query budget; slower runs print '~' like the paper")
+	seed := flag.Int64("seed", 42, "generator seed")
+	noverify := flag.Bool("noverify", false, "skip cross-checking every system against the oracle")
+	flag.Parse()
+
+	if err := run(*experiment, *scale, *reps, *budget, *seed, !*noverify); err != nil {
+		fmt.Fprintln(os.Stderr, "xbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(experiment string, scale float64, reps int, budget time.Duration, seed int64, verify bool) error {
+	opts := bench.Opts{Reps: reps, Budget: budget, Verify: verify}
+
+	xmarkAt := func(s float64) (*bench.Workload, error) {
+		fmt.Fprintf(os.Stderr, "generating and loading XMark workload (scale %g)...\n", s)
+		return bench.NewXMark(s, seed)
+	}
+	dblpAt := func(s float64) (*bench.Workload, error) {
+		fmt.Fprintf(os.Stderr, "generating and loading DBLP workload (scale %g)...\n", s)
+		return bench.NewDBLP(s, seed)
+	}
+
+	show := func(t *bench.Table, err error) error {
+		if err != nil {
+			return err
+		}
+		fmt.Println(t.String())
+		return nil
+	}
+
+	switch experiment {
+	case "fig3":
+		x, err := xmarkAt(scale)
+		if err != nil {
+			return err
+		}
+		d, err := dblpAt(scale)
+		if err != nil {
+			return err
+		}
+		return show(bench.Fig3([]*bench.Workload{x, d}, opts))
+	case "appc-small":
+		w, err := xmarkAt(scale)
+		if err != nil {
+			return err
+		}
+		return show(bench.AppendixC(w, opts))
+	case "appc-large":
+		w, err := xmarkAt(scale * 10)
+		if err != nil {
+			return err
+		}
+		return show(bench.AppendixC(w, opts))
+	case "appc-dblp":
+		w, err := dblpAt(scale)
+		if err != nil {
+			return err
+		}
+		return show(bench.AppendixC(w, opts))
+	case "joins":
+		w, err := xmarkAt(minScale(scale, 0.05))
+		if err != nil {
+			return err
+		}
+		if err := show(bench.JoinCounts(w)); err != nil {
+			return err
+		}
+		d, err := dblpAt(minScale(scale, 0.05))
+		if err != nil {
+			return err
+		}
+		return show(bench.JoinCounts(d))
+	case "ablate-pathfilter":
+		w, err := xmarkAt(scale)
+		if err != nil {
+			return err
+		}
+		return show(bench.AblatePathFilter(w, opts))
+	case "ablate-fkjoin":
+		w, err := xmarkAt(scale)
+		if err != nil {
+			return err
+		}
+		return show(bench.AblateFKJoin(w, opts))
+	case "all":
+		x, err := xmarkAt(scale)
+		if err != nil {
+			return err
+		}
+		d, err := dblpAt(scale)
+		if err != nil {
+			return err
+		}
+		if err := show(bench.JoinCounts(x)); err != nil {
+			return err
+		}
+		if err := show(bench.Fig3([]*bench.Workload{x, d}, opts)); err != nil {
+			return err
+		}
+		if err := show(bench.AppendixC(x, opts)); err != nil {
+			return err
+		}
+		if err := show(bench.AppendixC(d, opts)); err != nil {
+			return err
+		}
+		if err := show(bench.AblatePathFilter(x, opts)); err != nil {
+			return err
+		}
+		return show(bench.AblateFKJoin(x, opts))
+	default:
+		return fmt.Errorf("unknown experiment %q", experiment)
+	}
+}
+
+func minScale(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,75 @@
+// Command xgen writes a generated benchmark document (and optionally
+// its schema) to files, so the other tools can be used against the
+// exact workloads the experiments run on.
+//
+//	xgen -workload xmark|dblp [-scale 0.1] [-seed 42] \
+//	     [-out doc.xml] [-schema-out doc.schema]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dblp"
+	"repro/internal/schema"
+	"repro/internal/xmark"
+	"repro/internal/xmltree"
+)
+
+func main() {
+	workload := flag.String("workload", "xmark", "xmark or dblp")
+	scale := flag.Float64("scale", 0.1, "workload scale (1 = the paper's small document)")
+	seed := flag.Int64("seed", 42, "generator seed")
+	out := flag.String("out", "", "XML output path (default stdout)")
+	schemaOut := flag.String("schema-out", "", "also write the schema in the compact DSL")
+	flag.Parse()
+
+	if err := run(*workload, *scale, *seed, *out, *schemaOut); err != nil {
+		fmt.Fprintln(os.Stderr, "xgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(workload string, scale float64, seed int64, out, schemaOut string) error {
+	var doc *xmltree.Document
+	var s *schema.Schema
+	var err error
+	switch workload {
+	case "xmark":
+		doc, err = xmark.Generate(xmark.Config{Scale: scale, Seed: seed})
+		s = xmark.Schema()
+	case "dblp":
+		doc, err = dblp.Generate(dblp.Config{Scale: scale, Seed: seed})
+		s = dblp.Schema()
+	default:
+		return fmt.Errorf("unknown workload %q", workload)
+	}
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if err := doc.WriteXML(bw); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if schemaOut != "" {
+		if err := os.WriteFile(schemaOut, []byte(s.WriteCompact()), 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "xgen: %d nodes (%d elements)\n", doc.Len(), doc.Elements())
+	return nil
+}

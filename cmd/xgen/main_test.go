@@ -1,0 +1,38 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunXMark(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "doc.xml")
+	sch := filepath.Join(dir, "doc.schema")
+	if err := run("xmark", 0.01, 1, out, sch); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{out, sch} {
+		fi, err := os.Stat(p)
+		if err != nil || fi.Size() == 0 {
+			t.Fatalf("%s: %v (size %d)", p, err, fi.Size())
+		}
+	}
+}
+
+func TestRunDBLP(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("dblp", 0.01, 1, filepath.Join(dir, "d.xml"), ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("bogus", 1, 1, "", ""); err == nil {
+		t.Error("unknown workload should fail")
+	}
+	if err := run("xmark", 0.01, 1, "/nonexistent-dir/x.xml", ""); err == nil {
+		t.Error("bad output path should fail")
+	}
+}

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func td(name string) string { return filepath.Join("..", "..", "testdata", name) }
+
+func TestRunWithSchema(t *testing.T) {
+	if err := run(td("figure1.schema"), false, td("figure1.xml")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithXSD(t *testing.T) {
+	if err := run(td("figure1.xsd"), true, td("figure1.xml")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunInferred(t *testing.T) {
+	if err := run("", false, td("figure1.xml")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", false, "nosuch.xml"); err == nil {
+		t.Error("missing document should fail")
+	}
+	if err := run("nosuch.schema", false, td("figure1.xml")); err == nil {
+		t.Error("missing schema should fail")
+	}
+	if err := run(td("figure1.xml"), false, td("figure1.xml")); err == nil {
+		t.Error("document as schema should fail to parse")
+	}
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func testdata(t *testing.T, name string) string {
+	t.Helper()
+	p := filepath.Join("..", "..", "testdata", name)
+	if _, err := os.Stat(p); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRunTranslateOnly(t *testing.T) {
+	err := run(testdata(t, "figure1.schema"), false, "aware", "", false, false, false,
+		[]string{"/A[@x=3]/B/C//F"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithExecution(t *testing.T) {
+	for _, mapping := range []string{"aware", "edge", "accel"} {
+		err := run(testdata(t, "figure1.schema"), false, mapping, testdata(t, "figure1.xml"),
+			true, false, false, []string{"/A/B/C//F", "//G"})
+		if err != nil {
+			t.Fatalf("mapping %s: %v", mapping, err)
+		}
+	}
+}
+
+func TestRunXSDSchema(t *testing.T) {
+	err := run(testdata(t, "figure1.xsd"), true, "aware", testdata(t, "figure1.xml"),
+		false, false, false, []string{"//F"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunInferredSchema(t *testing.T) {
+	err := run("", false, "aware", testdata(t, "figure1.xml"), false, true, true,
+		[]string{"/A/B"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", false, "aware", "", false, false, false, []string{"//F"}); err == nil {
+		t.Error("aware mapping without schema should fail")
+	}
+	if err := run(testdata(t, "figure1.schema"), false, "bogus", testdata(t, "figure1.xml"), false, false, false, []string{"//F"}); err == nil {
+		t.Error("unknown mapping should fail")
+	}
+	if err := run(testdata(t, "figure1.schema"), false, "aware", "", false, false, false, []string{"///bad"}); err == nil {
+		t.Error("bad query should fail")
+	}
+	if err := run("nosuchfile", false, "aware", "", false, false, false, []string{"//F"}); err == nil {
+		t.Error("missing schema file should fail")
+	}
+	if err := run(testdata(t, "figure1.schema"), false, "aware", "nosuchdoc.xml", false, false, false, []string{"//F"}); err == nil {
+		t.Error("missing document should fail")
+	}
+}

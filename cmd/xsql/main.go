@@ -1,0 +1,136 @@
+// Command xsql is an interactive shell for the embedded relational
+// engine. It reads one statement per line (CREATE TABLE, CREATE
+// INDEX, INSERT, SELECT) and prints results — useful for poking at a
+// shredded store or experimenting with the dialect. With -load and an
+// optional -schema, the shell starts with an XML document already
+// shredded under the schema-aware mapping.
+//
+//	xsql [-schema site.schema [-xsd]] [-load doc.xml] [-e 'STMT'...]
+//
+// Special commands: \d lists tables; \q quits.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/schema"
+	"repro/internal/shred"
+	"repro/internal/xmltree"
+)
+
+func main() {
+	schemaPath := flag.String("schema", "", "schema file for -load (compact DSL, or XSD with -xsd); inferred when omitted")
+	useXSD := flag.Bool("xsd", false, "parse the schema file as XML Schema")
+	load := flag.String("load", "", "XML document to shred before starting")
+	var stmts multiFlag
+	flag.Var(&stmts, "e", "statement to execute (repeatable); skips the interactive loop")
+	flag.Parse()
+
+	if err := run(*schemaPath, *useXSD, *load, stmts, os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "xsql:", err)
+		os.Exit(1)
+	}
+}
+
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, "; ") }
+func (m *multiFlag) Set(s string) error { *m = append(*m, s); return nil }
+
+func run(schemaPath string, useXSD bool, load string, stmts []string, in *os.File, out *os.File) error {
+	db := engine.NewDB()
+	if load != "" {
+		f, err := os.Open(load)
+		if err != nil {
+			return err
+		}
+		doc, err := xmltree.Parse(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		var s *schema.Schema
+		if schemaPath != "" {
+			data, err := os.ReadFile(schemaPath)
+			if err != nil {
+				return err
+			}
+			if useXSD {
+				s, err = schema.ParseXSD(strings.NewReader(string(data)))
+			} else {
+				s, err = schema.ParseCompact(string(data))
+			}
+			if err != nil {
+				return err
+			}
+		} else if s, err = schema.Infer(doc); err != nil {
+			return err
+		}
+		st, err := shred.NewSchemaAware(s)
+		if err != nil {
+			return err
+		}
+		if _, err := st.Load(doc); err != nil {
+			return err
+		}
+		db = st.DB
+		fmt.Fprintf(out, "loaded %s: %s\n", load, strings.Join(db.SortedTableSizes(), " "))
+	}
+
+	exec := func(line string) {
+		line = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(line), ";"))
+		if line == "" {
+			return
+		}
+		switch line {
+		case `\d`:
+			for _, t := range db.SortedTableSizes() {
+				fmt.Fprintln(out, t)
+			}
+			return
+		}
+		res, err := db.ExecSQL(line)
+		if err != nil {
+			fmt.Fprintln(out, "error:", err)
+			return
+		}
+		fmt.Fprintln(out, strings.Join(res.Cols, " | "))
+		for i, r := range res.Rows {
+			if i >= 50 {
+				fmt.Fprintf(out, "... %d more row(s)\n", len(res.Rows)-50)
+				break
+			}
+			cells := make([]string, len(r))
+			for j, v := range r {
+				cells[j] = v.String()
+			}
+			fmt.Fprintln(out, strings.Join(cells, " | "))
+		}
+		fmt.Fprintf(out, "(%d row(s))\n", len(res.Rows))
+	}
+
+	if len(stmts) > 0 {
+		for _, s := range stmts {
+			exec(s)
+		}
+		return nil
+	}
+
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	fmt.Fprint(out, "xsql> ")
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.TrimSpace(line) == `\q` {
+			break
+		}
+		exec(line)
+		fmt.Fprint(out, "xsql> ")
+	}
+	return sc.Err()
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func td(name string) string { return filepath.Join("..", "..", "testdata", name) }
+
+func TestRunStatements(t *testing.T) {
+	out, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	err = run(td("figure1.schema"), false, td("figure1.xml"), []string{
+		`\d`,
+		"SELECT COUNT(*) FROM F",
+		"SELECT F.id FROM F WHERE F.text = '2';",
+		"CREATE TABLE extra (a INT)",
+		"INSERT INTO extra VALUES (7)",
+		"SELECT e.a FROM extra e",
+		"THIS IS NOT SQL", // printed as an error, not fatal
+		"",
+	}, nil, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(out.Name())
+	s := string(data)
+	for _, want := range []string{"COUNT(*)", "(1 row(s))", "error:", "1 row(s) inserted"} {
+		if !contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunInteractiveLoop(t *testing.T) {
+	in, err := os.CreateTemp(t.TempDir(), "in")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.WriteString("SELECT COUNT(*) FROM G\n\\q\n")
+	in.Seek(0, 0)
+	out, _ := os.CreateTemp(t.TempDir(), "out")
+	defer out.Close()
+	if err := run("", false, td("figure1.xml"), nil, in, out); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(out.Name())
+	if !contains(string(data), "xsql>") {
+		t.Errorf("no prompt in output: %s", data)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	out, _ := os.CreateTemp(t.TempDir(), "out")
+	defer out.Close()
+	if err := run("nosuch.schema", false, td("figure1.xml"), nil, nil, out); err == nil {
+		t.Error("missing schema should fail")
+	}
+	if err := run("", false, "nosuch.xml", nil, nil, out); err == nil {
+		t.Error("missing document should fail")
+	}
+}
+
+func contains(s, sub string) bool { return strings.Contains(s, sub) }

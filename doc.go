@@ -1,0 +1,12 @@
+// Package repro is a from-scratch Go reproduction of "Improving the
+// Efficiency of XPath Execution on Relational Systems" (Georgiadis &
+// Vassalos, EDBT 2006).
+//
+// The public API lives in package repro/xrel; the paper's
+// contribution (PPF-based XPath-to-SQL translation) in
+// repro/internal/core; the embedded relational engine in
+// repro/internal/engine. The benchmarks in this package regenerate
+// every table and figure of the paper's evaluation — see DESIGN.md
+// for the system inventory and EXPERIMENTS.md for paper-vs-measured
+// results.
+package repro

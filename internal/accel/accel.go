@@ -1,0 +1,466 @@
+// Package accel implements the XPath Accelerator baseline of the
+// paper's Section 5.2: Grust's pre/post region encoding with
+// staked-out query windows, translated to SQL over the accelerator
+// mapping of package shred. Every location step contributes one
+// self-join of the accel relation — the join count the PPF technique
+// is designed to avoid.
+package accel
+
+import (
+	"fmt"
+
+	"repro/internal/shred"
+	"repro/internal/sqlast"
+	"repro/internal/xpath"
+)
+
+// Translator translates XPath to SQL over the accelerator mapping.
+type Translator struct{}
+
+// New returns an accelerator translator.
+func New() *Translator { return &Translator{} }
+
+// Translation mirrors core.Translation for the accelerator scheme.
+type Translation struct {
+	Stmt    sqlast.Statement
+	SQL     string
+	Selects int
+	Joins   int
+}
+
+// Translate parses and translates a query.
+func (t *Translator) Translate(query string) (*Translation, error) {
+	e, err := xpath.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return t.TranslateExpr(e)
+}
+
+// TranslateExpr translates a parsed expression.
+func (t *Translator) TranslateExpr(e xpath.Expr) (*Translation, error) {
+	var paths []*xpath.Path
+	switch x := e.(type) {
+	case *xpath.Path:
+		paths = []*xpath.Path{x}
+	case *xpath.Union:
+		paths = x.Paths
+	default:
+		return nil, fmt.Errorf("accel: expression %T is not a location path", e)
+	}
+	var selects []*sqlast.Select
+	for _, p := range paths {
+		sel, err := t.translatePath(p)
+		if err != nil {
+			return nil, fmt.Errorf("accel: %q: %w", p, err)
+		}
+		selects = append(selects, sel)
+	}
+	var stmt sqlast.Statement
+	switch len(selects) {
+	case 1:
+		// Order by the projected pre expression (qualified).
+		selects[0].OrderBy = []sqlast.OrderKey{{Expr: selects[0].Cols[1].Expr}}
+		stmt = selects[0]
+	default:
+		stmt = &sqlast.Union{Selects: selects, OrderBy: []sqlast.OrderKey{{Expr: sqlast.C("", "pre")}}}
+	}
+	return &Translation{Stmt: stmt, SQL: sqlast.Render(stmt), Selects: len(selects), Joins: countFrom(stmt)}, nil
+}
+
+func countFrom(st sqlast.Statement) int {
+	n := 0
+	var cs func(s *sqlast.Select)
+	var ce func(e sqlast.Expr)
+	ce = func(e sqlast.Expr) {
+		switch x := e.(type) {
+		case *sqlast.Binary:
+			ce(x.L)
+			ce(x.R)
+		case *sqlast.Not:
+			ce(x.X)
+		case *sqlast.Exists:
+			cs(x.Select)
+		case *sqlast.Subquery:
+			cs(x.Select)
+		}
+	}
+	cs = func(s *sqlast.Select) {
+		n += len(s.From)
+		if s.Where != nil {
+			ce(s.Where)
+		}
+	}
+	switch s := st.(type) {
+	case *sqlast.Select:
+		cs(s)
+	case *sqlast.Union:
+		for _, sel := range s.Selects {
+			cs(sel)
+		}
+	}
+	return n
+}
+
+// builder holds alias state for one statement tree.
+type builder struct {
+	nextV int
+	nextA int
+}
+
+func (b *builder) newAlias() string {
+	b.nextV++
+	return fmt.Sprintf("v%d", b.nextV)
+}
+
+func (b *builder) newAttrAlias() string {
+	b.nextA++
+	return fmt.Sprintf("w%d", b.nextA)
+}
+
+func (t *Translator) translatePath(p *xpath.Path) (*sqlast.Select, error) {
+	if !p.Absolute {
+		return nil, fmt.Errorf("top-level paths must be absolute")
+	}
+	if len(p.Steps) == 0 {
+		p = &xpath.Path{Absolute: true, Steps: []*xpath.Step{{Axis: xpath.Child, Test: xpath.NameTest}}}
+	}
+	b := &builder{}
+	sel := &sqlast.Select{Distinct: true}
+	end, err := b.buildSteps(sel, p.Steps, "", true)
+	if err != nil {
+		return nil, err
+	}
+	sel.Cols = []sqlast.SelectCol{
+		{Expr: sqlast.C(end, shred.ColID), Alias: "id"},
+		{Expr: sqlast.C(end, shred.ColPre), Alias: "pre"},
+	}
+	return sel, nil
+}
+
+// buildSteps adds one accel alias per step, joined to the previous by
+// the axis's region-encoding window. prev == "" with top == true
+// starts at the virtual root.
+func (b *builder) buildSteps(sel *sqlast.Select, steps []*xpath.Step, prev string, top bool) (string, error) {
+	main, terminal, err := xpath.NormalizeSteps(steps)
+	if err != nil {
+		return "", err
+	}
+	for i, s := range main {
+		alias := b.newAlias()
+		sel.From = append(sel.From, sqlast.TableRef{Table: shred.AccelTable, Alias: alias})
+		if prev == "" {
+			if !top {
+				return "", fmt.Errorf("relative step without context")
+			}
+			// First step from the virtual root.
+			switch s.Axis {
+			case xpath.Child:
+				sel.AddConjunct(&sqlast.IsNull{X: sqlast.C(alias, shred.ColPar)})
+			case xpath.Descendant, xpath.DescendantOrSelf:
+				// Any element.
+			default:
+				return "", fmt.Errorf("axis %s cannot start an absolute path", s.Axis)
+			}
+		} else {
+			if err := axisWindow(sel, prev, alias, s.Axis); err != nil {
+				return "", err
+			}
+		}
+		if s.Test == xpath.NameTest && s.Name != "" {
+			sel.AddConjunct(sqlast.Eq(sqlast.C(alias, shred.ColName), sqlast.Str(s.Name)))
+		}
+		for _, pred := range s.Predicates {
+			cond, err := b.predicate(pred, alias)
+			if err != nil {
+				return "", err
+			}
+			sel.AddConjunct(cond)
+		}
+		prev = alias
+		_ = i
+	}
+	if terminal != nil {
+		if terminal.Axis == xpath.Attribute {
+			sel.AddConjunct(b.attrExists(prev, terminal.Name, 0, nil))
+		} else {
+			sel.AddConjunct(&sqlast.IsNull{X: sqlast.C(prev, shred.ColText), Negate: true})
+		}
+	}
+	return prev, nil
+}
+
+// axisWindow emits the staked-out window condition for one axis: the
+// descendant window is the two-sided pre interval (v.pre, v.pre +
+// v.size]; following/preceding stake out half-open pre windows; the
+// vertical remainder uses pre/post region comparisons.
+func axisWindow(sel *sqlast.Select, v, n string, axis xpath.Axis) error {
+	pre := func(a string) sqlast.Expr { return sqlast.C(a, shred.ColPre) }
+	post := func(a string) sqlast.Expr { return sqlast.C(a, shred.ColPost) }
+	par := func(a string) sqlast.Expr { return sqlast.C(a, shred.ColPar) }
+	winEnd := func(a string) sqlast.Expr {
+		return &sqlast.Binary{Op: sqlast.OpAdd, L: pre(a), R: sqlast.C(a, shred.ColSize)}
+	}
+	one := sqlast.Int(1)
+	switch axis {
+	case xpath.Child:
+		sel.AddConjunct(sqlast.Eq(par(n), pre(v)))
+	case xpath.Parent:
+		sel.AddConjunct(sqlast.Eq(par(v), pre(n)))
+	case xpath.Descendant:
+		sel.AddConjunct(&sqlast.Between{X: pre(n),
+			Lo: &sqlast.Binary{Op: sqlast.OpAdd, L: pre(v), R: one}, Hi: winEnd(v)})
+	case xpath.DescendantOrSelf:
+		sel.AddConjunct(&sqlast.Between{X: pre(n), Lo: pre(v), Hi: winEnd(v)})
+	case xpath.Ancestor:
+		sel.AddConjunct(&sqlast.Binary{Op: sqlast.OpLt, L: pre(n), R: pre(v)})
+		sel.AddConjunct(&sqlast.Binary{Op: sqlast.OpGt, L: post(n), R: post(v)})
+	case xpath.AncestorOrSelf:
+		sel.AddConjunct(&sqlast.Binary{Op: sqlast.OpLe, L: pre(n), R: pre(v)})
+		sel.AddConjunct(&sqlast.Binary{Op: sqlast.OpGe, L: post(n), R: post(v)})
+	case xpath.Following:
+		sel.AddConjunct(&sqlast.Binary{Op: sqlast.OpGt, L: pre(n), R: winEnd(v)})
+	case xpath.Preceding:
+		sel.AddConjunct(&sqlast.Binary{Op: sqlast.OpLt, L: pre(n), R: pre(v)})
+		sel.AddConjunct(&sqlast.Binary{Op: sqlast.OpLt, L: post(n), R: post(v)})
+	case xpath.FollowingSibling:
+		sel.AddConjunct(sqlast.Eq(par(n), par(v)))
+		sel.AddConjunct(&sqlast.Binary{Op: sqlast.OpGt, L: pre(n), R: pre(v)})
+	case xpath.PrecedingSibling:
+		sel.AddConjunct(sqlast.Eq(par(n), par(v)))
+		sel.AddConjunct(&sqlast.Binary{Op: sqlast.OpLt, L: pre(n), R: pre(v)})
+	default:
+		return fmt.Errorf("axis %s is not supported by the accelerator translation", axis)
+	}
+	return nil
+}
+
+func (b *builder) attrExists(owner, name string, op sqlast.BinOp, val sqlast.Expr) sqlast.Expr {
+	a := b.newAttrAlias()
+	sub := &sqlast.Select{
+		Cols: []sqlast.SelectCol{{Expr: &sqlast.NullLit{}}},
+		From: []sqlast.TableRef{{Table: shred.AttrTable, Alias: a}},
+	}
+	sub.AddConjunct(sqlast.Eq(sqlast.C(a, shred.ColOwner), sqlast.C(owner, shred.ColPre)))
+	sub.AddConjunct(sqlast.Eq(sqlast.C(a, shred.ColAttrName), sqlast.Str(name)))
+	if val != nil {
+		sub.AddConjunct(&sqlast.Binary{Op: op, L: sqlast.C(a, shred.ColValue), R: val})
+	}
+	return &sqlast.Exists{Select: sub}
+}
+
+// predicate translates one predicate on the element bound to alias.
+func (b *builder) predicate(e xpath.Expr, alias string) (sqlast.Expr, error) {
+	switch x := e.(type) {
+	case *xpath.Binary:
+		switch {
+		case x.Op == xpath.OpAnd || x.Op == xpath.OpOr:
+			l, err := b.predicate(x.L, alias)
+			if err != nil {
+				return nil, err
+			}
+			r, err := b.predicate(x.R, alias)
+			if err != nil {
+				return nil, err
+			}
+			if x.Op == xpath.OpAnd {
+				return sqlast.And(l, r), nil
+			}
+			return sqlast.Or(l, r), nil
+		case x.Op.Comparison():
+			return b.comparison(x, alias)
+		}
+		return nil, fmt.Errorf("unsupported predicate operator %s", x.Op)
+	case *xpath.Call:
+		if x.Name == "not" {
+			inner, err := b.predicate(x.Args[0], alias)
+			if err != nil {
+				return nil, err
+			}
+			if ex, ok := inner.(*sqlast.Exists); ok {
+				return &sqlast.Exists{Select: ex.Select, Negate: !ex.Negate}, nil
+			}
+			return &sqlast.Not{X: inner}, nil
+		}
+		return nil, fmt.Errorf("function %s() is not supported", x.Name)
+	case *xpath.Path:
+		return b.pathExists(x, alias, nil, 0)
+	case *xpath.Union:
+		var parts []sqlast.Expr
+		for _, p := range x.Paths {
+			c, err := b.pathExists(p, alias, nil, 0)
+			if err != nil {
+				return nil, err
+			}
+			parts = append(parts, c)
+		}
+		return sqlast.Or(parts...), nil
+	case *xpath.Number:
+		return b.positional(sqlast.OpEq, x.Value, alias)
+	case *xpath.Literal:
+		if x.Value != "" {
+			return sqlast.Eq(sqlast.Int(1), sqlast.Int(1)), nil
+		}
+		return sqlast.Eq(sqlast.Int(1), sqlast.Int(0)), nil
+	}
+	return nil, fmt.Errorf("unsupported predicate %T", e)
+}
+
+func (b *builder) comparison(x *xpath.Binary, alias string) (sqlast.Expr, error) {
+	op := sqlOp(x.Op)
+	lp, lok := x.L.(*xpath.Path)
+	rp, rok := x.R.(*xpath.Path)
+	switch {
+	case lok && rok:
+		return b.joinClause(op, lp, rp, alias)
+	case lok:
+		c, ok := constLit(x.R)
+		if !ok {
+			return nil, fmt.Errorf("unsupported comparison %s", x)
+		}
+		return b.pathExists(lp, alias, c, op)
+	case rok:
+		c, ok := constLit(x.L)
+		if !ok {
+			return nil, fmt.Errorf("unsupported comparison %s", x)
+		}
+		return b.pathExists(rp, alias, c, flipOp(op))
+	default:
+		// position() = n.
+		if call, ok := x.L.(*xpath.Call); ok && call.Name == "position" {
+			if n, ok := x.R.(*xpath.Number); ok {
+				return b.positional(op, n.Value, alias)
+			}
+		}
+		return nil, fmt.Errorf("unsupported comparison %s", x)
+	}
+}
+
+// pathExists builds EXISTS for a predicate path, optionally
+// restricting the reached element's value.
+func (b *builder) pathExists(p *xpath.Path, alias string, val sqlast.Expr, op sqlast.BinOp) (sqlast.Expr, error) {
+	// Shortcuts on the predicated element itself.
+	if !p.Absolute && len(p.Steps) == 1 {
+		s := p.Steps[0]
+		if s.Axis == xpath.Attribute && len(s.Predicates) == 0 {
+			return b.attrExists(alias, s.Name, op, val), nil
+		}
+		if (s.Test == xpath.TextTest || (s.Axis == xpath.Self && s.Test == xpath.AnyKindTest)) && len(s.Predicates) == 0 {
+			if val == nil {
+				return &sqlast.IsNull{X: sqlast.C(alias, shred.ColText), Negate: true}, nil
+			}
+			return &sqlast.Binary{Op: op, L: sqlast.C(alias, shred.ColText), R: val}, nil
+		}
+	}
+	sub := &sqlast.Select{Cols: []sqlast.SelectCol{{Expr: &sqlast.NullLit{}}}}
+	start := alias
+	if p.Absolute {
+		start = ""
+	}
+	end, err := b.buildStepsInto(sub, p, start)
+	if err != nil {
+		return nil, err
+	}
+	if val != nil {
+		main, terminal, err := xpath.NormalizeSteps(p.Steps)
+		_ = main
+		if err != nil {
+			return nil, err
+		}
+		if terminal != nil && terminal.Axis == xpath.Attribute {
+			// The attribute restriction was added as EXISTS by buildSteps;
+			// replace it with a value-restricted one. Simpler: add another.
+			sub.AddConjunct(b.attrExists(end, terminal.Name, op, val))
+		} else {
+			sub.AddConjunct(&sqlast.Binary{Op: op, L: sqlast.C(end, shred.ColText), R: val})
+		}
+	}
+	return &sqlast.Exists{Select: sub}, nil
+}
+
+func (b *builder) buildStepsInto(sub *sqlast.Select, p *xpath.Path, start string) (string, error) {
+	return b.buildSteps(sub, p.Steps, start, p.Absolute)
+}
+
+// joinClause translates 'pathL op pathR'.
+func (b *builder) joinClause(op sqlast.BinOp, pl, pr *xpath.Path, alias string) (sqlast.Expr, error) {
+	sub := &sqlast.Select{Cols: []sqlast.SelectCol{{Expr: &sqlast.NullLit{}}}}
+	startL := alias
+	if pl.Absolute {
+		startL = ""
+	}
+	endL, err := b.buildSteps(sub, pl.Steps, startL, pl.Absolute)
+	if err != nil {
+		return nil, err
+	}
+	startR := alias
+	if pr.Absolute {
+		startR = ""
+	}
+	endR, err := b.buildSteps(sub, pr.Steps, startR, pr.Absolute)
+	if err != nil {
+		return nil, err
+	}
+	sub.AddConjunct(&sqlast.Binary{Op: op,
+		L: sqlast.C(endL, shred.ColText), R: sqlast.C(endR, shred.ColText)})
+	return &sqlast.Exists{Select: sub}, nil
+}
+
+// positional counts same-name preceding siblings.
+func (b *builder) positional(op sqlast.BinOp, n float64, alias string) (sqlast.Expr, error) {
+	a := b.newAlias()
+	sub := &sqlast.Select{
+		Cols: []sqlast.SelectCol{{Expr: &sqlast.CountStar{}}},
+		From: []sqlast.TableRef{{Table: shred.AccelTable, Alias: a}},
+	}
+	sub.AddConjunct(sqlast.Eq(sqlast.C(a, shred.ColPar), sqlast.C(alias, shred.ColPar)))
+	sub.AddConjunct(sqlast.Eq(sqlast.C(a, shred.ColName), sqlast.C(alias, shred.ColName)))
+	sub.AddConjunct(&sqlast.Binary{Op: sqlast.OpLt,
+		L: sqlast.C(a, shred.ColPre), R: sqlast.C(alias, shred.ColPre)})
+	return &sqlast.Binary{Op: op,
+		L: &sqlast.Subquery{Select: sub}, R: sqlast.Int(int64(n) - 1)}, nil
+}
+
+func constLit(e xpath.Expr) (sqlast.Expr, bool) {
+	switch x := e.(type) {
+	case *xpath.Literal:
+		return sqlast.Str(x.Value), true
+	case *xpath.Number:
+		if x.Value == float64(int64(x.Value)) {
+			return sqlast.Int(int64(x.Value)), true
+		}
+		return &sqlast.FloatLit{Value: x.Value}, true
+	}
+	return nil, false
+}
+
+func sqlOp(op xpath.Op) sqlast.BinOp {
+	switch op {
+	case xpath.OpEq:
+		return sqlast.OpEq
+	case xpath.OpNe:
+		return sqlast.OpNe
+	case xpath.OpLt:
+		return sqlast.OpLt
+	case xpath.OpLe:
+		return sqlast.OpLe
+	case xpath.OpGt:
+		return sqlast.OpGt
+	default:
+		return sqlast.OpGe
+	}
+}
+
+func flipOp(op sqlast.BinOp) sqlast.BinOp {
+	switch op {
+	case sqlast.OpLt:
+		return sqlast.OpGt
+	case sqlast.OpLe:
+		return sqlast.OpGe
+	case sqlast.OpGt:
+		return sqlast.OpLt
+	case sqlast.OpGe:
+		return sqlast.OpLe
+	}
+	return op
+}

@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestAllSystemsAgreeOnXMark is the central integration test: every
+// benchmark query must return the oracle's node set on every system.
+func TestAllSystemsAgreeOnXMark(t *testing.T) {
+	scale := 0.05
+	if testing.Short() {
+		scale = 0.02
+	}
+	w, err := NewXMark(scale, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range w.Queries {
+		n, err := w.Verify(q)
+		if err != nil {
+			t.Errorf("%v", err)
+			continue
+		}
+		t.Logf("%s: %d nodes", q.ID, n)
+	}
+}
+
+func TestAllSystemsAgreeOnDBLP(t *testing.T) {
+	scale := 0.05
+	if testing.Short() {
+		scale = 0.02
+	}
+	w, err := NewDBLP(scale, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range w.Queries {
+		n, err := w.Verify(q)
+		if err != nil {
+			t.Errorf("%v", err)
+			continue
+		}
+		t.Logf("%s: %d nodes", q.ID, n)
+	}
+}
+
+func TestSupportedMatrix(t *testing.T) {
+	w, err := NewXMark(0.01, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Supported(Commercial, "Q1") {
+		t.Error("commercial stand-in should report N/A for Q1, as in the paper")
+	}
+	if !w.Supported(Commercial, "Q23") || !w.Supported(Commercial, "QA") {
+		t.Error("commercial stand-in should support Q23 and QA")
+	}
+	if !w.Supported(PPF, "Q1") {
+		t.Error("PPF supports everything")
+	}
+	d, err := NewDBLP(0.01, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Supported(Commercial, "QD1") {
+		t.Error("DBLP workload has no commercial restriction in the paper's table")
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	w, err := NewXMark(0.01, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := w.Query("Q1")
+	m := w.Measure(PPF, q, 3, 0)
+	if m.ErrorMsg != "" || m.Nodes == 0 || m.Avg <= 0 {
+		t.Fatalf("measurement = %+v", m)
+	}
+	if m.Cell() == "N/A" || m.Cell() == "ERR" {
+		t.Fatalf("cell = %s", m.Cell())
+	}
+	// Unsupported -> skipped.
+	m = w.Measure(Commercial, q, 1, 0)
+	if !m.Skipped || m.Cell() != "N/A" {
+		t.Fatalf("commercial Q1 = %+v", m)
+	}
+	// Tiny budget forces a timeout marker.
+	m = w.Measure(Accel, q, 1, time.Nanosecond)
+	if !m.Timeout || m.Cell() != "~" {
+		t.Fatalf("timeout cell = %+v", m)
+	}
+}
+
+func TestQueryLookup(t *testing.T) {
+	w, err := NewXMark(0.01, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := w.Query("Q1"); !ok {
+		t.Error("Q1 missing")
+	}
+	if _, ok := w.Query("nope"); ok {
+		t.Error("bogus query found")
+	}
+}

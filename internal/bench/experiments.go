@@ -1,0 +1,233 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/sqlast"
+)
+
+// Table is a rendered result table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	b.WriteString(t.Title)
+	b.WriteByte('\n')
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// Opts are experiment run options.
+type Opts struct {
+	Reps   int
+	Budget time.Duration
+	Verify bool
+}
+
+// DefaultOpts mirror the paper's five repetitions with a generous
+// per-query budget standing in for "did not complete".
+func DefaultOpts() Opts {
+	return Opts{Reps: 5, Budget: 60 * time.Second, Verify: true}
+}
+
+// Fig3 reproduces Figure 3: schema-aware vs schema-oblivious
+// PPF-based processing, one row per query of the given workloads.
+func Fig3(workloads []*Workload, o Opts) (*Table, error) {
+	t := &Table{
+		Title:   "Figure 3: schema-aware vs schema-oblivious (Edge-like) PPF processing [seconds]",
+		Headers: []string{"query", "# nodes", "PPF", "Edge-like PPF", "slowdown"},
+	}
+	for _, w := range workloads {
+		for _, q := range w.Queries {
+			if o.Verify {
+				if _, err := w.Verify(q); err != nil {
+					return nil, err
+				}
+			}
+			a := w.Measure(PPF, q, o.Reps, o.Budget)
+			b := w.Measure(EdgePPF, q, o.Reps, o.Budget)
+			slow := "-"
+			if a.Avg > 0 && b.Avg > 0 && !a.Timeout && !b.Timeout {
+				slow = fmt.Sprintf("%.1fx", float64(b.Avg)/float64(a.Avg))
+			}
+			t.Rows = append(t.Rows, []string{q.ID, fmt.Sprint(a.Nodes), a.Cell(), b.Cell(), slow})
+		}
+	}
+	return t, nil
+}
+
+// AppendixC reproduces one half of the Appendix C table (Figure 4's
+// data): every system on every query of a workload.
+func AppendixC(w *Workload, o Opts) (*Table, error) {
+	t := &Table{
+		Title:   fmt.Sprintf("Appendix C (%s): execution times [seconds]", w.Name),
+		Headers: []string{"query", "# nodes"},
+	}
+	for _, sys := range Systems {
+		t.Headers = append(t.Headers, string(sys))
+	}
+	for _, q := range w.Queries {
+		if o.Verify {
+			if _, err := w.Verify(q); err != nil {
+				return nil, err
+			}
+		}
+		row := []string{q.ID, ""}
+		for _, sys := range Systems {
+			m := w.Measure(sys, q, o.Reps, o.Budget)
+			if m.Nodes > 0 || row[1] == "" {
+				if !m.Skipped && m.ErrorMsg == "" {
+					row[1] = fmt.Sprint(m.Nodes)
+				}
+			}
+			row = append(row, m.Cell())
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// AblatePathFilter reproduces the Section 4.5 ablation: PPF with and
+// without redundant-path-filter omission.
+func AblatePathFilter(w *Workload, o Opts) (*Table, error) {
+	t := &Table{
+		Title:   fmt.Sprintf("Ablation (%s): Section 4.5 path-filter omission [seconds]", w.Name),
+		Headers: []string{"query", "joins on", "joins off", "omission on", "omission off", "speedup"},
+	}
+	off := core.DefaultOptions()
+	off.PathFilterOmission = false
+	trOff := w.NewPPFTranslator(&off)
+	for _, q := range w.Queries {
+		onTr, err := w.ppf.Translate(q.XPath)
+		if err != nil {
+			return nil, err
+		}
+		offTr, err := trOff.Translate(q.XPath)
+		if err != nil {
+			return nil, err
+		}
+		a := w.measureStmt(w.Aware.DB, onTr.Stmt, o)
+		b := w.measureStmt(w.Aware.DB, offTr.Stmt, o)
+		speed := "-"
+		if a > 0 && b > 0 {
+			speed = fmt.Sprintf("%.2fx", float64(b)/float64(a))
+		}
+		t.Rows = append(t.Rows, []string{
+			q.ID, fmt.Sprint(onTr.Joins), fmt.Sprint(offTr.Joins),
+			fmt.Sprintf("%.3f", a.Seconds()), fmt.Sprintf("%.3f", b.Seconds()), speed,
+		})
+	}
+	return t, nil
+}
+
+// AblateFKJoin reproduces the Section 4.2 choice: FK equijoins vs
+// Dewey comparisons for single-step child/parent PPFs.
+func AblateFKJoin(w *Workload, o Opts) (*Table, error) {
+	t := &Table{
+		Title:   fmt.Sprintf("Ablation (%s): FK vs Dewey joins for child/parent steps [seconds]", w.Name),
+		Headers: []string{"query", "FK joins", "Dewey joins", "speedup"},
+	}
+	off := core.DefaultOptions()
+	off.FKChildParent = false
+	trOff := w.NewPPFTranslator(&off)
+	for _, q := range w.Queries {
+		onTr, err := w.ppf.Translate(q.XPath)
+		if err != nil {
+			return nil, err
+		}
+		offTr, err := trOff.Translate(q.XPath)
+		if err != nil {
+			return nil, err
+		}
+		a := w.measureStmt(w.Aware.DB, onTr.Stmt, o)
+		b := w.measureStmt(w.Aware.DB, offTr.Stmt, o)
+		speed := "-"
+		if a > 0 && b > 0 {
+			speed = fmt.Sprintf("%.2fx", float64(b)/float64(a))
+		}
+		t.Rows = append(t.Rows, []string{
+			q.ID, fmt.Sprintf("%.3f", a.Seconds()), fmt.Sprintf("%.3f", b.Seconds()), speed,
+		})
+	}
+	return t, nil
+}
+
+// JoinCounts reports the paper's join-count argument: FROM entries
+// per query under each SQL-based translation.
+func JoinCounts(w *Workload) (*Table, error) {
+	t := &Table{
+		Title:   fmt.Sprintf("Join counts (%s): relations referenced per query", w.Name),
+		Headers: []string{"query", "PPF", "PPF selects", "Edge-like PPF", "Accelerator"},
+	}
+	for _, q := range w.Queries {
+		p, err := w.ppf.Translate(q.XPath)
+		if err != nil {
+			return nil, err
+		}
+		e, err := w.edgeTr.Translate(q.XPath)
+		if err != nil {
+			return nil, err
+		}
+		a, err := w.accelTr.Translate(q.XPath)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			q.ID, fmt.Sprint(p.Joins), fmt.Sprint(p.Selects), fmt.Sprint(e.Joins), fmt.Sprint(a.Joins),
+		})
+	}
+	return t, nil
+}
+
+func (w *Workload) measureStmt(db *engine.DB, st sqlast.Statement, o Opts) time.Duration {
+	var total time.Duration
+	reps := o.Reps
+	if reps <= 0 {
+		reps = 1
+	}
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		if _, err := db.Run(st); err != nil {
+			return 0
+		}
+		total += time.Since(start)
+	}
+	return total / time.Duration(reps)
+}

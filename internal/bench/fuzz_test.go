@@ -1,0 +1,275 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/schema"
+)
+
+// queryGen produces random XPath queries that are valid for a schema
+// and inside the subset every system translates. It is the engine of
+// the differential property test: whatever it produces, all five
+// systems must agree on.
+type queryGen struct {
+	r *rand.Rand
+	s *schema.Schema
+	// textElems and attrs for value predicates.
+	textElems []string
+	attrElems []struct{ elem, attr string }
+	values    []string
+}
+
+func newQueryGen(seed int64, s *schema.Schema, values []string) *queryGen {
+	g := &queryGen{r: rand.New(rand.NewSource(seed)), s: s, values: values}
+	for _, n := range s.Nodes() {
+		if n.HasText {
+			g.textElems = append(g.textElems, n.Name)
+		}
+		for _, a := range n.Attrs {
+			g.attrElems = append(g.attrElems, struct{ elem, attr string }{n.Name, a})
+		}
+	}
+	return g
+}
+
+// gen emits one random query: usually a single absolute path, with
+// occasional unions and terminal attribute / text() steps.
+func (g *queryGen) gen() string {
+	q := g.genPath()
+	switch g.r.Intn(10) {
+	case 0:
+		return q + " | " + g.genPath()
+	case 1:
+		// Terminal attribute or text() on the last element when known.
+		if !strings.HasSuffix(q, "*") && !strings.Contains(q, "]") {
+			last := q[strings.LastIndexByte(q, '/')+1:]
+			if n := g.s.Node(strings.TrimPrefix(last, "parent::")); n != nil {
+				if n.HasText && g.r.Intn(2) == 0 {
+					return q + "/text()"
+				}
+				if len(n.Attrs) > 0 {
+					return q + "/@" + n.Attrs[g.r.Intn(len(n.Attrs))]
+				}
+			}
+		}
+	}
+	return q
+}
+
+// genPath emits one random absolute path. It walks the schema graph
+// so most steps are non-empty, with occasional wildcards, '//' hops,
+// backward steps, horizontal steps and predicates.
+func (g *queryGen) genPath() string {
+	var b strings.Builder
+	cur := g.s.Roots()[g.r.Intn(len(g.s.Roots()))]
+	b.WriteString("/" + cur.Name)
+	steps := 1 + g.r.Intn(4)
+	for i := 0; i < steps; i++ {
+		switch g.r.Intn(10) {
+		case 0, 1, 2, 3, 4: // child step
+			if len(cur.Children) == 0 {
+				return b.String()
+			}
+			next := cur.Children[g.r.Intn(len(cur.Children))]
+			b.WriteString("/" + next.Name)
+			cur = next
+		case 5: // wildcard child
+			if len(cur.Children) == 0 {
+				return b.String()
+			}
+			next := cur.Children[g.r.Intn(len(cur.Children))]
+			b.WriteString("/*")
+			cur = next // approximate: resolution handles the rest
+		case 6: // descendant hop
+			desc := g.s.Resolve([]*schema.Node{cur}, []schema.Step{{Axis: schema.Descendant}})
+			if len(desc) == 0 {
+				return b.String()
+			}
+			next := desc[g.r.Intn(len(desc))]
+			b.WriteString("//" + next.Name)
+			cur = next
+		case 7: // backward step
+			if len(cur.Parents) == 0 {
+				continue
+			}
+			p := cur.Parents[g.r.Intn(len(cur.Parents))]
+			if g.r.Intn(2) == 0 {
+				b.WriteString("/parent::" + p.Name)
+			} else {
+				b.WriteString("/ancestor::" + p.Name)
+			}
+			cur = p
+		case 8: // horizontal step
+			sibs := g.s.Resolve([]*schema.Node{cur},
+				[]schema.Step{{Axis: schema.Parent}, {Axis: schema.Child}})
+			if len(sibs) == 0 {
+				continue
+			}
+			next := sibs[g.r.Intn(len(sibs))]
+			switch g.r.Intn(4) {
+			case 0:
+				b.WriteString("/following-sibling::" + next.Name)
+			case 1:
+				b.WriteString("/preceding-sibling::" + next.Name)
+			case 2:
+				b.WriteString("/following::" + next.Name)
+			default:
+				b.WriteString("/preceding::" + next.Name)
+			}
+			cur = next
+		case 9: // predicate on the current step
+			b.WriteString("[" + g.predicate(cur, 1) + "]")
+		}
+	}
+	return b.String()
+}
+
+// predicate emits a random predicate valid at the given schema node.
+func (g *queryGen) predicate(cur *schema.Node, depth int) string {
+	choices := []func() string{}
+	// Existence of a child.
+	if len(cur.Children) > 0 {
+		choices = append(choices, func() string {
+			c := cur.Children[g.r.Intn(len(cur.Children))]
+			return c.Name
+		})
+		choices = append(choices, func() string {
+			c := cur.Children[g.r.Intn(len(cur.Children))]
+			return "not(" + c.Name + ")"
+		})
+	}
+	// Attribute existence / comparison.
+	if len(cur.Attrs) > 0 {
+		choices = append(choices, func() string {
+			return "@" + cur.Attrs[g.r.Intn(len(cur.Attrs))]
+		})
+		choices = append(choices, func() string {
+			return fmt.Sprintf("@%s='%s'", cur.Attrs[g.r.Intn(len(cur.Attrs))], g.value())
+		})
+	}
+	// Text comparison on a text-bearing child.
+	for _, c := range cur.Children {
+		if c.HasText {
+			c := c
+			choices = append(choices, func() string {
+				return fmt.Sprintf("%s='%s'", c.Name, g.value())
+			})
+			break
+		}
+	}
+	// Self comparison.
+	if cur.HasText {
+		choices = append(choices, func() string {
+			return fmt.Sprintf(". = '%s'", g.value())
+		})
+	}
+	// Backward existence (Table 5-2 path).
+	if len(cur.Parents) > 0 {
+		choices = append(choices, func() string {
+			p := cur.Parents[g.r.Intn(len(cur.Parents))]
+			if g.r.Intn(2) == 0 {
+				return "parent::" + p.Name
+			}
+			return "ancestor::" + p.Name
+		})
+	}
+	if len(choices) == 0 {
+		return "1 = 1"
+	}
+	c := choices[g.r.Intn(len(choices))]()
+	if depth > 0 && g.r.Intn(3) == 0 {
+		op := []string{" and ", " or "}[g.r.Intn(2)]
+		return c + op + g.predicate(cur, depth-1)
+	}
+	return c
+}
+
+func (g *queryGen) value() string {
+	if len(g.values) == 0 {
+		return "x"
+	}
+	return g.values[g.r.Intn(len(g.values))]
+}
+
+// TestDifferentialRandomQueries is the property-based cross-system
+// test: hundreds of random schema-valid queries must produce the
+// oracle's node set on all four non-oracle systems.
+func TestDifferentialRandomQueries(t *testing.T) {
+	iters := 400
+	if testing.Short() {
+		iters = 80
+	}
+	w, err := NewXMark(0.02, 1234)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed comparison values with strings that actually occur.
+	values := []string{"yes", "item0", "person1", "Cash Creditcard", "1", "Regular", "male"}
+	g := newQueryGen(99, w.Schema, values)
+	failures := 0
+	for i := 0; i < iters; i++ {
+		q := Query{ID: fmt.Sprintf("rand%d", i), XPath: g.gen()}
+		want, err := w.OracleIDs(q)
+		if err != nil {
+			t.Fatalf("oracle rejected generated query %q: %v", q.XPath, err)
+		}
+		for _, sys := range []System{PPF, EdgePPF, Staircase, Accel} {
+			got, err := w.Run(sys, q)
+			if err != nil {
+				t.Errorf("%s failed on %q: %v", sys, q.XPath, err)
+				failures++
+				continue
+			}
+			if !equalIDs(got, want) {
+				t.Errorf("%s disagrees on %q: got %d ids, want %d (%s)",
+					sys, q.XPath, len(got), len(want), firstDiff(got, want))
+				failures++
+			}
+		}
+		if failures > 10 {
+			t.Fatal("too many failures; stopping early")
+		}
+	}
+}
+
+// TestDifferentialRandomQueriesDBLP repeats the property test on the
+// recursive DBLP schema (sub/sup/i cycles stress the I-P paths).
+func TestDifferentialRandomQueriesDBLP(t *testing.T) {
+	iters := 300
+	if testing.Short() {
+		iters = 60
+	}
+	w, err := NewDBLP(0.02, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := []string{"1994", "2", "n", "Example Press", "Harold G. Longbotham"}
+	g := newQueryGen(7, w.Schema, values)
+	failures := 0
+	for i := 0; i < iters; i++ {
+		q := Query{ID: fmt.Sprintf("rand%d", i), XPath: g.gen()}
+		want, err := w.OracleIDs(q)
+		if err != nil {
+			t.Fatalf("oracle rejected generated query %q: %v", q.XPath, err)
+		}
+		for _, sys := range []System{PPF, EdgePPF, Staircase, Accel} {
+			got, err := w.Run(sys, q)
+			if err != nil {
+				t.Errorf("%s failed on %q: %v", sys, q.XPath, err)
+				failures++
+				continue
+			}
+			if !equalIDs(got, want) {
+				t.Errorf("%s disagrees on %q: got %d ids, want %d (%s)",
+					sys, q.XPath, len(got), len(want), firstDiff(got, want))
+				failures++
+			}
+		}
+		if failures > 10 {
+			t.Fatal("too many failures; stopping early")
+		}
+	}
+}

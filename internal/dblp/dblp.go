@@ -1,0 +1,229 @@
+// Package dblp generates a deterministic DBLP-like bibliography
+// corpus for the paper's Section 5 experiments. The structure mirrors
+// what the QD1-QD5 queries touch: inproceedings, articles and books
+// with author lists, years, and titles carrying nested sub/sup/i
+// markup (a recursive — I-P — part of the schema).
+package dblp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/schema"
+	"repro/internal/xmltree"
+)
+
+// Base counts at Scale=1. The real DBLP dump of the paper is ~130 MB;
+// Scale=1 keeps the same structural mix at laptop-test size and the
+// benchmark loads it at a larger scale.
+const (
+	baseInproceedings = 6000
+	baseArticles      = 2500
+	baseBooks         = 150
+	baseAuthors       = 4000
+)
+
+// Config controls generation.
+type Config struct {
+	Scale float64
+	Seed  int64
+}
+
+// Schema returns the DBLP schema graph. The sub/sup/i markup is
+// mutually recursive, so those elements are I-P and exercise the
+// translator's recursive-path regexes.
+func Schema() *schema.Schema {
+	b := schema.NewBuilder("dblp")
+	b.Element("dblp", "inproceedings", "article", "book")
+	for _, pub := range []string{"inproceedings", "article", "book"} {
+		b.Element(pub, "author", "title", "year", "pages")
+		b.Attrs(pub, "key")
+	}
+	b.Element("inproceedings", "booktitle")
+	b.Element("article", "journal", "volume")
+	b.Element("book", "publisher", "isbn")
+	b.Element("title", "sub", "sup", "i")
+	b.Element("sub", "sub", "sup", "i")
+	b.Element("sup", "sub", "sup", "i")
+	b.Element("i")
+	b.Text("author", "title", "year", "pages", "booktitle", "journal",
+		"volume", "publisher", "isbn", "sub", "sup", "i")
+	return b.MustBuild()
+}
+
+type generator struct {
+	b   *xmltree.Builder
+	r   *rand.Rand
+	cfg Config
+
+	authors     []string
+	bookAuthors map[string]bool
+}
+
+// Generate builds the corpus.
+func Generate(cfg Config) (*xmltree.Document, error) {
+	if cfg.Scale <= 0 {
+		cfg.Scale = 1
+	}
+	g := &generator{
+		b:           xmltree.NewBuilder(),
+		r:           rand.New(rand.NewSource(cfg.Seed)),
+		cfg:         cfg,
+		bookAuthors: map[string]bool{},
+	}
+	nAuthors := scaled(baseAuthors, cfg.Scale)
+	g.authors = make([]string, nAuthors)
+	for i := range g.authors {
+		g.authors[i] = fmt.Sprintf("%s %s. %s", firstNames[i%len(firstNames)],
+			string(rune('A'+i%26)), lastNames[(i/3)%len(lastNames)])
+	}
+	b := g.b
+	b.Start("dblp")
+	// Books first so their author set is known when generating papers
+	// (QD5 joins inproceedings authors against book authors).
+	for i, n := 0, scaled(baseBooks, cfg.Scale); i < n; i++ {
+		g.book(i)
+	}
+	for i, n := 0, scaled(baseInproceedings, cfg.Scale); i < n; i++ {
+		g.inproceedings(i)
+	}
+	for i, n := 0, scaled(baseArticles, cfg.Scale); i < n; i++ {
+		g.article(i)
+	}
+	b.End()
+	return b.Doc()
+}
+
+// MustGenerate panics on error.
+func MustGenerate(cfg Config) *xmltree.Document {
+	doc, err := Generate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return doc
+}
+
+func scaled(n int, scale float64) int {
+	v := int(float64(n)*scale + 0.5)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+var firstNames = []string{"Alan", "Grace", "Edsger", "Barbara", "Donald", "Ada", "John", "Leslie", "Tony", "Frances"}
+var lastNames = []string{"Turner", "Hopper", "Knuth", "Liskov", "Lamport", "Gray", "Codd", "Dijkstra", "Hoare", "Allen"}
+var topicWords = []string{"Efficient", "Scalable", "Adaptive", "Parallel", "Relational", "Streaming", "Indexed", "Holistic", "Recursive", "Optimal"}
+var areaWords = []string{"XPath", "XML", "Query", "Join", "Index", "Storage", "Schema", "Path", "Tree", "Graph"}
+
+func (g *generator) author() string { return g.authors[g.r.Intn(len(g.authors))] }
+
+// title emits a title, possibly with sub/sup/i markup. forceDeepI
+// plants the exact structure QD4 counts: an <i> whose parent is
+// inside a <sub>, inside an article title.
+func (g *generator) title(markup bool, forceDeepI bool) {
+	b := g.b
+	b.Start("title")
+	b.Text(g.topic())
+	if forceDeepI {
+		// i / parent::* (sup) / parent::sub / ancestor::article
+		b.Start("sub").Text("H").
+			Start("sup").Text("2").
+			Elem("i", "n").
+			End().
+			End()
+		b.End()
+		return
+	}
+	if markup {
+		switch g.r.Intn(4) {
+		case 0:
+			b.Elem("sub", "2")
+		case 1:
+			b.Elem("sup", "n")
+		case 2:
+			b.Start("sub").Text("i").Elem("sup", "2").End()
+		case 3:
+			b.Elem("i", "k")
+		}
+		b.Text(g.topic())
+	}
+	b.End()
+}
+
+func (g *generator) topic() string {
+	return topicWords[g.r.Intn(len(topicWords))] + " " + areaWords[g.r.Intn(len(areaWords))] + " Processing"
+}
+
+func (g *generator) year() string {
+	return fmt.Sprintf("%d", 1988+g.r.Intn(16)) // 1988..2003
+}
+
+func (g *generator) book(i int) {
+	b := g.b
+	b.Start("book", "key", fmt.Sprintf("books/x/%d", i))
+	for j, n := 0, 1+g.r.Intn(2); j < n; j++ {
+		a := g.author()
+		g.bookAuthors[a] = true
+		b.Elem("author", a)
+	}
+	g.title(false, false)
+	b.Elem("year", g.year())
+	b.Elem("publisher", "Example Press")
+	b.Elem("isbn", fmt.Sprintf("%d-%d", g.r.Intn(999), g.r.Intn(99999)))
+	b.End()
+}
+
+func (g *generator) inproceedings(i int) {
+	b := g.b
+	b.Start("inproceedings", "key", fmt.Sprintf("conf/x/%d", i))
+	nAuthors := 1 + g.r.Intn(3)
+	for j := 0; j < nAuthors; j++ {
+		name := g.author()
+		// QD1: exactly two inproceedings titles have a preceding-sibling
+		// author 'Harold G. Longbotham'.
+		if (i == 10 || i == 2000%max(1, scaled(baseInproceedings, g.cfg.Scale))) && j == 0 {
+			name = "Harold G. Longbotham"
+		}
+		b.Elem("author", name)
+	}
+	// ~10% of titles carry sup/sub markup (QD2/QD3 cardinalities).
+	g.title(g.r.Intn(100) < 10, false)
+	b.Elem("year", g.year())
+	b.Elem("pages", fmt.Sprintf("%d-%d", 100+i%300, 110+i%300))
+	b.Elem("booktitle", "Proc. of "+areaWords[g.r.Intn(len(areaWords))])
+	b.End()
+}
+
+func (g *generator) article(i int) {
+	b := g.b
+	b.Start("article", "key", fmt.Sprintf("journals/x/%d", i))
+	for j, n := 0, 1+g.r.Intn(2); j < n; j++ {
+		b.Elem("author", g.author())
+	}
+	// QD4: exactly one article title contains the deep i-in-sup-in-sub.
+	g.title(g.r.Intn(100) < 8, i == 42%max(1, scaled(baseArticles, g.cfg.Scale)))
+	b.Elem("year", g.year())
+	b.Elem("journal", "Journal of "+areaWords[g.r.Intn(len(areaWords))])
+	b.Elem("volume", fmt.Sprintf("%d", 1+g.r.Intn(40)))
+	b.End()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Queries is the paper's Table 7 query set.
+var Queries = []struct {
+	ID    string
+	XPath string
+}{
+	{"QD1", "//inproceedings/title[preceding-sibling::author = 'Harold G. Longbotham']"},
+	{"QD2", "/dblp/inproceedings[year>=1994]//sup"},
+	{"QD3", "/dblp/inproceedings/title/sup"},
+	{"QD4", "//i[parent::*/parent::sub/ancestor::article]"},
+	{"QD5", "/dblp/inproceedings[author=/dblp/book/author]/title"},
+}

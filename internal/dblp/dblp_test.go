@@ -1,0 +1,84 @@
+package dblp
+
+import (
+	"testing"
+
+	"repro/internal/native"
+	"repro/internal/schema"
+)
+
+func TestSchemaMarks(t *testing.T) {
+	s := Schema()
+	for _, name := range []string{"sub", "sup"} {
+		if s.Node(name).Mark != schema.InfinitePaths {
+			t.Errorf("%s should be I-P, got %s", name, s.Node(name).Mark)
+		}
+	}
+	// i appears under title, sub and sup; sub/sup are recursive, so i
+	// is downstream of a cycle: I-P.
+	if s.Node("i").Mark != schema.InfinitePaths {
+		t.Errorf("i should be I-P, got %s", s.Node("i").Mark)
+	}
+	// author appears under all three publication kinds: F-P.
+	if got := s.Node("author"); got.Mark != schema.FinitePaths || len(got.RootPaths) != 3 {
+		t.Errorf("author marking = %s with %d paths", got.Mark, len(got.RootPaths))
+	}
+	if s.Node("dblp").Mark != schema.UniquePath {
+		t.Errorf("dblp should be U-P")
+	}
+}
+
+func TestGenerateValidates(t *testing.T) {
+	doc := MustGenerate(Config{Scale: 0.05, Seed: 3})
+	if err := Schema().Validate(doc); err != nil {
+		t.Fatalf("generated document violates schema: %v", err)
+	}
+	doc2 := MustGenerate(Config{Scale: 0.05, Seed: 3})
+	if doc.Len() != doc2.Len() {
+		t.Fatal("generation is not deterministic")
+	}
+}
+
+func TestPlantedCardinalities(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale generation in -short mode")
+	}
+	doc := MustGenerate(Config{Scale: 1, Seed: 11})
+	ev := native.New(doc)
+	count := func(q string) int {
+		ids, err := ev.ElementIDs(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		return len(ids)
+	}
+	// QD1: exactly 2 (paper: 2).
+	if got := count(Queries[0].XPath); got != 2 {
+		t.Errorf("QD1 = %d, want 2", got)
+	}
+	// QD4: exactly 1 (paper: 1).
+	if got := count(Queries[3].XPath); got != 1 {
+		t.Errorf("QD4 = %d, want 1", got)
+	}
+	// QD2 is a subset of all sup elements under inproceedings; both
+	// positive and QD2 <= QD3-ish relation should hold.
+	qd2, qd3 := count(Queries[1].XPath), count(Queries[2].XPath)
+	if qd2 <= 0 || qd3 <= 0 {
+		t.Errorf("QD2 = %d, QD3 = %d; both should be positive", qd2, qd3)
+	}
+	// QD5: a sizeable fraction of inproceedings share an author with a
+	// book (paper: 12178 of ~240k; here scaled down).
+	if got := count(Queries[4].XPath); got < 100 {
+		t.Errorf("QD5 = %d, want >= 100", got)
+	}
+}
+
+func TestAllQueriesRunOnSmallCorpus(t *testing.T) {
+	doc := MustGenerate(Config{Scale: 0.05, Seed: 5})
+	ev := native.New(doc)
+	for _, q := range Queries {
+		if _, err := ev.ElementIDs(q.XPath); err != nil {
+			t.Errorf("%s: %v", q.ID, err)
+		}
+	}
+}

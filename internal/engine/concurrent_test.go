@@ -1,0 +1,59 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentReadQueries runs many queries in parallel against one
+// database: read-only execution (including lazy hash-index builds)
+// must be race-free and deterministic. Run under -race in CI.
+func TestConcurrentReadQueries(t *testing.T) {
+	db := fixtureDB(t)
+	queries := []string{
+		"SELECT F.id FROM F WHERE F.text = '2'",
+		"SELECT C.id FROM B, C WHERE C.par = B.id AND B.id = 2 ORDER BY C.id",
+		"SELECT F.id FROM B, F WHERE B.id = 2 AND F.dewey_pos BETWEEN B.dewey_pos AND B.dewey_pos || X'FF'",
+		"SELECT B.id FROM B WHERE EXISTS (SELECT NULL FROM F WHERE F.dewey_pos BETWEEN B.dewey_pos AND B.dewey_pos || X'FF')",
+		"SELECT COUNT(*) FROM G",
+		"SELECT DISTINCT F.par FROM F",
+	}
+	want := make([][][]Value, len(queries))
+	for i, q := range queries {
+		res, err := db.RunSQL(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res.Rows
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 20; rep++ {
+				for i, q := range queries {
+					res, err := db.RunSQL(q)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if len(res.Rows) != len(want[i]) {
+						errs <- errResult{q}
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+type errResult struct{ q string }
+
+func (e errResult) Error() string { return "nondeterministic result for " + e.q }

@@ -1,0 +1,396 @@
+package engine
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"sync"
+
+	"repro/internal/pathre"
+	"repro/internal/sqlast"
+)
+
+// env maps effective table names (alias or table name) to the current
+// row bound for that table. Nested scopes (correlated subqueries)
+// share one env: inner scopes add their bindings on top and remove
+// them on exit; name shadowing is rejected at plan time.
+type env map[string][]Value
+
+// cexpr is a compiled expression: column references are resolved to
+// positions, regex patterns precompiled, subqueries pre-planned.
+type cexpr interface {
+	eval(ec *execCtx, e env) (Value, error)
+}
+
+// scope resolves column references at compile time.
+type scope struct {
+	parent *scope
+	tables map[string]*Table // effective name -> table
+	order  []string
+}
+
+func newScope(parent *scope) *scope {
+	return &scope{parent: parent, tables: map[string]*Table{}}
+}
+
+func (s *scope) add(name string, t *Table) error {
+	for sc := s; sc != nil; sc = sc.parent {
+		if _, dup := sc.tables[name]; dup {
+			return fmt.Errorf("engine: table name %q shadows an enclosing table; alias it", name)
+		}
+	}
+	s.tables[name] = t
+	s.order = append(s.order, name)
+	return nil
+}
+
+// resolve finds the table and column position for a column reference.
+func (s *scope) resolve(c *sqlast.Col) (tableName string, t *Table, pos int, err error) {
+	if c.Table != "" {
+		for sc := s; sc != nil; sc = sc.parent {
+			if t, ok := sc.tables[c.Table]; ok {
+				p := t.ColIndex(c.Column)
+				if p < 0 {
+					return "", nil, 0, fmt.Errorf("engine: no column %q in table %q", c.Column, c.Table)
+				}
+				return c.Table, t, p, nil
+			}
+		}
+		return "", nil, 0, fmt.Errorf("engine: unknown table %q", c.Table)
+	}
+	// Unqualified: must be unique across the innermost scope that has a
+	// match; ambiguity is an error.
+	for sc := s; sc != nil; sc = sc.parent {
+		var foundName string
+		var foundTable *Table
+		foundPos := -1
+		for _, name := range sc.order {
+			t := sc.tables[name]
+			if p := t.ColIndex(c.Column); p >= 0 {
+				if foundPos >= 0 {
+					return "", nil, 0, fmt.Errorf("engine: ambiguous column %q", c.Column)
+				}
+				foundName, foundTable, foundPos = name, t, p
+			}
+		}
+		if foundPos >= 0 {
+			return foundName, foundTable, foundPos, nil
+		}
+	}
+	return "", nil, 0, fmt.Errorf("engine: unknown column %q", c.Column)
+}
+
+// --- compiled expression node types ---
+
+type ccol struct {
+	table string
+	pos   int
+}
+
+func (c *ccol) eval(ec *execCtx, e env) (Value, error) {
+	row, ok := e[c.table]
+	if !ok {
+		return Null, fmt.Errorf("engine: internal: table %q not bound", c.table)
+	}
+	return row[c.pos], nil
+}
+
+type clit struct{ v Value }
+
+func (c *clit) eval(*execCtx, env) (Value, error) { return c.v, nil }
+
+type cbin struct {
+	op   sqlast.BinOp
+	l, r cexpr
+}
+
+func (c *cbin) eval(ec *execCtx, e env) (Value, error) {
+	switch c.op {
+	case sqlast.OpAnd:
+		lv, err := c.l.eval(ec, e)
+		if err != nil {
+			return Null, err
+		}
+		if !lv.Truth() {
+			return NewBool(false), nil
+		}
+		rv, err := c.r.eval(ec, e)
+		if err != nil {
+			return Null, err
+		}
+		return NewBool(rv.Truth()), nil
+	case sqlast.OpOr:
+		lv, err := c.l.eval(ec, e)
+		if err != nil {
+			return Null, err
+		}
+		if lv.Truth() {
+			return NewBool(true), nil
+		}
+		rv, err := c.r.eval(ec, e)
+		if err != nil {
+			return Null, err
+		}
+		return NewBool(rv.Truth()), nil
+	}
+	lv, err := c.l.eval(ec, e)
+	if err != nil {
+		return Null, err
+	}
+	rv, err := c.r.eval(ec, e)
+	if err != nil {
+		return Null, err
+	}
+	switch c.op {
+	case sqlast.OpEq, sqlast.OpNe, sqlast.OpLt, sqlast.OpLe, sqlast.OpGt, sqlast.OpGe:
+		cmp, ok := Compare(lv, rv)
+		if !ok {
+			return NewBool(false), nil
+		}
+		var res bool
+		switch c.op {
+		case sqlast.OpEq:
+			res = cmp == 0
+		case sqlast.OpNe:
+			res = cmp != 0
+		case sqlast.OpLt:
+			res = cmp < 0
+		case sqlast.OpLe:
+			res = cmp <= 0
+		case sqlast.OpGt:
+			res = cmp > 0
+		case sqlast.OpGe:
+			res = cmp >= 0
+		}
+		return NewBool(res), nil
+	case sqlast.OpConcat:
+		return Concat(lv, rv)
+	case sqlast.OpAdd:
+		return Arith('+', lv, rv)
+	case sqlast.OpSub:
+		return Arith('-', lv, rv)
+	case sqlast.OpMul:
+		return Arith('*', lv, rv)
+	case sqlast.OpDiv:
+		return Arith('/', lv, rv)
+	case sqlast.OpMod:
+		return Arith('%', lv, rv)
+	}
+	return Null, fmt.Errorf("engine: unknown operator %v", c.op)
+}
+
+type cnot struct{ x cexpr }
+
+func (c *cnot) eval(ec *execCtx, e env) (Value, error) {
+	v, err := c.x.eval(ec, e)
+	if err != nil {
+		return Null, err
+	}
+	return NewBool(!v.Truth()), nil
+}
+
+type cbetween struct{ x, lo, hi cexpr }
+
+func (c *cbetween) eval(ec *execCtx, e env) (Value, error) {
+	xv, err := c.x.eval(ec, e)
+	if err != nil {
+		return Null, err
+	}
+	lov, err := c.lo.eval(ec, e)
+	if err != nil {
+		return Null, err
+	}
+	cmpLo, ok := Compare(xv, lov)
+	if !ok || cmpLo < 0 {
+		return NewBool(false), nil
+	}
+	hiv, err := c.hi.eval(ec, e)
+	if err != nil {
+		return Null, err
+	}
+	cmpHi, ok := Compare(xv, hiv)
+	return NewBool(ok && cmpHi <= 0), nil
+}
+
+type cisnull struct {
+	x      cexpr
+	negate bool
+}
+
+func (c *cisnull) eval(ec *execCtx, e env) (Value, error) {
+	v, err := c.x.eval(ec, e)
+	if err != nil {
+		return Null, err
+	}
+	return NewBool(v.IsNull() != c.negate), nil
+}
+
+type cfunc struct {
+	name string
+	args []cexpr
+	re   *matcher // for REGEXP_LIKE with constant pattern
+}
+
+func (c *cfunc) eval(ec *execCtx, e env) (Value, error) {
+	switch c.name {
+	case "REGEXP_LIKE":
+		sv, err := c.args[0].eval(ec, e)
+		if err != nil {
+			return Null, err
+		}
+		if sv.IsNull() {
+			return NewBool(false), nil
+		}
+		m := c.re
+		if m == nil {
+			pv, err := c.args[1].eval(ec, e)
+			if err != nil {
+				return Null, err
+			}
+			m, err = ec.pattern(pv.String())
+			if err != nil {
+				return Null, err
+			}
+		}
+		return NewBool(m.match(sv.String())), nil
+	case "LENGTH":
+		v, err := c.args[0].eval(ec, e)
+		if err != nil || v.IsNull() {
+			return Null, err
+		}
+		if v.Kind == KBytes {
+			return NewInt(int64(len(v.B))), nil
+		}
+		return NewInt(int64(len(v.String()))), nil
+	case "SUBSTR":
+		v, err := c.args[0].eval(ec, e)
+		if err != nil || v.IsNull() {
+			return Null, err
+		}
+		pv, err := c.args[1].eval(ec, e)
+		if err != nil || pv.IsNull() {
+			return Null, err
+		}
+		if pv.Kind != KInt {
+			return Null, fmt.Errorf("engine: SUBSTR position must be an integer")
+		}
+		s := v.String()
+		start := int(pv.I) - 1 // SQL SUBSTR is 1-based
+		if start < 0 {
+			start = 0
+		}
+		if start >= len(s) {
+			return NewText(""), nil
+		}
+		return NewText(s[start:]), nil
+	case "LOWER", "UPPER":
+		v, err := c.args[0].eval(ec, e)
+		if err != nil || v.IsNull() {
+			return Null, err
+		}
+		if c.name == "LOWER" {
+			return NewText(strings.ToLower(v.String())), nil
+		}
+		return NewText(strings.ToUpper(v.String())), nil
+	case "ABS":
+		v, err := c.args[0].eval(ec, e)
+		if err != nil || v.IsNull() {
+			return Null, err
+		}
+		if v.Kind == KInt {
+			if v.I < 0 {
+				return NewInt(-v.I), nil
+			}
+			return v, nil
+		}
+		f, ok := v.numeric()
+		if !ok {
+			return Null, fmt.Errorf("engine: ABS of non-number")
+		}
+		if f < 0 {
+			f = -f
+		}
+		return NewFloat(f), nil
+	}
+	return Null, fmt.Errorf("engine: unknown function %q", c.name)
+}
+
+type cexists struct {
+	plan   *selectPlan
+	negate bool
+}
+
+func (c *cexists) eval(ec *execCtx, e env) (Value, error) {
+	found := false
+	err := ec.runPlan(c.plan, e, func([]Value) (bool, error) {
+		found = true
+		return false, nil // stop at first row
+	})
+	if err != nil {
+		return Null, err
+	}
+	return NewBool(found != c.negate), nil
+}
+
+type csubq struct {
+	plan *selectPlan
+}
+
+func (c *csubq) eval(ec *execCtx, e env) (Value, error) {
+	// COUNT(*) subqueries count; other scalar subqueries return the
+	// first row's single value (NULL when empty).
+	if c.plan.countStar {
+		n := int64(0)
+		err := ec.runPlan(c.plan, e, func([]Value) (bool, error) {
+			n++
+			return true, nil
+		})
+		if err != nil {
+			return Null, err
+		}
+		return NewInt(n), nil
+	}
+	out := Null
+	err := ec.runPlan(c.plan, e, func(row []Value) (bool, error) {
+		out = row[0]
+		return false, nil
+	})
+	if err != nil {
+		return Null, err
+	}
+	return out, nil
+}
+
+// matcher wraps pathre with a stdlib regexp fallback for patterns
+// outside the ERE subset pathre supports.
+type matcher struct {
+	fast *pathre.Regexp
+	slow *regexp.Regexp
+}
+
+func (m *matcher) match(s string) bool {
+	if m.fast != nil {
+		return m.fast.MatchString(s)
+	}
+	return m.slow.MatchString(s)
+}
+
+var patternCache sync.Map // string -> *matcher
+
+func compilePattern(pat string) (*matcher, error) {
+	if v, ok := patternCache.Load(pat); ok {
+		return v.(*matcher), nil
+	}
+	var m *matcher
+	if fast, err := pathre.Compile(pat); err == nil {
+		m = &matcher{fast: fast}
+	} else {
+		slow, err2 := regexp.Compile(pat)
+		if err2 != nil {
+			return nil, fmt.Errorf("engine: REGEXP_LIKE pattern %q: %v", pat, err2)
+		}
+		m = &matcher{slow: slow}
+	}
+	patternCache.Store(pat, m)
+	return m, nil
+}

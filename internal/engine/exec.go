@@ -1,0 +1,447 @@
+package engine
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/sqlast"
+)
+
+// Result is the outcome of executing a statement.
+type Result struct {
+	Cols []string
+	Rows [][]Value
+}
+
+// execCtx carries execution state shared across a statement run.
+type execCtx struct {
+	db       *DB
+	deadline time.Time
+	ticks    int
+}
+
+// ErrTimeout is returned when a statement exceeds its deadline.
+var ErrTimeout = errors.New("engine: statement timed out")
+
+// checkDeadline is called periodically from the row loop.
+func (ec *execCtx) checkDeadline() error {
+	if ec.deadline.IsZero() {
+		return nil
+	}
+	ec.ticks++
+	if ec.ticks&0x3FF != 0 {
+		return nil
+	}
+	if time.Now().After(ec.deadline) {
+		return ErrTimeout
+	}
+	return nil
+}
+
+// pattern returns a compiled matcher for a dynamic REGEXP_LIKE
+// pattern (constant patterns are compiled at plan time).
+func (ec *execCtx) pattern(pat string) (*matcher, error) { return compilePattern(pat) }
+
+// Run plans and executes a SELECT or UNION statement.
+func (db *DB) Run(st sqlast.Statement) (*Result, error) {
+	return db.RunWithTimeout(st, 0)
+}
+
+// RunWithTimeout is Run with a wall-clock budget; it returns
+// ErrTimeout when the budget is exceeded (0 means no limit).
+func (db *DB) RunWithTimeout(st sqlast.Statement, timeout time.Duration) (*Result, error) {
+	p := &planner{db: db}
+	ec := &execCtx{db: db}
+	if timeout > 0 {
+		ec.deadline = time.Now().Add(timeout)
+	}
+	switch s := st.(type) {
+	case *sqlast.Select:
+		plan, err := p.planSelect(s, nil)
+		if err != nil {
+			return nil, err
+		}
+		return ec.runTop(plan)
+	case *sqlast.Union:
+		var out *Result
+		seen := map[string]bool{}
+		type orderedRow struct {
+			row  []Value
+			keys []Value
+		}
+		var rows []orderedRow
+		// Resolve union ORDER BY keys to projected column positions.
+		var orderPos []int
+		var orderDesc []bool
+		for _, branch := range s.Selects {
+			plan, err := p.planSelect(branch, nil)
+			if err != nil {
+				return nil, err
+			}
+			if out == nil {
+				out = &Result{Cols: plan.colNames}
+				for _, k := range s.OrderBy {
+					col, ok := k.Expr.(*sqlast.Col)
+					if !ok {
+						return nil, fmt.Errorf("engine: UNION ORDER BY must reference an output column")
+					}
+					pos := -1
+					for i, name := range plan.colNames {
+						if name == col.Column || name == col.String() {
+							pos = i
+							break
+						}
+					}
+					if pos < 0 {
+						return nil, fmt.Errorf("engine: UNION ORDER BY column %q not in output", col)
+					}
+					orderPos = append(orderPos, pos)
+					orderDesc = append(orderDesc, k.Desc)
+				}
+			} else if len(plan.colNames) != len(out.Cols) {
+				return nil, fmt.Errorf("engine: UNION branches project different column counts")
+			}
+			res, err := ec.runTop(plan)
+			if err != nil {
+				return nil, err
+			}
+			for _, r := range res.Rows {
+				key := rowKey(r)
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				or := orderedRow{row: r}
+				for _, pos := range orderPos {
+					or.keys = append(or.keys, r[pos])
+				}
+				rows = append(rows, or)
+			}
+		}
+		if len(orderPos) > 0 {
+			sort.SliceStable(rows, func(i, j int) bool {
+				return lessKeys(rows[i].keys, rows[j].keys, orderDesc)
+			})
+		}
+		for _, r := range rows {
+			out.Rows = append(out.Rows, r.row)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("engine: unsupported statement %T", st)
+	}
+}
+
+// RunSQL parses and runs a statement given as text.
+func (db *DB) RunSQL(src string) (*Result, error) {
+	st, err := sqlast.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return db.Run(st)
+}
+
+// runTop executes a plan as a top-level query: projection, DISTINCT,
+// ORDER BY.
+func (ec *execCtx) runTop(plan *selectPlan) (*Result, error) {
+	out := &Result{Cols: plan.colNames}
+	if plan.countStar {
+		n := int64(0)
+		err := ec.runPlan(plan, env{}, func([]Value) (bool, error) {
+			n++
+			return true, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, []Value{NewInt(n)})
+		return out, nil
+	}
+	type orderedRow struct {
+		row  []Value
+		keys []Value
+	}
+	var rows []orderedRow
+	var seen map[string]bool
+	if plan.distinct {
+		seen = map[string]bool{}
+	}
+	e := env{}
+	err := ec.runPlanOrdered(plan, e, func(row, keys []Value) (bool, error) {
+		if plan.distinct {
+			k := rowKey(row)
+			if seen[k] {
+				return true, nil
+			}
+			seen[k] = true
+		}
+		rows = append(rows, orderedRow{row: row, keys: keys})
+		return true, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(plan.orderBy) > 0 {
+		desc := make([]bool, len(plan.orderBy))
+		for i, k := range plan.orderBy {
+			desc[i] = k.desc
+		}
+		sort.SliceStable(rows, func(i, j int) bool {
+			return lessKeys(rows[i].keys, rows[j].keys, desc)
+		})
+	}
+	for _, r := range rows {
+		out.Rows = append(out.Rows, r.row)
+	}
+	return out, nil
+}
+
+// rowKey builds a distinct-set key for a projected row.
+func rowKey(row []Value) string {
+	var buf []byte
+	for _, v := range row {
+		buf = encodeValue(buf, v)
+	}
+	return string(buf)
+}
+
+// lessKeys compares two ORDER BY key vectors.
+func lessKeys(a, b []Value, desc []bool) bool {
+	for i := range a {
+		cmp, ok := Compare(a[i], b[i])
+		if !ok {
+			// NULLs (and incomparables) sort first.
+			an, bn := a[i].IsNull(), b[i].IsNull()
+			if an == bn {
+				continue
+			}
+			cmp = 1
+			if an {
+				cmp = -1
+			}
+		}
+		if cmp == 0 {
+			continue
+		}
+		if desc[i] {
+			return cmp > 0
+		}
+		return cmp < 0
+	}
+	return false
+}
+
+// runPlan enumerates matching bindings and emits projected rows.
+// The emit callback returns false to stop enumeration early.
+func (ec *execCtx) runPlan(plan *selectPlan, e env, emit func(row []Value) (bool, error)) error {
+	return ec.runPlanOrdered(plan, e, func(row, _ []Value) (bool, error) { return emit(row) })
+}
+
+// runPlanOrdered additionally evaluates ORDER BY keys per emitted row.
+func (ec *execCtx) runPlanOrdered(plan *selectPlan, e env, emit func(row, keys []Value) (bool, error)) error {
+	for _, f := range plan.preFilters {
+		v, err := f.eval(ec, e)
+		if err != nil {
+			return err
+		}
+		if !v.Truth() {
+			return nil
+		}
+	}
+	stop := false
+	var rec func(step int) error
+	rec = func(step int) error {
+		if step == len(plan.steps) {
+			var row []Value
+			if plan.countStar {
+				row = nil
+			} else {
+				row = make([]Value, len(plan.cols))
+				for i, c := range plan.cols {
+					v, err := c.eval(ec, e)
+					if err != nil {
+						return err
+					}
+					row[i] = v
+				}
+			}
+			var keys []Value
+			if len(plan.orderBy) > 0 {
+				keys = make([]Value, len(plan.orderBy))
+				for i, k := range plan.orderBy {
+					v, err := k.x.eval(ec, e)
+					if err != nil {
+						return err
+					}
+					keys[i] = v
+				}
+			}
+			cont, err := emit(row, keys)
+			if err != nil {
+				return err
+			}
+			if !cont {
+				stop = true
+			}
+			return nil
+		}
+		s := plan.steps[step]
+		tryRow := func(id int64) error {
+			if err := ec.checkDeadline(); err != nil {
+				return err
+			}
+			e[s.name] = s.table.Rows[id]
+			defer delete(e, s.name)
+			for _, f := range s.filters {
+				v, err := f.eval(ec, e)
+				if err != nil {
+					return err
+				}
+				if !v.Truth() {
+					return nil
+				}
+			}
+			return rec(step + 1)
+		}
+		switch a := s.access.(type) {
+		case fullScan:
+			for id := range s.table.Rows {
+				if err := tryRow(int64(id)); err != nil {
+					return err
+				}
+				if stop {
+					return nil
+				}
+			}
+		case *indexEq:
+			var key []byte
+			for _, kx := range a.keys {
+				v, err := kx.eval(ec, e)
+				if err != nil {
+					return err
+				}
+				if v.IsNull() {
+					return nil
+				}
+				key = encodeValue(key, v)
+			}
+			for _, id := range a.ix.Tree.Get(key) {
+				if err := tryRow(id); err != nil {
+					return err
+				}
+				if stop {
+					return nil
+				}
+			}
+		case *indexPrefixes:
+			v, err := a.x.eval(ec, e)
+			if err != nil {
+				return err
+			}
+			if v.Kind != KBytes {
+				return nil
+			}
+			for k := 0; k <= len(v.B); k++ {
+				// Prefix-match within a possibly composite index: scan the
+				// interval covering exactly this first-component value.
+				lo := encodeValue(nil, NewBytes(v.B[:k]))
+				hi := append(append([]byte(nil), lo...), 0xFF)
+				var scanErr error
+				a.ix.Tree.Scan(lo, hi, func(_ []byte, id int64) bool {
+					if err := tryRow(id); err != nil {
+						scanErr = err
+						return false
+					}
+					return !stop
+				})
+				if scanErr != nil {
+					return scanErr
+				}
+				if stop {
+					return nil
+				}
+			}
+		case *hashEq, *fatHash:
+			h, ok := s.access.(*hashEq)
+			if !ok {
+				h = s.access.(*fatHash).h
+			}
+			v, err := h.key.eval(ec, e)
+			if err != nil {
+				return err
+			}
+			if v.IsNull() {
+				return nil
+			}
+			key := string(encodeValue(nil, v))
+			for _, id := range s.table.hash(h.col)[key] {
+				if err := tryRow(id); err != nil {
+					return err
+				}
+				if stop {
+					return nil
+				}
+			}
+		case *indexRange:
+			var lo, hi []byte
+			if a.lo != nil {
+				v, err := a.lo.eval(ec, e)
+				if err != nil {
+					return err
+				}
+				if v.IsNull() {
+					return nil
+				}
+				lo = encodeValue(nil, v)
+				if a.loStrict {
+					lo = append(lo, 0xFF)
+				}
+			}
+			if a.hi != nil {
+				v, err := a.hi.eval(ec, e)
+				if err != nil {
+					return err
+				}
+				if v.IsNull() {
+					return nil
+				}
+				hi = encodeValue(nil, v)
+				if !a.hiStrict {
+					hi = append(hi, 0xFF)
+				}
+			}
+			var scanErr error
+			a.ix.Tree.Scan(lo, hi, func(_ []byte, id int64) bool {
+				if err := tryRow(id); err != nil {
+					scanErr = err
+					return false
+				}
+				return !stop
+			})
+			if scanErr != nil {
+				return scanErr
+			}
+		default:
+			return fmt.Errorf("engine: internal: unknown access path %T", s.access)
+		}
+		return nil
+	}
+	return rec(0)
+}
+
+// equalResults reports whether two results hold the same multiset of
+// rows in the same order; used by tests.
+func equalResults(a, b *Result) bool {
+	if len(a.Rows) != len(b.Rows) {
+		return false
+	}
+	for i := range a.Rows {
+		if !bytes.Equal([]byte(rowKey(a.Rows[i])), []byte(rowKey(b.Rows[i]))) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,226 @@
+package engine
+
+import (
+	"math"
+
+	"repro/internal/sqlast"
+)
+
+// maxDPTables bounds the exhaustive join-order search (2^n states).
+const maxDPTables = 10
+
+// sampleLimit bounds precise single-table selectivity evaluation.
+const sampleLimit = 4096
+
+// chooseJoinOrder picks the binding order of the FROM tables. For up
+// to maxDPTables it runs a Selinger-style dynamic program over table
+// subsets minimizing the sum of estimated intermediate result sizes;
+// beyond that it falls back to a greedy minimum-fanout order. Both
+// use per-step access-path estimates scaled by sampled single-table
+// filter selectivities, with a heavy penalty for cross products.
+func (p *planner) chooseJoinOrder(names []string, local map[string]*Table, conjuncts []*conjunct, sc *scope) []string {
+	n := len(names)
+	if n <= 1 {
+		return names
+	}
+	sel := p.sampleSelectivities(names, local, conjuncts, sc)
+
+	// fanout estimates one step's multiplier given the bound set.
+	fanout := func(name string, bound map[string]bool, atStart bool) float64 {
+		t := local[name]
+		access, connected := p.bestAccess(name, t, conjuncts, bound, sc)
+		e := float64(access.est(t))
+		e *= sel[name]
+		if e < 1 {
+			e = 1
+		}
+		if !connected && !atStart {
+			e *= 4096
+		}
+		return e
+	}
+
+	if n > maxDPTables {
+		return p.greedyOrder(names, local, conjuncts, sc, fanout)
+	}
+
+	type state struct {
+		cost float64 // sum of intermediate sizes
+		rows float64 // estimated rows after binding the subset
+		last int     // last table bound (to reconstruct)
+		prev int     // previous mask
+	}
+	size := 1 << n
+	dp := make([]state, size)
+	for i := range dp {
+		dp[i] = state{cost: math.Inf(1)}
+	}
+	dp[0] = state{cost: 0, rows: 1, last: -1, prev: -1}
+	boundOf := func(mask int) map[string]bool {
+		b := make(map[string]bool, n)
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				b[names[i]] = true
+			}
+		}
+		return b
+	}
+	for mask := 0; mask < size; mask++ {
+		if math.IsInf(dp[mask].cost, 1) {
+			continue
+		}
+		bound := boundOf(mask)
+		for i := 0; i < n; i++ {
+			bit := 1 << i
+			if mask&bit != 0 {
+				continue
+			}
+			f := fanout(names[i], bound, mask == 0)
+			rows := dp[mask].rows * f
+			if rows > 1e18 {
+				rows = 1e18
+			}
+			cost := dp[mask].cost + rows
+			next := mask | bit
+			if cost < dp[next].cost {
+				dp[next] = state{cost: cost, rows: rows, last: i, prev: mask}
+			}
+		}
+	}
+	out := make([]string, 0, n)
+	for mask := size - 1; mask != 0; mask = dp[mask].prev {
+		out = append(out, names[dp[mask].last])
+	}
+	// Reverse into binding order.
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// greedyOrder is the fallback for wide FROM lists: repeatedly bind
+// the table with the smallest estimated fanout.
+func (p *planner) greedyOrder(names []string, local map[string]*Table, conjuncts []*conjunct, sc *scope, fanout func(string, map[string]bool, bool) float64) []string {
+	bound := map[string]bool{}
+	remaining := append([]string(nil), names...)
+	var out []string
+	for len(remaining) > 0 {
+		bestIdx := 0
+		best := math.Inf(1)
+		for i, name := range remaining {
+			if f := fanout(name, bound, len(out) == 0); f < best {
+				best = f
+				bestIdx = i
+			}
+		}
+		name := remaining[bestIdx]
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+		bound[name] = true
+		out = append(out, name)
+	}
+	return out
+}
+
+// sampleSelectivities estimates, per table, the fraction of rows that
+// survive its single-table filters. Small tables are evaluated
+// exactly (dynamic sampling); larger ones use a flat heuristic per
+// filtering conjunct.
+func (p *planner) sampleSelectivities(names []string, local map[string]*Table, conjuncts []*conjunct, sc *scope) map[string]float64 {
+	out := make(map[string]float64, len(names))
+	ec := &execCtx{db: p.db}
+	for _, name := range names {
+		out[name] = 1
+		t := local[name]
+		// Collect this table's single-table, uncorrelated conjuncts.
+		var own []sqlast.Expr
+		for _, c := range conjuncts {
+			if c.expr == nil || len(c.localRef) != 1 || !c.localRef[name] {
+				continue
+			}
+			if !refsOnlyTable(c.expr, name, t) {
+				continue
+			}
+			own = append(own, c.expr)
+		}
+		if len(own) == 0 {
+			continue
+		}
+		if len(t.Rows) > 0 && len(t.Rows) <= sampleLimit {
+			compiled := make([]cexpr, 0, len(own))
+			ok := true
+			for _, e := range own {
+				ce, err := p.compile(e, sc)
+				if err != nil {
+					ok = false
+					break
+				}
+				compiled = append(compiled, ce)
+			}
+			if ok {
+				matches := 0
+				e := env{}
+				count := func(row []Value) bool {
+					e[name] = row
+					defer delete(e, name)
+					for _, ce := range compiled {
+						v, err := ce.eval(ec, e)
+						if err != nil || !v.Truth() {
+							return false
+						}
+					}
+					return true
+				}
+				for _, row := range t.Rows {
+					if count(row) {
+						matches++
+					}
+				}
+				out[name] = float64(matches) / float64(len(t.Rows))
+				if out[name] == 0 {
+					out[name] = 0.5 / float64(len(t.Rows))
+				}
+				continue
+			}
+		}
+		// Heuristic: each filter keeps a tenth.
+		s := math.Pow(0.1, float64(len(own)))
+		if s < 1e-4 {
+			s = 1e-4
+		}
+		out[name] = s
+	}
+	return out
+}
+
+// refsOnlyTable reports whether an expression references only columns
+// of the given table (no other tables, no subqueries), so it can be
+// evaluated row-by-row for sampling.
+func refsOnlyTable(e sqlast.Expr, name string, t *Table) bool {
+	switch x := e.(type) {
+	case *sqlast.Col:
+		if x.Table != "" {
+			return x.Table == name
+		}
+		return t.ColIndex(x.Column) >= 0
+	case *sqlast.IntLit, *sqlast.FloatLit, *sqlast.StrLit, *sqlast.BytesLit, *sqlast.NullLit:
+		return true
+	case *sqlast.Binary:
+		return refsOnlyTable(x.L, name, t) && refsOnlyTable(x.R, name, t)
+	case *sqlast.Not:
+		return refsOnlyTable(x.X, name, t)
+	case *sqlast.Between:
+		return refsOnlyTable(x.X, name, t) && refsOnlyTable(x.Lo, name, t) && refsOnlyTable(x.Hi, name, t)
+	case *sqlast.IsNull:
+		return refsOnlyTable(x.X, name, t)
+	case *sqlast.Func:
+		for _, a := range x.Args {
+			if !refsOnlyTable(a, name, t) {
+				return false
+			}
+		}
+		return true
+	default:
+		// EXISTS / scalar subqueries: never sample.
+		return false
+	}
+}

@@ -1,0 +1,272 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/btree"
+	"repro/internal/keyenc"
+)
+
+// Column describes one column of a table.
+type Column struct {
+	Name string
+	Type Type
+}
+
+// Table is a row-store table with optional B+tree indexes.
+type Table struct {
+	Name    string
+	Cols    []Column
+	Rows    [][]Value
+	colIdx  map[string]int
+	indexes []*Index
+	// hashIdx caches transient single-column hash indexes built on
+	// demand by the executor for equijoins on non-indexed columns — the
+	// engine's hash-join mechanism. Keyed by column position. hashMu
+	// makes concurrent read-only queries safe; writes (Insert) are not
+	// concurrency-safe and must be externally serialized.
+	hashMu  sync.Mutex
+	hashIdx map[int]map[string][]int64
+	hashMax map[int]int // largest bucket per hashed column
+}
+
+// Index is a B+tree index over one or more columns.
+type Index struct {
+	Name string
+	Cols []int // column positions, in key order
+	Tree *btree.Tree
+}
+
+// DB is a database: a set of tables.
+type DB struct {
+	tables map[string]*Table
+	names  []string
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB { return &DB{tables: map[string]*Table{}} }
+
+// CreateTable creates a table. The column list must be non-empty with
+// unique names.
+func (db *DB) CreateTable(name string, cols ...Column) (*Table, error) {
+	if _, exists := db.tables[name]; exists {
+		return nil, fmt.Errorf("engine: table %q already exists", name)
+	}
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("engine: table %q needs at least one column", name)
+	}
+	t := &Table{Name: name, Cols: cols, colIdx: map[string]int{},
+		hashIdx: map[int]map[string][]int64{}, hashMax: map[int]int{}}
+	for i, c := range cols {
+		if _, dup := t.colIdx[c.Name]; dup {
+			return nil, fmt.Errorf("engine: duplicate column %q in table %q", c.Name, name)
+		}
+		t.colIdx[c.Name] = i
+	}
+	db.tables[name] = t
+	db.names = append(db.names, name)
+	return t, nil
+}
+
+// Table returns the named table, or nil.
+func (db *DB) Table(name string) *Table { return db.tables[name] }
+
+// TableNames returns the table names in creation order.
+func (db *DB) TableNames() []string { return append([]string(nil), db.names...) }
+
+// ColIndex returns the position of the named column, or -1.
+func (t *Table) ColIndex(name string) int {
+	if i, ok := t.colIdx[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Insert appends a row. The row length must match the column count;
+// value kinds must be compatible with the column types (or NULL).
+// All indexes are maintained.
+func (t *Table) Insert(row []Value) (int64, error) {
+	if len(row) != len(t.Cols) {
+		return 0, fmt.Errorf("engine: table %q expects %d values, got %d", t.Name, len(t.Cols), len(row))
+	}
+	for i, v := range row {
+		if v.IsNull() {
+			continue
+		}
+		ok := false
+		switch t.Cols[i].Type {
+		case TInt:
+			ok = v.Kind == KInt
+		case TFloat:
+			ok = v.Kind == KFloat || v.Kind == KInt
+		case TText:
+			ok = v.Kind == KText
+		case TBytes:
+			ok = v.Kind == KBytes
+		}
+		if !ok {
+			return 0, fmt.Errorf("engine: table %q column %q (%s) cannot hold %s",
+				t.Name, t.Cols[i].Name, t.Cols[i].Type, v.Kind)
+		}
+	}
+	id := int64(len(t.Rows))
+	t.Rows = append(t.Rows, row)
+	for _, ix := range t.indexes {
+		ix.Tree.Insert(ix.key(row), id)
+	}
+	// Transient hash indexes become stale; drop them.
+	if len(t.hashIdx) > 0 {
+		t.hashIdx = map[int]map[string][]int64{}
+		t.hashMax = map[int]int{}
+	}
+	return id, nil
+}
+
+// MustInsert is Insert that panics on error, for loaders with
+// statically known shapes.
+func (t *Table) MustInsert(row ...Value) int64 {
+	id, err := t.Insert(row)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// CreateIndex builds a B+tree index over the named columns. Existing
+// rows are indexed immediately.
+func (t *Table) CreateIndex(name string, cols ...string) (*Index, error) {
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("engine: index %q needs at least one column", name)
+	}
+	positions := make([]int, len(cols))
+	for i, c := range cols {
+		p := t.ColIndex(c)
+		if p < 0 {
+			return nil, fmt.Errorf("engine: index %q: no column %q in table %q", name, c, t.Name)
+		}
+		positions[i] = p
+	}
+	for _, existing := range t.indexes {
+		if existing.Name == name {
+			return nil, fmt.Errorf("engine: index %q already exists on table %q", name, t.Name)
+		}
+	}
+	ix := &Index{Name: name, Cols: positions, Tree: btree.New()}
+	for id, row := range t.Rows {
+		ix.Tree.Insert(ix.key(row), int64(id))
+	}
+	t.indexes = append(t.indexes, ix)
+	return ix, nil
+}
+
+// Indexes returns the table's indexes.
+func (t *Table) Indexes() []*Index { return t.indexes }
+
+// FindIndex returns an index whose leading columns are exactly the
+// given column positions (in order), preferring the shortest such
+// index; nil if none exists.
+func (t *Table) FindIndex(leading ...int) *Index {
+	var best *Index
+	for _, ix := range t.indexes {
+		if len(ix.Cols) < len(leading) {
+			continue
+		}
+		match := true
+		for i, c := range leading {
+			if ix.Cols[i] != c {
+				match = false
+				break
+			}
+		}
+		if match && (best == nil || len(ix.Cols) < len(best.Cols)) {
+			best = ix
+		}
+	}
+	return best
+}
+
+// key builds the index key for a row.
+func (ix *Index) key(row []Value) []byte {
+	var k []byte
+	for _, c := range ix.Cols {
+		k = encodeValue(k, row[c])
+	}
+	return k
+}
+
+// encodeValue appends the order-preserving encoding of v.
+func encodeValue(dst []byte, v Value) []byte {
+	switch v.Kind {
+	case KNull:
+		return keyenc.AppendNull(dst)
+	case KInt, KBool:
+		return keyenc.AppendInt(dst, v.I)
+	case KFloat:
+		// Floats are keyed by their text form only in row-distinct keys;
+		// indexes on float columns are not used for range scans here.
+		return keyenc.AppendText(dst, v.String())
+	case KText:
+		return keyenc.AppendText(dst, v.S)
+	case KBytes:
+		return keyenc.AppendBytes(dst, v.B)
+	}
+	return dst
+}
+
+// hash returns (building on demand) the transient hash index for a
+// column: the executor's hash-join build side.
+func (t *Table) hash(col int) map[string][]int64 {
+	t.hashMu.Lock()
+	defer t.hashMu.Unlock()
+	if m, ok := t.hashIdx[col]; ok {
+		return m
+	}
+	m := make(map[string][]int64, len(t.Rows))
+	var buf []byte
+	for id, row := range t.Rows {
+		buf = encodeValue(buf[:0], row[col])
+		m[string(buf)] = append(m[string(buf)], int64(id))
+	}
+	max := 0
+	for _, ids := range m {
+		if len(ids) > max {
+			max = len(ids)
+		}
+	}
+	t.hashIdx[col] = m
+	t.hashMax[col] = max
+	return m
+}
+
+// hashMaxBucket returns the largest bucket of the column's transient
+// hash index (building it if needed) — the planner's worst-case
+// estimate for a hash join probe.
+func (t *Table) hashMaxBucket(col int) int {
+	t.hash(col)
+	t.hashMu.Lock()
+	defer t.hashMu.Unlock()
+	return t.hashMax[col]
+}
+
+// Stats returns simple statistics used by the planner and reports.
+type Stats struct {
+	Rows    int
+	Indexes int
+}
+
+// Stats returns the table's statistics.
+func (t *Table) Stats() Stats { return Stats{Rows: len(t.Rows), Indexes: len(t.indexes)} }
+
+// SortedTableSizes renders "name=rows" pairs sorted by name, for
+// loader diagnostics.
+func (db *DB) SortedTableSizes() []string {
+	names := db.TableNames()
+	sort.Strings(names)
+	out := make([]string, len(names))
+	for i, n := range names {
+		out[i] = fmt.Sprintf("%s=%d", n, len(db.tables[n].Rows))
+	}
+	return out
+}

@@ -1,0 +1,679 @@
+// Package native implements a direct, DOM-walking XPath evaluator
+// over the in-memory document tree. In the reproduction it plays two
+// roles: the stand-in for the commercial RDBMS's built-in XPath
+// processor of Section 5.2, and the correctness oracle every
+// SQL-based translator is differentially tested against.
+//
+// Supported: all 13 axes, name/wildcard/text()/node() tests,
+// predicates with and/or/not, value and node-set comparisons,
+// arithmetic, position(), last(), count(), positional predicates,
+// absolute paths inside predicates, and path union.
+//
+// Value semantics: the string value of an element is the
+// concatenation of its *direct* text children — the same value the
+// shredded mappings store in their 'text' columns — so that all five
+// evaluated systems implement one comparison semantics (see
+// DESIGN.md).
+package native
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// Item is one member of an XPath node set: an element or text node,
+// or an attribute of an element (Attr >= 0 indexes Node.Attrs).
+type Item struct {
+	Node *xmltree.Node
+	Attr int
+}
+
+// IsAttr reports whether the item is an attribute.
+func (it Item) IsAttr() bool { return it.Attr >= 0 }
+
+// StringValue returns the item's comparison string.
+func (it Item) StringValue() string {
+	if it.IsAttr() {
+		return it.Node.Attrs[it.Attr].Value
+	}
+	if it.Node.Kind == xmltree.Text {
+		return it.Node.Value
+	}
+	var b strings.Builder
+	for _, c := range it.Node.Children {
+		if c.Kind == xmltree.Text {
+			b.WriteString(c.Value)
+		}
+	}
+	return b.String()
+}
+
+// Evaluator evaluates XPath expressions over one document.
+type Evaluator struct {
+	doc *xmltree.Document
+}
+
+// New returns an evaluator for the document.
+func New(doc *xmltree.Document) *Evaluator { return &Evaluator{doc: doc} }
+
+// Eval evaluates a parsed XPath expression (a path or a union) and
+// returns the resulting items in document order, without duplicates.
+func (ev *Evaluator) Eval(e xpath.Expr) ([]Item, error) {
+	items, err := ev.eval(e)
+	if err != nil {
+		return nil, err
+	}
+	// The virtual root (nil node) is never a result.
+	out := items[:0]
+	for _, it := range items {
+		if it.Node != nil {
+			out = append(out, it)
+		}
+	}
+	return out, nil
+}
+
+func (ev *Evaluator) eval(e xpath.Expr) ([]Item, error) {
+	switch x := e.(type) {
+	case *xpath.Path:
+		return ev.evalPath(x, nil)
+	case *xpath.Union:
+		var all []Item
+		for _, p := range x.Paths {
+			items, err := ev.evalPath(p, nil)
+			if err != nil {
+				return nil, err
+			}
+			all = append(all, items...)
+		}
+		return sortDedupe(all), nil
+	default:
+		return nil, fmt.Errorf("native: expression %T is not a location path", e)
+	}
+}
+
+// EvalString parses and evaluates an XPath expression.
+func (ev *Evaluator) EvalString(src string) ([]Item, error) {
+	e, err := xpath.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return ev.Eval(e)
+}
+
+// ElementIDs returns the ids of the elements selected by an
+// expression; text nodes map to their id, attributes to their owner's
+// id. This is the comparison key used by the differential tests.
+func (ev *Evaluator) ElementIDs(src string) ([]int64, error) {
+	items, err := ev.EvalString(src)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int64, 0, len(items))
+	var prev int64 = -1
+	for _, it := range items {
+		id := it.Node.ID
+		if id != prev {
+			out = append(out, id)
+			prev = id
+		}
+	}
+	return out, nil
+}
+
+// evalPath evaluates a path from the given context items (nil means
+// the path's own start: the virtual root for absolute paths, which is
+// an error for relative paths at the top level).
+func (ev *Evaluator) evalPath(p *xpath.Path, ctx []Item) ([]Item, error) {
+	var cur []Item
+	if p.Absolute {
+		cur = []Item{{Node: nil, Attr: -1}} // virtual root above the document element
+	} else {
+		if ctx == nil {
+			return nil, fmt.Errorf("native: relative path %q has no context", p)
+		}
+		cur = ctx
+	}
+	if p.Absolute && len(p.Steps) == 0 {
+		// Bare '/': the document root element.
+		return []Item{{Node: ev.doc.Root, Attr: -1}}, nil
+	}
+	for _, step := range p.Steps {
+		next, err := ev.evalStep(step, cur)
+		if err != nil {
+			return nil, err
+		}
+		cur = next
+		if len(cur) == 0 {
+			break
+		}
+	}
+	return cur, nil
+}
+
+// evalStep applies one location step to every context item, applying
+// the step's predicates per context node (with positions counted in
+// axis order), then merges in document order.
+func (ev *Evaluator) evalStep(step *xpath.Step, ctx []Item) ([]Item, error) {
+	var all []Item
+	for _, c := range ctx {
+		cand := ev.axisNodes(step, c)
+		for _, pred := range step.Predicates {
+			kept := cand[:0:0]
+			size := len(cand)
+			for i, it := range cand {
+				ok, err := ev.evalPredicate(pred, it, i+1, size)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					kept = append(kept, it)
+				}
+			}
+			cand = kept
+			if len(cand) == 0 {
+				break
+			}
+		}
+		all = append(all, cand...)
+	}
+	return sortDedupe(all), nil
+}
+
+// axisNodes returns the nodes selected by the step's axis and node
+// test from one context item, in axis order (reverse axes yield
+// reverse document order, as positional predicates require).
+func (ev *Evaluator) axisNodes(step *xpath.Step, c Item) []Item {
+	if c.IsAttr() {
+		// Attributes have no children and serve only as terminal steps.
+		if step.Axis == xpath.Self {
+			return []Item{c}
+		}
+		return nil
+	}
+	n := c.Node
+	var out []Item
+	add := func(m *xmltree.Node) {
+		if matches(step, m) {
+			out = append(out, Item{Node: m, Attr: -1})
+		}
+	}
+	switch step.Axis {
+	case xpath.Attribute:
+		if n == nil {
+			return nil
+		}
+		for i, a := range n.Attrs {
+			if step.Name == "" || a.Name == step.Name {
+				out = append(out, Item{Node: n, Attr: i})
+			}
+		}
+	case xpath.Self:
+		if n == nil {
+			return nil
+		}
+		add(n)
+	case xpath.Child:
+		for _, ch := range ev.children(n) {
+			add(ch)
+		}
+	case xpath.Descendant, xpath.DescendantOrSelf:
+		var walk func(m *xmltree.Node)
+		walk = func(m *xmltree.Node) {
+			add(m)
+			for _, ch := range m.Children {
+				walk(ch)
+			}
+		}
+		if n == nil {
+			// Every real node is a descendant of the virtual root; the
+			// or-self case keeps the virtual root itself in the context,
+			// so that '//*' includes the document element.
+			if step.Axis == xpath.DescendantOrSelf && step.Test == xpath.AnyKindTest {
+				out = append(out, Item{Node: nil, Attr: -1})
+			}
+			walk(ev.doc.Root)
+		} else {
+			if step.Axis == xpath.DescendantOrSelf {
+				add(n)
+			}
+			for _, ch := range n.Children {
+				walk(ch)
+			}
+		}
+	case xpath.Parent:
+		if n != nil && n.Parent != nil {
+			add(n.Parent)
+		}
+	case xpath.Ancestor, xpath.AncestorOrSelf:
+		if n == nil {
+			return nil
+		}
+		if step.Axis == xpath.AncestorOrSelf {
+			add(n)
+		}
+		for a := n.Parent; a != nil; a = a.Parent {
+			add(a) // reverse document order: nearest ancestor first
+		}
+	case xpath.Following:
+		if n == nil {
+			return nil
+		}
+		for _, m := range ev.doc.Nodes() {
+			if xmltree.DocOrderLess(n, m) && !isDescendantOf(m, n) {
+				add(m)
+			}
+		}
+	case xpath.Preceding:
+		if n == nil {
+			return nil
+		}
+		nodes := ev.doc.Nodes()
+		for i := len(nodes) - 1; i >= 0; i-- {
+			m := nodes[i]
+			if xmltree.DocOrderLess(m, n) && !isAncestorOf(m, n) {
+				add(m) // reverse document order
+			}
+		}
+	case xpath.FollowingSibling:
+		if n == nil || n.Parent == nil {
+			return nil
+		}
+		past := false
+		for _, s := range n.Parent.Children {
+			if s == n {
+				past = true
+				continue
+			}
+			if past {
+				add(s)
+			}
+		}
+	case xpath.PrecedingSibling:
+		if n == nil || n.Parent == nil {
+			return nil
+		}
+		var before []*xmltree.Node
+		for _, s := range n.Parent.Children {
+			if s == n {
+				break
+			}
+			before = append(before, s)
+		}
+		for i := len(before) - 1; i >= 0; i-- {
+			add(before[i]) // reverse document order
+		}
+	}
+	return out
+}
+
+// children returns the children of n, treating nil as the virtual
+// root whose single child is the document element.
+func (ev *Evaluator) children(n *xmltree.Node) []*xmltree.Node {
+	if n == nil {
+		return []*xmltree.Node{ev.doc.Root}
+	}
+	return n.Children
+}
+
+// matches applies the step's node test.
+func matches(step *xpath.Step, m *xmltree.Node) bool {
+	switch step.Test {
+	case xpath.TextTest:
+		return m.Kind == xmltree.Text
+	case xpath.AnyKindTest:
+		return true
+	default:
+		if m.Kind != xmltree.Element {
+			return false
+		}
+		return step.Name == "" || m.Name == step.Name
+	}
+}
+
+func isDescendantOf(m, n *xmltree.Node) bool {
+	for a := m.Parent; a != nil; a = a.Parent {
+		if a == n {
+			return true
+		}
+	}
+	return false
+}
+
+func isAncestorOf(m, n *xmltree.Node) bool { return isDescendantOf(n, m) }
+
+// --- predicate evaluation ---
+
+// value is the dynamic result of an XPath expression: a node set, a
+// number, a string or a boolean.
+type value struct {
+	kind  byte // 'n' nodeset, 'f' number, 's' string, 'b' bool
+	nodes []Item
+	num   float64
+	str   string
+	b     bool
+}
+
+func (ev *Evaluator) evalPredicate(e xpath.Expr, it Item, pos, size int) (bool, error) {
+	v, err := ev.evalExpr(e, it, pos, size)
+	if err != nil {
+		return false, err
+	}
+	// Per XPath 1.0, a predicate that evaluates to a number is
+	// positional: [n] == [position()=n].
+	if v.kind == 'f' {
+		return float64(pos) == v.num, nil
+	}
+	return v.truth(), nil
+}
+
+func (v value) truth() bool {
+	switch v.kind {
+	case 'n':
+		return len(v.nodes) > 0
+	case 'f':
+		return v.num != 0 && !math.IsNaN(v.num)
+	case 's':
+		return v.str != ""
+	default:
+		return v.b
+	}
+}
+
+func (ev *Evaluator) evalExpr(e xpath.Expr, it Item, pos, size int) (value, error) {
+	switch x := e.(type) {
+	case *xpath.Literal:
+		return value{kind: 's', str: x.Value}, nil
+	case *xpath.Number:
+		return value{kind: 'f', num: x.Value}, nil
+	case *xpath.Path:
+		var ctx []Item
+		if !x.Absolute {
+			ctx = []Item{it}
+		}
+		nodes, err := ev.evalPath(x, ctx)
+		if err != nil {
+			return value{}, err
+		}
+		return value{kind: 'n', nodes: nodes}, nil
+	case *xpath.Union:
+		var all []Item
+		for _, p := range x.Paths {
+			var ctx []Item
+			if !p.Absolute {
+				ctx = []Item{it}
+			}
+			nodes, err := ev.evalPath(p, ctx)
+			if err != nil {
+				return value{}, err
+			}
+			all = append(all, nodes...)
+		}
+		return value{kind: 'n', nodes: sortDedupe(all)}, nil
+	case *xpath.Call:
+		switch x.Name {
+		case "position":
+			return value{kind: 'f', num: float64(pos)}, nil
+		case "last":
+			return value{kind: 'f', num: float64(size)}, nil
+		case "not":
+			v, err := ev.evalExpr(x.Args[0], it, pos, size)
+			if err != nil {
+				return value{}, err
+			}
+			return value{kind: 'b', b: !v.truth()}, nil
+		case "count":
+			v, err := ev.evalExpr(x.Args[0], it, pos, size)
+			if err != nil {
+				return value{}, err
+			}
+			if v.kind != 'n' {
+				return value{}, fmt.Errorf("native: count() needs a node set")
+			}
+			return value{kind: 'f', num: float64(len(v.nodes))}, nil
+		}
+		return value{}, fmt.Errorf("native: unsupported function %q", x.Name)
+	case *xpath.Binary:
+		if x.Op.Logical() {
+			l, err := ev.evalExpr(x.L, it, pos, size)
+			if err != nil {
+				return value{}, err
+			}
+			if x.Op == xpath.OpAnd && !l.truth() {
+				return value{kind: 'b', b: false}, nil
+			}
+			if x.Op == xpath.OpOr && l.truth() {
+				return value{kind: 'b', b: true}, nil
+			}
+			r, err := ev.evalExpr(x.R, it, pos, size)
+			if err != nil {
+				return value{}, err
+			}
+			return value{kind: 'b', b: r.truth()}, nil
+		}
+		l, err := ev.evalExpr(x.L, it, pos, size)
+		if err != nil {
+			return value{}, err
+		}
+		r, err := ev.evalExpr(x.R, it, pos, size)
+		if err != nil {
+			return value{}, err
+		}
+		if x.Op.Comparison() {
+			return value{kind: 'b', b: compare(x.Op, l, r)}, nil
+		}
+		// Arithmetic.
+		lf, lok := l.number()
+		rf, rok := r.number()
+		if !lok || !rok {
+			return value{kind: 'f', num: math.NaN()}, nil
+		}
+		var out float64
+		switch x.Op {
+		case xpath.OpAdd:
+			out = lf + rf
+		case xpath.OpSub:
+			out = lf - rf
+		case xpath.OpMul:
+			out = lf * rf
+		case xpath.OpDiv:
+			out = lf / rf
+		case xpath.OpMod:
+			out = math.Mod(lf, rf)
+		}
+		return value{kind: 'f', num: out}, nil
+	}
+	return value{}, fmt.Errorf("native: cannot evaluate %T", e)
+}
+
+// number coerces to a number: node sets use their first item's string
+// value, per XPath 1.0.
+func (v value) number() (float64, bool) {
+	switch v.kind {
+	case 'f':
+		return v.num, true
+	case 's':
+		f, err := strconv.ParseFloat(strings.TrimSpace(v.str), 64)
+		return f, err == nil
+	case 'n':
+		if len(v.nodes) == 0 {
+			return 0, false
+		}
+		f, err := strconv.ParseFloat(strings.TrimSpace(v.nodes[0].StringValue()), 64)
+		return f, err == nil
+	default:
+		if v.b {
+			return 1, true
+		}
+		return 0, true
+	}
+}
+
+// compare implements XPath comparison semantics: node sets compare
+// existentially; equality against a string compares string values;
+// against a number compares numerically; relational operators always
+// compare numerically.
+func compare(op xpath.Op, l, r value) bool {
+	// Node set vs node set.
+	if l.kind == 'n' && r.kind == 'n' {
+		for _, a := range l.nodes {
+			for _, b := range r.nodes {
+				if atomicCompare(op, a.StringValue(), b.StringValue()) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	// Node set vs atomic.
+	if l.kind == 'n' {
+		for _, a := range l.nodes {
+			if compareAtomWith(op, a.StringValue(), r) {
+				return true
+			}
+		}
+		return false
+	}
+	if r.kind == 'n' {
+		flipped := flip(op)
+		for _, b := range r.nodes {
+			if compareAtomWith(flipped, b.StringValue(), l) {
+				return true
+			}
+		}
+		return false
+	}
+	// Atomic vs atomic.
+	switch {
+	case l.kind == 'f' || r.kind == 'f' || op != xpath.OpEq && op != xpath.OpNe:
+		lf, lok := l.number()
+		rf, rok := r.number()
+		if !lok || !rok {
+			return op == xpath.OpNe
+		}
+		return numCompare(op, lf, rf)
+	default:
+		return strCompare(op, l.asString(), r.asString())
+	}
+}
+
+func (v value) asString() string {
+	switch v.kind {
+	case 's':
+		return v.str
+	case 'f':
+		return strconv.FormatFloat(v.num, 'g', -1, 64)
+	case 'b':
+		if v.b {
+			return "true"
+		}
+		return "false"
+	default:
+		if len(v.nodes) > 0 {
+			return v.nodes[0].StringValue()
+		}
+		return ""
+	}
+}
+
+func compareAtomWith(op xpath.Op, s string, atom value) bool {
+	if atom.kind == 'f' || op != xpath.OpEq && op != xpath.OpNe {
+		f, ok := value{kind: 's', str: s}.number()
+		af, aok := atom.number()
+		if !ok || !aok {
+			return op == xpath.OpNe
+		}
+		return numCompare(op, f, af)
+	}
+	return strCompare(op, s, atom.asString())
+}
+
+func atomicCompare(op xpath.Op, a, b string) bool {
+	if op == xpath.OpEq || op == xpath.OpNe {
+		return strCompare(op, a, b)
+	}
+	af, aok := value{kind: 's', str: a}.number()
+	bf, bok := value{kind: 's', str: b}.number()
+	if !aok || !bok {
+		return false
+	}
+	return numCompare(op, af, bf)
+}
+
+func numCompare(op xpath.Op, a, b float64) bool {
+	switch op {
+	case xpath.OpEq:
+		return a == b
+	case xpath.OpNe:
+		return a != b
+	case xpath.OpLt:
+		return a < b
+	case xpath.OpLe:
+		return a <= b
+	case xpath.OpGt:
+		return a > b
+	case xpath.OpGe:
+		return a >= b
+	}
+	return false
+}
+
+func strCompare(op xpath.Op, a, b string) bool {
+	switch op {
+	case xpath.OpEq:
+		return a == b
+	case xpath.OpNe:
+		return a != b
+	}
+	return false
+}
+
+func flip(op xpath.Op) xpath.Op {
+	switch op {
+	case xpath.OpLt:
+		return xpath.OpGt
+	case xpath.OpLe:
+		return xpath.OpGe
+	case xpath.OpGt:
+		return xpath.OpLt
+	case xpath.OpGe:
+		return xpath.OpLe
+	}
+	return op
+}
+
+// sortDedupe sorts items in document order and removes duplicates.
+func sortDedupe(items []Item) []Item {
+	if len(items) < 2 {
+		return items
+	}
+	// Sort by (node document order, attr index); the virtual root
+	// (nil node) sorts first.
+	less := func(a, b Item) bool {
+		if a.Node != b.Node {
+			if a.Node == nil {
+				return true
+			}
+			if b.Node == nil {
+				return false
+			}
+			return xmltree.DocOrderLess(a.Node, b.Node)
+		}
+		return a.Attr < b.Attr
+	}
+	sort.SliceStable(items, func(i, j int) bool { return less(items[i], items[j]) })
+	out := items[:1]
+	for _, it := range items[1:] {
+		last := out[len(out)-1]
+		if it.Node != last.Node || it.Attr != last.Attr {
+			out = append(out, it)
+		}
+	}
+	return out
+}

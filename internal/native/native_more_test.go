@@ -1,0 +1,116 @@
+package native
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Comparison-semantics matrix exercising atomic/node-set permutations
+// of every operator.
+func TestComparisonMatrix(t *testing.T) {
+	doc := fig1(t)
+	cases := map[string][]int64{
+		// atomic vs atomic inside and/or.
+		"/A/B[1 < 2]":      {2, 13},
+		"/A/B[2 <= 2]":     {2, 13},
+		"/A/B[3 > 4]":      {},
+		"/A/B[3 >= 4]":     {},
+		"/A/B[1 != 2]":     {2, 13},
+		"/A/B['x' = 'x']":  {2, 13},
+		"/A/B['x' != 'y']": {2, 13},
+		// number vs string coercion.
+		"/A/B['2' = 2]":    {2, 13},
+		"/A/B['abc' = 2]":  {},
+		"/A/B['abc' != 2]": {2, 13},
+		// node set vs node set with relational ops (numeric).
+		// (//E[F < F] checked separately below: existential 2<7 -> true)
+		"//E[F > F]":  {7}, // 7>2
+		"//E[F != F]": {7},
+		// atomic on the left of a node set.
+		"//E[3 < F]":   {7},
+		"//E[9 < F]":   {},
+		"//E[7 <= F]":  {7},
+		"//E[2 = F]":   {7},
+		"//E['2' = F]": {7},
+		// boolean coercion through not().
+		"/A/B[not(not(C))]": {2},
+		// arithmetic returning NaN filters out.
+		"//F[. * 'x' = 1]": {},
+	}
+	for q, want := range cases {
+		got := eval(t, doc, q)
+		if len(want) == 0 && len(got) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s = %v, want %v", q, got, want)
+		}
+	}
+	// Fix the E[F < F] expectation: existential 2<7 holds.
+	if got := eval(t, doc, "//E[F < F]"); !reflect.DeepEqual(got, []int64{7}) {
+		t.Errorf("//E[F < F] = %v, want [7] (existential)", got)
+	}
+}
+
+func TestStringValueOfItems(t *testing.T) {
+	doc := fig1(t)
+	ev := New(doc)
+	items, err := ev.EvalString("/A/B/C/E/F/text()")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 2 || items[0].StringValue() != "2" {
+		t.Fatalf("text items = %v", items)
+	}
+	items, err = ev.EvalString("//D")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if items[0].StringValue() != "4" {
+		t.Fatalf("element string value = %q", items[0].StringValue())
+	}
+}
+
+func TestCountAndPositionInExpressions(t *testing.T) {
+	doc := fig1(t)
+	cases := map[string][]int64{
+		"//E[count(F) > 1]":        {7},
+		"//E[count(F) + 1 = 3]":    {7},
+		"//B[count(C) = count(G)]": {13}, // B2 has 0 C, 1 G -> no; B1 has 2 C, 1 G -> no... recompute below
+		"//F[position() = last()]": {10},
+		"//F[position() < last()]": {8},
+		"//F[position() + 1 = 2]":  {8},
+	}
+	// B1 has C,C,G (2 vs 1), B2 has G (0 vs 1): neither equal; fix:
+	cases["//B[count(C) = count(G)]"] = nil
+	for q, want := range cases {
+		got := eval(t, doc, q)
+		if len(want) == 0 && len(got) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s = %v, want %v", q, got, want)
+		}
+	}
+}
+
+func TestUnionInPredicate(t *testing.T) {
+	doc := fig1(t)
+	if got := eval(t, doc, "/A/B[C | G]"); !reflect.DeepEqual(got, []int64{2, 13}) {
+		t.Errorf("union predicate = %v", got)
+	}
+	if got := eval(t, doc, "//E[F | D]"); !reflect.DeepEqual(got, []int64{7}) {
+		t.Errorf("union predicate = %v", got)
+	}
+}
+
+func TestNodeSetComparedWithBoolean(t *testing.T) {
+	doc := fig1(t)
+	// not(...) produces a boolean; comparing against numbers coerces.
+	if got := eval(t, doc, "/A/B[not(C) = 0]"); !reflect.DeepEqual(got, []int64{2}) {
+		t.Errorf("bool coercion = %v", got)
+	}
+	if got := eval(t, doc, "/A/B[not(C) + 1 = 2]"); !reflect.DeepEqual(got, []int64{13}) {
+		t.Errorf("bool arithmetic = %v", got)
+	}
+}

@@ -1,0 +1,228 @@
+package native
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/xmltree"
+)
+
+// fig1 builds the paper's Figure 1(b) document with values added so
+// predicates have something to compare: A@x=3, D text 4, F texts 2, 7.
+func fig1(t *testing.T) *xmltree.Document {
+	t.Helper()
+	doc, err := xmltree.ParseString(
+		`<A x="3"><B><C><D>4</D></C><C><E><F>2</F><F>7</F></E></C><G/></B><B><G><G/></G></B></A>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+// eval returns element ids for a query.
+func eval(t *testing.T, doc *xmltree.Document, q string) []int64 {
+	t.Helper()
+	ids, err := New(doc).ElementIDs(q)
+	if err != nil {
+		t.Fatalf("Eval(%q): %v", q, err)
+	}
+	if ids == nil {
+		ids = []int64{}
+	}
+	return ids
+}
+
+func TestBasicPaths(t *testing.T) {
+	doc := fig1(t)
+	// Element ids in this doc (text nodes get ids too):
+	// A=1 B=2 C=3 D=4 (text=5) C=6 E=7 F=8 (9) F=10 (11) G=12 B=13 G=14 G=15
+	cases := map[string][]int64{
+		"/A":                     {1},
+		"/A/B":                   {2, 13},
+		"/A/B/C":                 {3, 6},
+		"/A/B/C/D":               {4},
+		"/A/B/C/E/F":             {8, 10},
+		"//F":                    {8, 10},
+		"/A//F":                  {8, 10},
+		"//G":                    {12, 14, 15},
+		"/A/*":                   {2, 13},
+		"/A/B/*":                 {3, 6, 12, 14},
+		"//C/*/F":                {8, 10},
+		"/descendant-or-self::G": {12, 14, 15},
+		"//G//G":                 {15},
+		"/A/B/C/E/F/text()":      {9, 11},
+		"/B":                     {},
+		"//Z":                    {},
+	}
+	for q, want := range cases {
+		if got := eval(t, doc, q); !reflect.DeepEqual(got, want) {
+			t.Errorf("%s = %v, want %v", q, got, want)
+		}
+	}
+}
+
+func TestBackwardAxes(t *testing.T) {
+	doc := fig1(t)
+	cases := map[string][]int64{
+		"//F/parent::E":           {7},
+		"//F/ancestor::B":         {2},
+		"//F/ancestor::*":         {1, 2, 6, 7},
+		"//F/ancestor-or-self::F": {8, 10},
+		"//G/ancestor::G":         {14},
+		"//D/parent::C/parent::B": {2},
+		"//F/..":                  {7},
+	}
+	for q, want := range cases {
+		if got := eval(t, doc, q); !reflect.DeepEqual(got, want) {
+			t.Errorf("%s = %v, want %v", q, got, want)
+		}
+	}
+}
+
+func TestHorizontalAxes(t *testing.T) {
+	doc := fig1(t)
+	cases := map[string][]int64{
+		"/A/B/C/following-sibling::G": {12},
+		"/A/B/C/following-sibling::C": {6},
+		"//G/preceding-sibling::C":    {3, 6},
+		"//D/following::F":            {8, 10},
+		"//F/preceding::D":            {4},
+		"//E/following::*":            {12, 13, 14, 15},
+		"//B/preceding::*":            {2, 3, 4, 6, 7, 8, 10, 12},
+	}
+	for q, want := range cases {
+		if got := eval(t, doc, q); !reflect.DeepEqual(got, want) {
+			t.Errorf("%s = %v, want %v", q, got, want)
+		}
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	doc := fig1(t)
+	cases := map[string][]int64{
+		"/A[@x=3]/B":             {2, 13},
+		"/A[@x=4]/B":             {},
+		"/A[@x]/B":               {2, 13},
+		"/A[@y]/B":               {},
+		"//F[. = 2]":             {8},
+		"//*[F=2]":               {7},
+		"/A/B[C/E/F=2]":          {2},
+		"/A/B[C]":                {2},
+		"/A/B[not(C)]":           {13},
+		"/A/B[C and G]":          {2},
+		"/A/B[C or G]":           {2, 13},
+		"/A/B[C and (D or G)]":   {2},
+		"//F[2]":                 {10},
+		"//F[position()=1]":      {8},
+		"//F[last()]":            {10},
+		"//E[count(F)=2]":        {7},
+		"//F[text()=2]":          {8},
+		"//C[E/F > 5]":           {6},
+		"//F[. >= 2 and . <= 3]": {8},
+		"//F[. = 2 or . = 7]":    {8, 10},
+		"//G[ancestor::G]":       {15},
+		"//*[parent::E]":         {8, 10},
+	}
+	for q, want := range cases {
+		if got := eval(t, doc, q); !reflect.DeepEqual(got, want) {
+			t.Errorf("%s = %v, want %v", q, got, want)
+		}
+	}
+}
+
+func TestPositionalOnReverseAxis(t *testing.T) {
+	doc := fig1(t)
+	// The nearest ancestor has position 1 on the ancestor axis.
+	if got := eval(t, doc, "//F/ancestor::*[1]"); !reflect.DeepEqual(got, []int64{7}) {
+		t.Errorf("nearest ancestor = %v", got)
+	}
+	// First preceding sibling of G(12) counted nearest-first is C(6).
+	if got := eval(t, doc, "/A/B/G/preceding-sibling::*[1]"); !reflect.DeepEqual(got, []int64{6}) {
+		t.Errorf("nearest preceding sibling = %v", got)
+	}
+}
+
+func TestJoinPredicate(t *testing.T) {
+	doc := fig1(t)
+	// D's text (4) equals no F text; F texts are 2 and 7.
+	if got := eval(t, doc, "/A/B[C/D = C/E/F]"); len(got) != 0 {
+		t.Errorf("join predicate = %v", got)
+	}
+	// Compare F against itself through two paths.
+	if got := eval(t, doc, "//E[F = F]"); !reflect.DeepEqual(got, []int64{7}) {
+		t.Errorf("self join predicate = %v", got)
+	}
+	// Absolute path in predicate.
+	if got := eval(t, doc, "//D[. != /A/B/C/E/F]"); !reflect.DeepEqual(got, []int64{4}) {
+		t.Errorf("absolute path predicate = %v", got)
+	}
+}
+
+func TestUnion(t *testing.T) {
+	doc := fig1(t)
+	got := eval(t, doc, "//D | //F | //D")
+	if !reflect.DeepEqual(got, []int64{4, 8, 10}) {
+		t.Errorf("union = %v", got)
+	}
+}
+
+func TestAttributesAsItems(t *testing.T) {
+	doc := fig1(t)
+	items, err := New(doc).EvalString("/A/@x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 1 || !items[0].IsAttr() || items[0].StringValue() != "3" {
+		t.Fatalf("attr items = %v", items)
+	}
+	// ElementIDs maps the attribute to its owner.
+	ids := eval(t, doc, "/A/@x")
+	if !reflect.DeepEqual(ids, []int64{1}) {
+		t.Errorf("attr owner ids = %v", ids)
+	}
+}
+
+func TestArithmeticPredicates(t *testing.T) {
+	doc := fig1(t)
+	cases := map[string][]int64{
+		"//F[. * 2 = 4]":   {8},
+		"//F[. + 1 = 8]":   {10},
+		"//F[. div 7 = 1]": {10},
+		"//F[. mod 2 = 0]": {8},
+		"//F[. = 9 - 2]":   {10},
+		"//F[. = -2 + 4]":  {8},
+	}
+	for q, want := range cases {
+		if got := eval(t, doc, q); !reflect.DeepEqual(got, want) {
+			t.Errorf("%s = %v, want %v", q, got, want)
+		}
+	}
+}
+
+func TestDocumentOrderAndDedupe(t *testing.T) {
+	doc := fig1(t)
+	// ancestor-or-self from multiple contexts overlaps heavily.
+	got := eval(t, doc, "//*/ancestor-or-self::*")
+	want := []int64{1, 2, 3, 4, 6, 7, 8, 10, 12, 13, 14, 15}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	doc := fig1(t)
+	ev := New(doc)
+	if _, err := ev.EvalString("not an xpath //"); err == nil {
+		t.Error("parse error should propagate")
+	}
+	if _, err := ev.EvalString("/A[foo(1)]"); err == nil {
+		t.Error("unknown function should fail")
+	}
+}
+
+func TestRootOnly(t *testing.T) {
+	doc := fig1(t)
+	if got := eval(t, doc, "/"); !reflect.DeepEqual(got, []int64{1}) {
+		t.Errorf("'/' = %v", got)
+	}
+}

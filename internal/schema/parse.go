@@ -1,0 +1,364 @@
+package schema
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/xmltree"
+)
+
+// ParseCompact parses the compact schema DSL used by tools and tests.
+// Each non-empty, non-comment line declares one element:
+//
+//	name -> child1 child2 ...   children
+//	name @a @b                  attributes
+//	name #text                  character data
+//	!root name                  document element
+//
+// Clauses can be combined: "item -> name payment @id @featured".
+// Lines starting with '#' are comments.
+func ParseCompact(src string) (*Schema, error) {
+	type decl struct {
+		children []string
+		attrs    []string
+		hasText  bool
+	}
+	decls := map[string]*decl{}
+	var order, roots []string
+	for lineNo, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "!root"); ok {
+			for _, r := range strings.Fields(rest) {
+				roots = append(roots, r)
+			}
+			continue
+		}
+		fields := strings.Fields(strings.ReplaceAll(line, "->", " -> "))
+		if len(fields) == 0 {
+			continue
+		}
+		name := fields[0]
+		if name == "->" {
+			return nil, fmt.Errorf("schema: line %d: missing element name", lineNo+1)
+		}
+		d := decls[name]
+		if d == nil {
+			d = &decl{}
+			decls[name] = d
+			order = append(order, name)
+		}
+		inChildren := false
+		for _, f := range fields[1:] {
+			switch {
+			case f == "->":
+				inChildren = true
+			case strings.HasPrefix(f, "@"):
+				d.attrs = append(d.attrs, f[1:])
+			case f == "#text":
+				d.hasText = true
+			case inChildren:
+				d.children = append(d.children, f)
+			default:
+				return nil, fmt.Errorf("schema: line %d: unexpected token %q (children need '->')", lineNo+1, f)
+			}
+		}
+	}
+	if len(roots) == 0 {
+		return nil, fmt.Errorf("schema: compact source declares no '!root'")
+	}
+	b := NewBuilder(roots...)
+	// Register declared elements in line order first, so the graph's
+	// declaration order matches the source (and WriteCompact output
+	// round-trips exactly).
+	for _, name := range order {
+		b.Element(name)
+	}
+	for _, name := range order {
+		d := decls[name]
+		b.Element(name, d.children...)
+		b.Attrs(name, d.attrs...)
+		if d.hasText {
+			b.Text(name)
+		}
+	}
+	return b.Build()
+}
+
+// Infer derives a schema graph from one or more sample documents: an
+// edge for every observed parent/child element pair, attributes and
+// text content as observed. It backs the schema-oblivious workflow
+// and tests.
+func Infer(docs ...*xmltree.Document) (*Schema, error) {
+	if len(docs) == 0 {
+		return nil, fmt.Errorf("schema: Infer needs at least one document")
+	}
+	rootSet := map[string]bool{}
+	var roots []string
+	for _, d := range docs {
+		if !rootSet[d.Root.Name] {
+			rootSet[d.Root.Name] = true
+			roots = append(roots, d.Root.Name)
+		}
+	}
+	b := NewBuilder(roots...)
+	for _, d := range docs {
+		for _, n := range d.Nodes() {
+			if n.Kind != xmltree.Element {
+				continue
+			}
+			b.Element(n.Name)
+			for _, a := range n.Attrs {
+				b.Attrs(n.Name, a.Name)
+			}
+			for _, c := range n.Children {
+				if c.Kind == xmltree.Element {
+					b.Element(n.Name, c.Name)
+				} else {
+					b.Text(n.Name)
+				}
+			}
+		}
+	}
+	return b.Build()
+}
+
+// ParseXSD parses the subset of W3C XML Schema sufficient for the
+// schemata in this repository: top-level xs:element declarations with
+// inline or named complex types, xs:sequence / xs:choice / xs:all
+// groups (arbitrarily nested), xs:attribute declarations, element
+// references (ref=), type references (type=), and mixed="true" or
+// simple-typed elements for text content. Namespace prefixes on XSD
+// elements are ignored; the first top-level element is the document
+// element unless more are declared.
+func ParseXSD(r io.Reader) (*Schema, error) {
+	var doc xsdSchema
+	dec := xml.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("schema: parse XSD: %w", err)
+	}
+	if len(doc.Elements) == 0 {
+		return nil, fmt.Errorf("schema: XSD declares no top-level elements")
+	}
+	types := map[string]*xsdComplexType{}
+	for i := range doc.ComplexTypes {
+		ct := &doc.ComplexTypes[i]
+		types[ct.Name] = ct
+	}
+	topElems := map[string]*xsdElement{}
+	var rootNames []string
+	for i := range doc.Elements {
+		e := &doc.Elements[i]
+		topElems[e.Name] = e
+		rootNames = append(rootNames, e.Name)
+	}
+	b := NewBuilder(rootNames...)
+	// expand walks an element declaration, registering its children.
+	seen := map[string]bool{}
+	var expand func(e *xsdElement) error
+	expandType := func(name string, ct *xsdComplexType) error {
+		if ct.Mixed == "true" {
+			b.Text(name)
+		}
+		for _, a := range ct.Attributes {
+			b.Attrs(name, a.Name)
+		}
+		var errOut error
+		ct.eachElement(func(child *xsdElement) {
+			childName := child.Name
+			if child.Ref != "" {
+				childName = stripPrefix(child.Ref)
+			}
+			if childName == "" {
+				errOut = fmt.Errorf("schema: element under %q has neither name nor ref", name)
+				return
+			}
+			b.Element(name, childName)
+			if child.Ref != "" {
+				if top, ok := topElems[childName]; ok {
+					if !seen[childName] {
+						seen[childName] = true
+						if err := expand(top); err != nil && errOut == nil {
+							errOut = err
+						}
+					}
+				}
+				return
+			}
+			if err := expand(child); err != nil && errOut == nil {
+				errOut = err
+			}
+		})
+		return errOut
+	}
+	expand = func(e *xsdElement) error {
+		b.Element(e.Name)
+		switch {
+		case e.Complex != nil:
+			return expandType(e.Name, e.Complex)
+		case e.Type != "":
+			tn := stripPrefix(e.Type)
+			if ct, ok := types[tn]; ok {
+				if seen["type:"+tn+":"+e.Name] {
+					return nil
+				}
+				seen["type:"+tn+":"+e.Name] = true
+				return expandType(e.Name, ct)
+			}
+			// Simple type (xs:string etc.): text content.
+			b.Text(e.Name)
+		default:
+			// No type: empty element.
+		}
+		return nil
+	}
+	for _, rn := range rootNames {
+		seen[rn] = true
+		if err := expand(topElems[rn]); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build()
+}
+
+func stripPrefix(s string) string {
+	if i := strings.LastIndexByte(s, ':'); i >= 0 {
+		return s[i+1:]
+	}
+	return s
+}
+
+type xsdSchema struct {
+	XMLName      xml.Name         `xml:"schema"`
+	Elements     []xsdElement     `xml:"element"`
+	ComplexTypes []xsdComplexType `xml:"complexType"`
+}
+
+type xsdElement struct {
+	Name    string          `xml:"name,attr"`
+	Ref     string          `xml:"ref,attr"`
+	Type    string          `xml:"type,attr"`
+	Complex *xsdComplexType `xml:"complexType"`
+}
+
+type xsdComplexType struct {
+	Name       string         `xml:"name,attr"`
+	Mixed      string         `xml:"mixed,attr"`
+	Sequence   []xsdGroup     `xml:"sequence"`
+	Choice     []xsdGroup     `xml:"choice"`
+	All        []xsdGroup     `xml:"all"`
+	Attributes []xsdAttribute `xml:"attribute"`
+}
+
+type xsdGroup struct {
+	Elements []xsdElement `xml:"element"`
+	Sequence []xsdGroup   `xml:"sequence"`
+	Choice   []xsdGroup   `xml:"choice"`
+}
+
+type xsdAttribute struct {
+	Name string `xml:"name,attr"`
+}
+
+// eachElement visits every element declaration nested anywhere under
+// the type's content model.
+func (ct *xsdComplexType) eachElement(fn func(*xsdElement)) {
+	var walkGroups func(gs []xsdGroup)
+	walkGroups = func(gs []xsdGroup) {
+		for i := range gs {
+			g := &gs[i]
+			for j := range g.Elements {
+				fn(&g.Elements[j])
+			}
+			walkGroups(g.Sequence)
+			walkGroups(g.Choice)
+		}
+	}
+	walkGroups(ct.Sequence)
+	walkGroups(ct.Choice)
+	walkGroups(ct.All)
+}
+
+// Validate checks a document against the schema graph: every element
+// name must be declared, every parent/child nesting must correspond
+// to an edge, attributes must be declared, and text content must be
+// allowed. It returns the first violation found, or nil.
+func (s *Schema) Validate(doc *xmltree.Document) error {
+	rootNode := s.Node(doc.Root.Name)
+	if rootNode == nil || !rootNode.IsRoot {
+		return fmt.Errorf("schema: %q is not a declared document element", doc.Root.Name)
+	}
+	for _, n := range doc.Nodes() {
+		if n.Kind != xmltree.Element {
+			continue
+		}
+		sn := s.Node(n.Name)
+		if sn == nil {
+			return fmt.Errorf("schema: undeclared element %q at %s", n.Name, n.Path)
+		}
+		for _, a := range n.Attrs {
+			if !sn.HasAttr(a.Name) {
+				return fmt.Errorf("schema: undeclared attribute %q on %q", a.Name, n.Name)
+			}
+		}
+		for _, c := range n.Children {
+			if c.Kind == xmltree.Text {
+				if !sn.HasText {
+					return fmt.Errorf("schema: element %q does not allow text content", n.Name)
+				}
+				continue
+			}
+			cn := s.Node(c.Name)
+			if cn == nil || !containsNode(sn.Children, cn) {
+				return fmt.Errorf("schema: element %q may not nest under %q", c.Name, n.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// WriteCompact renders the schema in the compact DSL accepted by
+// ParseCompact; ParseCompact(WriteCompact(s)) reproduces the graph.
+func (s *Schema) WriteCompact() string {
+	var b strings.Builder
+	b.WriteString("!root")
+	for _, r := range s.roots {
+		b.WriteByte(' ')
+		b.WriteString(r.Name)
+	}
+	b.WriteByte('\n')
+	for _, n := range s.nodes {
+		b.WriteString(n.Name)
+		if len(n.Children) > 0 {
+			b.WriteString(" ->")
+			for _, c := range n.Children {
+				b.WriteByte(' ')
+				b.WriteString(c.Name)
+			}
+		}
+		for _, a := range n.Attrs {
+			b.WriteString(" @")
+			b.WriteString(a)
+		}
+		if n.HasText {
+			b.WriteString(" #text")
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// SortedNames returns all element names, sorted, for stable output.
+func (s *Schema) SortedNames() []string {
+	out := make([]string, len(s.nodes))
+	for i, n := range s.nodes {
+		out[i] = n.Name
+	}
+	sort.Strings(out)
+	return out
+}

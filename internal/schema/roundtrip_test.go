@@ -1,0 +1,79 @@
+package schema
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteCompactRoundTrip(t *testing.T) {
+	s := paperSchema(t)
+	src := s.WriteCompact()
+	s2, err := ParseCompact(src)
+	if err != nil {
+		t.Fatalf("reparse:\n%s\n%v", src, err)
+	}
+	if got, want := s2.WriteCompact(), src; got != want {
+		t.Errorf("unstable round trip:\n%s\nvs\n%s", got, want)
+	}
+	// Marks recompute identically.
+	for _, n := range s.Nodes() {
+		if m := s2.Node(n.Name); m == nil || m.Mark != n.Mark || m.HasText != n.HasText {
+			t.Errorf("node %s differs after round trip", n.Name)
+		}
+	}
+}
+
+// TestQuickRandomSchemaRoundTrip generates random schema graphs and
+// round-trips them through the DSL.
+func TestQuickRandomSchemaRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	f := func() bool {
+		n := 2 + r.Intn(8)
+		names := make([]string, n)
+		for i := range names {
+			names[i] = fmt.Sprintf("e%d", i)
+		}
+		b := NewBuilder(names[0])
+		// Random edges; always keep everything reachable via a spine.
+		for i := 1; i < n; i++ {
+			b.Element(names[r.Intn(i)], names[i])
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if r.Intn(6) == 0 {
+					b.Element(names[i], names[j])
+				}
+			}
+			if r.Intn(3) == 0 {
+				b.Attrs(names[i], "x")
+			}
+			if r.Intn(3) == 0 {
+				b.Text(names[i])
+			}
+		}
+		s, err := b.Build()
+		if err != nil {
+			return false
+		}
+		s2, err := ParseCompact(s.WriteCompact())
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		if s2.WriteCompact() != s.WriteCompact() {
+			return false
+		}
+		for _, node := range s.Nodes() {
+			m := s2.Node(node.Name)
+			if m == nil || m.Mark != node.Mark || len(m.Children) != len(node.Children) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,506 @@
+// Package schema implements the XML Schema graph of the paper's
+// Section 2.1 and the node marking of Section 4.5.
+//
+// The graph has one vertex per element definition; edges represent
+// element nesting. Element definitions are global (DTD-style, as in
+// the XMark and DBLP schemata the paper evaluates on), so a vertex is
+// identified by its element name and corresponds to exactly one
+// relation in the schema-aware mapping. Each vertex records the
+// attributes and text content its elements may carry (they become
+// relation columns), its U-P / F-P / I-P mark, and — for U-P and F-P
+// vertices — the enumerated set of root-to-node paths.
+package schema
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Mark classifies a vertex per Section 4.5 of the paper.
+type Mark uint8
+
+const (
+	// UniquePath (U-P): exactly one root-to-node path exists; path
+	// filtering is always redundant.
+	UniquePath Mark = iota
+	// FinitePaths (F-P): a finite set of root-to-node paths exists; the
+	// translator tests the regular expression against the enumerated
+	// paths and omits the filter when all of them match.
+	FinitePaths
+	// InfinitePaths (I-P): a cycle lies on some root-to-node path; the
+	// path filter can never be omitted.
+	InfinitePaths
+)
+
+func (m Mark) String() string {
+	switch m {
+	case UniquePath:
+		return "U-P"
+	case FinitePaths:
+		return "F-P"
+	case InfinitePaths:
+		return "I-P"
+	}
+	return fmt.Sprintf("Mark(%d)", uint8(m))
+}
+
+// maxEnumeratedPaths caps path enumeration for F-P vertices; a vertex
+// with more root paths is demoted to I-P (the filter is simply kept,
+// which is always correct).
+const maxEnumeratedPaths = 64
+
+// Node is a vertex of the schema graph: an element definition and its
+// relation in the schema-aware mapping.
+type Node struct {
+	Name     string
+	Children []*Node
+	Parents  []*Node
+	Attrs    []string // attribute names, in declaration order
+	HasText  bool     // whether elements carry character data
+	IsRoot   bool     // document element
+
+	Mark      Mark
+	RootPaths []string // enumerated root-to-node paths for U-P and F-P
+}
+
+// HasAttr reports whether the element definition declares the named
+// attribute.
+func (n *Node) HasAttr(name string) bool {
+	for _, a := range n.Attrs {
+		if a == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Schema is a finalized schema graph.
+type Schema struct {
+	nodes  []*Node
+	byName map[string]*Node
+	roots  []*Node
+}
+
+// Nodes returns all vertices in declaration order.
+func (s *Schema) Nodes() []*Node { return s.nodes }
+
+// Roots returns the document-element vertices.
+func (s *Schema) Roots() []*Node { return s.roots }
+
+// Node returns the vertex with the given element name, or nil.
+func (s *Schema) Node(name string) *Node { return s.byName[name] }
+
+// Builder constructs a schema graph.
+type Builder struct {
+	s   *Schema
+	err error
+}
+
+// NewBuilder returns a builder with the given document element(s).
+func NewBuilder(rootNames ...string) *Builder {
+	b := &Builder{s: &Schema{byName: map[string]*Node{}}}
+	for _, r := range rootNames {
+		n := b.node(r)
+		n.IsRoot = true
+		b.s.roots = append(b.s.roots, n)
+	}
+	return b
+}
+
+func (b *Builder) node(name string) *Node {
+	if n, ok := b.s.byName[name]; ok {
+		return n
+	}
+	n := &Node{Name: name}
+	b.s.byName[name] = n
+	b.s.nodes = append(b.s.nodes, n)
+	return n
+}
+
+// Element declares an element with its children, e.g.
+// Element("site", "regions", "people"). Repeated calls accumulate
+// children; duplicate edges are ignored.
+func (b *Builder) Element(name string, children ...string) *Builder {
+	parent := b.node(name)
+	for _, cn := range children {
+		child := b.node(cn)
+		if !containsNode(parent.Children, child) {
+			parent.Children = append(parent.Children, child)
+			child.Parents = append(child.Parents, parent)
+		}
+	}
+	return b
+}
+
+// Attrs declares attributes of an element.
+func (b *Builder) Attrs(name string, attrs ...string) *Builder {
+	n := b.node(name)
+	for _, a := range attrs {
+		if !n.HasAttr(a) {
+			n.Attrs = append(n.Attrs, a)
+		}
+	}
+	return b
+}
+
+// Text declares that an element carries character data.
+func (b *Builder) Text(names ...string) *Builder {
+	for _, name := range names {
+		b.node(name).HasText = true
+	}
+	return b
+}
+
+func containsNode(list []*Node, n *Node) bool {
+	for _, m := range list {
+		if m == n {
+			return true
+		}
+	}
+	return false
+}
+
+// Build finalizes the graph: validates reachability and computes the
+// U-P / F-P / I-P marking and enumerated root paths.
+func (b *Builder) Build() (*Schema, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	s := b.s
+	if len(s.roots) == 0 {
+		return nil, fmt.Errorf("schema: no document element declared")
+	}
+	reach := map[*Node]bool{}
+	var visit func(n *Node)
+	visit = func(n *Node) {
+		if reach[n] {
+			return
+		}
+		reach[n] = true
+		for _, c := range n.Children {
+			visit(c)
+		}
+	}
+	for _, r := range s.roots {
+		visit(r)
+	}
+	for _, n := range s.nodes {
+		if !reach[n] {
+			return nil, fmt.Errorf("schema: element %q is not reachable from any document element", n.Name)
+		}
+	}
+	s.mark()
+	return s, nil
+}
+
+// MustBuild is Build that panics on error, for statically known
+// schemata (the built-in XMark and DBLP schemata).
+func (b *Builder) MustBuild() *Schema {
+	s, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// mark computes the Section 4.5 classification.
+func (s *Schema) mark() {
+	// 1. Vertices on cycles: SCCs of size > 1, or self-loops.
+	onCycle := s.cycleNodes()
+	// 2. I-P: vertices reachable from a cycle vertex (including it).
+	infinite := map[*Node]bool{}
+	var spread func(n *Node)
+	spread = func(n *Node) {
+		if infinite[n] {
+			return
+		}
+		infinite[n] = true
+		for _, c := range n.Children {
+			spread(c)
+		}
+	}
+	for n := range onCycle {
+		spread(n)
+	}
+	// 3. Enumerate root paths for the remaining vertices. All parents of
+	// a non-I-P vertex are non-I-P, so the subgraph is a DAG and the
+	// recursion terminates; memoize per vertex.
+	memo := map[*Node][]string{}
+	var paths func(n *Node) []string
+	paths = func(n *Node) []string {
+		if p, ok := memo[n]; ok {
+			return p
+		}
+		var out []string
+		if n.IsRoot {
+			out = append(out, "/"+n.Name)
+		}
+		for _, p := range n.Parents {
+			for _, pp := range paths(p) {
+				out = append(out, pp+"/"+n.Name)
+				if len(out) > maxEnumeratedPaths {
+					break
+				}
+			}
+		}
+		sort.Strings(out)
+		memo[n] = out
+		return out
+	}
+	for _, n := range s.nodes {
+		if infinite[n] {
+			n.Mark = InfinitePaths
+			n.RootPaths = nil
+			continue
+		}
+		ps := paths(n)
+		if len(ps) > maxEnumeratedPaths {
+			n.Mark = InfinitePaths
+			n.RootPaths = nil
+		} else if len(ps) == 1 {
+			n.Mark = UniquePath
+			n.RootPaths = ps
+		} else {
+			n.Mark = FinitePaths
+			n.RootPaths = ps
+		}
+	}
+}
+
+// cycleNodes returns the vertices that lie on a directed cycle,
+// computed with Tarjan's strongly-connected-components algorithm.
+func (s *Schema) cycleNodes() map[*Node]bool {
+	index := map[*Node]int{}
+	low := map[*Node]int{}
+	onStack := map[*Node]bool{}
+	var stack []*Node
+	next := 0
+	out := map[*Node]bool{}
+
+	var strongconnect func(n *Node)
+	strongconnect = func(n *Node) {
+		index[n] = next
+		low[n] = next
+		next++
+		stack = append(stack, n)
+		onStack[n] = true
+		for _, c := range n.Children {
+			if _, seen := index[c]; !seen {
+				strongconnect(c)
+				if low[c] < low[n] {
+					low[n] = low[c]
+				}
+			} else if onStack[c] && index[c] < low[n] {
+				low[n] = index[c]
+			}
+		}
+		if low[n] == index[n] {
+			var scc []*Node
+			for {
+				m := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[m] = false
+				scc = append(scc, m)
+				if m == n {
+					break
+				}
+			}
+			if len(scc) > 1 {
+				for _, m := range scc {
+					out[m] = true
+				}
+			} else if containsNode(scc[0].Children, scc[0]) {
+				out[scc[0]] = true
+			}
+		}
+	}
+	for _, n := range s.nodes {
+		if _, seen := index[n]; !seen {
+			strongconnect(n)
+		}
+	}
+	return out
+}
+
+// --- step-pattern resolution over the graph ---
+
+// StepAxis is the structural axis of one resolution step. Only the
+// vertical axes participate in prominent-relation resolution; the
+// horizontal axes (following etc.) resolve by name test alone.
+type StepAxis uint8
+
+const (
+	Child StepAxis = iota
+	Descendant
+	DescendantOrSelf
+	Parent
+	Ancestor
+	AncestorOrSelf
+	Self
+	AnyByName // name test only, anywhere in the document (horizontal axes)
+)
+
+// Step is one step of a path pattern to resolve against the graph.
+// An empty Name is a wildcard.
+type Step struct {
+	Axis StepAxis
+	Name string
+}
+
+// Resolve evaluates a step sequence over the schema graph, starting
+// from the given vertex set (nil means "the document roots" for
+// absolute paths). It returns every vertex whose elements could be
+// selected — the candidate prominent relations of a PPF. The result
+// is deterministic (declaration order).
+func (s *Schema) Resolve(from []*Node, steps []Step) []*Node {
+	cur := map[*Node]bool{}
+	if from == nil {
+		// Absolute path: the first step applies from a virtual node
+		// above the document elements, so child means "a document
+		// element" and descendant means "any vertex".
+		for i, st := range steps {
+			_ = i
+			cur = s.resolveFromTop(st)
+			steps = steps[1:]
+			break
+		}
+	} else {
+		for _, n := range from {
+			cur[n] = true
+		}
+	}
+	for _, st := range steps {
+		cur = s.step(cur, st)
+	}
+	return s.ordered(cur)
+}
+
+func (s *Schema) resolveFromTop(st Step) map[*Node]bool {
+	out := map[*Node]bool{}
+	switch st.Axis {
+	case Child, Self:
+		for _, r := range s.roots {
+			if st.Name == "" || r.Name == st.Name {
+				out[r] = true
+			}
+		}
+	case Descendant, DescendantOrSelf, AnyByName:
+		for _, n := range s.nodes {
+			if st.Name == "" || n.Name == st.Name {
+				out[n] = true
+			}
+		}
+	}
+	return out
+}
+
+func (s *Schema) step(cur map[*Node]bool, st Step) map[*Node]bool {
+	out := map[*Node]bool{}
+	add := func(n *Node) {
+		if st.Name == "" || n.Name == st.Name {
+			out[n] = true
+		}
+	}
+	switch st.Axis {
+	case Self:
+		for n := range cur {
+			add(n)
+		}
+	case Child:
+		for n := range cur {
+			for _, c := range n.Children {
+				add(c)
+			}
+		}
+	case Parent:
+		for n := range cur {
+			for _, p := range n.Parents {
+				add(p)
+			}
+		}
+	case Descendant, DescendantOrSelf:
+		for n := range closure(cur, func(n *Node) []*Node { return n.Children }, st.Axis == DescendantOrSelf) {
+			add(n)
+		}
+	case Ancestor, AncestorOrSelf:
+		for n := range closure(cur, func(n *Node) []*Node { return n.Parents }, st.Axis == AncestorOrSelf) {
+			add(n)
+		}
+	case AnyByName:
+		for _, n := range s.nodes {
+			add(n)
+		}
+	}
+	return out
+}
+
+// closure computes the transitive closure of next over seed,
+// optionally including the seed itself.
+func closure(seed map[*Node]bool, next func(*Node) []*Node, includeSelf bool) map[*Node]bool {
+	out := map[*Node]bool{}
+	var stack []*Node
+	for n := range seed {
+		if includeSelf {
+			out[n] = true
+		}
+		stack = append(stack, n)
+	}
+	visited := map[*Node]bool{}
+	for n := range seed {
+		visited[n] = true
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, m := range next(n) {
+			out[m] = true
+			if !visited[m] {
+				visited[m] = true
+				stack = append(stack, m)
+			}
+		}
+	}
+	return out
+}
+
+func (s *Schema) ordered(set map[*Node]bool) []*Node {
+	var out []*Node
+	for _, n := range s.nodes {
+		if set[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// ByName returns all vertices matching a name test ("" = wildcard).
+func (s *Schema) ByName(name string) []*Node {
+	if name == "" {
+		return append([]*Node(nil), s.nodes...)
+	}
+	if n := s.byName[name]; n != nil {
+		return []*Node{n}
+	}
+	return nil
+}
+
+// String renders the graph, marks and paths for debugging and docs.
+func (s *Schema) String() string {
+	var b strings.Builder
+	for _, n := range s.nodes {
+		fmt.Fprintf(&b, "%s [%s]", n.Name, n.Mark)
+		if n.IsRoot {
+			b.WriteString(" (root)")
+		}
+		if len(n.Children) > 0 {
+			names := make([]string, len(n.Children))
+			for i, c := range n.Children {
+				names[i] = c.Name
+			}
+			fmt.Fprintf(&b, " -> %s", strings.Join(names, ", "))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,347 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/xmltree"
+)
+
+// paperSchema builds the schema graph of the paper's Figure 1(a):
+// A -> B; B -> C, G; C -> D, E; E -> F; G -> G (recursion, per the
+// document in Figure 1(b) where G nests under G).
+func paperSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := NewBuilder("A").
+		Element("A", "B").
+		Element("B", "C", "G").
+		Element("C", "D", "E").
+		Element("E", "F").
+		Element("G", "G").
+		Attrs("A", "x").
+		Text("F", "D").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPaperSchemaStructure(t *testing.T) {
+	s := paperSchema(t)
+	if len(s.Roots()) != 1 || s.Roots()[0].Name != "A" {
+		t.Fatalf("roots = %v", s.Roots())
+	}
+	b := s.Node("B")
+	if b == nil || len(b.Children) != 2 || len(b.Parents) != 1 {
+		t.Fatalf("B structure wrong: %+v", b)
+	}
+	if !s.Node("A").HasAttr("x") || s.Node("A").HasAttr("y") {
+		t.Error("attr lookup wrong")
+	}
+	if !s.Node("F").HasText || s.Node("E").HasText {
+		t.Error("text flags wrong")
+	}
+	if s.Node("missing") != nil {
+		t.Error("missing element should be nil")
+	}
+}
+
+func TestMarking(t *testing.T) {
+	s := paperSchema(t)
+	// Every element except G has a unique root path; G recurses.
+	for name, want := range map[string]Mark{
+		"A": UniquePath, "B": UniquePath, "C": UniquePath, "D": UniquePath,
+		"E": UniquePath, "F": UniquePath, "G": InfinitePaths,
+	} {
+		if got := s.Node(name).Mark; got != want {
+			t.Errorf("mark(%s) = %s, want %s", name, got, want)
+		}
+	}
+	if got := s.Node("F").RootPaths; len(got) != 1 || got[0] != "/A/B/C/E/F" {
+		t.Errorf("RootPaths(F) = %v", got)
+	}
+	if s.Node("G").RootPaths != nil {
+		t.Error("I-P node should have nil RootPaths")
+	}
+}
+
+func TestMarkingFinitePaths(t *testing.T) {
+	// Fig 2-like: keyword appears under both text and bold: F-P.
+	s, err := NewBuilder("doc").
+		Element("doc", "text", "bold").
+		Element("text", "keyword").
+		Element("bold", "keyword").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := s.Node("keyword")
+	if k.Mark != FinitePaths {
+		t.Fatalf("mark(keyword) = %s, want F-P", k.Mark)
+	}
+	if len(k.RootPaths) != 2 || k.RootPaths[0] != "/doc/bold/keyword" || k.RootPaths[1] != "/doc/text/keyword" {
+		t.Fatalf("RootPaths(keyword) = %v", k.RootPaths)
+	}
+}
+
+func TestMarkingDownstreamOfCycleIsInfinite(t *testing.T) {
+	// parlist -> listitem -> parlist cycle; keyword under listitem is
+	// downstream of the cycle, hence I-P even though keyword itself is
+	// not on the cycle.
+	s, err := NewBuilder("doc").
+		Element("doc", "parlist").
+		Element("parlist", "listitem").
+		Element("listitem", "parlist", "keyword").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"parlist", "listitem", "keyword"} {
+		if got := s.Node(name).Mark; got != InfinitePaths {
+			t.Errorf("mark(%s) = %s, want I-P", name, got)
+		}
+	}
+	if got := s.Node("doc").Mark; got != UniquePath {
+		t.Errorf("mark(doc) = %s, want U-P", got)
+	}
+}
+
+func TestSelfLoopIsCycle(t *testing.T) {
+	s, err := NewBuilder("a").Element("a", "g").Element("g", "g").Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Node("g").Mark != InfinitePaths {
+		t.Error("self-loop should be I-P")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := NewBuilder().Build(); err == nil {
+		t.Error("no root should fail")
+	}
+	// Unreachable element.
+	if _, err := NewBuilder("a").Element("a", "b").Element("orphan", "x").Build(); err == nil {
+		t.Error("unreachable element should fail")
+	}
+}
+
+func TestResolveAbsolutePaths(t *testing.T) {
+	s := paperSchema(t)
+	names := func(nodes []*Node) string {
+		var out []string
+		for _, n := range nodes {
+			out = append(out, n.Name)
+		}
+		return strings.Join(out, ",")
+	}
+	cases := []struct {
+		steps []Step
+		want  string
+	}{
+		{[]Step{{Child, "A"}, {Child, "B"}, {Child, "C"}}, "C"},
+		{[]Step{{Child, "A"}, {Child, "B"}, {Child, ""}}, "C,G"},
+		{[]Step{{Descendant, "F"}}, "F"},
+		{[]Step{{Child, "A"}, {Descendant, "G"}}, "G"},
+		{[]Step{{Child, "A"}, {Child, "B"}, {Child, "C"}, {Child, ""}, {Child, "F"}}, "F"},
+		{[]Step{{Child, "X"}}, ""},
+		{[]Step{{Child, "A"}, {Child, "B"}, {DescendantOrSelf, ""}}, "B,C,G,D,E,F"},
+	}
+	for _, c := range cases {
+		got := names(s.Resolve(nil, c.steps))
+		if got != c.want {
+			t.Errorf("Resolve(%v) = %q, want %q", c.steps, got, c.want)
+		}
+	}
+}
+
+func TestResolveBackward(t *testing.T) {
+	s := paperSchema(t)
+	f := s.Node("F")
+	got := s.Resolve([]*Node{f}, []Step{{Parent, ""}})
+	if len(got) != 1 || got[0].Name != "E" {
+		t.Fatalf("parent of F = %v", got)
+	}
+	got = s.Resolve([]*Node{f}, []Step{{Ancestor, ""}})
+	if len(got) != 4 { // A, B, C, E
+		t.Fatalf("ancestors of F = %d nodes", len(got))
+	}
+	got = s.Resolve([]*Node{s.Node("G")}, []Step{{AncestorOrSelf, "G"}})
+	if len(got) != 1 || got[0].Name != "G" {
+		t.Fatalf("ancestor-or-self::G of G = %v", got)
+	}
+}
+
+func TestParseCompact(t *testing.T) {
+	src := `
+# paper figure 1 schema
+!root A
+A -> B @x
+B -> C G
+C -> D E
+E -> F
+G -> G
+F #text
+D #text
+`
+	s, err := ParseCompact(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Node("G").Mark != InfinitePaths || s.Node("F").Mark != UniquePath {
+		t.Error("compact-parsed schema marking wrong")
+	}
+	if !s.Node("A").HasAttr("x") || !s.Node("F").HasText {
+		t.Error("compact attrs/text wrong")
+	}
+}
+
+func TestParseCompactErrors(t *testing.T) {
+	for _, src := range []string{
+		"A -> B",           // no root
+		"!root A\nA stray", // token without ->
+		"!root A\n-> B",    // missing name
+	} {
+		if _, err := ParseCompact(src); err == nil {
+			t.Errorf("ParseCompact(%q) should fail", src)
+		}
+	}
+}
+
+func TestInfer(t *testing.T) {
+	doc, err := xmltree.ParseString(`<A x="1"><B><C><D>t</D></C><G><G/></G></B></A>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Infer(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Node("G").Mark != InfinitePaths {
+		t.Error("inferred G should be I-P")
+	}
+	if !s.Node("A").HasAttr("x") || !s.Node("D").HasText {
+		t.Error("inferred attrs/text wrong")
+	}
+	if err := s.Validate(doc); err != nil {
+		t.Errorf("document should validate against inferred schema: %v", err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	s := paperSchema(t)
+	good, _ := xmltree.ParseString(`<A x="3"><B><C><D>v</D></C></B></A>`)
+	if err := s.Validate(good); err != nil {
+		t.Errorf("valid doc rejected: %v", err)
+	}
+	for _, bad := range []string{
+		`<Z/>`,        // undeclared root
+		`<A><Z/></A>`, // undeclared element
+		`<A><C/></A>`, // bad nesting
+		`<A y="1"/>`,  // undeclared attribute
+		`<A>text</A>`, // text not allowed
+	} {
+		doc, err := xmltree.ParseString(bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Validate(doc); err == nil {
+			t.Errorf("Validate(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseXSD(t *testing.T) {
+	src := `<?xml version="1.0"?>
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="A">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="B">
+          <xs:complexType>
+            <xs:sequence>
+              <xs:element name="C" type="ctype"/>
+              <xs:element ref="G"/>
+            </xs:sequence>
+          </xs:complexType>
+        </xs:element>
+      </xs:sequence>
+      <xs:attribute name="x"/>
+    </xs:complexType>
+  </xs:element>
+  <xs:element name="G">
+    <xs:complexType>
+      <xs:choice>
+        <xs:element ref="G"/>
+      </xs:choice>
+    </xs:complexType>
+  </xs:element>
+  <xs:complexType name="ctype" mixed="true">
+    <xs:sequence>
+      <xs:element name="D" type="xs:string"/>
+    </xs:sequence>
+  </xs:complexType>
+</xs:schema>`
+	s, err := ParseXSD(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Node("C") == nil || !s.Node("C").HasText {
+		t.Fatal("mixed complexType should give C text content")
+	}
+	if s.Node("D") == nil || !s.Node("D").HasText {
+		t.Fatal("simple-typed element should have text")
+	}
+	if !s.Node("A").HasAttr("x") {
+		t.Error("attribute lost")
+	}
+	if s.Node("G").Mark != InfinitePaths {
+		t.Error("recursive ref should be I-P")
+	}
+	// B -> C edge exists.
+	found := false
+	for _, c := range s.Node("B").Children {
+		if c.Name == "C" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("B -> C edge missing")
+	}
+}
+
+func TestParseXSDErrors(t *testing.T) {
+	if _, err := ParseXSD(strings.NewReader(`<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema"/>`)); err == nil {
+		t.Error("empty XSD should fail")
+	}
+	if _, err := ParseXSD(strings.NewReader(`not xml`)); err == nil {
+		t.Error("bad XML should fail")
+	}
+}
+
+func TestMarkString(t *testing.T) {
+	if UniquePath.String() != "U-P" || FinitePaths.String() != "F-P" || InfinitePaths.String() != "I-P" {
+		t.Error("Mark.String wrong")
+	}
+	if Mark(9).String() == "" {
+		t.Error("unknown mark should render")
+	}
+	s := paperSchema(t)
+	if !strings.Contains(s.String(), "G [I-P]") {
+		t.Errorf("Schema.String missing marks:\n%s", s.String())
+	}
+}
+
+func TestByName(t *testing.T) {
+	s := paperSchema(t)
+	if got := s.ByName("F"); len(got) != 1 || got[0].Name != "F" {
+		t.Fatalf("ByName(F) = %v", got)
+	}
+	if got := s.ByName(""); len(got) != len(s.Nodes()) {
+		t.Fatalf("ByName wildcard = %d nodes", len(got))
+	}
+	if got := s.ByName("zzz"); got != nil {
+		t.Fatalf("ByName(zzz) = %v", got)
+	}
+}

@@ -1,0 +1,459 @@
+// Package shred loads XML documents into relational storage under the
+// three mappings the paper evaluates:
+//
+//   - the schema-aware mapping of Section 3 (one relation per element
+//     definition, descriptor columns id/par/dewey_pos/path_id, text
+//     and attributes inlined as columns, a shared 'paths' relation,
+//     and the Section 3.1 indexes),
+//   - a schema-oblivious Edge-like mapping (one central element
+//     relation plus a separate attribute relation, per the paper's
+//     footnote 3),
+//   - the XPath Accelerator mapping (pre/post region encoding), used
+//     by the baseline of Section 5.2.
+package shred
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dewey"
+
+	"repro/internal/engine"
+	"repro/internal/schema"
+	"repro/internal/xmltree"
+)
+
+// Descriptor column names shared by the mappings.
+const (
+	ColID    = "id"
+	ColPar   = "par"
+	ColDewey = "dewey_pos"
+	ColPath  = "path_id"
+	ColDoc   = "doc_id"
+	ColText  = "text"
+)
+
+// PathsTable is the name of the shared root-to-node path relation.
+const PathsTable = "paths"
+
+// reserved are column names an attribute may not claim directly.
+var reserved = map[string]bool{
+	ColID: true, ColPar: true, ColDewey: true, ColPath: true,
+	ColDoc: true, ColText: true,
+}
+
+// RelName maps an element name to its relation name in the
+// schema-aware mapping. Element names that collide with the reserved
+// 'paths' relation or contain non-identifier characters are prefixed
+// and sanitized.
+func RelName(element string) string {
+	name := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, element)
+	if name == PathsTable || name == "" || (name[0] >= '0' && name[0] <= '9') {
+		name = "el_" + name
+	}
+	return name
+}
+
+// AttrCol maps an attribute name to its column name.
+func AttrCol(attr string) string {
+	name := RelName(attr)
+	if reserved[name] {
+		return "a_" + name
+	}
+	return name
+}
+
+// pathRegistry assigns stable ids to distinct root-to-node paths,
+// filling the paths relation gradually during insertion as the paper
+// describes in Section 3.1.
+type pathRegistry struct {
+	table *engine.Table
+	ids   map[string]int64
+}
+
+func newPathRegistry(db *engine.DB) (*pathRegistry, error) {
+	t, err := db.CreateTable(PathsTable,
+		engine.Column{Name: ColID, Type: engine.TInt},
+		engine.Column{Name: "path", Type: engine.TText})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := t.CreateIndex(PathsTable+"_pk", ColID); err != nil {
+		return nil, err
+	}
+	return &pathRegistry{table: t, ids: map[string]int64{}}, nil
+}
+
+func (r *pathRegistry) id(path string) int64 {
+	if id, ok := r.ids[path]; ok {
+		return id
+	}
+	id := int64(len(r.ids) + 1)
+	r.ids[path] = id
+	r.table.MustInsert(engine.NewInt(id), engine.NewText(path))
+	return id
+}
+
+// SchemaAwareStore holds documents shredded under the schema-aware
+// mapping.
+type SchemaAwareStore struct {
+	DB     *engine.DB
+	Schema *schema.Schema
+	paths  *pathRegistry
+	nextID int64
+	docs   int64
+}
+
+// NewSchemaAware creates the relational schema for an XML Schema
+// graph: one relation per element definition with descriptor columns,
+// text and attribute columns, plus the shared paths relation and the
+// Section 3.1 indexes (primary key, parent foreign key, composite
+// (dewey_pos, path_id)).
+func NewSchemaAware(s *schema.Schema) (*SchemaAwareStore, error) {
+	db := engine.NewDB()
+	paths, err := newPathRegistry(db)
+	if err != nil {
+		return nil, err
+	}
+	for _, n := range s.Nodes() {
+		cols := []engine.Column{
+			{Name: ColID, Type: engine.TInt},
+			{Name: ColPar, Type: engine.TInt},
+			{Name: ColDewey, Type: engine.TBytes},
+			{Name: ColPath, Type: engine.TInt},
+		}
+		if n.IsRoot {
+			cols = append(cols, engine.Column{Name: ColDoc, Type: engine.TInt})
+		}
+		if n.HasText {
+			cols = append(cols, engine.Column{Name: ColText, Type: engine.TText})
+		}
+		for _, a := range n.Attrs {
+			cols = append(cols, engine.Column{Name: AttrCol(a), Type: engine.TText})
+		}
+		rel := RelName(n.Name)
+		t, err := db.CreateTable(rel, cols...)
+		if err != nil {
+			return nil, fmt.Errorf("shred: element %q: %w", n.Name, err)
+		}
+		for _, ix := range []struct {
+			suffix string
+			cols   []string
+		}{
+			{"_pk", []string{ColID}},
+			{"_par", []string{ColPar}},
+			{"_dp", []string{ColDewey, ColPath}},
+		} {
+			if _, err := t.CreateIndex(rel+ix.suffix, ix.cols...); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return &SchemaAwareStore{DB: db, Schema: s, paths: paths}, nil
+}
+
+// Load shreds one document, returning its document id. Node ids are
+// globally unique across documents; the first document's element ids
+// equal the document's own node ids.
+func (st *SchemaAwareStore) Load(doc *xmltree.Document) (int64, error) {
+	if err := st.Schema.Validate(doc); err != nil {
+		return 0, err
+	}
+	st.docs++
+	docID := st.docs
+	base := st.nextID
+	maxID := base
+	for _, n := range doc.Nodes() {
+		if n.Kind != xmltree.Element {
+			continue
+		}
+		sn := st.Schema.Node(n.Name)
+		t := st.DB.Table(RelName(n.Name))
+		row := make([]engine.Value, 0, len(t.Cols))
+		id := base + n.ID
+		if id > maxID {
+			maxID = id
+		}
+		row = append(row, engine.NewInt(id))
+		if n.Parent != nil {
+			row = append(row, engine.NewInt(base+n.Parent.ID))
+		} else {
+			row = append(row, engine.Null)
+		}
+		row = append(row, engine.NewBytes(dewey.WithRoot(n.Pos, int(docID))), engine.NewInt(st.paths.id(n.Path)))
+		if sn.IsRoot {
+			row = append(row, engine.NewInt(docID))
+		}
+		if sn.HasText {
+			row = append(row, directText(n))
+		}
+		for _, a := range sn.Attrs {
+			if v, ok := n.Attr(a); ok {
+				row = append(row, engine.NewText(v))
+			} else {
+				row = append(row, engine.Null)
+			}
+		}
+		if _, err := t.Insert(row); err != nil {
+			return 0, fmt.Errorf("shred: load %q: %w", n.Path, err)
+		}
+	}
+	st.nextID = maxID
+	return docID, nil
+}
+
+// directText returns the concatenation of an element's direct text
+// children (the value stored in the 'text' column), or NULL when the
+// element has none.
+func directText(n *xmltree.Node) engine.Value {
+	var b strings.Builder
+	found := false
+	for _, c := range n.Children {
+		if c.Kind == xmltree.Text {
+			b.WriteString(c.Value)
+			found = true
+		}
+	}
+	if !found {
+		return engine.Null
+	}
+	return engine.NewText(b.String())
+}
+
+// EdgeStore holds documents shredded under the schema-oblivious
+// Edge-like mapping: every element is a tuple of the central 'edge'
+// relation; attributes live in a separate 'attr' relation.
+type EdgeStore struct {
+	DB     *engine.DB
+	paths  *pathRegistry
+	Edge   *engine.Table
+	Attr   *engine.Table
+	nextID int64
+	docs   int64
+}
+
+// Edge mapping table and column names.
+const (
+	EdgeTable   = "edge"
+	AttrTable   = "attr"
+	ColName     = "name"
+	ColOwner    = "owner"
+	ColAttrName = "aname"
+	ColValue    = "value"
+)
+
+// NewEdge creates the Edge-like relational schema.
+func NewEdge() (*EdgeStore, error) {
+	db := engine.NewDB()
+	paths, err := newPathRegistry(db)
+	if err != nil {
+		return nil, err
+	}
+	edge, err := db.CreateTable(EdgeTable,
+		engine.Column{Name: ColID, Type: engine.TInt},
+		engine.Column{Name: ColPar, Type: engine.TInt},
+		engine.Column{Name: ColDewey, Type: engine.TBytes},
+		engine.Column{Name: ColPath, Type: engine.TInt},
+		engine.Column{Name: ColDoc, Type: engine.TInt},
+		engine.Column{Name: ColName, Type: engine.TText},
+		engine.Column{Name: ColText, Type: engine.TText},
+	)
+	if err != nil {
+		return nil, err
+	}
+	for _, ix := range []struct {
+		name string
+		cols []string
+	}{
+		{"edge_pk", []string{ColID}},
+		{"edge_par", []string{ColPar}},
+		{"edge_dp", []string{ColDewey, ColPath}},
+	} {
+		if _, err := edge.CreateIndex(ix.name, ix.cols...); err != nil {
+			return nil, err
+		}
+	}
+	attr, err := db.CreateTable(AttrTable,
+		engine.Column{Name: ColOwner, Type: engine.TInt},
+		engine.Column{Name: ColAttrName, Type: engine.TText},
+		engine.Column{Name: ColValue, Type: engine.TText},
+	)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := attr.CreateIndex("attr_owner", ColOwner); err != nil {
+		return nil, err
+	}
+	return &EdgeStore{DB: db, paths: paths, Edge: edge, Attr: attr}, nil
+}
+
+// Load shreds one document into the Edge mapping.
+func (st *EdgeStore) Load(doc *xmltree.Document) (int64, error) {
+	st.docs++
+	docID := st.docs
+	base := st.nextID
+	maxID := base
+	for _, n := range doc.Nodes() {
+		if n.Kind != xmltree.Element {
+			continue
+		}
+		id := base + n.ID
+		if id > maxID {
+			maxID = id
+		}
+		par := engine.Null
+		if n.Parent != nil {
+			par = engine.NewInt(base + n.Parent.ID)
+		}
+		st.Edge.MustInsert(
+			engine.NewInt(id), par, engine.NewBytes(dewey.WithRoot(n.Pos, int(docID))),
+			engine.NewInt(st.paths.id(n.Path)), engine.NewInt(docID),
+			engine.NewText(n.Name), directText(n),
+		)
+		for _, a := range n.Attrs {
+			st.Attr.MustInsert(engine.NewInt(id), engine.NewText(a.Name), engine.NewText(a.Value))
+		}
+	}
+	st.nextID = maxID
+	return docID, nil
+}
+
+// AccelStore holds documents shredded under the XPath Accelerator
+// (pre/post region encoding) mapping of Grust et al., the baseline of
+// Section 5.2.
+type AccelStore struct {
+	DB     *engine.DB
+	Accel  *engine.Table
+	Attr   *engine.Table
+	preOf  map[int64]int64 // document-global element id -> pre
+	idOf   map[int64]int64 // pre -> document-global element id
+	nextID int64
+	docs   int64
+}
+
+// Accelerator table and column names.
+const (
+	AccelTable = "accel"
+	ColPre     = "pre"
+	ColPost    = "post"
+)
+
+// ColSize is the accelerator's subtree-size column: the number of
+// element descendants, giving the two-sided "staked-out" descendant
+// window [pre+1, pre+size].
+const ColSize = "size"
+
+// NewAccel creates the accelerator schema: accel(pre, post, par,
+// size, id, doc_id, name, text) with B-tree indexes on pre, post and
+// par, plus the attribute relation.
+func NewAccel() (*AccelStore, error) {
+	db := engine.NewDB()
+	accel, err := db.CreateTable(AccelTable,
+		engine.Column{Name: ColPre, Type: engine.TInt},
+		engine.Column{Name: ColPost, Type: engine.TInt},
+		engine.Column{Name: ColPar, Type: engine.TInt},  // pre of parent
+		engine.Column{Name: ColSize, Type: engine.TInt}, // element descendants
+		engine.Column{Name: ColID, Type: engine.TInt},   // document-global element id
+		engine.Column{Name: ColDoc, Type: engine.TInt},
+		engine.Column{Name: ColName, Type: engine.TText},
+		engine.Column{Name: ColText, Type: engine.TText},
+	)
+	if err != nil {
+		return nil, err
+	}
+	for _, ix := range []struct {
+		name string
+		cols []string
+	}{
+		{"accel_pre", []string{ColPre}},
+		{"accel_post", []string{ColPost}},
+		{"accel_par", []string{ColPar}},
+	} {
+		if _, err := accel.CreateIndex(ix.name, ix.cols...); err != nil {
+			return nil, err
+		}
+	}
+	attr, err := db.CreateTable(AttrTable,
+		engine.Column{Name: ColOwner, Type: engine.TInt}, // pre of owner
+		engine.Column{Name: ColAttrName, Type: engine.TText},
+		engine.Column{Name: ColValue, Type: engine.TText},
+	)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := attr.CreateIndex("attr_owner", ColOwner); err != nil {
+		return nil, err
+	}
+	return &AccelStore{DB: db, Accel: accel, Attr: attr, preOf: map[int64]int64{}, idOf: map[int64]int64{}}, nil
+}
+
+// Load shreds one document into the accelerator mapping.
+func (st *AccelStore) Load(doc *xmltree.Document) (int64, error) {
+	st.docs++
+	docID := st.docs
+	base := st.nextID
+	maxID := base
+
+	// Assign pre/post ranks and subtree sizes over element nodes only.
+	pre := map[*xmltree.Node]int64{}
+	post := map[*xmltree.Node]int64{}
+	size := map[*xmltree.Node]int64{}
+	var preCtr, postCtr int64
+	preBase := int64(len(st.idOf))
+	var walk func(n *xmltree.Node) int64
+	walk = func(n *xmltree.Node) int64 {
+		if n.Kind != xmltree.Element {
+			return 0
+		}
+		preCtr++
+		pre[n] = preBase + preCtr
+		var desc int64
+		for _, c := range n.Children {
+			desc += walk(c)
+		}
+		postCtr++
+		post[n] = preBase + postCtr
+		size[n] = desc
+		return desc + 1
+	}
+	walk(doc.Root)
+
+	for _, n := range doc.Nodes() {
+		if n.Kind != xmltree.Element {
+			continue
+		}
+		id := base + n.ID
+		if id > maxID {
+			maxID = id
+		}
+		par := engine.Null
+		if n.Parent != nil {
+			par = engine.NewInt(pre[n.Parent])
+		}
+		st.Accel.MustInsert(
+			engine.NewInt(pre[n]), engine.NewInt(post[n]), par, engine.NewInt(size[n]),
+			engine.NewInt(id), engine.NewInt(docID),
+			engine.NewText(n.Name), directText(n),
+		)
+		st.preOf[id] = pre[n]
+		st.idOf[pre[n]] = id
+		for _, a := range n.Attrs {
+			st.Attr.MustInsert(engine.NewInt(pre[n]), engine.NewText(a.Name), engine.NewText(a.Value))
+		}
+	}
+	st.nextID = maxID
+	return docID, nil
+}
+
+// PathCount returns the number of distinct root-to-node paths stored.
+func (st *SchemaAwareStore) PathCount() int { return len(st.paths.ids) }
+
+// PathCount returns the number of distinct root-to-node paths stored.
+func (st *EdgeStore) PathCount() int { return len(st.paths.ids) }

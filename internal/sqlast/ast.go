@@ -1,0 +1,299 @@
+// Package sqlast defines the abstract syntax tree, renderer and
+// parser for the SQL dialect the engine executes and the translators
+// emit. The dialect is the subset of SQL the paper's translations
+// need: SELECT [DISTINCT] with multi-table FROM, WHERE with logical
+// connectives, comparisons, BETWEEN, string/byte concatenation (||),
+// REGEXP_LIKE, EXISTS and scalar COUNT subqueries, IS [NOT] NULL,
+// ORDER BY, and UNION.
+package sqlast
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Statement is a top-level statement: *Select or *Union.
+type Statement interface {
+	fmt.Stringer
+	stmtNode()
+}
+
+// Select is a SELECT statement.
+type Select struct {
+	Distinct bool
+	Cols     []SelectCol
+	From     []TableRef
+	Where    Expr // nil means no WHERE clause
+	OrderBy  []OrderKey
+}
+
+func (*Select) stmtNode() {}
+
+// Union is a UNION (set semantics) of SELECT statements.
+type Union struct {
+	Selects []*Select
+	OrderBy []OrderKey
+}
+
+func (*Union) stmtNode() {}
+
+// SelectCol is one projected column.
+type SelectCol struct {
+	Expr  Expr
+	Alias string // optional
+}
+
+// TableRef is one table in the FROM clause.
+type TableRef struct {
+	Table string
+	Alias string // optional; the effective name is Alias or Table
+}
+
+// Name returns the name by which columns reference this table.
+func (t TableRef) Name() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Table
+}
+
+// OrderKey is one ORDER BY key.
+type OrderKey struct {
+	Expr Expr
+	Desc bool
+}
+
+// Expr is a scalar or boolean expression.
+type Expr interface {
+	fmt.Stringer
+	exprNode()
+}
+
+// Col references a column, optionally qualified by a table name or
+// alias.
+type Col struct {
+	Table  string // may be empty if unambiguous
+	Column string
+}
+
+func (*Col) exprNode() {}
+
+// IntLit is an integer literal.
+type IntLit struct{ Value int64 }
+
+func (*IntLit) exprNode() {}
+
+// StrLit is a string literal.
+type StrLit struct{ Value string }
+
+func (*StrLit) exprNode() {}
+
+// BytesLit is a binary-string literal, rendered as X'hex'. The
+// translators use it for Dewey position bounds.
+type BytesLit struct{ Value []byte }
+
+func (*BytesLit) exprNode() {}
+
+// FloatLit is a floating-point literal.
+type FloatLit struct{ Value float64 }
+
+func (*FloatLit) exprNode() {}
+
+// NullLit is the NULL literal.
+type NullLit struct{}
+
+func (*NullLit) exprNode() {}
+
+// BinOp is a binary operator.
+type BinOp uint8
+
+const (
+	OpAnd BinOp = iota
+	OpOr
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpConcat // || : byte/string concatenation
+)
+
+var binOpNames = map[BinOp]string{
+	OpAnd: "AND", OpOr: "OR", OpEq: "=", OpNe: "<>", OpLt: "<", OpLe: "<=",
+	OpGt: ">", OpGe: ">=", OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/",
+	OpMod: "%", OpConcat: "||",
+}
+
+func (o BinOp) String() string { return binOpNames[o] }
+
+// Binary is a binary expression.
+type Binary struct {
+	Op   BinOp
+	L, R Expr
+}
+
+func (*Binary) exprNode() {}
+
+// Not is logical negation.
+type Not struct{ X Expr }
+
+func (*Not) exprNode() {}
+
+// Between is 'X BETWEEN Lo AND Hi' (inclusive both ends).
+type Between struct {
+	X, Lo, Hi Expr
+}
+
+func (*Between) exprNode() {}
+
+// IsNull is 'X IS NULL' or, with Negate, 'X IS NOT NULL'.
+type IsNull struct {
+	X      Expr
+	Negate bool
+}
+
+func (*IsNull) exprNode() {}
+
+// Func is a scalar function call. The engine implements REGEXP_LIKE,
+// LENGTH, LOWER, UPPER and ABS.
+type Func struct {
+	Name string
+	Args []Expr
+}
+
+func (*Func) exprNode() {}
+
+// Exists is 'EXISTS (select)' or, with Negate, 'NOT EXISTS (select)'.
+// The subselect may be correlated: its WHERE clause may reference
+// tables of enclosing queries.
+type Exists struct {
+	Select *Select
+	Negate bool
+}
+
+func (*Exists) exprNode() {}
+
+// Subquery is a scalar subquery, e.g. '(SELECT COUNT(*) FROM ...)'.
+// The subselect must project exactly one column; it yields NULL when
+// empty and its first row's value otherwise.
+type Subquery struct{ Select *Select }
+
+func (*Subquery) exprNode() {}
+
+// CountStar is COUNT(*) in a projection.
+type CountStar struct{}
+
+func (*CountStar) exprNode() {}
+
+// helpers used heavily by the translators
+
+// C builds a column reference.
+func C(table, column string) *Col { return &Col{Table: table, Column: column} }
+
+// Eq builds an equality comparison.
+func Eq(l, r Expr) Expr { return &Binary{Op: OpEq, L: l, R: r} }
+
+// And folds a list of conjuncts, dropping nils; it returns nil when
+// all are nil.
+func And(exprs ...Expr) Expr {
+	var out Expr
+	for _, e := range exprs {
+		if e == nil {
+			continue
+		}
+		if out == nil {
+			out = e
+		} else {
+			out = &Binary{Op: OpAnd, L: out, R: e}
+		}
+	}
+	return out
+}
+
+// Or folds a list of disjuncts, dropping nils.
+func Or(exprs ...Expr) Expr {
+	var out Expr
+	for _, e := range exprs {
+		if e == nil {
+			continue
+		}
+		if out == nil {
+			out = e
+		} else {
+			out = &Binary{Op: OpOr, L: out, R: e}
+		}
+	}
+	return out
+}
+
+// Str builds a string literal.
+func Str(s string) *StrLit { return &StrLit{Value: s} }
+
+// Int builds an integer literal.
+func Int(v int64) *IntLit { return &IntLit{Value: v} }
+
+// Bytes builds a binary literal.
+func Bytes(b []byte) *BytesLit { return &BytesLit{Value: b} }
+
+// RegexpLike builds REGEXP_LIKE(x, pattern).
+func RegexpLike(x Expr, pattern string) Expr {
+	return &Func{Name: "REGEXP_LIKE", Args: []Expr{x, Str(pattern)}}
+}
+
+// AddConjunct adds a conjunct to a select's WHERE clause.
+func (s *Select) AddConjunct(e Expr) {
+	if e == nil {
+		return
+	}
+	s.Where = And(s.Where, e)
+}
+
+// HasTable reports whether the FROM clause already contains a table
+// with the given effective name.
+func (s *Select) HasTable(name string) bool {
+	for _, t := range s.From {
+		if t.Name() == name {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders statements via the renderer; defined here so the
+// interface is self-contained.
+func (s *Select) String() string { return Render(s) }
+func (u *Union) String() string  { return Render(u) }
+
+func (c *Col) String() string {
+	if c.Table == "" {
+		return c.Column
+	}
+	return c.Table + "." + c.Column
+}
+func (l *IntLit) String() string   { return fmt.Sprintf("%d", l.Value) }
+func (l *FloatLit) String() string { return trimFloat(l.Value) }
+func (l *StrLit) String() string   { return "'" + strings.ReplaceAll(l.Value, "'", "''") + "'" }
+func (l *BytesLit) String() string { return fmt.Sprintf("X'%X'", l.Value) }
+func (*NullLit) String() string    { return "NULL" }
+func (b *Binary) String() string   { return renderExpr(b) }
+func (n *Not) String() string      { return renderExpr(n) }
+func (b *Between) String() string  { return renderExpr(b) }
+func (i *IsNull) String() string   { return renderExpr(i) }
+func (f *Func) String() string     { return renderExpr(f) }
+func (e *Exists) String() string   { return renderExpr(e) }
+func (s *Subquery) String() string { return renderExpr(s) }
+func (*CountStar) String() string  { return "COUNT(*)" }
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%g", v)
+	if !strings.ContainsAny(s, ".eE") {
+		s += ".0"
+	}
+	return s
+}

@@ -1,0 +1,189 @@
+package sqlast
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CreateTable is a CREATE TABLE statement.
+type CreateTable struct {
+	Name string
+	Cols []ColumnDef
+}
+
+func (*CreateTable) stmtNode() {}
+
+// ColumnDef is one column definition.
+type ColumnDef struct {
+	Name string
+	Type string // INT, FLOAT, TEXT or BYTES
+}
+
+// CreateIndex is a CREATE INDEX statement.
+type CreateIndex struct {
+	Name  string
+	Table string
+	Cols  []string
+}
+
+func (*CreateIndex) stmtNode() {}
+
+// Insert is an INSERT INTO ... VALUES statement (literal rows only).
+type Insert struct {
+	Table string
+	Rows  [][]Expr
+}
+
+func (*Insert) stmtNode() {}
+
+func (c *CreateTable) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "CREATE TABLE %s (", c.Name)
+	for i, col := range c.Cols {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %s", col.Name, col.Type)
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+func (c *CreateIndex) String() string {
+	return fmt.Sprintf("CREATE INDEX %s ON %s (%s)", c.Name, c.Table, strings.Join(c.Cols, ", "))
+}
+
+func (ins *Insert) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "INSERT INTO %s VALUES ", ins.Table)
+	for i, row := range ins.Rows {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString("(")
+		for j, v := range row {
+			if j > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(v.String())
+		}
+		b.WriteString(")")
+	}
+	return b.String()
+}
+
+// parseDDL handles CREATE TABLE / CREATE INDEX / INSERT after Parse
+// sees their leading identifier.
+func (p *sqlParser) parseCreate() (Statement, error) {
+	t := p.next()
+	if t.kind != sqlIdent {
+		return nil, fmt.Errorf("sqlast: expected TABLE or INDEX after CREATE, found %q", t.text)
+	}
+	switch strings.ToUpper(t.text) {
+	case "TABLE":
+		nameTok := p.next()
+		if nameTok.kind != sqlIdent {
+			return nil, fmt.Errorf("sqlast: expected table name, found %q", nameTok.text)
+		}
+		if err := p.expect(sqlLParen, "", "'('"); err != nil {
+			return nil, err
+		}
+		ct := &CreateTable{Name: nameTok.text}
+		for {
+			colTok := p.next()
+			if colTok.kind != sqlIdent {
+				return nil, fmt.Errorf("sqlast: expected column name, found %q", colTok.text)
+			}
+			typTok := p.next()
+			if typTok.kind != sqlIdent {
+				return nil, fmt.Errorf("sqlast: expected column type, found %q", typTok.text)
+			}
+			typ := strings.ToUpper(typTok.text)
+			switch typ {
+			case "INT", "FLOAT", "TEXT", "BYTES":
+			default:
+				return nil, fmt.Errorf("sqlast: unknown column type %q", typTok.text)
+			}
+			ct.Cols = append(ct.Cols, ColumnDef{Name: colTok.text, Type: typ})
+			if !p.accept(sqlComma, "") {
+				break
+			}
+		}
+		if err := p.expect(sqlRParen, "", "')'"); err != nil {
+			return nil, err
+		}
+		return ct, nil
+	case "INDEX":
+		nameTok := p.next()
+		if nameTok.kind != sqlIdent {
+			return nil, fmt.Errorf("sqlast: expected index name, found %q", nameTok.text)
+		}
+		onTok := p.next()
+		if onTok.kind != sqlIdent || strings.ToUpper(onTok.text) != "ON" {
+			return nil, fmt.Errorf("sqlast: expected ON, found %q", onTok.text)
+		}
+		tblTok := p.next()
+		if tblTok.kind != sqlIdent {
+			return nil, fmt.Errorf("sqlast: expected table name, found %q", tblTok.text)
+		}
+		if err := p.expect(sqlLParen, "", "'('"); err != nil {
+			return nil, err
+		}
+		ci := &CreateIndex{Name: nameTok.text, Table: tblTok.text}
+		for {
+			colTok := p.next()
+			if colTok.kind != sqlIdent {
+				return nil, fmt.Errorf("sqlast: expected column name, found %q", colTok.text)
+			}
+			ci.Cols = append(ci.Cols, colTok.text)
+			if !p.accept(sqlComma, "") {
+				break
+			}
+		}
+		if err := p.expect(sqlRParen, "", "')'"); err != nil {
+			return nil, err
+		}
+		return ci, nil
+	}
+	return nil, fmt.Errorf("sqlast: unsupported CREATE %q", t.text)
+}
+
+func (p *sqlParser) parseInsert() (Statement, error) {
+	intoTok := p.next()
+	if intoTok.kind != sqlIdent || strings.ToUpper(intoTok.text) != "INTO" {
+		return nil, fmt.Errorf("sqlast: expected INTO, found %q", intoTok.text)
+	}
+	tblTok := p.next()
+	if tblTok.kind != sqlIdent {
+		return nil, fmt.Errorf("sqlast: expected table name, found %q", tblTok.text)
+	}
+	valTok := p.next()
+	if valTok.kind != sqlIdent || strings.ToUpper(valTok.text) != "VALUES" {
+		return nil, fmt.Errorf("sqlast: expected VALUES, found %q", valTok.text)
+	}
+	ins := &Insert{Table: tblTok.text}
+	for {
+		if err := p.expect(sqlLParen, "", "'('"); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if !p.accept(sqlComma, "") {
+				break
+			}
+		}
+		if err := p.expect(sqlRParen, "", "')'"); err != nil {
+			return nil, err
+		}
+		ins.Rows = append(ins.Rows, row)
+		if !p.accept(sqlComma, "") {
+			break
+		}
+	}
+	return ins, nil
+}

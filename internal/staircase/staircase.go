@@ -1,0 +1,662 @@
+// Package staircase implements a column-at-a-time XPath evaluator in
+// the style of MonetDB/XQuery (Pathfinder), the strongest comparator
+// of the paper's Section 5.2. The document is encoded as parallel
+// pre-order arrays (size, level, parent, tag, text, attributes); a
+// location step maps a sorted context of pre ranks to the next
+// context with whole-column operations, using the staircase-join
+// pruning rules for the descendant, following and preceding axes.
+package staircase
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// Doc is the columnar encoding of a document. Element nodes only; pre
+// ranks are 0-based array positions.
+type Doc struct {
+	size  []int32 // number of element descendants
+	level []int32
+	par   []int32 // pre of parent; -1 for the root
+	tag   []int32
+	text  []string // direct text concatenation ("" if none)
+	ids   []int64  // document-global element ids (tree node ids)
+
+	tagIDs   map[string]int32
+	tagNames []string
+	attrs    []map[string]string
+	children [][]int32
+}
+
+// FromTree encodes a parsed document.
+func FromTree(t *xmltree.Document) *Doc {
+	d := &Doc{tagIDs: map[string]int32{}}
+	var walk func(n *xmltree.Node, level int32) int32
+	walk = func(n *xmltree.Node, level int32) int32 {
+		pre := int32(len(d.size))
+		tid, ok := d.tagIDs[n.Name]
+		if !ok {
+			tid = int32(len(d.tagNames))
+			d.tagIDs[n.Name] = tid
+			d.tagNames = append(d.tagNames, n.Name)
+		}
+		d.size = append(d.size, 0)
+		d.level = append(d.level, level)
+		d.par = append(d.par, -1)
+		d.tag = append(d.tag, tid)
+		d.ids = append(d.ids, n.ID)
+		var am map[string]string
+		if len(n.Attrs) > 0 {
+			am = make(map[string]string, len(n.Attrs))
+			for _, a := range n.Attrs {
+				am[a.Name] = a.Value
+			}
+		}
+		d.attrs = append(d.attrs, am)
+		d.text = append(d.text, "")
+		d.children = append(d.children, nil)
+		var txt strings.Builder
+		var count int32
+		for _, c := range n.Children {
+			if c.Kind == xmltree.Text {
+				txt.WriteString(c.Value)
+				continue
+			}
+			cPre := walk(c, level+1)
+			d.par[cPre] = pre
+			d.children[pre] = append(d.children[pre], cPre)
+			count += d.size[cPre] + 1
+		}
+		d.size[pre] = count
+		d.text[pre] = txt.String()
+		return pre
+	}
+	walk(t.Root, 0)
+	return d
+}
+
+// Len returns the number of elements.
+func (d *Doc) Len() int { return len(d.size) }
+
+// Eval evaluates an XPath expression, returning the selected
+// elements' document-global ids in document order. Terminal text()
+// steps return the ids of the elements owning the text; terminal
+// attribute steps return the owners.
+func (d *Doc) Eval(e xpath.Expr) ([]int64, error) {
+	ctx, err := d.evalExprNodes(e)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int64, len(ctx))
+	for i, pre := range ctx {
+		out[i] = d.ids[pre]
+	}
+	return out, nil
+}
+
+// EvalString parses and evaluates a query.
+func (d *Doc) EvalString(q string) ([]int64, error) {
+	e, err := xpath.Parse(q)
+	if err != nil {
+		return nil, err
+	}
+	return d.Eval(e)
+}
+
+func (d *Doc) evalExprNodes(e xpath.Expr) ([]int32, error) {
+	switch x := e.(type) {
+	case *xpath.Path:
+		return d.evalPath(x, nil)
+	case *xpath.Union:
+		var all []int32
+		for _, p := range x.Paths {
+			ctx, err := d.evalPath(p, nil)
+			if err != nil {
+				return nil, err
+			}
+			all = append(all, ctx...)
+		}
+		return dedupeSorted(all), nil
+	}
+	return nil, fmt.Errorf("staircase: %T is not a location path", e)
+}
+
+// evalPath evaluates a path; ctx nil means the virtual root (for
+// absolute paths).
+func (d *Doc) evalPath(p *xpath.Path, ctx []int32) ([]int32, error) {
+	main, terminal, err := xpath.NormalizeSteps(p.Steps)
+	if err != nil {
+		return nil, err
+	}
+	cur := ctx
+	atRoot := false
+	if p.Absolute {
+		cur = nil
+		atRoot = true
+		if len(p.Steps) == 0 {
+			return []int32{0}, nil
+		}
+	} else if ctx == nil {
+		return nil, fmt.Errorf("staircase: relative path %q has no context", p)
+	}
+	for _, s := range main {
+		next, err := d.step(s, cur, atRoot)
+		if err != nil {
+			return nil, err
+		}
+		atRoot = false
+		cur = next
+		if len(cur) == 0 {
+			break
+		}
+	}
+	if terminal != nil && len(cur) > 0 {
+		kept := cur[:0:0]
+		for _, pre := range cur {
+			if terminal.Axis == xpath.Attribute {
+				if _, ok := d.attrs[pre][terminal.Name]; ok {
+					kept = append(kept, pre)
+				}
+			} else if d.text[pre] != "" {
+				kept = append(kept, pre)
+			}
+		}
+		cur = kept
+	}
+	return cur, nil
+}
+
+// step applies one location step column-at-a-time.
+func (d *Doc) step(s *xpath.Step, ctx []int32, atRoot bool) ([]int32, error) {
+	var cand []int32
+	switch s.Axis {
+	case xpath.Child:
+		if atRoot {
+			cand = []int32{0}
+		} else {
+			for _, c := range ctx {
+				cand = append(cand, d.children[c]...)
+			}
+			cand = dedupeSorted(cand)
+		}
+	case xpath.Descendant, xpath.DescendantOrSelf:
+		if atRoot {
+			cand = make([]int32, d.Len())
+			for i := range cand {
+				cand[i] = int32(i)
+			}
+		} else {
+			cand = d.staircaseDescendant(ctx, s.Axis == xpath.DescendantOrSelf)
+		}
+	case xpath.Parent:
+		if atRoot {
+			break
+		}
+		for _, c := range ctx {
+			if d.par[c] >= 0 {
+				cand = append(cand, d.par[c])
+			}
+		}
+		cand = dedupeSorted(cand)
+	case xpath.Ancestor, xpath.AncestorOrSelf:
+		seen := map[int32]bool{}
+		for _, c := range ctx {
+			n := c
+			if s.Axis == xpath.Ancestor {
+				n = d.par[c]
+			}
+			for n >= 0 && !seen[n] {
+				seen[n] = true
+				n = d.par[n]
+			}
+		}
+		for n := range seen {
+			cand = append(cand, n)
+		}
+		sort.Slice(cand, func(i, j int) bool { return cand[i] < cand[j] })
+	case xpath.Following:
+		// Staircase: the union of following sets is the pre suffix after
+		// the earliest context subtree's end.
+		if len(ctx) == 0 {
+			break
+		}
+		min := ctx[0] + d.size[ctx[0]] + 1
+		for _, c := range ctx[1:] {
+			if end := c + d.size[c] + 1; end < min {
+				min = end
+			}
+		}
+		for pre := min; pre < int32(d.Len()); pre++ {
+			cand = append(cand, pre)
+		}
+	case xpath.Preceding:
+		// Staircase: the union of preceding sets equals the preceding
+		// set of the last context (ancestors excluded).
+		if len(ctx) == 0 {
+			break
+		}
+		last := ctx[len(ctx)-1]
+		anc := map[int32]bool{}
+		for n := d.par[last]; n >= 0; n = d.par[n] {
+			anc[n] = true
+		}
+		for pre := int32(0); pre < last; pre++ {
+			if !anc[pre] {
+				cand = append(cand, pre)
+			}
+		}
+	case xpath.FollowingSibling, xpath.PrecedingSibling:
+		seen := map[int32]bool{}
+		for _, c := range ctx {
+			p := d.par[c]
+			if p < 0 {
+				continue
+			}
+			for _, sib := range d.children[p] {
+				if s.Axis == xpath.FollowingSibling && sib > c && !seen[sib] {
+					seen[sib] = true
+					cand = append(cand, sib)
+				}
+				if s.Axis == xpath.PrecedingSibling && sib < c && !seen[sib] {
+					seen[sib] = true
+					cand = append(cand, sib)
+				}
+			}
+		}
+		sort.Slice(cand, func(i, j int) bool { return cand[i] < cand[j] })
+	case xpath.Attribute:
+		return nil, fmt.Errorf("staircase: attribute steps are only supported as terminal steps or in predicates")
+	default:
+		return nil, fmt.Errorf("staircase: unsupported axis %s", s.Axis)
+	}
+	// Name test as a column filter.
+	if s.Test == xpath.NameTest && s.Name != "" {
+		tid, ok := d.tagIDs[s.Name]
+		if !ok {
+			return nil, nil
+		}
+		kept := cand[:0]
+		for _, pre := range cand {
+			if d.tag[pre] == tid {
+				kept = append(kept, pre)
+			}
+		}
+		cand = kept
+	}
+	// Predicates: a column-wise semijoin per predicate.
+	for _, pred := range s.Predicates {
+		kept := cand[:0:0]
+		size := len(cand)
+		for i, pre := range cand {
+			ok, err := d.predicate(pred, pre, i+1, size)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				kept = append(kept, pre)
+			}
+		}
+		cand = kept
+	}
+	return cand, nil
+}
+
+// staircaseDescendant implements the staircase join on the descendant
+// axis: contexts covered by an earlier context's subtree window are
+// pruned, then each remaining window is scanned once.
+func (d *Doc) staircaseDescendant(ctx []int32, orSelf bool) []int32 {
+	var out []int32
+	scannedTo := int32(-1)
+	for _, c := range ctx {
+		end := c + d.size[c]
+		if end <= scannedTo {
+			continue // pruned: covered by a previous window
+		}
+		start := c
+		if !orSelf {
+			start = c + 1
+		} else if c <= scannedTo {
+			start = scannedTo + 1
+		}
+		if !orSelf && start <= scannedTo {
+			start = scannedTo + 1
+		}
+		for pre := start; pre <= end; pre++ {
+			out = append(out, pre)
+		}
+		scannedTo = end
+	}
+	return dedupeSorted(out)
+}
+
+// predicate evaluates one predicate for one candidate.
+func (d *Doc) predicate(e xpath.Expr, pre int32, pos, size int) (bool, error) {
+	v, err := d.evalValue(e, pre, pos, size)
+	if err != nil {
+		return false, err
+	}
+	if v.kind == 'f' {
+		return v.num == float64(pos), nil
+	}
+	return v.truth(), nil
+}
+
+type value struct {
+	kind  byte // 'n' nodeset, 'f' number, 's' string, 'b' bool, 'a' attr values
+	nodes []int32
+	strs  []string
+	num   float64
+	str   string
+	b     bool
+}
+
+func (v value) truth() bool {
+	switch v.kind {
+	case 'n':
+		return len(v.nodes) > 0
+	case 'a':
+		return len(v.strs) > 0
+	case 'f':
+		return v.num != 0
+	case 's':
+		return v.str != ""
+	default:
+		return v.b
+	}
+}
+
+func (d *Doc) evalValue(e xpath.Expr, pre int32, pos, size int) (value, error) {
+	switch x := e.(type) {
+	case *xpath.Literal:
+		return value{kind: 's', str: x.Value}, nil
+	case *xpath.Number:
+		return value{kind: 'f', num: x.Value}, nil
+	case *xpath.Path:
+		return d.pathValue(x, pre)
+	case *xpath.Union:
+		var all []int32
+		for _, p := range x.Paths {
+			v, err := d.pathValue(p, pre)
+			if err != nil {
+				return value{}, err
+			}
+			if v.kind == 'a' {
+				if len(v.strs) > 0 {
+					return v, nil
+				}
+				continue
+			}
+			all = append(all, v.nodes...)
+		}
+		return value{kind: 'n', nodes: dedupeSorted(all)}, nil
+	case *xpath.Call:
+		switch x.Name {
+		case "position":
+			return value{kind: 'f', num: float64(pos)}, nil
+		case "last":
+			return value{kind: 'f', num: float64(size)}, nil
+		case "not":
+			v, err := d.evalValue(x.Args[0], pre, pos, size)
+			if err != nil {
+				return value{}, err
+			}
+			return value{kind: 'b', b: !v.truth()}, nil
+		case "count":
+			v, err := d.evalValue(x.Args[0], pre, pos, size)
+			if err != nil {
+				return value{}, err
+			}
+			if v.kind == 'a' {
+				return value{kind: 'f', num: float64(len(v.strs))}, nil
+			}
+			if v.kind != 'n' {
+				return value{}, fmt.Errorf("staircase: count() needs a node set")
+			}
+			return value{kind: 'f', num: float64(len(v.nodes))}, nil
+		}
+		return value{}, fmt.Errorf("staircase: unsupported function %q", x.Name)
+	case *xpath.Binary:
+		if x.Op.Logical() {
+			l, err := d.evalValue(x.L, pre, pos, size)
+			if err != nil {
+				return value{}, err
+			}
+			if x.Op == xpath.OpAnd && !l.truth() {
+				return value{kind: 'b'}, nil
+			}
+			if x.Op == xpath.OpOr && l.truth() {
+				return value{kind: 'b', b: true}, nil
+			}
+			r, err := d.evalValue(x.R, pre, pos, size)
+			if err != nil {
+				return value{}, err
+			}
+			return value{kind: 'b', b: r.truth()}, nil
+		}
+		l, err := d.evalValue(x.L, pre, pos, size)
+		if err != nil {
+			return value{}, err
+		}
+		r, err := d.evalValue(x.R, pre, pos, size)
+		if err != nil {
+			return value{}, err
+		}
+		if x.Op.Comparison() {
+			return value{kind: 'b', b: d.compare(x.Op, l, r)}, nil
+		}
+		lf, lok := d.number(l)
+		rf, rok := d.number(r)
+		if !lok || !rok {
+			return value{kind: 'f', num: 0}, nil
+		}
+		var out float64
+		switch x.Op {
+		case xpath.OpAdd:
+			out = lf + rf
+		case xpath.OpSub:
+			out = lf - rf
+		case xpath.OpMul:
+			out = lf * rf
+		case xpath.OpDiv:
+			out = lf / rf
+		case xpath.OpMod:
+			out = float64(int64(lf) % int64(rf))
+		}
+		return value{kind: 'f', num: out}, nil
+	}
+	return value{}, fmt.Errorf("staircase: unsupported expression %T", e)
+}
+
+// pathValue evaluates a predicate path from one context element,
+// yielding a node set or attribute string set.
+func (d *Doc) pathValue(p *xpath.Path, pre int32) (value, error) {
+	// Attribute / self shortcuts.
+	if !p.Absolute && len(p.Steps) == 1 {
+		s := p.Steps[0]
+		if s.Axis == xpath.Attribute && len(s.Predicates) == 0 {
+			if v, ok := d.attrs[pre][s.Name]; ok {
+				return value{kind: 'a', strs: []string{v}}, nil
+			}
+			return value{kind: 'a'}, nil
+		}
+		if s.Axis == xpath.Self && s.Test == xpath.AnyKindTest && len(s.Predicates) == 0 {
+			return value{kind: 'n', nodes: []int32{pre}}, nil
+		}
+		if s.Axis == xpath.Child && s.Test == xpath.TextTest && len(s.Predicates) == 0 {
+			if d.text[pre] != "" {
+				return value{kind: 'a', strs: []string{d.text[pre]}}, nil
+			}
+			return value{kind: 'a'}, nil
+		}
+	}
+	// Terminal-attribute paths need the owner's values.
+	main, terminal, err := xpath.NormalizeSteps(p.Steps)
+	if err != nil {
+		return value{}, err
+	}
+	ctx := []int32{pre}
+	if p.Absolute {
+		ctxNodes, err := d.evalPath(&xpath.Path{Absolute: true, Steps: p.Steps}, nil)
+		if err != nil {
+			return value{}, err
+		}
+		return value{kind: 'n', nodes: ctxNodes}, nil
+	}
+	atRoot := false
+	for _, s := range main {
+		next, err := d.step(s, ctx, atRoot)
+		if err != nil {
+			return value{}, err
+		}
+		ctx = next
+		if len(ctx) == 0 {
+			break
+		}
+	}
+	if terminal != nil {
+		if terminal.Axis == xpath.Attribute {
+			var vals []string
+			for _, c := range ctx {
+				if v, ok := d.attrs[c][terminal.Name]; ok {
+					vals = append(vals, v)
+				}
+			}
+			return value{kind: 'a', strs: vals}, nil
+		}
+		kept := ctx[:0:0]
+		for _, c := range ctx {
+			if d.text[c] != "" {
+				kept = append(kept, c)
+			}
+		}
+		ctx = kept
+	}
+	return value{kind: 'n', nodes: ctx}, nil
+}
+
+// strings of a node-set value for comparisons.
+func (d *Doc) valueStrings(v value) []string {
+	switch v.kind {
+	case 'a':
+		return v.strs
+	case 'n':
+		out := make([]string, len(v.nodes))
+		for i, pre := range v.nodes {
+			out[i] = d.text[pre]
+		}
+		return out
+	}
+	return nil
+}
+
+func (d *Doc) compare(op xpath.Op, l, r value) bool {
+	lSet := l.kind == 'n' || l.kind == 'a'
+	rSet := r.kind == 'n' || r.kind == 'a'
+	switch {
+	case lSet && rSet:
+		for _, a := range d.valueStrings(l) {
+			for _, b := range d.valueStrings(r) {
+				if atomCompare(op, value{kind: 's', str: a}, value{kind: 's', str: b}, true) {
+					return true
+				}
+			}
+		}
+		return false
+	case lSet:
+		for _, a := range d.valueStrings(l) {
+			if atomCompare(op, value{kind: 's', str: a}, r, r.kind == 's') {
+				return true
+			}
+		}
+		return false
+	case rSet:
+		for _, b := range d.valueStrings(r) {
+			if atomCompare(op, l, value{kind: 's', str: b}, l.kind == 's') {
+				return true
+			}
+		}
+		return false
+	default:
+		return atomCompare(op, l, r, l.kind == 's' && r.kind == 's')
+	}
+}
+
+// atomCompare compares atomics; stringly compares only for =/!= when
+// both sides are strings, else numerically (XPath 1.0 semantics).
+func atomCompare(op xpath.Op, a, b value, asStrings bool) bool {
+	if asStrings && (op == xpath.OpEq || op == xpath.OpNe) {
+		if op == xpath.OpEq {
+			return a.str == b.str
+		}
+		return a.str != b.str
+	}
+	d := Doc{}
+	af, aok := d.number(a)
+	bf, bok := d.number(b)
+	if !aok || !bok {
+		return op == xpath.OpNe
+	}
+	switch op {
+	case xpath.OpEq:
+		return af == bf
+	case xpath.OpNe:
+		return af != bf
+	case xpath.OpLt:
+		return af < bf
+	case xpath.OpLe:
+		return af <= bf
+	case xpath.OpGt:
+		return af > bf
+	case xpath.OpGe:
+		return af >= bf
+	}
+	return false
+}
+
+func (d *Doc) number(v value) (float64, bool) {
+	switch v.kind {
+	case 'f':
+		return v.num, true
+	case 's':
+		f, err := strconv.ParseFloat(strings.TrimSpace(v.str), 64)
+		return f, err == nil
+	case 'b':
+		if v.b {
+			return 1, true
+		}
+		return 0, true
+	case 'a':
+		if len(v.strs) == 0 {
+			return 0, false
+		}
+		f, err := strconv.ParseFloat(strings.TrimSpace(v.strs[0]), 64)
+		return f, err == nil
+	case 'n':
+		if len(v.nodes) == 0 {
+			return 0, false
+		}
+		f, err := strconv.ParseFloat(strings.TrimSpace(d.text[v.nodes[0]]), 64)
+		return f, err == nil
+	}
+	return 0, false
+}
+
+// dedupeSorted sorts ascending and removes duplicates.
+func dedupeSorted(xs []int32) []int32 {
+	if len(xs) < 2 {
+		return xs
+	}
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	out := xs[:1]
+	for _, x := range xs[1:] {
+		if x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package staircase
+
+import (
+	"reflect"
+	"testing"
+)
+
+func evalIDs(t *testing.T, d *Doc, q string) []int64 {
+	t.Helper()
+	ids, err := d.EvalString(q)
+	if err != nil {
+		t.Fatalf("%s: %v", q, err)
+	}
+	if ids == nil {
+		ids = []int64{}
+	}
+	return ids
+}
+
+func TestPredicateValueKinds(t *testing.T) {
+	d, _, _ := fixture(t)
+	cases := map[string][]int64{
+		// attribute set comparisons (kind 'a').
+		"//D[@x = 4]":  {4},
+		"//D[@x != 4]": {},
+		"//D[@x >= 4]": {4},
+		"//D[@x < 4]":  {},
+		"//*[@x = 3]":  {1},
+		// text() comparisons.
+		"//F[text() = 2]": {8},
+		"//F[text() > 5]": {10},
+		// '.' self value.
+		"//F[. = 7]": {10},
+		// arithmetic on values.
+		"//F[. * 2 = 14]":  {10},
+		"//F[. div 2 = 1]": {8},
+		"//F[. mod 2 = 1]": {10},
+		"//F[. - 2 = 5]":   {10},
+		// count over attributes.
+		"//D[count(@x) = 1]": {4},
+		"//D[count(@x) = 0]": {},
+		// last() / position().
+		"//E/F[last()]":         {10},
+		"//E/F[position() = 1]": {8},
+		// boolean connectives.
+		"//F[. = 2 or . = 9]":  {8},
+		"//F[. = 2 and . = 7]": {},
+		"//F[not(. = 2)]":      {10},
+		// literal predicates.
+		"//F['yes']": {8, 10},
+		"//F['']":    {},
+		// union in predicate.
+		"/A/B[C | G]": {2, 13},
+		// node set vs node set.
+		"//E[F != F]": {7},
+		// absolute path in predicate.
+		"//D[. != /A/B/C/E/F]": {4},
+	}
+	for q, want := range cases {
+		got := evalIDs(t, d, q)
+		if len(want) == 0 && len(got) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s = %v, want %v", q, got, want)
+		}
+	}
+}
+
+func TestFollowingPrecedingUnionSemantics(t *testing.T) {
+	d, ev, _ := fixture(t)
+	// Multiple contexts: following of all C elements.
+	for _, q := range []string{
+		"//C/following::*",
+		"//C/preceding::*",
+		"//G/following::*",
+		"//F/preceding::*",
+	} {
+		check(t, d, ev, q)
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	d, _, _ := fixture(t)
+	if _, err := d.EvalString("//F[foo(1)]"); err == nil {
+		t.Error("unknown function should fail")
+	}
+	if _, err := d.EvalString("F/G"); err == nil {
+		t.Error("relative top-level path should fail")
+	}
+	if _, err := d.EvalString("//F[1 | 2]"); err == nil {
+		t.Error("union of non-paths should fail at parse")
+	}
+}
+
+func TestRootAndMissingNames(t *testing.T) {
+	d, _, _ := fixture(t)
+	if got := evalIDs(t, d, "/"); !reflect.DeepEqual(got, []int64{1}) {
+		t.Errorf("'/' = %v", got)
+	}
+	if got := evalIDs(t, d, "//nosuch"); len(got) != 0 {
+		t.Errorf("//nosuch = %v", got)
+	}
+	if got := evalIDs(t, d, "/Z"); len(got) != 0 {
+		t.Errorf("/Z = %v", got)
+	}
+}

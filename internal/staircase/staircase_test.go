@@ -1,0 +1,157 @@
+package staircase
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/native"
+	"repro/internal/xmltree"
+)
+
+func fixture(t testing.TB) (*Doc, *native.Evaluator, *xmltree.Document) {
+	t.Helper()
+	doc, err := xmltree.ParseString(
+		`<A x="3"><B><C><D x="4">4</D></C><C><E><F>2</F><F>7</F></E></C><G/></B><B><G><G/></G></B></A>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return FromTree(doc), native.New(doc), doc
+}
+
+func TestEncoding(t *testing.T) {
+	d, _, _ := fixture(t)
+	if d.Len() != 12 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	if d.size[0] != 11 {
+		t.Errorf("root size = %d", d.size[0])
+	}
+	if d.level[0] != 0 || d.par[0] != -1 {
+		t.Errorf("root level/par wrong")
+	}
+	// Root's children are the two B elements.
+	if len(d.children[0]) != 2 {
+		t.Errorf("root children = %v", d.children[0])
+	}
+	if d.text[3] != "4" { // D element
+		t.Errorf("text[3] = %q", d.text[3])
+	}
+	if d.attrs[0]["x"] != "3" {
+		t.Errorf("attrs[0] = %v", d.attrs[0])
+	}
+}
+
+func check(t *testing.T, d *Doc, ev *native.Evaluator, q string) {
+	t.Helper()
+	got, err := d.EvalString(q)
+	if err != nil {
+		t.Fatalf("staircase(%q): %v", q, err)
+	}
+	items, err := ev.EvalString(q)
+	if err != nil {
+		t.Fatalf("oracle(%q): %v", q, err)
+	}
+	seen := map[int64]bool{}
+	want := []int64{}
+	for _, it := range items {
+		id := it.Node.ID
+		if !it.IsAttr() && it.Node.Kind == xmltree.Text {
+			id = it.Node.Parent.ID
+		}
+		if !seen[id] {
+			seen[id] = true
+			want = append(want, id)
+		}
+	}
+	if len(got) == 0 && len(want) == 0 {
+		return
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("%s:\n got %v\nwant %v", q, got, want)
+	}
+}
+
+func TestEndToEnd(t *testing.T) {
+	d, ev, _ := fixture(t)
+	queries := []string{
+		"/A",
+		"/A/B",
+		"/A/B/C",
+		"//F",
+		"/A//F",
+		"//G//G",
+		"/A/*",
+		"/A/B/*",
+		"//C/*/F",
+		"/descendant-or-self::G",
+		"/A[@x=3]/B/C//F",
+		"/A[@x=4]/B",
+		"/A[@x]/B",
+		"//F[. = 2]",
+		"//F[text() = 2]",
+		"/A/B[C/E/F=2]",
+		"/A/B[C]",
+		"/A/B[not(C)]",
+		"/A/B[C and G]",
+		"/A/B[C or G]",
+		"//F/parent::E",
+		"//F/ancestor::B",
+		"//F/parent::E/ancestor::B",
+		"//F/ancestor-or-self::F",
+		"//G/ancestor::G",
+		"/A/B/C/following-sibling::G",
+		"//G/preceding-sibling::C",
+		"//D/following::F",
+		"//F/preceding::D",
+		"//E/following::*",
+		"//B/preceding::*",
+		"//F[parent::E]",
+		"//F[parent::E or ancestor::G]",
+		"/A/B[C/*]",
+		"/A/B/C/D/text()",
+		"/A/@x",
+		"//D[@x]",
+		"//D[@x='4']",
+		"//E[count(F)=2]",
+		"//F[. * 2 = 4]",
+		"//E[F = F]",
+		"//D[. != /A/B/C/E/F]",
+		"/A/B/C | /A/B/G",
+		"//*[@x]",
+		"//*",
+		"//C[E/F > 5]",
+	}
+	for _, q := range queries {
+		check(t, d, ev, q)
+	}
+}
+
+func TestStaircasePruning(t *testing.T) {
+	d, _, _ := fixture(t)
+	// Contexts [root, B1]: B1's window is inside root's; the join must
+	// not emit duplicates.
+	out := d.staircaseDescendant([]int32{0, 1}, false)
+	if len(out) != 11 {
+		t.Fatalf("descendants of {root, B1} = %d, want 11", len(out))
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i-1] >= out[i] {
+			t.Fatal("output not strictly ascending")
+		}
+	}
+	// or-self keeps the context itself.
+	out = d.staircaseDescendant([]int32{0}, true)
+	if len(out) != 12 || out[0] != 0 {
+		t.Fatalf("descendant-or-self of root = %v", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	d, _, _ := fixture(t)
+	if _, err := d.EvalString("//@x/y"); err == nil {
+		t.Error("attribute mid-path should fail")
+	}
+	if _, err := d.EvalString("//F[foo()]"); err == nil {
+		t.Error("unknown function should fail")
+	}
+}

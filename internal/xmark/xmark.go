@@ -1,0 +1,497 @@
+// Package xmark generates deterministic XMark-like auction documents
+// for the paper's XPathMark experiments (Section 5). The element
+// vocabulary covers everything the benchmark queries touch; sizes are
+// calibrated so that Scale=1 approximates the paper's "small" (12 MB)
+// document's result cardinalities — e.g. 2175 items (Q1), 6025
+// elements with an @id attribute (Q13) — and Scale=10 its "large"
+// (113 MB) document.
+package xmark
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/schema"
+	"repro/internal/xmltree"
+)
+
+// regionSizes at Scale=1; namerica+samerica = 1100 matches the
+// paper's Q5/Q22 cardinality.
+var regionSizes = []struct {
+	name  string
+	items int
+}{
+	{"africa", 100},
+	{"asia", 275},
+	{"australia", 300},
+	{"europe", 400},
+	{"namerica", 750},
+	{"samerica", 350},
+}
+
+// base counts at Scale=1 (see Q13: 2175+100+2550+1200 = 6025
+// id-carrying elements, matching Appendix C).
+const (
+	baseCategories     = 100
+	basePersons        = 2550
+	baseOpenAuctions   = 1200
+	baseClosedAuctions = 975
+)
+
+// Config controls generation.
+type Config struct {
+	Scale float64 // 1 = the paper's small document, 10 = large
+	Seed  int64
+}
+
+// Schema returns the XMark schema graph.
+func Schema() *schema.Schema {
+	b := schema.NewBuilder("site")
+	b.Element("site", "regions", "categories", "catgraph", "people", "open_auctions", "closed_auctions")
+	regionNames := make([]string, len(regionSizes))
+	for i, r := range regionSizes {
+		regionNames[i] = r.name
+	}
+	b.Element("regions", regionNames...)
+	for _, r := range regionNames {
+		b.Element(r, "item")
+	}
+	b.Element("item", "location", "quantity", "name", "payment", "description", "shipping", "incategory", "mailbox")
+	b.Attrs("item", "id", "featured")
+	b.Element("description", "text", "parlist")
+	b.Element("parlist", "listitem")
+	b.Element("listitem", "text", "parlist")
+	b.Element("text", "keyword", "bold", "emph")
+	b.Element("bold", "keyword")
+	b.Element("emph", "keyword")
+	b.Element("mailbox", "mail")
+	b.Element("mail", "from", "to", "date", "text")
+	b.Element("incategory")
+	b.Attrs("incategory", "category")
+	b.Element("categories", "category")
+	b.Element("category", "name", "description")
+	b.Attrs("category", "id")
+	b.Element("catgraph", "edge")
+	b.Element("edge")
+	b.Attrs("edge", "from", "to")
+	b.Element("people", "person")
+	b.Element("person", "name", "emailaddress", "phone", "address", "homepage", "creditcard", "profile", "watches")
+	b.Attrs("person", "id")
+	b.Element("address", "street", "city", "country", "zipcode")
+	b.Element("profile", "interest", "education", "gender", "business", "age")
+	b.Attrs("profile", "income")
+	b.Element("interest")
+	b.Attrs("interest", "category")
+	b.Element("watches", "watch")
+	b.Element("watch")
+	b.Attrs("watch", "open_auction")
+	b.Element("open_auctions", "open_auction")
+	b.Element("open_auction", "initial", "reserve", "bidder", "current", "privacy", "itemref", "seller", "annotation", "quantity", "type", "interval")
+	b.Attrs("open_auction", "id")
+	b.Element("bidder", "date", "time", "personref", "increase")
+	b.Element("personref")
+	b.Attrs("personref", "person")
+	b.Element("itemref")
+	b.Attrs("itemref", "item")
+	b.Element("seller")
+	b.Attrs("seller", "person")
+	b.Element("annotation", "author", "description", "happiness")
+	b.Element("author")
+	b.Attrs("author", "person")
+	b.Element("interval", "start", "end")
+	b.Element("closed_auctions", "closed_auction")
+	b.Element("closed_auction", "seller", "buyer", "itemref", "price", "date", "quantity", "type", "annotation")
+	b.Element("buyer")
+	b.Attrs("buyer", "person")
+	b.Text("location", "quantity", "name", "payment", "shipping", "keyword", "bold",
+		"emph", "text", "from", "to", "date", "emailaddress", "phone", "street",
+		"city", "country", "zipcode", "homepage", "creditcard", "education",
+		"gender", "business", "age", "initial", "reserve", "current", "privacy",
+		"time", "increase", "happiness", "start", "end", "price", "type")
+	return b.MustBuild()
+}
+
+// generator carries shared state.
+type generator struct {
+	b       *xmltree.Builder
+	r       *rand.Rand
+	persons int
+	items   int
+	cfg     Config
+}
+
+// Generate builds a document.
+func Generate(cfg Config) (*xmltree.Document, error) {
+	if cfg.Scale <= 0 {
+		cfg.Scale = 1
+	}
+	g := &generator{
+		b:       xmltree.NewBuilder(),
+		r:       rand.New(rand.NewSource(cfg.Seed)),
+		persons: scaled(basePersons, cfg.Scale),
+		cfg:     cfg,
+	}
+	for _, rs := range regionSizes {
+		g.items += scaled(rs.items, cfg.Scale)
+	}
+	b := g.b
+	b.Start("site")
+	g.regions()
+	g.categories()
+	g.catgraph()
+	g.people()
+	g.openAuctions()
+	g.closedAuctions()
+	b.End()
+	return b.Doc()
+}
+
+// MustGenerate panics on error (the builder is internally consistent).
+func MustGenerate(cfg Config) *xmltree.Document {
+	doc, err := Generate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return doc
+}
+
+func scaled(n int, scale float64) int {
+	v := int(float64(n)*scale + 0.5)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+var words = []string{
+	"gold", "silver", "vintage", "rare", "classic", "mint", "signed",
+	"original", "limited", "bargain", "estate", "antique", "custom",
+	"imported", "handmade", "premium", "exotic", "royal", "grand", "prime",
+}
+
+func (g *generator) word() string { return words[g.r.Intn(len(words))] }
+
+func (g *generator) sentence(n int) string {
+	out := ""
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			out += " "
+		}
+		out += g.word()
+	}
+	return out
+}
+
+func (g *generator) date() string {
+	return fmt.Sprintf("%02d/%02d/%04d", 1+g.r.Intn(12), 1+g.r.Intn(28), 1998+g.r.Intn(4))
+}
+
+// text emits a <text> element with mixed content; keywords controls
+// the exact number of <keyword> children (-1 = random 0..2).
+func (g *generator) text(keywords int) {
+	b := g.b
+	b.Start("text")
+	b.Text(g.sentence(3 + g.r.Intn(5)))
+	if keywords < 0 {
+		keywords = g.r.Intn(3)
+	}
+	for i := 0; i < keywords; i++ {
+		b.Elem("keyword", g.word())
+		b.Text(g.sentence(2))
+	}
+	if g.r.Intn(8) == 0 {
+		b.Start("bold").Text(g.word())
+		if g.r.Intn(2) == 0 {
+			b.Elem("keyword", g.word())
+		}
+		b.End()
+	}
+	if g.r.Intn(10) == 0 {
+		b.Start("emph").Text(g.word()).End()
+	}
+	b.End()
+}
+
+// description emits either a flat <text> or a <parlist> tree.
+// keywords >= 0 forces the exact keyword count in a flat text.
+func (g *generator) description(keywords int) {
+	b := g.b
+	b.Start("description")
+	if keywords >= 0 {
+		g.text(keywords)
+		b.End()
+		return
+	}
+	if g.r.Intn(100) < 65 {
+		g.text(-1)
+	} else {
+		g.parlist(1 + g.r.Intn(2))
+	}
+	b.End()
+}
+
+func (g *generator) parlist(depth int) {
+	b := g.b
+	b.Start("parlist")
+	for i, n := 0, 1+g.r.Intn(3); i < n; i++ {
+		b.Start("listitem")
+		if depth > 0 && g.r.Intn(4) == 0 {
+			g.parlist(depth - 1)
+		} else {
+			g.text(-1)
+		}
+		b.End()
+	}
+	b.End()
+}
+
+func (g *generator) regions() {
+	b := g.b
+	b.Start("regions")
+	itemID := 0
+	for _, rs := range regionSizes {
+		b.Start(rs.name)
+		for i, n := 0, scaled(rs.items, g.cfg.Scale); i < n; i++ {
+			g.item(itemID)
+			itemID++
+		}
+		b.End()
+	}
+	b.End()
+}
+
+func (g *generator) item(id int) {
+	b := g.b
+	attrs := []string{"id", fmt.Sprintf("item%d", id)}
+	if g.r.Intn(100) < 10 {
+		attrs = append(attrs, "featured", "yes")
+	}
+	b.Start("item", attrs...)
+	b.Elem("location", g.word())
+	b.Elem("quantity", fmt.Sprintf("%d", 1+g.r.Intn(5)))
+	b.Elem("name", g.sentence(2))
+	b.Elem("payment", "Cash Creditcard")
+	if id == 0 {
+		// item0 (Q21): a description with exactly one keyword.
+		g.description(1)
+	} else {
+		g.description(-1)
+	}
+	b.Elem("shipping", "Will ship internationally")
+	for i, n := 0, g.r.Intn(3); i < n; i++ {
+		b.Start("incategory", "category", fmt.Sprintf("category%d", g.r.Intn(scaled(baseCategories, g.cfg.Scale)))).End()
+	}
+	b.Start("mailbox")
+	for i, n := 0, g.r.Intn(3); i < n; i++ {
+		b.Start("mail")
+		b.Elem("from", g.word())
+		b.Elem("to", g.word())
+		b.Elem("date", g.date())
+		g.text(-1)
+		b.End()
+	}
+	b.End()
+	b.End()
+}
+
+func (g *generator) categories() {
+	b := g.b
+	b.Start("categories")
+	for i, n := 0, scaled(baseCategories, g.cfg.Scale); i < n; i++ {
+		b.Start("category", "id", fmt.Sprintf("category%d", i))
+		b.Elem("name", g.word())
+		g.description(-1)
+		b.End()
+	}
+	b.End()
+}
+
+func (g *generator) catgraph() {
+	b := g.b
+	n := scaled(baseCategories, g.cfg.Scale)
+	b.Start("catgraph")
+	for i := 0; i < n; i++ {
+		b.Start("edge",
+			"from", fmt.Sprintf("category%d", g.r.Intn(n)),
+			"to", fmt.Sprintf("category%d", g.r.Intn(n))).End()
+	}
+	b.End()
+}
+
+func (g *generator) people() {
+	b := g.b
+	b.Start("people")
+	for i, n := 0, g.persons; i < n; i++ {
+		b.Start("person", "id", fmt.Sprintf("person%d", i))
+		b.Elem("name", g.sentence(2))
+		b.Elem("emailaddress", "mailto:"+g.word()+"@example.com")
+		// Probabilities calibrated to Q23 (952/2550) and Q24 (1304/2550).
+		if g.r.Intn(100) < 35 {
+			b.Elem("phone", fmt.Sprintf("+%d", g.r.Intn(1000000)))
+		}
+		if g.r.Intn(100) < 55 {
+			b.Start("address")
+			b.Elem("street", g.sentence(2))
+			b.Elem("city", g.word())
+			b.Elem("country", "United States")
+			b.Elem("zipcode", fmt.Sprintf("%d", g.r.Intn(99999)))
+			b.End()
+		}
+		if g.r.Intn(100) < 49 {
+			b.Elem("homepage", "http://www.example.com/~"+g.word())
+		}
+		if g.r.Intn(100) < 30 {
+			b.Elem("creditcard", fmt.Sprintf("%d %d", g.r.Intn(9999), g.r.Intn(9999)))
+		}
+		if g.r.Intn(100) < 40 {
+			b.Start("profile", "income", fmt.Sprintf("%d", 20000+g.r.Intn(80000)))
+			for j, m := 0, g.r.Intn(3); j < m; j++ {
+				b.Start("interest", "category", fmt.Sprintf("category%d", g.r.Intn(scaled(baseCategories, g.cfg.Scale)))).End()
+			}
+			if g.r.Intn(2) == 0 {
+				b.Elem("education", "Graduate School")
+			}
+			b.Elem("gender", []string{"male", "female"}[g.r.Intn(2)])
+			b.Elem("business", []string{"Yes", "No"}[g.r.Intn(2)])
+			if g.r.Intn(2) == 0 {
+				b.Elem("age", fmt.Sprintf("%d", 18+g.r.Intn(60)))
+			}
+			b.End()
+		}
+		if g.r.Intn(100) < 20 {
+			b.Start("watches")
+			for j, m := 0, 1+g.r.Intn(2); j < m; j++ {
+				b.Start("watch", "open_auction", fmt.Sprintf("open_auction%d", g.r.Intn(scaled(baseOpenAuctions, g.cfg.Scale)))).End()
+			}
+			b.End()
+		}
+		b.End()
+	}
+	b.End()
+}
+
+// personRef returns a person id for ordinary bidders; person0 and
+// person1 are reserved so that Q11's cardinality is controlled
+// exactly (one bidder for each, planted below).
+func (g *generator) personRef() string {
+	return fmt.Sprintf("person%d", 2+g.r.Intn(g.persons-2))
+}
+
+func (g *generator) openAuctions() {
+	b := g.b
+	n := scaled(baseOpenAuctions, g.cfg.Scale)
+	b.Start("open_auctions")
+	for i := 0; i < n; i++ {
+		b.Start("open_auction", "id", fmt.Sprintf("open_auction%d", i))
+		b.Elem("initial", fmt.Sprintf("%d.%02d", 10+g.r.Intn(200), g.r.Intn(100)))
+		if g.r.Intn(2) == 0 {
+			b.Elem("reserve", fmt.Sprintf("%d.00", 50+g.r.Intn(300)))
+		}
+		start := g.date()
+		bidders := g.r.Intn(4)
+		switch i {
+		case 0:
+			bidders = 4 // Q9: open_auction0 has 4 bidders -> 3 preceding siblings
+		case 100, 200:
+			// Q11 plants its person0/person1 bidders here.
+			if bidders == 0 {
+				bidders = 1
+			}
+		}
+		for j := 0; j < bidders; j++ {
+			ref := g.personRef()
+			if i == 100 && j == 0 {
+				ref = "person0" // Q11: the single preceding person0 bidder
+			}
+			if i == 200 && j == 0 {
+				ref = "person1" // Q11: the single person1 bidder
+			}
+			date := g.date()
+			if i%150 == 1 && j == 0 {
+				date = start // Q-A: bidder/date = interval/start
+			}
+			b.Start("bidder")
+			b.Elem("date", date)
+			b.Elem("time", fmt.Sprintf("%02d:%02d:00", g.r.Intn(24), g.r.Intn(60)))
+			b.Start("personref", "person", ref).End()
+			b.Elem("increase", fmt.Sprintf("%d.00", 1+g.r.Intn(20)))
+			b.End()
+		}
+		b.Elem("current", fmt.Sprintf("%d.00", 20+g.r.Intn(400)))
+		if g.r.Intn(3) == 0 {
+			b.Elem("privacy", "Yes")
+		}
+		b.Start("itemref", "item", fmt.Sprintf("item%d", g.r.Intn(g.items))).End()
+		b.Start("seller", "person", g.personRef()).End()
+		b.Start("annotation")
+		b.Start("author", "person", g.personRef()).End()
+		g.description(-1)
+		b.Elem("happiness", fmt.Sprintf("%d", 1+g.r.Intn(10)))
+		b.End()
+		b.Elem("quantity", "1")
+		b.Elem("type", "Regular")
+		b.Start("interval")
+		b.Elem("start", start)
+		b.Elem("end", g.date())
+		b.End()
+		b.End()
+	}
+	b.End()
+}
+
+func (g *generator) closedAuctions() {
+	b := g.b
+	n := scaled(baseClosedAuctions, g.cfg.Scale)
+	b.Start("closed_auctions")
+	for i := 0; i < n; i++ {
+		b.Start("closed_auction")
+		b.Start("seller", "person", g.personRef()).End()
+		b.Start("buyer", "person", g.personRef()).End()
+		b.Start("itemref", "item", fmt.Sprintf("item%d", g.r.Intn(g.items))).End()
+		b.Elem("price", fmt.Sprintf("%d.00", 30+g.r.Intn(500)))
+		b.Elem("date", g.date())
+		b.Elem("quantity", "1")
+		b.Elem("type", "Regular")
+		b.Start("annotation")
+		b.Start("author", "person", g.personRef()).End()
+		// Closed-auction descriptions lean toward parlists so Q2's path
+		// (annotation/description/parlist/listitem/text/keyword) has
+		// a few hundred matches at Scale=1.
+		b.Start("description")
+		if g.r.Intn(100) < 60 {
+			g.parlist(1)
+		} else {
+			g.text(-1)
+		}
+		b.End()
+		b.Elem("happiness", fmt.Sprintf("%d", 1+g.r.Intn(10)))
+		b.End() // annotation
+		b.End() // closed_auction
+	}
+	b.End()
+}
+
+// Queries is the XPathMark query subset of the paper's Appendix B
+// plus the join query Q-A of Section 5.
+var Queries = []struct {
+	ID    string
+	XPath string
+}{
+	{"Q1", "/site/regions/*/item"},
+	{"Q2", "/site/closed_auctions/closed_auction/annotation/description/parlist/listitem/text/keyword"},
+	{"Q3", "//keyword"},
+	{"Q4", "/descendant-or-self::listitem/descendant-or-self::keyword"},
+	{"Q5", "/site/regions/*/item[parent::namerica or parent::samerica]"},
+	{"Q6", "//keyword/ancestor::listitem"},
+	{"Q7", "//keyword/ancestor-or-self::mail"},
+	{"Q9", "/site/open_auctions/open_auction[@id='open_auction0']/bidder/preceding-sibling::bidder"},
+	{"Q10", "/site/regions/*/item[@id='item0']/following::item"},
+	{"Q11", "/site/open_auctions/open_auction/bidder[personref/@person='person1']/preceding::bidder[personref/@person='person0']"},
+	{"Q12", "//item[@featured='yes']"},
+	{"Q13", "//*[@id]"},
+	{"Q21", "/site/regions/*/item[@id='item0']/description//keyword/text()"},
+	{"Q22", "/site/regions/namerica/item | /site/regions/samerica/item"},
+	{"Q23", "/site/people/person[address and (phone or homepage)]"},
+	{"Q24", "/site/people/person[not(homepage)]"},
+	{"QA", "/site/open_auctions/open_auction[bidder/date = interval/start]"},
+}

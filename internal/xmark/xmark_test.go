@@ -1,0 +1,126 @@
+package xmark
+
+import (
+	"testing"
+
+	"repro/internal/native"
+	"repro/internal/schema"
+)
+
+func TestSchemaMarks(t *testing.T) {
+	s := Schema()
+	// parlist/listitem recursion makes those I-P.
+	for _, name := range []string{"parlist", "listitem"} {
+		if s.Node(name).Mark != schema.InfinitePaths {
+			t.Errorf("%s should be I-P, got %s", name, s.Node(name).Mark)
+		}
+	}
+	// item has six possible root paths (one per region): F-P.
+	if got := s.Node("item"); got.Mark != schema.FinitePaths || len(got.RootPaths) != 6 {
+		t.Errorf("item marking = %s with %d paths", got.Mark, len(got.RootPaths))
+	}
+	// person has exactly one path: U-P.
+	if got := s.Node("person"); got.Mark != schema.UniquePath {
+		t.Errorf("person marking = %s", got.Mark)
+	}
+	// description appears under item, category and annotation: F-P with
+	// several paths.
+	if got := s.Node("description"); got.Mark != schema.InfinitePaths && got.Mark != schema.FinitePaths {
+		t.Errorf("description marking = %s", got.Mark)
+	}
+}
+
+func TestGenerateValidatesAndIsDeterministic(t *testing.T) {
+	cfg := Config{Scale: 0.05, Seed: 7}
+	doc1 := MustGenerate(cfg)
+	doc2 := MustGenerate(cfg)
+	if doc1.Len() != doc2.Len() {
+		t.Fatalf("non-deterministic: %d vs %d nodes", doc1.Len(), doc2.Len())
+	}
+	if err := Schema().Validate(doc1); err != nil {
+		t.Fatalf("generated document violates schema: %v", err)
+	}
+}
+
+// queryByID finds a benchmark query by its id.
+func queryByID(t *testing.T, id string) string {
+	t.Helper()
+	for _, q := range Queries {
+		if q.ID == id {
+			return q.XPath
+		}
+	}
+	t.Fatalf("no query %s", id)
+	return ""
+}
+
+func TestCalibratedCardinalities(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale generation in -short mode")
+	}
+	doc := MustGenerate(Config{Scale: 1, Seed: 42})
+	if err := Schema().Validate(doc); err != nil {
+		t.Fatal(err)
+	}
+	ev := native.New(doc)
+	count := func(q string) int {
+		ids, err := ev.ElementIDs(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		return len(ids)
+	}
+	// Exact calibrations.
+	if got := count("/site/regions/*/item"); got != 2175 {
+		t.Errorf("Q1 items = %d, want 2175", got)
+	}
+	if got := count("//*[@id]"); got != 6025 {
+		t.Errorf("Q13 = %d, want 6025 (paper Appendix C)", got)
+	}
+	if got := count("/site/regions/namerica/item | /site/regions/samerica/item"); got != 1100 {
+		t.Errorf("Q22 = %d, want 1100", got)
+	}
+	if got := count(queryByID(t, "Q11")); got != 1 {
+		t.Errorf("Q11 = %d, want 1", got)
+	}
+	if got := count(queryByID(t, "Q9")); got != 3 {
+		t.Errorf("Q9 = %d, want 3", got)
+	}
+	if got := count(queryByID(t, "Q21")); got != 1 {
+		t.Errorf("Q21 = %d, want 1", got)
+	}
+	if got := count("/site/regions/*/item[@id='item0']/following::item"); got != 2174 {
+		t.Errorf("Q10 = %d, want 2174", got)
+	}
+	// Approximate calibrations (within a factor of ~2 of the paper).
+	approx := []struct {
+		q        string
+		lo, hi   int
+		paperRef int
+	}{
+		{"//keyword", 3000, 14000, 7014},
+		{queryByID(t, "Q2"), 150, 900, 361},
+		{queryByID(t, "Q4"), 1500, 8000, 3514},
+		{queryByID(t, "Q6"), 1200, 6000, 2778},
+		{queryByID(t, "Q7"), 400, 1800, 883},
+		{queryByID(t, "Q12"), 100, 500, 227},
+		{queryByID(t, "Q23"), 500, 1500, 952},
+		{queryByID(t, "Q24"), 900, 1900, 1304},
+		{queryByID(t, "QA"), 4, 16, 8},
+	}
+	for _, a := range approx {
+		if got := count(a.q); got < a.lo || got > a.hi {
+			t.Errorf("%s = %d, want in [%d, %d] (paper: %d)", a.q, got, a.lo, a.hi, a.paperRef)
+		}
+	}
+}
+
+func TestQueriesParse(t *testing.T) {
+	doc := MustGenerate(Config{Scale: 0.02, Seed: 1})
+	ev := native.New(doc)
+	for _, q := range Queries {
+		if _, err := ev.ElementIDs(q.XPath); err != nil {
+			t.Errorf("%s (%s): %v", q.ID, q.XPath, err)
+		}
+	}
+}

@@ -1,0 +1,316 @@
+// Package xmltree provides the in-memory XML document model shared by
+// the shredders, the native XPath evaluator and the data generators.
+//
+// A document is a rooted, ordered, labeled tree. Element nodes carry
+// a tag name, attributes and child nodes; text nodes carry character
+// data. Every node has a document-global id assigned in document
+// (preorder) order, a Dewey position, and a root-to-node path string
+// such as "/site/regions/africa/item".
+package xmltree
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/dewey"
+)
+
+// Kind discriminates node kinds. Attributes are modeled as labels on
+// element nodes (per the paper's data model), not as tree nodes.
+type Kind uint8
+
+const (
+	Element Kind = iota
+	Text
+)
+
+// Node is one node of the document tree.
+type Node struct {
+	ID       int64
+	Kind     Kind
+	Name     string // element tag; empty for text nodes
+	Value    string // character data for text nodes
+	Attrs    []Attr
+	Parent   *Node
+	Children []*Node
+	Pos      dewey.Pos
+	Path     string // root-to-node path; text nodes inherit the parent element's path
+}
+
+// Attr is one attribute of an element node.
+type Attr struct {
+	Name  string
+	Value string
+}
+
+// Attr returns the value of the named attribute and whether it exists.
+func (n *Node) Attr(name string) (string, bool) {
+	for _, a := range n.Attrs {
+		if a.Name == name {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// TextContent returns the concatenation of all text-node descendants
+// of n in document order (the XPath string value of an element).
+func (n *Node) TextContent() string {
+	if n.Kind == Text {
+		return n.Value
+	}
+	var b strings.Builder
+	var walk func(*Node)
+	walk = func(m *Node) {
+		if m.Kind == Text {
+			b.WriteString(m.Value)
+			return
+		}
+		for _, c := range m.Children {
+			walk(c)
+		}
+	}
+	walk(n)
+	return b.String()
+}
+
+// Document is a parsed or generated XML document.
+type Document struct {
+	Root  *Node
+	nodes []*Node // all nodes in document order; index = ID-1
+}
+
+// Nodes returns all nodes in document order.
+func (d *Document) Nodes() []*Node { return d.nodes }
+
+// NodeByID returns the node with the given id, or nil.
+func (d *Document) NodeByID(id int64) *Node {
+	if id < 1 || int(id) > len(d.nodes) {
+		return nil
+	}
+	return d.nodes[id-1]
+}
+
+// Len returns the number of nodes (elements and texts).
+func (d *Document) Len() int { return len(d.nodes) }
+
+// Elements returns the count of element nodes.
+func (d *Document) Elements() int {
+	n := 0
+	for _, nd := range d.nodes {
+		if nd.Kind == Element {
+			n++
+		}
+	}
+	return n
+}
+
+// Builder assembles a document programmatically; the generators in
+// internal/xmark and internal/dblp use it. Methods panic on misuse
+// (closing more elements than were opened), as builder misuse is a
+// programming error in a generator, not an input error.
+type Builder struct {
+	doc   *Document
+	stack []*Node
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder() *Builder {
+	return &Builder{doc: &Document{}}
+}
+
+// Start opens an element with the given name and attribute pairs
+// (name, value, name, value, ...).
+func (b *Builder) Start(name string, attrPairs ...string) *Builder {
+	if len(attrPairs)%2 != 0 {
+		panic("xmltree: Start requires an even number of attribute arguments")
+	}
+	n := &Node{Kind: Element, Name: name}
+	for i := 0; i < len(attrPairs); i += 2 {
+		n.Attrs = append(n.Attrs, Attr{Name: attrPairs[i], Value: attrPairs[i+1]})
+	}
+	b.attach(n)
+	b.stack = append(b.stack, n)
+	return b
+}
+
+// Text appends a text node under the current element. Empty strings
+// are ignored.
+func (b *Builder) Text(s string) *Builder {
+	if s == "" {
+		return b
+	}
+	if len(b.stack) == 0 {
+		panic("xmltree: Text outside any element")
+	}
+	b.attach(&Node{Kind: Text, Value: s})
+	return b
+}
+
+// End closes the current element.
+func (b *Builder) End() *Builder {
+	if len(b.stack) == 0 {
+		panic("xmltree: End without matching Start")
+	}
+	b.stack = b.stack[:len(b.stack)-1]
+	return b
+}
+
+// Elem is Start+Text+End: a leaf element with text content.
+func (b *Builder) Elem(name, text string, attrPairs ...string) *Builder {
+	return b.Start(name, attrPairs...).Text(text).End()
+}
+
+func (b *Builder) attach(n *Node) {
+	n.ID = int64(len(b.doc.nodes) + 1)
+	b.doc.nodes = append(b.doc.nodes, n)
+	if len(b.stack) == 0 {
+		if b.doc.Root != nil {
+			panic("xmltree: multiple roots")
+		}
+		b.doc.Root = n
+		n.Pos = dewey.New(1)
+		n.Path = "/" + n.Name
+		return
+	}
+	parent := b.stack[len(b.stack)-1]
+	n.Parent = parent
+	parent.Children = append(parent.Children, n)
+	n.Pos = parent.Pos.Child(len(parent.Children))
+	if n.Kind == Element {
+		n.Path = parent.Path + "/" + n.Name
+	} else {
+		n.Path = parent.Path
+	}
+}
+
+// Doc finalizes and returns the document.
+func (b *Builder) Doc() (*Document, error) {
+	if len(b.stack) != 0 {
+		return nil, fmt.Errorf("xmltree: %d unclosed elements", len(b.stack))
+	}
+	if b.doc.Root == nil {
+		return nil, fmt.Errorf("xmltree: empty document")
+	}
+	return b.doc, nil
+}
+
+// Parse reads an XML document from r using the encoding/xml
+// tokenizer. Whitespace-only character data between elements is
+// dropped; attributes keep their local names.
+func Parse(r io.Reader) (*Document, error) {
+	dec := xml.NewDecoder(r)
+	b := NewBuilder()
+	depth := 0
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmltree: parse: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			pairs := make([]string, 0, len(t.Attr)*2)
+			for _, a := range t.Attr {
+				if a.Name.Space == "xmlns" || a.Name.Local == "xmlns" {
+					continue
+				}
+				pairs = append(pairs, a.Name.Local, a.Value)
+			}
+			b.Start(t.Name.Local, pairs...)
+			depth++
+		case xml.EndElement:
+			b.End()
+			depth--
+		case xml.CharData:
+			if depth > 0 {
+				if s := string(t); strings.TrimSpace(s) != "" {
+					b.Text(s)
+				}
+			}
+		}
+	}
+	return b.Doc()
+}
+
+// ParseString parses an XML document from a string.
+func ParseString(s string) (*Document, error) {
+	return Parse(strings.NewReader(s))
+}
+
+// WriteXML serializes the document back to XML (without declaration),
+// used by tests for round-trip checks and by tools for inspection.
+func (d *Document) WriteXML(w io.Writer) error {
+	var write func(n *Node) error
+	write = func(n *Node) error {
+		if n.Kind == Text {
+			if err := xml.EscapeText(w, []byte(n.Value)); err != nil {
+				return err
+			}
+			return nil
+		}
+		if _, err := fmt.Fprintf(w, "<%s", n.Name); err != nil {
+			return err
+		}
+		for _, a := range n.Attrs {
+			if _, err := fmt.Fprintf(w, " %s=%q", a.Name, a.Value); err != nil {
+				return err
+			}
+		}
+		if len(n.Children) == 0 {
+			_, err := io.WriteString(w, "/>")
+			return err
+		}
+		if _, err := io.WriteString(w, ">"); err != nil {
+			return err
+		}
+		for _, c := range n.Children {
+			if err := write(c); err != nil {
+				return err
+			}
+		}
+		_, err := fmt.Fprintf(w, "</%s>", n.Name)
+		return err
+	}
+	return write(d.Root)
+}
+
+// DistinctPaths returns the sorted set of distinct root-to-node paths
+// of element nodes — the contents of the paper's 'Paths' relation for
+// this document.
+func (d *Document) DistinctPaths() []string {
+	set := map[string]bool{}
+	for _, n := range d.nodes {
+		if n.Kind == Element {
+			set[n.Path] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DocOrderLess reports whether a precedes b in document order.
+func DocOrderLess(a, b *Node) bool { return dewey.Compare(a.Pos, b.Pos) < 0 }
+
+// SortDocOrder sorts nodes in document order and removes duplicates.
+func SortDocOrder(nodes []*Node) []*Node {
+	sort.Slice(nodes, func(i, j int) bool { return DocOrderLess(nodes[i], nodes[j]) })
+	out := nodes[:0]
+	var prev *Node
+	for _, n := range nodes {
+		if n != prev {
+			out = append(out, n)
+		}
+		prev = n
+	}
+	return out
+}

@@ -1,0 +1,190 @@
+package xmltree
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dewey"
+)
+
+// paperDoc builds the document of the paper's Figure 1(b):
+// A(B(C(D), C(E(F,F)), G), B(G(G))).
+func paperDoc(t *testing.T) *Document {
+	t.Helper()
+	b := NewBuilder()
+	b.Start("A").
+		Start("B").
+		Start("C").Start("D").End().End().
+		Start("C").Start("E").Start("F").End().Start("F").End().End().End().
+		Start("G").End().
+		End().
+		Start("B").
+		Start("G").Start("G").End().End().
+		End().
+		End()
+	doc, err := b.Doc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+func TestBuilderPaperFigure1(t *testing.T) {
+	doc := paperDoc(t)
+	if doc.Len() != 12 {
+		t.Fatalf("node count = %d, want 12", doc.Len())
+	}
+	want := []struct {
+		id   int64
+		pos  string
+		name string
+	}{
+		{1, "1", "A"}, {2, "1.1", "B"}, {3, "1.1.1", "C"}, {4, "1.1.1.1", "D"},
+		{5, "1.1.2", "C"}, {6, "1.1.2.1", "E"}, {7, "1.1.2.1.1", "F"},
+		{8, "1.1.2.1.2", "F"}, {9, "1.1.3", "G"}, {10, "1.2", "B"},
+		{11, "1.2.1", "G"}, {12, "1.2.1.1", "G"},
+	}
+	for _, w := range want {
+		n := doc.NodeByID(w.id)
+		if n == nil {
+			t.Fatalf("node %d missing", w.id)
+		}
+		if n.Pos.String() != w.pos || n.Name != w.name {
+			t.Errorf("node %d: pos=%s name=%s, want %s %s", w.id, n.Pos, n.Name, w.pos, w.name)
+		}
+	}
+	// Paths.
+	if doc.NodeByID(7).Path != "/A/B/C/E/F" {
+		t.Errorf("path of node 7 = %s", doc.NodeByID(7).Path)
+	}
+	paths := doc.DistinctPaths()
+	wantPaths := []string{"/A", "/A/B", "/A/B/C", "/A/B/C/D", "/A/B/C/E", "/A/B/C/E/F", "/A/B/G", "/A/B/G/G"}
+	if len(paths) != len(wantPaths) {
+		t.Fatalf("distinct paths = %v", paths)
+	}
+	for i := range paths {
+		if paths[i] != wantPaths[i] {
+			t.Errorf("path[%d] = %s, want %s", i, paths[i], wantPaths[i])
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	src := `<site><regions><africa><item id="item0" featured="yes"><name>Thing</name><payment>Cash</payment></item></africa></regions><people/></site>`
+	doc, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Root.Name != "site" {
+		t.Fatalf("root = %s", doc.Root.Name)
+	}
+	var sb strings.Builder
+	if err := doc.WriteXML(&sb); err != nil {
+		t.Fatal(err)
+	}
+	doc2, err := ParseString(sb.String())
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if doc2.Len() != doc.Len() {
+		t.Fatalf("round trip node count %d != %d", doc2.Len(), doc.Len())
+	}
+	item := doc.NodeByID(4)
+	if item.Name != "item" {
+		t.Fatalf("node 4 = %s", item.Name)
+	}
+	if v, ok := item.Attr("featured"); !ok || v != "yes" {
+		t.Errorf("featured attr = %q, %v", v, ok)
+	}
+	if _, ok := item.Attr("missing"); ok {
+		t.Error("missing attr reported present")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{``, `<a><b></a>`, `<a>`, `text only`} {
+		if _, err := ParseString(src); err == nil {
+			t.Errorf("ParseString(%q) should fail", src)
+		}
+	}
+}
+
+func TestTextContent(t *testing.T) {
+	doc, err := ParseString(`<a>one<b>two<c>three</c></b>four</a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := doc.Root.TextContent(); got != "onetwothreefour" {
+		t.Errorf("TextContent = %q", got)
+	}
+	// Text node path inherits the element path.
+	for _, n := range doc.Nodes() {
+		if n.Kind == Text && n.Value == "two" {
+			if n.Path != "/a/b" {
+				t.Errorf("text node path = %s", n.Path)
+			}
+		}
+	}
+}
+
+func TestWhitespaceDropped(t *testing.T) {
+	doc, err := ParseString("<a>\n  <b>x</b>\n</a>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Len() != 3 { // a, b, "x"
+		t.Fatalf("node count = %d, want 3", doc.Len())
+	}
+}
+
+func TestSortDocOrder(t *testing.T) {
+	doc := paperDoc(t)
+	nodes := []*Node{doc.NodeByID(9), doc.NodeByID(2), doc.NodeByID(9), doc.NodeByID(12)}
+	sorted := SortDocOrder(nodes)
+	if len(sorted) != 3 || sorted[0].ID != 2 || sorted[1].ID != 9 || sorted[2].ID != 12 {
+		ids := []int64{}
+		for _, n := range sorted {
+			ids = append(ids, n.ID)
+		}
+		t.Fatalf("sorted ids = %v", ids)
+	}
+}
+
+func TestIDsFollowDocumentOrder(t *testing.T) {
+	doc := paperDoc(t)
+	nodes := doc.Nodes()
+	for i := 1; i < len(nodes); i++ {
+		if dewey.Compare(nodes[i-1].Pos, nodes[i].Pos) >= 0 {
+			t.Fatalf("node %d not before node %d in document order", nodes[i-1].ID, nodes[i].ID)
+		}
+	}
+}
+
+func TestBuilderMisusePanics(t *testing.T) {
+	cases := []func(){
+		func() { NewBuilder().End() },
+		func() { NewBuilder().Text("x") },
+		func() { NewBuilder().Start("a", "odd") },
+		func() { NewBuilder().Start("a").End().Start("b") },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestBuilderUnclosed(t *testing.T) {
+	b := NewBuilder().Start("a")
+	if _, err := b.Doc(); err == nil {
+		t.Fatal("Doc with unclosed element should fail")
+	}
+	if _, err := NewBuilder().Doc(); err == nil {
+		t.Fatal("Doc with no root should fail")
+	}
+}

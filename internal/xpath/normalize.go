@@ -1,0 +1,66 @@
+package xpath
+
+import "fmt"
+
+// NormalizeSteps collapses '//'+step pairs into descendant-axis
+// steps, drops self::node() steps (carrying their predicates over is
+// unsupported), and extracts a terminal attribute or text() step.
+func NormalizeSteps(steps []*Step) ([]*Step, *Step, error) {
+	var out []*Step
+	for i := 0; i < len(steps); i++ {
+		s := steps[i]
+		if s.Axis == DescendantOrSelf && s.Test == AnyKindTest && len(s.Predicates) == 0 {
+			// '//' abbreviation: combine with the following step.
+			if i+1 < len(steps) {
+				next := steps[i+1]
+				if next.Axis == Child {
+					out = append(out, &Step{
+						Axis:       Descendant,
+						Test:       next.Test,
+						Name:       next.Name,
+						Predicates: next.Predicates,
+					})
+					i++
+					continue
+				}
+			}
+			// '//' before a non-child step (or at the end): keep as an
+			// explicit descendant-or-self over any element.
+			out = append(out, &Step{Axis: DescendantOrSelf, Test: NameTest, Name: ""})
+			continue
+		}
+		if s.Axis == Self && s.Test == AnyKindTest {
+			if len(s.Predicates) > 0 {
+				return nil, nil, fmt.Errorf("xpath: predicates on '.' steps are not supported")
+			}
+			continue
+		}
+		if s.Axis == Self {
+			return nil, nil, fmt.Errorf("xpath: self axis with a name test is not supported")
+		}
+		out = append(out, s)
+	}
+	// Terminal attribute or text() step.
+	if len(out) > 0 {
+		last := out[len(out)-1]
+		if last.Axis == Attribute || last.Test == TextTest {
+			if len(last.Predicates) > 0 {
+				return nil, nil, fmt.Errorf("xpath: predicates on terminal %s steps are not supported", last)
+			}
+			out = out[:len(out)-1]
+			if len(out) == 0 {
+				return nil, nil, fmt.Errorf("xpath: a path cannot consist of only an attribute or text() step")
+			}
+			return out, last, nil
+		}
+	}
+	for _, s := range out {
+		if s.Axis == Attribute {
+			return nil, nil, fmt.Errorf("xpath: attribute steps are only supported as the final step")
+		}
+		if s.Test == TextTest {
+			return nil, nil, fmt.Errorf("xpath: text() steps are only supported as the final step")
+		}
+	}
+	return out, nil, nil
+}

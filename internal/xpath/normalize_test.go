@@ -1,0 +1,108 @@
+package xpath
+
+import "testing"
+
+func steps(t *testing.T, q string) []*Step {
+	t.Helper()
+	p, err := ParsePath(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p.Steps
+}
+
+func TestNormalizeCollapsesAbbreviation(t *testing.T) {
+	// '//name' becomes one descendant-axis step.
+	main, terminal, err := NormalizeSteps(steps(t, "//keyword"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if terminal != nil {
+		t.Fatal("no terminal expected")
+	}
+	if len(main) != 1 || main[0].Axis != Descendant || main[0].Name != "keyword" {
+		t.Fatalf("main = %v", main)
+	}
+	// Middle '//' collapses too.
+	main, _, err = NormalizeSteps(steps(t, "/a//b/c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(main) != 3 || main[1].Axis != Descendant {
+		t.Fatalf("main = %v", main)
+	}
+}
+
+func TestNormalizePreservesPredicates(t *testing.T) {
+	main, _, err := NormalizeSteps(steps(t, "//b[c]"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(main) != 1 || len(main[0].Predicates) != 1 {
+		t.Fatalf("predicates lost: %v", main)
+	}
+}
+
+func TestNormalizeDoubleSlashBeforeNonChild(t *testing.T) {
+	// '//parent::b': the '//' stays as an explicit wildcard
+	// descendant-or-self element step.
+	main, _, err := NormalizeSteps(steps(t, "//parent::b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(main) != 2 {
+		t.Fatalf("main = %v", main)
+	}
+	if main[0].Axis != DescendantOrSelf || main[0].Test != NameTest || main[0].Name != "" {
+		t.Fatalf("first = %+v", main[0])
+	}
+	if main[1].Axis != Parent {
+		t.Fatalf("second = %+v", main[1])
+	}
+}
+
+func TestNormalizeDropsDot(t *testing.T) {
+	main, _, err := NormalizeSteps(steps(t, "/a/./b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(main) != 2 {
+		t.Fatalf("'.' not dropped: %v", main)
+	}
+}
+
+func TestNormalizeTerminalExtraction(t *testing.T) {
+	main, terminal, err := NormalizeSteps(steps(t, "/a/b/@id"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if terminal == nil || terminal.Axis != Attribute || terminal.Name != "id" {
+		t.Fatalf("terminal = %+v", terminal)
+	}
+	if len(main) != 2 {
+		t.Fatalf("main = %v", main)
+	}
+	main, terminal, err = NormalizeSteps(steps(t, "/a/b/text()"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if terminal == nil || terminal.Test != TextTest {
+		t.Fatalf("terminal = %+v", terminal)
+	}
+	if len(main) != 2 {
+		t.Fatalf("main = %v", main)
+	}
+}
+
+func TestNormalizeErrors(t *testing.T) {
+	for _, q := range []string{
+		"/@id",        // attribute-only path
+		"/a/@id/b",    // attribute mid-path
+		"/a/text()/b", // text() mid-path
+		"/a/self::b",  // named self axis
+	} {
+		if _, _, err := NormalizeSteps(steps(t, q)); err == nil {
+			t.Errorf("NormalizeSteps(%q) should fail", q)
+		}
+	}
+}

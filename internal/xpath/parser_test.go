@@ -1,0 +1,366 @@
+package xpath
+
+import (
+	"strings"
+	"testing"
+)
+
+// allBenchmarkQueries is the complete query set of the paper's
+// evaluation: XPathMark Q1-Q24 subset, Q-A, and QD1-QD5.
+var allBenchmarkQueries = []string{
+	"/site/regions/*/item",
+	"/site/closed_auctions/closed_auction/annotation/description/parlist/listitem/text/keyword",
+	"//keyword",
+	"/descendant-or-self::listitem/descendant-or-self::keyword",
+	"/site/regions/*/item[parent::namerica or parent::samerica]",
+	"//keyword/ancestor::listitem",
+	"//keyword/ancestor-or-self::mail",
+	"/site/open_auctions/open_auction[@id='open_auction0']/bidder/preceding-sibling::bidder",
+	"/site/regions/*/item[@id='item0']/following::item",
+	"/site/open_auctions/open_auction/bidder[personref/@person='person1']/preceding::bidder[personref/@person='person0']",
+	"//item[@featured='yes']",
+	"//*[@id]",
+	"/site/regions/*/item[@id='item0']/description//keyword/text()",
+	"/site/regions/namerica/item | /site/regions/samerica/item",
+	"/site/people/person[address and (phone or homepage)]",
+	"/site/people/person[not(homepage)]",
+	"/site/open_auctions/open_auction[bidder/date = interval/start]",
+	"//inproceedings/title[preceding-sibling::author = 'Harold G. Longbotham']",
+	"/dblp/inproceedings[year>=1994]//sup",
+	"/dblp/inproceedings/title/sup",
+	"//i[parent::*/parent::sub/ancestor::article]",
+	"/dblp/inproceedings[author=/dblp/book/author]/title",
+}
+
+func TestParseAllBenchmarkQueries(t *testing.T) {
+	for _, q := range allBenchmarkQueries {
+		if _, err := Parse(q); err != nil {
+			t.Errorf("Parse(%q): %v", q, err)
+		}
+	}
+}
+
+func TestParseSimplePath(t *testing.T) {
+	p, err := ParsePath("/A/B/C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Absolute || len(p.Steps) != 3 {
+		t.Fatalf("parsed %+v", p)
+	}
+	for i, name := range []string{"A", "B", "C"} {
+		s := p.Steps[i]
+		if s.Axis != Child || s.Name != name || s.Test != NameTest {
+			t.Errorf("step %d = %+v", i, s)
+		}
+	}
+}
+
+func TestParseDoubleSlash(t *testing.T) {
+	p, err := ParsePath("//keyword")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Steps) != 2 {
+		t.Fatalf("steps = %d, want 2 (descendant-or-self::node() + keyword)", len(p.Steps))
+	}
+	if p.Steps[0].Axis != DescendantOrSelf || p.Steps[0].Test != AnyKindTest {
+		t.Errorf("first step = %+v", p.Steps[0])
+	}
+	// Middle //.
+	p, err = ParsePath("/A//F")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Steps) != 3 || p.Steps[1].Axis != DescendantOrSelf {
+		t.Fatalf("middle // parsed wrong: %v", p)
+	}
+}
+
+func TestParseAxesAndAbbreviations(t *testing.T) {
+	p, err := ParsePath("../preceding-sibling::bidder/@person")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Absolute {
+		t.Error("relative path parsed as absolute")
+	}
+	if p.Steps[0].Axis != Parent || p.Steps[0].Test != AnyKindTest {
+		t.Errorf("'..' = %+v", p.Steps[0])
+	}
+	if p.Steps[1].Axis != PrecedingSibling || p.Steps[1].Name != "bidder" {
+		t.Errorf("step 1 = %+v", p.Steps[1])
+	}
+	if p.Steps[2].Axis != Attribute || p.Steps[2].Name != "person" {
+		t.Errorf("step 2 = %+v", p.Steps[2])
+	}
+	// '.' step.
+	p, err = ParsePath("./keyword")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Steps[0].Axis != Self {
+		t.Errorf("'.' = %+v", p.Steps[0])
+	}
+}
+
+func TestParsePredicates(t *testing.T) {
+	p, err := ParsePath("/site/people/person[address and (phone or homepage)]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := p.Steps[2].Predicates[0]
+	b, ok := pred.(*Binary)
+	if !ok || b.Op != OpAnd {
+		t.Fatalf("predicate = %v", pred)
+	}
+	if _, ok := b.L.(*Path); !ok {
+		t.Errorf("left operand = %T", b.L)
+	}
+	or, ok := b.R.(*Binary)
+	if !ok || or.Op != OpOr {
+		t.Fatalf("right operand = %v", b.R)
+	}
+}
+
+func TestParseComparisonPredicate(t *testing.T) {
+	p, err := ParsePath("/dblp/inproceedings[year>=1994]//sup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := p.Steps[1].Predicates[0].(*Binary)
+	if pred.Op != OpGe {
+		t.Fatalf("op = %v", pred.Op)
+	}
+	if n, ok := pred.R.(*Number); !ok || n.Value != 1994 {
+		t.Fatalf("rhs = %v", pred.R)
+	}
+}
+
+func TestParseJoinPredicate(t *testing.T) {
+	p, err := ParsePath("/site/open_auctions/open_auction[bidder/date = interval/start]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := p.Steps[2].Predicates[0].(*Binary)
+	if pred.Op != OpEq {
+		t.Fatal("op wrong")
+	}
+	l, lok := pred.L.(*Path)
+	r, rok := pred.R.(*Path)
+	if !lok || !rok || l.Absolute || r.Absolute {
+		t.Fatalf("operands: %v, %v", pred.L, pred.R)
+	}
+	if len(l.Steps) != 2 || l.Steps[1].Name != "date" {
+		t.Fatalf("left path: %v", l)
+	}
+}
+
+func TestParseAbsolutePathInPredicate(t *testing.T) {
+	p, err := ParsePath("/dblp/inproceedings[author=/dblp/book/author]/title")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := p.Steps[1].Predicates[0].(*Binary)
+	r := pred.R.(*Path)
+	if !r.Absolute || len(r.Steps) != 3 {
+		t.Fatalf("rhs path: %v", r)
+	}
+}
+
+func TestParseUnion(t *testing.T) {
+	e, err := Parse("/site/regions/namerica/item | /site/regions/samerica/item")
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, ok := e.(*Union)
+	if !ok || len(u.Paths) != 2 {
+		t.Fatalf("union = %v", e)
+	}
+}
+
+func TestParseNotAndFunctions(t *testing.T) {
+	p, err := ParsePath("/site/people/person[not(homepage)]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, ok := p.Steps[2].Predicates[0].(*Call)
+	if !ok || c.Name != "not" || len(c.Args) != 1 {
+		t.Fatalf("predicate = %v", p.Steps[2].Predicates[0])
+	}
+	// position() and last().
+	if _, err := ParsePath("/a/b[position()=2]"); err != nil {
+		t.Errorf("position(): %v", err)
+	}
+	if _, err := ParsePath("/a/b[last()]"); err != nil {
+		t.Errorf("last(): %v", err)
+	}
+	if _, err := ParsePath("/a/b[count(c)=2]"); err != nil {
+		t.Errorf("count(): %v", err)
+	}
+}
+
+func TestParsePositionalPredicate(t *testing.T) {
+	p, err := ParsePath("/a/b[3]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, ok := p.Steps[1].Predicates[0].(*Number); !ok || n.Value != 3 {
+		t.Fatalf("positional predicate = %v", p.Steps[1].Predicates[0])
+	}
+}
+
+func TestParseTextNodeTest(t *testing.T) {
+	p, err := ParsePath("/a/b/text()")
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := p.Steps[2]
+	if last.Test != TextTest || last.Axis != Child {
+		t.Fatalf("text() step = %+v", last)
+	}
+}
+
+func TestParseArithmetic(t *testing.T) {
+	p, err := ParsePath("/a/b[price * 2 > 10 + 1]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := p.Steps[1].Predicates[0].(*Binary)
+	if pred.Op != OpGt {
+		t.Fatalf("top op = %v", pred.Op)
+	}
+	mul := pred.L.(*Binary)
+	if mul.Op != OpMul {
+		t.Fatalf("left = %v", pred.L)
+	}
+	if _, ok := mul.L.(*Path); !ok {
+		t.Fatalf("price operand = %T", mul.L)
+	}
+	add := pred.R.(*Binary)
+	if add.Op != OpAdd {
+		t.Fatalf("right = %v", pred.R)
+	}
+	// div and mod.
+	if _, err := ParsePath("/a/b[c div 2 = 1 and c mod 2 = 0]"); err != nil {
+		t.Errorf("div/mod: %v", err)
+	}
+	// Unary minus.
+	if _, err := ParsePath("/a/b[c = -1]"); err != nil {
+		t.Errorf("unary minus: %v", err)
+	}
+}
+
+func TestStarDisambiguation(t *testing.T) {
+	// '*' after '/' is a wildcard; after a path operand it's multiply.
+	p, err := ParsePath("/a/*[b * 2 = 4]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Steps[1].Wildcard() {
+		t.Error("step * not a wildcard")
+	}
+	mul := p.Steps[1].Predicates[0].(*Binary).L.(*Binary)
+	if mul.Op != OpMul {
+		t.Error("inner * not multiply")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"/a/",
+		"/a//",
+		"/a[",
+		"/a[b",
+		"/a[]",
+		"/a]'",
+		"'lonely string'",
+		"3",
+		"/a/b[foo()]",
+		"/a/b[not()]",
+		"/a/b[not(a, b)]",
+		"/a/b[position(1)]",
+		"/unknown-axis::b",
+		"/a/@text()",
+		"/a/b[= 3]",
+		"/a | 'x'",
+		"/a/b[!b]",
+		"/a/b['unterminated]",
+		"/a/b[1 |]",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseErrorsUnionOfNonPath(t *testing.T) {
+	if _, err := Parse("/a/b | (1 = 1)"); err == nil {
+		t.Error("union of non-path should fail")
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	for _, q := range allBenchmarkQueries {
+		e, err := Parse(q)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", q, err)
+		}
+		// Rendered form must reparse to the same rendered form.
+		r1 := e.String()
+		e2, err := Parse(r1)
+		if err != nil {
+			t.Errorf("reparse of %q (from %q): %v", r1, q, err)
+			continue
+		}
+		if r2 := e2.String(); r1 != r2 {
+			t.Errorf("unstable rendering: %q -> %q", r1, r2)
+		}
+	}
+}
+
+func TestAxisPredicates(t *testing.T) {
+	if !Child.Forward() || !Attribute.Forward() || Parent.Forward() {
+		t.Error("Forward classification wrong")
+	}
+	if !Parent.Backward() || !AncestorOrSelf.Backward() || Child.Backward() {
+		t.Error("Backward classification wrong")
+	}
+	if !Following.Horizontal() || !PrecedingSibling.Horizontal() || Descendant.Horizontal() {
+		t.Error("Horizontal classification wrong")
+	}
+	for a := Child; a <= Attribute; a++ {
+		if a.String() == "" {
+			t.Errorf("axis %d has no name", a)
+		}
+		if strings.Contains(a.String(), " ") {
+			t.Errorf("axis name %q has spaces", a.String())
+		}
+	}
+}
+
+func TestWhitespaceTolerance(t *testing.T) {
+	a, err := Parse("/site/people/person[ address and ( phone or homepage ) ]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Parse("/site/people/person[address and(phone or homepage)]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("whitespace changed parse: %q vs %q", a, b)
+	}
+}
+
+func TestRootOnlyPath(t *testing.T) {
+	p, err := ParsePath("/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Absolute || len(p.Steps) != 0 {
+		t.Fatalf("'/' = %+v", p)
+	}
+}

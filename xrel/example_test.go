@@ -1,0 +1,70 @@
+package xrel_test
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/xrel"
+)
+
+// Example reproduces the paper's Figure 1 / Table 3 walk-through: a
+// schema, a conforming document, and the SQL the PPF translation
+// emits for '/A[@x=3]/B/C//F'.
+func Example() {
+	s, err := xrel.ParseCompactSchema(`
+!root A
+A -> B @x
+B -> C G
+C -> D E
+E -> F
+G -> G
+F #text
+D #text`)
+	if err != nil {
+		panic(err)
+	}
+	store, err := xrel.Open(s)
+	if err != nil {
+		panic(err)
+	}
+	doc := `<A x="3"><B><C><D>4</D></C><C><E><F>2</F><F>7</F></E></C><G/></B><B><G><G/></G></B></A>`
+	if _, err := store.LoadXML(strings.NewReader(doc)); err != nil {
+		panic(err)
+	}
+	sql, err := store.Translate("/A[@x=3]/B/C//F")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(sql.Text)
+	res, err := store.Query("/A[@x=3]/B/C//F")
+	if err != nil {
+		panic(err)
+	}
+	for _, n := range res.Nodes {
+		fmt.Printf("node %d at %s\n", n.ID, n.Dewey)
+	}
+	// Output:
+	// SELECT DISTINCT F.id AS id, F.dewey_pos AS dewey_pos FROM A, F WHERE A.x = 3 AND F.dewey_pos BETWEEN A.dewey_pos AND A.dewey_pos || X'FF' ORDER BY F.dewey_pos
+	// node 8 at 1.1.2.1.1
+	// node 10 at 1.1.2.1.2
+}
+
+// ExampleStore_Query shows the Table 5-2 case: a predicate consisting
+// only of backward simple paths is answered purely by path filtering.
+func ExampleStore_Query() {
+	s, _ := xrel.ParseCompactSchema(`
+!root r
+r -> part
+part -> part name
+name #text`)
+	store, _ := xrel.Open(s)
+	store.LoadXML(strings.NewReader(
+		`<r><part><name>engine</name><part><name>piston</name></part></part></r>`))
+	sql, _ := store.Translate("//name[parent::part/parent::part]")
+	fmt.Println(sql.Text)
+	res, _ := store.Query("//name[parent::part/parent::part]")
+	fmt.Println(len(res.Nodes), "node(s)")
+	// Output:
+	// SELECT DISTINCT name.id AS id, name.dewey_pos AS dewey_pos FROM name, paths name_paths WHERE name.path_id = name_paths.id AND REGEXP_LIKE(name_paths.path, '^/(.+/)?name$') AND REGEXP_LIKE(name_paths.path, '^.*/part/part/name$') ORDER BY name.dewey_pos
+	// 1 node(s)
+}

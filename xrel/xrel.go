@@ -1,0 +1,188 @@
+// Package xrel is the public API of the PPF XPath-on-relational
+// library: it ties together XML parsing, schema graphs, schema-aware
+// shredding, the PPF-based XPath-to-SQL translator of Georgiadis &
+// Vassalos (EDBT 2006), and the embedded relational engine.
+//
+// Typical use:
+//
+//	s, _ := xrel.ParseCompactSchema(schemaText)
+//	store, _ := xrel.Open(s)
+//	store.LoadXML(strings.NewReader(document))
+//	res, _ := store.Query("/site/people/person[address and phone]")
+//	for _, row := range res.Nodes { ... }
+package xrel
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/dewey"
+	"repro/internal/engine"
+	"repro/internal/schema"
+	"repro/internal/shred"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// Schema is an XML schema graph (re-exported).
+type Schema = schema.Schema
+
+// Document is a parsed XML document (re-exported).
+type Document = xmltree.Document
+
+// Options tune the PPF translation (re-exported).
+type Options = core.Options
+
+// ParseCompactSchema parses the compact schema DSL (see
+// internal/schema: "!root site", "site -> regions people", "person
+// @id", "name #text").
+func ParseCompactSchema(src string) (*Schema, error) {
+	return schema.ParseCompact(src)
+}
+
+// ParseXSD parses a subset of W3C XML Schema.
+func ParseXSD(r io.Reader) (*Schema, error) { return schema.ParseXSD(r) }
+
+// InferSchema derives a schema graph from sample documents.
+func InferSchema(docs ...*Document) (*Schema, error) { return schema.Infer(docs...) }
+
+// ParseXML parses an XML document.
+func ParseXML(r io.Reader) (*Document, error) { return xmltree.Parse(r) }
+
+// Store is a schema-aware XML store with PPF-based XPath querying.
+type Store struct {
+	schema *schema.Schema
+	shred  *shred.SchemaAwareStore
+	tr     *core.Translator
+}
+
+// Open creates an empty store for documents conforming to the schema,
+// using the paper's default translation options.
+func Open(s *Schema) (*Store, error) { return OpenWithOptions(s, nil) }
+
+// OpenWithOptions creates a store with custom translation options.
+func OpenWithOptions(s *Schema, opts *Options) (*Store, error) {
+	st, err := shred.NewSchemaAware(s)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{schema: s, shred: st, tr: core.New(s, opts)}, nil
+}
+
+// Load shreds a parsed document into the store, returning its
+// document id.
+func (s *Store) Load(doc *Document) (int64, error) { return s.shred.Load(doc) }
+
+// LoadXML parses and shreds a document.
+func (s *Store) LoadXML(r io.Reader) (int64, error) {
+	doc, err := xmltree.Parse(r)
+	if err != nil {
+		return 0, err
+	}
+	return s.Load(doc)
+}
+
+// SQL is the result of translating an XPath expression.
+type SQL struct {
+	// Text is the SQL statement in the engine dialect.
+	Text string
+	// Selects is the number of UNION branches (the paper's
+	// SQL-splitting metric).
+	Selects int
+	// Joins is the number of relations referenced.
+	Joins int
+
+	stmt interface{} // sqlast.Statement, kept unexported
+}
+
+// Translate compiles an XPath query to SQL without executing it.
+func (s *Store) Translate(query string) (*SQL, error) {
+	tr, err := s.tr.Translate(query)
+	if err != nil {
+		return nil, err
+	}
+	return &SQL{Text: tr.SQL, Selects: tr.Selects, Joins: tr.Joins, stmt: tr.Stmt}, nil
+}
+
+// Node is one element of a query result.
+type Node struct {
+	// ID is the document-global node id (document order).
+	ID int64
+	// Dewey is the node's Dewey position in dotted notation.
+	Dewey string
+}
+
+// Result holds a query's selected nodes in document order.
+type Result struct {
+	Nodes []Node
+	// SQL is the executed statement.
+	SQL string
+}
+
+// Query translates and executes an XPath query.
+func (s *Store) Query(query string) (*Result, error) {
+	tr, err := s.tr.Translate(query)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.shred.DB.Run(tr.Stmt)
+	if err != nil {
+		return nil, fmt.Errorf("xrel: executing %q: %w", tr.SQL, err)
+	}
+	out := &Result{SQL: tr.SQL}
+	for _, row := range res.Rows {
+		n := Node{ID: row[0].I}
+		if row[1].Kind == engine.KBytes {
+			n.Dewey = deweyString(row[1].B)
+		}
+		out.Nodes = append(out.Nodes, n)
+	}
+	return out, nil
+}
+
+// RunSQL executes a statement of the engine dialect directly,
+// returning column names and stringified rows. It exposes the
+// embedded engine for inspection and tooling.
+func (s *Store) RunSQL(sql string) (cols []string, rows [][]string, err error) {
+	res, err := s.shred.DB.RunSQL(sql)
+	if err != nil {
+		return nil, nil, err
+	}
+	rows = make([][]string, len(res.Rows))
+	for i, r := range res.Rows {
+		rows[i] = make([]string, len(r))
+		for j, v := range r {
+			rows[i][j] = v.String()
+		}
+	}
+	return res.Cols, rows, nil
+}
+
+// Explain renders the engine's execution plan for an XPath query.
+func (s *Store) Explain(query string) (string, error) {
+	tr, err := s.tr.Translate(query)
+	if err != nil {
+		return "", err
+	}
+	return s.shred.DB.Explain(tr.Stmt)
+}
+
+// TableSizes reports "relation=rows" pairs, sorted by name.
+func (s *Store) TableSizes() []string { return s.shred.DB.SortedTableSizes() }
+
+// PathCount reports the number of distinct root-to-node paths stored
+// (the size of the paper's 'paths' relation).
+func (s *Store) PathCount() int { return s.shred.PathCount() }
+
+// ValidQuery reports whether the query parses and is translatable for
+// this store's schema.
+func (s *Store) ValidQuery(query string) error {
+	if _, err := xpath.Parse(query); err != nil {
+		return err
+	}
+	_, err := s.tr.Translate(query)
+	return err
+}
+
+func deweyString(b []byte) string { return dewey.Pos(b).String() }

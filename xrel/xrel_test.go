@@ -1,0 +1,155 @@
+package xrel
+
+import (
+	"strings"
+	"testing"
+)
+
+const testSchema = `
+!root A
+A -> B @x
+B -> C G
+C -> D E
+E -> F
+G -> G
+F #text
+D #text
+`
+
+const testDoc = `<A x="3"><B><C><D>4</D></C><C><E><F>2</F><F>7</F></E></C><G/></B><B><G><G/></G></B></A>`
+
+func open(t *testing.T) *Store {
+	t.Helper()
+	s, err := ParseCompactSchema(testSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.LoadXML(strings.NewReader(testDoc)); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	st := open(t)
+	res, err := st.Query("/A/B/C//F")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Nodes) != 2 {
+		t.Fatalf("nodes = %v", res.Nodes)
+	}
+	if res.Nodes[0].Dewey == "" || !strings.HasPrefix(res.Nodes[0].Dewey, "1.") {
+		t.Errorf("dewey = %q", res.Nodes[0].Dewey)
+	}
+	if !strings.Contains(res.SQL, "SELECT DISTINCT") {
+		t.Errorf("SQL = %s", res.SQL)
+	}
+}
+
+func TestTranslateOnly(t *testing.T) {
+	st := open(t)
+	sql, err := st.Translate("/A[@x=3]/B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sql.Selects != 1 || sql.Joins != 2 {
+		t.Errorf("selects=%d joins=%d", sql.Selects, sql.Joins)
+	}
+	if !strings.Contains(sql.Text, "B.par = A.id") {
+		t.Errorf("SQL = %s", sql.Text)
+	}
+}
+
+func TestRunSQLAndExplain(t *testing.T) {
+	st := open(t)
+	cols, rows, err := st.RunSQL("SELECT F.id, F.text FROM F ORDER BY F.id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) != 2 || len(rows) != 2 || rows[0][1] != "2" {
+		t.Fatalf("cols=%v rows=%v", cols, rows)
+	}
+	plan, err := st.Explain("/A/B/C//F")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan == "" {
+		t.Error("empty plan")
+	}
+}
+
+func TestStats(t *testing.T) {
+	st := open(t)
+	if st.PathCount() != 8 {
+		t.Errorf("paths = %d", st.PathCount())
+	}
+	sizes := st.TableSizes()
+	if len(sizes) == 0 {
+		t.Error("no table sizes")
+	}
+}
+
+func TestValidQuery(t *testing.T) {
+	st := open(t)
+	if err := st.ValidQuery("/A/B"); err != nil {
+		t.Errorf("valid query rejected: %v", err)
+	}
+	if err := st.ValidQuery("///"); err == nil {
+		t.Error("bad syntax accepted")
+	}
+	if err := st.ValidQuery("//F[last()]"); err == nil {
+		t.Error("untranslatable query accepted")
+	}
+}
+
+func TestInferSchemaRoundTrip(t *testing.T) {
+	doc, err := ParseXML(strings.NewReader(testDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := InferSchema(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Load(doc); err != nil {
+		t.Fatal(err)
+	}
+	res, err := st.Query("//F")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Nodes) != 2 {
+		t.Fatalf("nodes = %v", res.Nodes)
+	}
+}
+
+func TestOpenWithOptions(t *testing.T) {
+	s, err := ParseCompactSchema(testSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := &Options{PathFilterOmission: false, FKChildParent: true}
+	st, err := OpenWithOptions(s, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.LoadXML(strings.NewReader(testDoc)); err != nil {
+		t.Fatal(err)
+	}
+	sql, err := st.Translate("/A/B/C//F")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sql.Text, "REGEXP_LIKE") {
+		t.Errorf("omission disabled should keep the path filter: %s", sql.Text)
+	}
+}
