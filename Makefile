@@ -1,0 +1,28 @@
+# make check mirrors .github/workflows/ci.yml locally.
+GO ?= go
+
+.PHONY: check build fmtcheck vet xvet test race
+
+check: build fmtcheck vet xvet test race
+
+build:
+	$(GO) build ./...
+
+fmtcheck:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+# The custom invariant analyzers (rawsql, deweycmp, regexploop,
+# errdrop); -novet because `make vet` already ran the standard passes.
+xvet:
+	$(GO) run ./cmd/xvet -novet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...

@@ -49,20 +49,27 @@ func run(workload string, scale float64, seed int64, out, schemaOut string) erro
 	if err != nil {
 		return err
 	}
+	var f *os.File
 	w := os.Stdout
 	if out != "" {
-		f, err := os.Create(out)
+		f, err = os.Create(out)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
 		w = f
 	}
 	bw := bufio.NewWriterSize(w, 1<<20)
-	if err := doc.WriteXML(bw); err != nil {
-		return err
+	err = doc.WriteXML(bw)
+	if err == nil {
+		err = bw.Flush()
 	}
-	if err := bw.Flush(); err != nil {
+	if f != nil {
+		// A failed close loses buffered writes: it is a write error.
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
 		return err
 	}
 	if schemaOut != "" {

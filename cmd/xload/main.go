@@ -42,7 +42,9 @@ func run(schemaPath string, useXSD bool, docPath string) error {
 		return err
 	}
 	doc, err := xmltree.Parse(f)
-	f.Close()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
 	if err != nil {
 		return err
 	}

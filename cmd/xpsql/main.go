@@ -62,7 +62,9 @@ func run(schemaPath string, useXSD bool, mapping, load string, explain, noOmit, 
 			return err
 		}
 		doc, err = xmltree.Parse(f)
-		f.Close()
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
 		if err != nil {
 			return err
 		}

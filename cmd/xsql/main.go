@@ -50,7 +50,9 @@ func run(schemaPath string, useXSD bool, load string, stmts []string, in *os.Fil
 			return err
 		}
 		doc, err := xmltree.Parse(f)
-		f.Close()
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,112 @@
+// Command xvet is the repository's multichecker: it runs the standard
+// `go vet` passes and then the four custom invariant analyzers from
+// internal/analysis (rawsql, deweycmp, regexploop, errdrop) that
+// enforce the paper-derived disciplines the type system cannot see.
+//
+// Usage:
+//
+//	xvet [-novet] [-only name,name] [-list] [packages]
+//
+// Packages default to ./... resolved against the enclosing module.
+// Exit status is nonzero if go vet fails or any analyzer reports a
+// diagnostic. -novet skips the go vet subprocess (CI runs it as its
+// own step); -only restricts the custom analyzers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	novet := flag.Bool("novet", false, "skip running the standard `go vet` passes first")
+	only := flag.String("only", "", "comma-separated subset of analyzers to run")
+	list := flag.Bool("list", false, "list the custom analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	failed := false
+	if !*novet {
+		cmd := exec.Command("go", append([]string{"vet"}, patterns...)...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			failed = true
+		}
+	}
+
+	analyzers, err := selectAnalyzers(*only)
+	if err == nil {
+		var n int
+		n, err = runAnalyzers(analyzers, patterns)
+		if n > 0 {
+			failed = true
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xvet:", err)
+		os.Exit(1)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
+	if only == "" {
+		return analysis.All(), nil
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		name = strings.TrimSpace(name)
+		a := analysis.ByName(name)
+		if a == nil {
+			return nil, fmt.Errorf("unknown analyzer %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+func runAnalyzers(analyzers []*analysis.Analyzer, patterns []string) (int, error) {
+	cwd, err := os.Getwd()
+	if err != nil {
+		return 0, err
+	}
+	loader, err := analysis.NewLoader(cwd)
+	if err != nil {
+		return 0, err
+	}
+	pkgs, err := loader.Packages(patterns...)
+	if err != nil {
+		return 0, err
+	}
+	count := 0
+	for _, pkg := range pkgs {
+		diags, err := analysis.Run(pkg, analyzers)
+		if err != nil {
+			return count, err
+		}
+		for _, d := range diags {
+			fmt.Printf("%s: %s: %s\n", pkg.Fset.Position(d.Pos), d.Analyzer.Name, d.Message)
+			count++
+		}
+	}
+	return count, nil
+}

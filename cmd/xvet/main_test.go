@@ -1,0 +1,23 @@
+package main
+
+import "testing"
+
+func TestSelectAnalyzers(t *testing.T) {
+	all, err := selectAnalyzers("")
+	if err != nil || len(all) != 4 {
+		t.Fatalf("default selection: got %d analyzers, err %v; want 4, nil", len(all), err)
+	}
+	some, err := selectAnalyzers("rawsql, errdrop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(some) != 2 || some[0].Name != "rawsql" || some[1].Name != "errdrop" {
+		t.Fatalf("subset selection wrong: %+v", some)
+	}
+	if _, err := selectAnalyzers("nosuch"); err == nil {
+		t.Fatal("unknown analyzer name must error")
+	}
+}
+
+// The analyzer run path is exercised end to end against the real tree
+// by internal/analysis's tests and by CI's `go run ./cmd/xvet ./...`.

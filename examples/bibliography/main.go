@@ -62,8 +62,14 @@ func main() {
 	// Recursive descent: the '//sup' inside QD2 cannot drop its path
 	// filter (sup is I-P), but '/dblp/inproceedings/title/sup' (QD3)
 	// pins an exact path; show the regex difference.
-	qd2, _ := store.Translate("/dblp/inproceedings[year>=1994]//sup")
-	qd3, _ := store.Translate("/dblp/inproceedings/title/sup")
+	qd2, err := store.Translate("/dblp/inproceedings[year>=1994]//sup")
+	if err != nil {
+		log.Fatal(err)
+	}
+	qd3, err := store.Translate("/dblp/inproceedings/title/sup")
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("recursion and path filters:")
 	fmt.Printf("  QD2 joins %d relation(s): %s\n", qd2.Joins, qd2.Text)
 	fmt.Printf("  QD3 joins %d relation(s): %s\n", qd3.Joins, qd3.Text)

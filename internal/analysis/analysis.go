@@ -1,0 +1,164 @@
+// Package analysis is a minimal, dependency-free reimplementation of
+// the golang.org/x/tools/go/analysis vocabulary (Analyzer, Pass,
+// Diagnostic) plus a module-aware package loader, sized for this
+// repository. It exists because the reproduction's core invariants —
+// Dewey positions compared only through the Table 2 comparators, SQL
+// assembled only through the sqlast AST, no per-row regexp
+// compilation — are invisible to the Go type system and must be
+// enforced mechanically (see DESIGN.md, "Enforced invariants").
+//
+// The framework deliberately mirrors the x/tools API shape so the
+// analyzers can be ported to a real multichecker wholesale if the
+// dependency ever becomes available.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// An Analyzer describes one invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -only flags.
+	Name string
+	// Doc is a one-paragraph description of what is enforced and why.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// A Diagnostic is one finding, positioned in the shared FileSet.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer *Analyzer
+}
+
+// A Pass provides one analyzer with one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diagnostics []Diagnostic
+}
+
+// Report records a diagnostic.
+func (p *Pass) Report(d Diagnostic) {
+	d.Analyzer = p.Analyzer
+	p.diagnostics = append(p.diagnostics, d)
+}
+
+// Reportf records a diagnostic at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Run applies the analyzers to a loaded package and returns the
+// diagnostics sorted by file position.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+		}
+		out = append(out, pass.diagnostics...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out, nil
+}
+
+// All returns the full analyzer suite run by cmd/xvet, in reporting
+// order.
+func All() []*Analyzer {
+	return []*Analyzer{RawSQL, DeweyCmp, RegexpLoop, ErrDrop}
+}
+
+// ByName resolves a comma-free analyzer name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// inspect walks every file of the pass, calling fn with each node and
+// the stack of its ancestors (outermost first, excluding n itself).
+// Returning false prunes the subtree. It is the shared traversal
+// under all analyzers that need lexical context (enclosing loops,
+// enclosing function declarations).
+func (p *Pass) inspect(fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			if !fn(n, stack) {
+				return false
+			}
+			stack = append(stack, n)
+			return true
+		})
+	}
+}
+
+// enclosingFuncName returns the name of the innermost enclosing
+// function declaration on the stack, or "" (function literals are
+// transparent: they report the named function they appear in).
+func enclosingFuncName(stack []ast.Node) string {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if fd, ok := stack[i].(*ast.FuncDecl); ok {
+			return fd.Name.Name
+		}
+	}
+	return ""
+}
+
+// inLoopBody reports whether the node at the top of the stack is
+// inside the body of a for or range statement (lexically; function
+// literals inside a loop body count, matching the conservative intent
+// of the check).
+func inLoopBody(stack []ast.Node) bool {
+	for i := len(stack) - 1; i > 0; i-- {
+		switch outer := stack[i-1].(type) {
+		case *ast.ForStmt:
+			if outer.Body == stack[i] {
+				return true
+			}
+		case *ast.RangeStmt:
+			if outer.Body == stack[i] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// importedPkg resolves a selector base identifier to the path of the
+// package it names, or "".
+func (p *Pass) importedPkg(x ast.Expr) string {
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if pn, ok := p.TypesInfo.Uses[id].(*types.PkgName); ok {
+		return pn.Imported().Path()
+	}
+	return ""
+}

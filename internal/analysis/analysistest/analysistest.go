@@ -1,0 +1,170 @@
+// Package analysistest runs an analyzer over a testdata source tree
+// and checks its diagnostics against golden expectations written as
+// `// want "regexp"` comments, mirroring the x/tools package of the
+// same name.
+//
+// Layout: <testdata>/src/<importpath>/*.go. A want comment applies to
+// the line it appears on and may carry several quoted or backquoted
+// regular expressions; each must match exactly one diagnostic
+// reported on that line, and every diagnostic must be matched.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// Run loads each package and applies the analyzer, reporting
+// mismatches between diagnostics and want comments as test errors.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	for _, pkgPath := range pkgs {
+		dir := filepath.Join(testdata, "src", filepath.FromSlash(pkgPath))
+		pkg, err := loader.LoadDir(dir, pkgPath)
+		if err != nil {
+			t.Fatalf("analysistest: load %s: %v", pkgPath, err)
+		}
+		diags, err := analysis.Run(pkg, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("analysistest: run %s on %s: %v", a.Name, pkgPath, err)
+		}
+		checkDiagnostics(t, pkg, diags)
+	}
+}
+
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+func checkDiagnostics(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := collectWants(t, pkg)
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		w := findWant(wants, pos.Filename, pos.Line, d.Message)
+		if w == nil {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+			continue
+		}
+		w.matched = true
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+func findWant(wants []*want, file string, line int, msg string) *want {
+	for _, w := range wants {
+		if !w.matched && w.file == file && w.line == line && w.re.MatchString(msg) {
+			return w
+		}
+	}
+	return nil
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+func collectWants(t *testing.T, pkg *analysis.Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				patterns, err := parseWantPatterns(m[1])
+				if err != nil {
+					t.Fatalf("%s: bad want comment: %v", pos, err)
+				}
+				for _, p := range patterns {
+					wants = append(wants, &want{
+						file: pos.Filename,
+						line: pos.Line,
+						re:   compileWant(t, pos.String(), p),
+					})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// compileWant compiles one want pattern, failing the test with the
+// comment's position on a bad regexp. (Each distinct pattern is
+// compiled exactly once; keeping the call out of the scan loop also
+// keeps the harness itself clean under the regexploop analyzer.)
+func compileWant(t *testing.T, pos, pattern string) *regexp.Regexp {
+	t.Helper()
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		t.Fatalf("%s: bad want regexp %q: %v", pos, pattern, err)
+	}
+	return re
+}
+
+// parseWantPatterns scans a sequence of Go string literals:
+// `re` or "re", separated by spaces.
+func parseWantPatterns(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var lit string
+		switch s[0] {
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated backquote in %q", s)
+			}
+			lit = s[1 : 1+end]
+			s = s[end+2:]
+		case '"':
+			// Find the closing quote, honoring escapes.
+			end := -1
+			for i := 1; i < len(s); i++ {
+				if s[i] == '\\' {
+					i++
+					continue
+				}
+				if s[i] == '"' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated quote in %q", s)
+			}
+			var err error
+			lit, err = strconv.Unquote(s[:end+1])
+			if err != nil {
+				return nil, err
+			}
+			s = s[end+1:]
+		default:
+			return nil, fmt.Errorf("want patterns must be quoted or backquoted, got %q", s)
+		}
+		out = append(out, lit)
+		s = strings.TrimSpace(s)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty want comment")
+	}
+	return out, nil
+}

@@ -1,0 +1,49 @@
+package analysis_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// One loader for every clean-package check in this test binary: the
+// standard library is type-checked from source once and cached.
+var (
+	loaderOnce sync.Once
+	loader     *analysis.Loader
+	loaderErr  error
+)
+
+func sharedLoader(t *testing.T) *analysis.Loader {
+	t.Helper()
+	loaderOnce.Do(func() {
+		loader, loaderErr = analysis.NewLoader(".")
+	})
+	if loaderErr != nil {
+		t.Fatalf("loader: %v", loaderErr)
+	}
+	return loader
+}
+
+// expectClean asserts that the analyzer reports nothing on the given
+// real (module-internal) packages — the sanctioned idioms must not be
+// flagged.
+func expectClean(t *testing.T, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	l := sharedLoader(t)
+	for _, path := range pkgPaths {
+		pkg, err := l.Load(path)
+		if err != nil {
+			t.Fatalf("load %s: %v", path, err)
+		}
+		diags, err := analysis.Run(pkg, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("run %s on %s: %v", a.Name, path, err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s: unexpected %s diagnostic: %s",
+				pkg.Fset.Position(d.Pos), a.Name, d.Message)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// DeweyCmp flags direct byte-level comparisons of Dewey positions
+// outside internal/dewey and internal/keyenc. The paper's axis
+// semantics (Table 2; Lemmas 1–2) hold only under the exact
+// lexicographic comparators exported by internal/dewey — in
+// particular the descendant range is (d(m), d(m)||0xFF), which an ad
+// hoc bytes.Compare or string() comparison silently gets wrong at the
+// sentinel boundary. All Pos comparisons must go through
+// dewey.Compare / dewey.Is* or the keyenc order-preserving encodings.
+var DeweyCmp = &Analyzer{
+	Name: "deweycmp",
+	Doc: "flag ==/</bytes.Compare/string() comparisons of dewey.Pos values outside " +
+		"internal/dewey and internal/keyenc; use the dewey axis comparators (Table 2, Lemmas 1-2)",
+	Run: runDeweyCmp,
+}
+
+// deweyPosPath/deweyPosName identify the protected type.
+const (
+	deweyPkgSuffix = "internal/dewey"
+	deweyPosName   = "Pos"
+)
+
+// bytesCmpFuncs are the bytes-package entry points that perform raw
+// lexicographic comparison.
+var bytesCmpFuncs = map[string]bool{
+	"Compare": true, "Equal": true, "HasPrefix": true, "HasSuffix": true, "Contains": true,
+}
+
+func runDeweyCmp(pass *Pass) error {
+	path := pass.Pkg.Path()
+	if strings.HasSuffix(path, "internal/dewey") || strings.HasSuffix(path, "internal/keyenc") {
+		return nil // the sanctioned comparator implementations
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				sel, ok := x.Fun.(*ast.SelectorExpr)
+				if !ok || pass.importedPkg(sel.X) != "bytes" || !bytesCmpFuncs[sel.Sel.Name] {
+					break
+				}
+				for _, arg := range x.Args {
+					if carriesDeweyPos(pass, arg) {
+						pass.Reportf(x.Pos(),
+							"bytes.%s on dewey.Pos; use dewey.Compare or the dewey.Is* axis comparators (Table 2, Lemmas 1-2)",
+							sel.Sel.Name)
+						break
+					}
+				}
+			case *ast.BinaryExpr:
+				switch x.Op {
+				case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+				default:
+					return true
+				}
+				// p == nil is the idiomatic emptiness test, not a comparison
+				// between positions.
+				if isNilIdent(x.X) || isNilIdent(x.Y) {
+					return true
+				}
+				if carriesDeweyPos(pass, x.X) || carriesDeweyPos(pass, x.Y) {
+					pass.Reportf(x.Pos(),
+						"direct %s comparison of dewey.Pos; use dewey.Compare or the dewey.Is* axis comparators (Table 2, Lemmas 1-2)",
+						x.Op)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// carriesDeweyPos reports whether e is a dewey.Pos value, possibly
+// wrapped in parens or string()/[]byte() conversions that launder the
+// type without changing the bytes.
+func carriesDeweyPos(pass *Pass, e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		return carriesDeweyPos(pass, x.X)
+	case *ast.CallExpr:
+		if len(x.Args) == 1 {
+			if tv, ok := pass.TypesInfo.Types[x.Fun]; ok && tv.IsType() {
+				return carriesDeweyPos(pass, x.Args[0])
+			}
+		}
+	}
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == deweyPosName && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), deweyPkgSuffix)
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}

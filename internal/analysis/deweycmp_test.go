@@ -1,0 +1,18 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestDeweyCmp(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.DeweyCmp, "deweycmp/a", "deweycmp/ok")
+}
+
+// The comparator implementations are the sanctioned sites: running
+// deweycmp over the real dewey and keyenc packages must stay clean.
+func TestDeweyCmpSanctionsComparators(t *testing.T) {
+	expectClean(t, analysis.DeweyCmp, "repro/internal/dewey", "repro/internal/keyenc")
+}

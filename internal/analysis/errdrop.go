@@ -1,0 +1,158 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrDrop flags error values that are silently discarded: a call
+// whose error result is ignored as a bare statement, or blanked with
+// _ in an assignment that keeps other results. The engine's exec/plan
+// paths return errors for every malformed plan or value-kind
+// mismatch, and the cmd/ tools do file I/O; swallowing either class
+// turns wrong answers into silent ones. An assignment that blanks
+// every result (`_ = f()`) remains the explicit, greppable opt-out.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc: "flag discarded error returns (bare call statements, or _ for the error " +
+		"position while keeping other results); use `_ = f()` to discard explicitly",
+	Run: runErrDrop,
+}
+
+func runErrDrop(pass *Pass) error {
+	errType := types.Universe.Lookup("error").Type()
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.ExprStmt:
+				call, ok := x.X.(*ast.CallExpr)
+				if !ok || !callReturnsError(pass, call, errType) || errdropExempt(pass, call) {
+					break
+				}
+				pass.Reportf(x.Pos(), "%s returns an error that is discarded; handle it or assign to _ explicitly",
+					calleeLabel(call))
+			case *ast.AssignStmt:
+				checkBlankedErrors(pass, x, errType)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkBlankedErrors flags `v, _ := f()` where the blanked position
+// is an error but other results are kept.
+func checkBlankedErrors(pass *Pass, as *ast.AssignStmt, errType types.Type) {
+	allBlank := true
+	for _, lhs := range as.Lhs {
+		if !isBlank(lhs) {
+			allBlank = false
+			break
+		}
+	}
+	if allBlank {
+		return // explicit discard idiom
+	}
+	// Tuple form: v, _ := f().
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || errdropExempt(pass, call) {
+			return
+		}
+		tv, ok := pass.TypesInfo.Types[call]
+		if !ok {
+			return
+		}
+		tuple, ok := tv.Type.(*types.Tuple)
+		if !ok || tuple.Len() != len(as.Lhs) {
+			return
+		}
+		for i, lhs := range as.Lhs {
+			if isBlank(lhs) && types.Identical(tuple.At(i).Type(), errType) {
+				pass.Reportf(lhs.Pos(), "error result of %s blanked while other results are kept; handle it",
+					calleeLabel(call))
+			}
+		}
+		return
+	}
+	// Parallel form: a, b = f(), g().
+	if len(as.Rhs) == len(as.Lhs) {
+		for i, lhs := range as.Lhs {
+			if !isBlank(lhs) {
+				continue
+			}
+			call, ok := as.Rhs[i].(*ast.CallExpr)
+			if !ok || errdropExempt(pass, call) {
+				continue
+			}
+			if tv, ok := pass.TypesInfo.Types[call]; ok && tv.Type != nil && types.Identical(tv.Type, errType) {
+				pass.Reportf(lhs.Pos(), "error result of %s blanked while other results are kept; handle it",
+					calleeLabel(call))
+			}
+		}
+	}
+}
+
+// callReturnsError reports whether any result of the call is error.
+func callReturnsError(pass *Pass, call *ast.CallExpr, errType types.Type) bool {
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok || tv.Type == nil || tv.IsType() {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if types.Identical(t.At(i).Type(), errType) {
+				return true
+			}
+		}
+		return false
+	default:
+		return types.Identical(t, errType)
+	}
+}
+
+// errdropExempt lists callees whose errors are conventionally
+// ignorable: the fmt print family (stdout/stderr diagnostics) and
+// writers that never fail (strings.Builder, bytes.Buffer).
+func errdropExempt(pass *Pass, call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if pkg := pass.importedPkg(fun.X); pkg == "fmt" &&
+			(strings.HasPrefix(fun.Sel.Name, "Print") || strings.HasPrefix(fun.Sel.Name, "Fprint")) {
+			return true
+		}
+		if sel, ok := pass.TypesInfo.Selections[fun]; ok {
+			recv := sel.Recv()
+			if p, ok := recv.(*types.Pointer); ok {
+				recv = p.Elem()
+			}
+			switch recv.String() {
+			case "strings.Builder", "bytes.Buffer":
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// calleeLabel renders the called function for a diagnostic.
+func calleeLabel(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			return id.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	default:
+		return "call"
+	}
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

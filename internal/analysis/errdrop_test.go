@@ -1,0 +1,19 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestErrDrop(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.ErrDrop, "errdrop/a", "errdrop/ok")
+}
+
+// The exec/plan paths and the CLI tools named by the invariant must
+// stay clean under errdrop.
+func TestErrDropEngineAndToolsClean(t *testing.T) {
+	expectClean(t, analysis.ErrDrop,
+		"repro/internal/engine", "repro/cmd/xload", "repro/cmd/xbench")
+}

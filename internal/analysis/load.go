@@ -1,0 +1,299 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path  string // import path ("repro/internal/engine", or a testdata pseudo-path)
+	Dir   string // absolute directory
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// The loader shares one FileSet and one source-importer across every
+// Loader in the process so the standard library is parsed and
+// type-checked at most once per run (the source importer caches
+// internally, keyed by this FileSet). loadMu serializes all loading;
+// neither the importer nor the maps are safe for concurrent use.
+var (
+	loadMu     sync.Mutex
+	sharedFset = token.NewFileSet()
+	stdSource  = importer.ForCompiler(sharedFset, "source", nil)
+)
+
+// A Loader type-checks packages of one module with the standard
+// library resolved from GOROOT source. It needs no network, no
+// GOPATH, and no export data — only the go toolchain's source tree.
+type Loader struct {
+	ModuleRoot string // absolute directory containing go.mod
+	ModulePath string // module path declared in go.mod
+
+	pkgs    map[string]*Package // by import path
+	loading map[string]bool     // import cycle detection
+}
+
+// NewLoader finds the enclosing module of dir (walking up to go.mod)
+// and returns a loader for it.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("analysis: no go.mod at or above %s", abs)
+		}
+		root = parent
+	}
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			modPath = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("analysis: no module directive in %s/go.mod", root)
+	}
+	return &Loader{
+		ModuleRoot: root,
+		ModulePath: modPath,
+		pkgs:       map[string]*Package{},
+		loading:    map[string]bool{},
+	}, nil
+}
+
+// Load type-checks the package with the given module-internal import
+// path (or returns the cached result).
+func (l *Loader) Load(importPath string) (*Package, error) {
+	loadMu.Lock()
+	defer loadMu.Unlock()
+	return l.load(importPath)
+}
+
+// LoadDir type-checks the package in dir under the given (possibly
+// synthetic) import path. Used by analysistest for testdata trees
+// that live outside the module's package space.
+func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	loadMu.Lock()
+	defer loadMu.Unlock()
+	if p, ok := l.pkgs[importPath]; ok {
+		return p, nil
+	}
+	return l.check(dir, importPath, true)
+}
+
+// Packages loads every package matched by the patterns. A pattern is
+// a directory (absolute or relative to the loader's module root),
+// optionally ending in "/..." for a recursive walk. Directories named
+// testdata, hidden directories, and directories with no non-test Go
+// files are skipped.
+func (l *Loader) Packages(patterns ...string) ([]*Package, error) {
+	var dirs []string
+	seen := map[string]bool{}
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive = true
+			pat = rest
+			if pat == "" || pat == "." {
+				pat = l.ModuleRoot
+			}
+		}
+		if !filepath.IsAbs(pat) {
+			pat = filepath.Join(l.ModuleRoot, pat)
+		}
+		if !recursive {
+			add(pat)
+			continue
+		}
+		err := filepath.WalkDir(pat, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != pat && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			add(path)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var out []*Package
+	for _, dir := range dirs {
+		if !l.hasGoFiles(dir) {
+			continue
+		}
+		rel, err := filepath.Rel(l.ModuleRoot, dir)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return nil, fmt.Errorf("analysis: %s is outside module %s", dir, l.ModuleRoot)
+		}
+		importPath := l.ModulePath
+		if rel != "." {
+			importPath = l.ModulePath + "/" + filepath.ToSlash(rel)
+		}
+		p, err := l.Load(importPath)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+func (l *Loader) hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// load resolves a module-internal import path to its directory and
+// type-checks it. Callers hold loadMu.
+func (l *Loader) load(importPath string) (*Package, error) {
+	if p, ok := l.pkgs[importPath]; ok {
+		return p, nil
+	}
+	if l.loading[importPath] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", importPath)
+	}
+	rel := strings.TrimPrefix(strings.TrimPrefix(importPath, l.ModulePath), "/")
+	dir := filepath.Join(l.ModuleRoot, filepath.FromSlash(rel))
+	return l.check(dir, importPath, false)
+}
+
+// check parses and type-checks the single package in dir. Test files
+// are included only for testdata packages (includeTests), where the
+// want-comments live in ordinary files anyway; the repository's
+// in-package _test.go files are outside xvet's scope (they would pull
+// the testing universe into every load).
+func (l *Loader) check(dir, importPath string, includeTests bool) (*Package, error) {
+	l.loading[importPath] = true
+	defer delete(l.loading, importPath)
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		if !includeTests && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+
+	var files []*ast.File
+	pkgName := ""
+	for _, name := range names {
+		f, err := parser.ParseFile(sharedFset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		n := f.Name.Name
+		if strings.HasSuffix(n, "_test") {
+			continue // external test package: out of scope
+		}
+		if pkgName == "" {
+			pkgName = n
+		} else if n != pkgName {
+			return nil, fmt.Errorf("analysis: %s: multiple packages %s and %s", dir, pkgName, n)
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: (*loaderImporter)(l),
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, err := conf.Check(importPath, sharedFset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("analysis: type errors in %s: %v", importPath, typeErrs[0])
+	}
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %s: %w", importPath, err)
+	}
+	p := &Package{Path: importPath, Dir: dir, Fset: sharedFset, Files: files, Types: tpkg, Info: info}
+	l.pkgs[importPath] = p
+	return p, nil
+}
+
+// loaderImporter routes module-internal imports back through the
+// loader and everything else to the GOROOT source importer.
+type loaderImporter Loader
+
+func (i *loaderImporter) Import(path string) (*types.Package, error) {
+	l := (*Loader)(i)
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return stdSource.(types.ImporterFrom).ImportFrom(path, l.ModuleRoot, 0)
+}

@@ -1,0 +1,136 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// RawSQL flags SQL text assembled with fmt verbs or string
+// concatenation outside the sqlast renderer. Every statement the
+// engine executes must be built as an internal/sqlast tree and
+// rendered by render.go — the single sanctioned emitter — so that the
+// Section 4 translation rules stay auditable in one place and no
+// query is ever spliced together from fragments.
+var RawSQL = &Analyzer{
+	Name: "rawsql",
+	Doc: "flag SQL assembled via fmt.Sprintf/Fprintf or string concatenation " +
+		"outside internal/sqlast/render.go; build statements with the sqlast AST instead",
+	Run: runRawSQL,
+}
+
+// sqlTextRe recognizes string literals that are unmistakably SQL
+// fragments. Single weak keywords ("from", "join") are deliberately
+// not matched: ordinary prose uses them.
+var sqlTextRe = regexp.MustCompile(`(?is)(` +
+	`\bselect\b.*\bfrom\b` +
+	`|\binsert\s+into\b` +
+	`|\bcreate\s+(table|index)\b` +
+	`|\bdelete\s+from\b` +
+	`|\bupdate\s+\w+\s+set\b` +
+	`|\border\s+by\b` +
+	`|\bgroup\s+by\b` +
+	`|\bunion\s+all\b` +
+	`|\bwhere\b.*(=|<|>|\bbetween\b|\blike\b)` +
+	`)`)
+
+// fmt functions that produce or emit strings. Errorf is excluded:
+// error messages legitimately quote SQL.
+var sqlFmtFuncs = map[string]bool{
+	"Sprintf": true, "Sprint": true, "Sprintln": true, "Appendf": true,
+	"Fprintf": true, "Fprint": true, "Fprintln": true,
+}
+
+func runRawSQL(pass *Pass) error {
+	for _, f := range pass.Files {
+		if isSanctionedSQLRenderer(pass, f) {
+			continue
+		}
+		reported := map[ast.Node]bool{}
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				if sel, ok := x.Fun.(*ast.SelectorExpr); ok &&
+					pass.importedPkg(sel.X) == "fmt" && sqlFmtFuncs[sel.Sel.Name] {
+					if sqlTextRe.MatchString(constStrings(pass, x.Args...)) {
+						pass.Reportf(x.Pos(),
+							"SQL assembled with fmt.%s; build it with the internal/sqlast AST and render.go",
+							sel.Sel.Name)
+					}
+				}
+			case *ast.BinaryExpr:
+				if x.Op != token.ADD || reported[n] {
+					break
+				}
+				// Only consider the outermost + of a concatenation chain.
+				if len(stack) > 0 {
+					if p, ok := stack[len(stack)-1].(*ast.BinaryExpr); ok && p.Op == token.ADD {
+						break
+					}
+				}
+				if isStringExpr(pass, x) && sqlTextRe.MatchString(constStrings(pass, flattenAdd(x)...)) {
+					reported[n] = true
+					pass.Reportf(x.Pos(),
+						"SQL assembled by string concatenation; build it with the internal/sqlast AST and render.go")
+				}
+			case *ast.AssignStmt:
+				if x.Tok == token.ADD_ASSIGN && len(x.Rhs) == 1 &&
+					isStringExpr(pass, x.Rhs[0]) && sqlTextRe.MatchString(constStrings(pass, x.Rhs[0])) {
+					pass.Reportf(x.Pos(),
+						"SQL assembled by string concatenation; build it with the internal/sqlast AST and render.go")
+				}
+			}
+			stack = append(stack, n)
+			return true
+		})
+	}
+	return nil
+}
+
+// isSanctionedSQLRenderer reports whether f is internal/sqlast's
+// render.go, the one file allowed to emit SQL text.
+func isSanctionedSQLRenderer(pass *Pass, f *ast.File) bool {
+	if !strings.HasSuffix(pass.Pkg.Path(), "sqlast") {
+		return false
+	}
+	return filepath.Base(pass.Fset.Position(f.Pos()).Filename) == "render.go"
+}
+
+// constStrings concatenates the constant string values found in the
+// expressions (space-separated), for keyword matching.
+func constStrings(pass *Pass, exprs ...ast.Expr) string {
+	var b strings.Builder
+	for _, e := range exprs {
+		if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+			b.WriteString(constant.StringVal(tv.Value))
+			b.WriteByte(' ')
+		}
+	}
+	return b.String()
+}
+
+func isStringExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// flattenAdd returns the leaves of a left-deep + chain.
+func flattenAdd(e ast.Expr) []ast.Expr {
+	if b, ok := e.(*ast.BinaryExpr); ok && b.Op == token.ADD {
+		return append(flattenAdd(b.X), flattenAdd(b.Y)...)
+	}
+	return []ast.Expr{e}
+}

@@ -1,0 +1,18 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestRawSQL(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.RawSQL, "rawsql/a", "rawsql/ok")
+}
+
+// The renderer itself is the sanctioned emitter: running rawsql over
+// the real internal/sqlast package must stay clean.
+func TestRawSQLSanctionsRenderer(t *testing.T) {
+	expectClean(t, analysis.RawSQL, "repro/internal/sqlast")
+}

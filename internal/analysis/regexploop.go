@@ -1,0 +1,58 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// RegexpLoop flags regexp/pathre compilation on per-row paths. The
+// REGEXP_LIKE hot loop of the executor must reuse matchers through
+// the engine's patternCache (compilePattern in internal/engine/eval.go
+// is the single sanctioned compilation site); compiling a pattern
+// inside a loop body — or anywhere else in internal/engine — turns an
+// O(1) cache hit into an O(pattern) NFA construction per row.
+var RegexpLoop = &Analyzer{
+	Name: "regexploop",
+	Doc: "flag regexp.Compile/pathre.Compile inside loop bodies, and anywhere in " +
+		"internal/engine outside compilePattern (the patternCache discipline)",
+	Run: runRegexpLoop,
+}
+
+var compileFuncs = map[string]bool{
+	"Compile": true, "MustCompile": true, "CompilePOSIX": true, "MustCompilePOSIX": true,
+}
+
+func runRegexpLoop(pass *Pass) error {
+	path := pass.Pkg.Path()
+	if strings.HasSuffix(path, "internal/pathre") {
+		return nil // the matcher implementation compiles its own test subjects
+	}
+	inEngine := strings.HasSuffix(path, "internal/engine")
+	pass.inspect(func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !compileFuncs[sel.Sel.Name] {
+			return true
+		}
+		from := pass.importedPkg(sel.X)
+		if from != "regexp" && !strings.HasSuffix(from, "internal/pathre") {
+			return true
+		}
+		base := sel.X.(*ast.Ident).Name
+		switch {
+		case inLoopBody(stack):
+			pass.Reportf(call.Pos(),
+				"%s.%s inside a loop; hoist it or go through the engine patternCache (compilePattern)",
+				base, sel.Sel.Name)
+		case inEngine && enclosingFuncName(stack) != "compilePattern":
+			pass.Reportf(call.Pos(),
+				"%s.%s in internal/engine outside compilePattern; per-row matching must use the patternCache",
+				base, sel.Sel.Name)
+		}
+		return true
+	})
+	return nil
+}

@@ -1,0 +1,19 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestRegexpLoop(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.RegexpLoop,
+		"regexploop/a", "regexploop/ok", "regexploop/internal/engine")
+}
+
+// compilePattern in the real engine is the sanctioned compilation
+// site: running regexploop over internal/engine must stay clean.
+func TestRegexpLoopSanctionsPatternCache(t *testing.T) {
+	expectClean(t, analysis.RegexpLoop, "repro/internal/engine", "repro/internal/core")
+}

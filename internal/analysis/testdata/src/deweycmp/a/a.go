@@ -1,0 +1,29 @@
+// Seeded violations for the deweycmp analyzer: raw byte comparisons
+// of Dewey positions that bypass the Table 2 axis comparators.
+package a
+
+import (
+	"bytes"
+
+	"repro/internal/dewey"
+)
+
+func rawCompare(a, b dewey.Pos) int {
+	return bytes.Compare(a, b) // want `bytes.Compare on dewey.Pos`
+}
+
+func rawEqual(a, b dewey.Pos) bool {
+	return bytes.Equal(a, b) // want `bytes.Equal on dewey.Pos`
+}
+
+func rawPrefix(a, b dewey.Pos) bool {
+	return bytes.HasPrefix(a, b) // want `bytes.HasPrefix on dewey.Pos`
+}
+
+func stringCompare(a, b dewey.Pos) bool {
+	return string(a) < string(b) // want `direct < comparison of dewey.Pos`
+}
+
+func stringEqual(a, b dewey.Pos) bool {
+	return string(a) == string(b) // want `direct == comparison of dewey.Pos`
+}

@@ -1,0 +1,21 @@
+// Negative cases for the deweycmp analyzer: the sanctioned dewey
+// comparators, nil emptiness tests, and comparisons of unrelated byte
+// slices are not flagged.
+package ok
+
+import (
+	"bytes"
+
+	"repro/internal/dewey"
+)
+
+func sanctioned(a, b dewey.Pos) bool {
+	if dewey.Compare(a, b) == 0 {
+		return true
+	}
+	return dewey.IsDescendant(a, b) || dewey.IsFollowing(a, b)
+}
+
+func emptiness(a dewey.Pos) bool { return a == nil }
+
+func plainBytes(x, y []byte) int { return bytes.Compare(x, y) }

@@ -1,0 +1,26 @@
+// Seeded violations for the errdrop analyzer: discarded error
+// returns.
+package a
+
+import "errors"
+
+func fail() error { return errors.New("boom") }
+
+func load() (int, error) { return 0, errors.New("boom") }
+
+func bareCall() {
+	fail() // want `fail returns an error that is discarded`
+}
+
+func blankedInTuple() int {
+	v, _ := load() // want `error result of load blanked while other results are kept`
+	return v
+}
+
+type closer struct{}
+
+func (closer) Close() error { return nil }
+
+func methodCall(c closer) {
+	c.Close() // want `c.Close returns an error that is discarded`
+}

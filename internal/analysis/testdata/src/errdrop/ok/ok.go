@@ -1,0 +1,38 @@
+// Negative cases for the errdrop analyzer: handled errors, the
+// explicit `_ =` discard idiom, and the conventional exemptions (fmt
+// printing, infallible builders).
+package ok
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+func fail() error { return errors.New("boom") }
+
+func load() (int, error) { return 0, errors.New("boom") }
+
+func handled() error {
+	if err := fail(); err != nil {
+		return err
+	}
+	v, err := load()
+	if err != nil {
+		return err
+	}
+	_ = v
+	return nil
+}
+
+func explicitDiscard() {
+	_ = fail()
+	_, _ = load()
+}
+
+func exemptions() string {
+	fmt.Println("diagnostics are fine")
+	var b strings.Builder
+	b.WriteString("infallible")
+	return b.String()
+}

@@ -1,0 +1,33 @@
+// Seeded violations for the rawsql analyzer: SQL text assembled with
+// fmt verbs and string concatenation instead of the sqlast AST.
+package a
+
+import (
+	"fmt"
+	"strings"
+)
+
+func sprintfSQL(table string) string {
+	return fmt.Sprintf("SELECT id FROM %s WHERE id = 1", table) // want `SQL assembled with fmt.Sprintf`
+}
+
+func fprintfSQL(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "CREATE TABLE %s (id INT)", name) // want `SQL assembled with fmt.Fprintf`
+	return b.String()
+}
+
+func concatSQL(table string) string {
+	return "SELECT d.pos FROM " + table + " d ORDER BY d.pos" // want `SQL assembled by string concatenation`
+}
+
+func appendSQL(cond string) string {
+	q := "SELECT n.id FROM nodes n"
+	q += " WHERE n.kind = " + cond // want `SQL assembled by string concatenation`
+	return q
+}
+
+// Plain prose through fmt is fine: no strong SQL shape.
+func prose(n int) string {
+	return fmt.Sprintf("%d row(s) inserted", n)
+}

@@ -1,0 +1,23 @@
+// Negative cases for the rawsql analyzer: statements built through
+// the sanctioned internal/sqlast AST and renderer are not flagged,
+// and SQL-quoting error messages stay allowed.
+package ok
+
+import (
+	"fmt"
+
+	"repro/internal/sqlast"
+)
+
+func viaAST(table string) string {
+	sel := &sqlast.Select{
+		Cols: []sqlast.SelectCol{{Expr: sqlast.C("d", "id")}},
+		From: []sqlast.TableRef{{Table: table, Alias: "d"}},
+	}
+	sel.AddConjunct(sqlast.Eq(sqlast.C("d", "id"), sqlast.Int(1)))
+	return sqlast.Render(sel)
+}
+
+func errorQuotingSQL(q string) error {
+	return fmt.Errorf("cannot parse %q as SELECT ... FROM", q)
+}

@@ -1,0 +1,47 @@
+// Seeded violations for the regexploop analyzer: pattern compilation
+// inside loop bodies.
+package a
+
+import (
+	"regexp"
+
+	"repro/internal/pathre"
+)
+
+func compileInFor(pats []string) int {
+	n := 0
+	for i := 0; i < len(pats); i++ {
+		re := regexp.MustCompile(pats[i]) // want `regexp.MustCompile inside a loop`
+		if re.MatchString("x") {
+			n++
+		}
+	}
+	return n
+}
+
+func compileInRange(pats, rows []string) (int, error) {
+	n := 0
+	for _, p := range pats {
+		re, err := pathre.Compile(p) // want `pathre.Compile inside a loop`
+		if err != nil {
+			return 0, err
+		}
+		for _, r := range rows {
+			if re.MatchString(r) {
+				n++
+			}
+		}
+	}
+	return n, nil
+}
+
+func closureInLoop(pats []string) []func() *regexp.Regexp {
+	var out []func() *regexp.Regexp
+	for _, p := range pats {
+		p := p
+		out = append(out, func() *regexp.Regexp {
+			return regexp.MustCompile(p) // want `regexp.MustCompile inside a loop`
+		})
+	}
+	return out
+}

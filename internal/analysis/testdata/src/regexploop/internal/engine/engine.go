@@ -1,0 +1,29 @@
+// Engine-rule cases for the regexploop analyzer: inside a package
+// whose path ends in internal/engine, compilePattern is the only
+// sanctioned compilation site even outside loops.
+package engine
+
+import "regexp"
+
+var cache = map[string]*regexp.Regexp{}
+
+// compilePattern mirrors the real engine's sanctioned site.
+func compilePattern(pat string) (*regexp.Regexp, error) {
+	if re, ok := cache[pat]; ok {
+		return re, nil
+	}
+	re, err := regexp.Compile(pat)
+	if err != nil {
+		return nil, err
+	}
+	cache[pat] = re
+	return re, nil
+}
+
+func perRowBypass(pat, row string) bool {
+	re, err := regexp.Compile(pat) // want `regexp.Compile in internal/engine outside compilePattern`
+	if err != nil {
+		return false
+	}
+	return re.MatchString(row)
+}

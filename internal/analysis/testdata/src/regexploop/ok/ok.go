@@ -1,0 +1,25 @@
+// Negative cases for the regexploop analyzer: hoisted compilation —
+// at package level or once before the loop — is the sanctioned shape.
+package ok
+
+import (
+	"regexp"
+
+	"repro/internal/pathre"
+)
+
+var hoisted = regexp.MustCompile(`^[0-9]+$`)
+
+func hoistedBeforeLoop(pat string, rows []string) (int, error) {
+	re, err := pathre.Compile(pat)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, r := range rows {
+		if re.MatchString(r) || hoisted.MatchString(r) {
+			n++
+		}
+	}
+	return n, nil
+}

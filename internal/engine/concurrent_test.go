@@ -17,6 +17,10 @@ func TestConcurrentReadQueries(t *testing.T) {
 		"SELECT B.id FROM B WHERE EXISTS (SELECT NULL FROM F WHERE F.dewey_pos BETWEEN B.dewey_pos AND B.dewey_pos || X'FF')",
 		"SELECT COUNT(*) FROM G",
 		"SELECT DISTINCT F.par FROM F",
+		// Exercises the shared patternCache: concurrent planners race to
+		// compile and publish the same matcher (fast/slow publication
+		// must be safe under -race).
+		"SELECT F.id FROM F WHERE REGEXP_LIKE(F.text, '^[0-9]+$') ORDER BY F.id",
 	}
 	want := make([][][]Value, len(queries))
 	for i, q := range queries {

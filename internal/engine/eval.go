@@ -375,13 +375,40 @@ func (m *matcher) match(s string) bool {
 	return m.slow.MatchString(s)
 }
 
-var patternCache sync.Map // string -> *matcher
+// patternCache shares compiled matchers across queries and
+// goroutines. Entries are published under the write lock, so a
+// matcher's fast/slow fields are safely visible to every reader. The
+// cache is bounded: adversarial or generated workloads can present an
+// unbounded stream of distinct patterns, so at patternCacheCap
+// entries the whole map is dropped and rebuilt from the live working
+// set (flush-on-overflow — constant-time, and a full flush costs one
+// recompile per still-hot pattern).
+const patternCacheCap = 1024
 
+var patternCache = struct {
+	mu sync.RWMutex
+	m  map[string]*matcher
+}{m: make(map[string]*matcher)}
+
+// PatternCacheSize reports the number of cached REGEXP_LIKE
+// matchers, for metrics and tests. It never exceeds patternCacheCap.
+func PatternCacheSize() int {
+	patternCache.mu.RLock()
+	defer patternCache.mu.RUnlock()
+	return len(patternCache.m)
+}
+
+// compilePattern is the engine's only sanctioned pattern-compilation
+// site (enforced by the regexploop analyzer): every per-row matcher
+// must come from here so row loops hit the cache instead of
+// recompiling.
 func compilePattern(pat string) (*matcher, error) {
-	if v, ok := patternCache.Load(pat); ok {
-		return v.(*matcher), nil
+	patternCache.mu.RLock()
+	m := patternCache.m[pat]
+	patternCache.mu.RUnlock()
+	if m != nil {
+		return m, nil
 	}
-	var m *matcher
 	if fast, err := pathre.Compile(pat); err == nil {
 		m = &matcher{fast: fast}
 	} else {
@@ -391,6 +418,15 @@ func compilePattern(pat string) (*matcher, error) {
 		}
 		m = &matcher{slow: slow}
 	}
-	patternCache.Store(pat, m)
+	patternCache.mu.Lock()
+	if prev, ok := patternCache.m[pat]; ok {
+		m = prev // lost a compile race; keep the published matcher
+	} else {
+		if len(patternCache.m) >= patternCacheCap {
+			patternCache.m = make(map[string]*matcher, patternCacheCap)
+		}
+		patternCache.m[pat] = m
+	}
+	patternCache.mu.Unlock()
 	return m, nil
 }

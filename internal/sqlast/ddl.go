@@ -36,41 +36,9 @@ type Insert struct {
 
 func (*Insert) stmtNode() {}
 
-func (c *CreateTable) String() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "CREATE TABLE %s (", c.Name)
-	for i, col := range c.Cols {
-		if i > 0 {
-			b.WriteString(", ")
-		}
-		fmt.Fprintf(&b, "%s %s", col.Name, col.Type)
-	}
-	b.WriteString(")")
-	return b.String()
-}
-
-func (c *CreateIndex) String() string {
-	return fmt.Sprintf("CREATE INDEX %s ON %s (%s)", c.Name, c.Table, strings.Join(c.Cols, ", "))
-}
-
-func (ins *Insert) String() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "INSERT INTO %s VALUES ", ins.Table)
-	for i, row := range ins.Rows {
-		if i > 0 {
-			b.WriteString(", ")
-		}
-		b.WriteString("(")
-		for j, v := range row {
-			if j > 0 {
-				b.WriteString(", ")
-			}
-			b.WriteString(v.String())
-		}
-		b.WriteString(")")
-	}
-	return b.String()
-}
+// The String methods of the DDL statements live in render.go: that
+// file is the single sanctioned SQL text emitter (enforced by the
+// rawsql analyzer in internal/analysis).
 
 // parseDDL handles CREATE TABLE / CREATE INDEX / INSERT after Parse
 // sees their leading identifier.

@@ -82,6 +82,42 @@ func renderOrderBy(b *strings.Builder, keys []OrderKey) {
 	}
 }
 
+func (c *CreateTable) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "CREATE TABLE %s (", c.Name)
+	for i, col := range c.Cols {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %s", col.Name, col.Type)
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+func (c *CreateIndex) String() string {
+	return fmt.Sprintf("CREATE INDEX %s ON %s (%s)", c.Name, c.Table, strings.Join(c.Cols, ", "))
+}
+
+func (ins *Insert) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "INSERT INTO %s VALUES ", ins.Table)
+	for i, row := range ins.Rows {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString("(")
+		for j, v := range row {
+			if j > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(v.String())
+		}
+		b.WriteString(")")
+	}
+	return b.String()
+}
+
 // precedence levels, low to high, for minimal parenthesization.
 func prec(e Expr) int {
 	switch x := e.(type) {
