@@ -1,7 +1,7 @@
 # make check mirrors .github/workflows/ci.yml locally.
 GO ?= go
 
-.PHONY: check build fmtcheck vet xvet test race
+.PHONY: check build fmtcheck vet xvet test race bench-smoke
 
 check: build fmtcheck vet xvet test race
 
@@ -26,3 +26,11 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# bench-smoke runs a tiny Figure 3 pass in both execution modes
+# (serial, then morsel-parallel) with oracle verification on: a fast
+# end-to-end check that every measured configuration still returns the
+# native evaluator's node sets.
+bench-smoke:
+	$(GO) run ./cmd/xbench -experiment fig3 -scale 0.02 -reps 1 -budget 30s
+	$(GO) run ./cmd/xbench -experiment fig3 -scale 0.02 -reps 1 -budget 30s -parallel

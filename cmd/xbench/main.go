@@ -6,17 +6,26 @@
 //	xbench -experiment fig3|appc-small|appc-large|appc-dblp|joins|\
 //	                   ablate-pathfilter|ablate-fkjoin|all
 //	       [-scale N] [-reps N] [-budget 60s] [-seed N] [-noverify]
+//	       [-parallel] [-json out.json]
 //
 // Scale 1 approximates the paper's small (12 MB) XMark document;
 // appc-large uses 10x (the paper's 113 MB document). Timings cannot
 // match a 2006 Oracle installation; the reproduction target is the
 // relative shape of each table (see EXPERIMENTS.md).
+//
+// -parallel runs the SQL-based systems with the engine's morsel
+// executor at GOMAXPROCS workers (paper-shape comparisons are serial;
+// see EXPERIMENTS.md). -json writes every measurement as a JSON array
+// of records so the repo can accumulate a perf trajectory
+// (BENCH_<experiment>.json).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/bench"
@@ -29,24 +38,42 @@ func main() {
 	budget := flag.Duration("budget", 60*time.Second, "per-query budget; slower runs print '~' like the paper")
 	seed := flag.Int64("seed", 42, "generator seed")
 	noverify := flag.Bool("noverify", false, "skip cross-checking every system against the oracle")
+	parallel := flag.Bool("parallel", false, "run SQL-based systems with GOMAXPROCS engine workers")
+	jsonOut := flag.String("json", "", "also write measurements as JSON records to this file")
 	flag.Parse()
 
-	if err := run(*experiment, *scale, *reps, *budget, *seed, !*noverify); err != nil {
+	workers := 0
+	if *parallel {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if err := run(*experiment, *scale, *reps, *budget, *seed, !*noverify, workers, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "xbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment string, scale float64, reps int, budget time.Duration, seed int64, verify bool) error {
+func run(experiment string, scale float64, reps int, budget time.Duration, seed int64, verify bool, workers int, jsonOut string) error {
 	opts := bench.Opts{Reps: reps, Budget: budget, Verify: verify}
+	var records []bench.Record
+	if jsonOut != "" {
+		opts.Sink = func(r bench.Record) { records = append(records, r) }
+	}
 
 	xmarkAt := func(s float64) (*bench.Workload, error) {
 		fmt.Fprintf(os.Stderr, "generating and loading XMark workload (scale %g)...\n", s)
-		return bench.NewXMark(s, seed)
+		w, err := bench.NewXMark(s, seed)
+		if err == nil {
+			w.Parallelism = workers
+		}
+		return w, err
 	}
 	dblpAt := func(s float64) (*bench.Workload, error) {
 		fmt.Fprintf(os.Stderr, "generating and loading DBLP workload (scale %g)...\n", s)
-		return bench.NewDBLP(s, seed)
+		w, err := bench.NewDBLP(s, seed)
+		if err == nil {
+			w.Parallelism = workers
+		}
+		return w, err
 	}
 
 	show := func(t *bench.Table, err error) error {
@@ -57,88 +84,106 @@ func run(experiment string, scale float64, reps int, budget time.Duration, seed 
 		return nil
 	}
 
-	switch experiment {
-	case "fig3":
-		x, err := xmarkAt(scale)
-		if err != nil {
-			return err
+	runExperiment := func() error {
+		switch experiment {
+		case "fig3":
+			x, err := xmarkAt(scale)
+			if err != nil {
+				return err
+			}
+			d, err := dblpAt(scale)
+			if err != nil {
+				return err
+			}
+			return show(bench.Fig3([]*bench.Workload{x, d}, opts))
+		case "appc-small":
+			w, err := xmarkAt(scale)
+			if err != nil {
+				return err
+			}
+			return show(bench.AppendixC(w, opts))
+		case "appc-large":
+			w, err := xmarkAt(scale * 10)
+			if err != nil {
+				return err
+			}
+			return show(bench.AppendixC(w, opts))
+		case "appc-dblp":
+			w, err := dblpAt(scale)
+			if err != nil {
+				return err
+			}
+			return show(bench.AppendixC(w, opts))
+		case "joins":
+			w, err := xmarkAt(minScale(scale, 0.05))
+			if err != nil {
+				return err
+			}
+			if err := show(bench.JoinCounts(w)); err != nil {
+				return err
+			}
+			d, err := dblpAt(minScale(scale, 0.05))
+			if err != nil {
+				return err
+			}
+			return show(bench.JoinCounts(d))
+		case "ablate-pathfilter":
+			w, err := xmarkAt(scale)
+			if err != nil {
+				return err
+			}
+			return show(bench.AblatePathFilter(w, opts))
+		case "ablate-fkjoin":
+			w, err := xmarkAt(scale)
+			if err != nil {
+				return err
+			}
+			return show(bench.AblateFKJoin(w, opts))
+		case "all":
+			x, err := xmarkAt(scale)
+			if err != nil {
+				return err
+			}
+			d, err := dblpAt(scale)
+			if err != nil {
+				return err
+			}
+			if err := show(bench.JoinCounts(x)); err != nil {
+				return err
+			}
+			if err := show(bench.Fig3([]*bench.Workload{x, d}, opts)); err != nil {
+				return err
+			}
+			if err := show(bench.AppendixC(x, opts)); err != nil {
+				return err
+			}
+			if err := show(bench.AppendixC(d, opts)); err != nil {
+				return err
+			}
+			if err := show(bench.AblatePathFilter(x, opts)); err != nil {
+				return err
+			}
+			return show(bench.AblateFKJoin(x, opts))
+		default:
+			return fmt.Errorf("unknown experiment %q", experiment)
 		}
-		d, err := dblpAt(scale)
-		if err != nil {
-			return err
-		}
-		return show(bench.Fig3([]*bench.Workload{x, d}, opts))
-	case "appc-small":
-		w, err := xmarkAt(scale)
-		if err != nil {
-			return err
-		}
-		return show(bench.AppendixC(w, opts))
-	case "appc-large":
-		w, err := xmarkAt(scale * 10)
-		if err != nil {
-			return err
-		}
-		return show(bench.AppendixC(w, opts))
-	case "appc-dblp":
-		w, err := dblpAt(scale)
-		if err != nil {
-			return err
-		}
-		return show(bench.AppendixC(w, opts))
-	case "joins":
-		w, err := xmarkAt(minScale(scale, 0.05))
-		if err != nil {
-			return err
-		}
-		if err := show(bench.JoinCounts(w)); err != nil {
-			return err
-		}
-		d, err := dblpAt(minScale(scale, 0.05))
-		if err != nil {
-			return err
-		}
-		return show(bench.JoinCounts(d))
-	case "ablate-pathfilter":
-		w, err := xmarkAt(scale)
-		if err != nil {
-			return err
-		}
-		return show(bench.AblatePathFilter(w, opts))
-	case "ablate-fkjoin":
-		w, err := xmarkAt(scale)
-		if err != nil {
-			return err
-		}
-		return show(bench.AblateFKJoin(w, opts))
-	case "all":
-		x, err := xmarkAt(scale)
-		if err != nil {
-			return err
-		}
-		d, err := dblpAt(scale)
-		if err != nil {
-			return err
-		}
-		if err := show(bench.JoinCounts(x)); err != nil {
-			return err
-		}
-		if err := show(bench.Fig3([]*bench.Workload{x, d}, opts)); err != nil {
-			return err
-		}
-		if err := show(bench.AppendixC(x, opts)); err != nil {
-			return err
-		}
-		if err := show(bench.AppendixC(d, opts)); err != nil {
-			return err
-		}
-		if err := show(bench.AblatePathFilter(x, opts)); err != nil {
-			return err
-		}
-		return show(bench.AblateFKJoin(x, opts))
-	default:
-		return fmt.Errorf("unknown experiment %q", experiment)
 	}
+
+	if err := runExperiment(); err != nil {
+		return err
+	}
+	if jsonOut != "" {
+		data, err := json.MarshalIndent(records, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(jsonOut, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d records to %s\n", len(records), jsonOut)
+	}
+	return nil
 }
 
 func minScale(a, b float64) float64 {

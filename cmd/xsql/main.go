@@ -5,9 +5,13 @@
 // optional -schema, the shell starts with an XML document already
 // shredded under the schema-aware mapping.
 //
-//	xsql [-schema site.schema [-xsd]] [-load doc.xml] [-e 'STMT'...]
+//	xsql [-schema site.schema [-xsd]] [-load doc.xml] [-parallel N] [-e 'STMT'...]
 //
-// Special commands: \d lists tables; \q quits.
+// -parallel N executes SELECTs with the engine's morsel executor at N
+// workers (0 = serial).
+//
+// Special commands: \d lists tables; \stats prints engine cache
+// metrics; \q quits.
 package main
 
 import (
@@ -27,11 +31,12 @@ func main() {
 	schemaPath := flag.String("schema", "", "schema file for -load (compact DSL, or XSD with -xsd); inferred when omitted")
 	useXSD := flag.Bool("xsd", false, "parse the schema file as XML Schema")
 	load := flag.String("load", "", "XML document to shred before starting")
+	parallel := flag.Int("parallel", 0, "engine worker count for SELECTs (0 = serial)")
 	var stmts multiFlag
 	flag.Var(&stmts, "e", "statement to execute (repeatable); skips the interactive loop")
 	flag.Parse()
 
-	if err := run(*schemaPath, *useXSD, *load, stmts, os.Stdin, os.Stdout); err != nil {
+	if err := run(*schemaPath, *useXSD, *load, *parallel, stmts, os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "xsql:", err)
 		os.Exit(1)
 	}
@@ -42,7 +47,7 @@ type multiFlag []string
 func (m *multiFlag) String() string     { return strings.Join(*m, "; ") }
 func (m *multiFlag) Set(s string) error { *m = append(*m, s); return nil }
 
-func run(schemaPath string, useXSD bool, load string, stmts []string, in *os.File, out *os.File) error {
+func run(schemaPath string, useXSD bool, load string, parallel int, stmts []string, in *os.File, out *os.File) error {
 	db := engine.NewDB()
 	if load != "" {
 		f, err := os.Open(load)
@@ -95,8 +100,14 @@ func run(schemaPath string, useXSD bool, load string, stmts []string, in *os.Fil
 				fmt.Fprintln(out, t)
 			}
 			return
+		case `\stats`:
+			hits, misses := db.PlanCacheStats()
+			fmt.Fprintf(out, "plan cache: %d entries, %d hits, %d misses\n",
+				db.PlanCacheSize(), hits, misses)
+			fmt.Fprintf(out, "pattern cache: %d entries\n", engine.PatternCacheSize())
+			return
 		}
-		res, err := db.ExecSQL(line)
+		res, err := db.ExecSQLWithOptions(line, engine.ExecOptions{Parallelism: parallel})
 		if err != nil {
 			fmt.Fprintln(out, "error:", err)
 			return

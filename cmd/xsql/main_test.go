@@ -15,7 +15,7 @@ func TestRunStatements(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer out.Close()
-	err = run(td("figure1.schema"), false, td("figure1.xml"), []string{
+	err = run(td("figure1.schema"), false, td("figure1.xml"), 0, []string{
 		`\d`,
 		"SELECT COUNT(*) FROM F",
 		"SELECT F.id FROM F WHERE F.text = '2';",
@@ -46,7 +46,7 @@ func TestRunInteractiveLoop(t *testing.T) {
 	in.Seek(0, 0)
 	out, _ := os.CreateTemp(t.TempDir(), "out")
 	defer out.Close()
-	if err := run("", false, td("figure1.xml"), nil, in, out); err != nil {
+	if err := run("", false, td("figure1.xml"), 0, nil, in, out); err != nil {
 		t.Fatal(err)
 	}
 	data, _ := os.ReadFile(out.Name())
@@ -58,10 +58,10 @@ func TestRunInteractiveLoop(t *testing.T) {
 func TestRunErrors(t *testing.T) {
 	out, _ := os.CreateTemp(t.TempDir(), "out")
 	defer out.Close()
-	if err := run("nosuch.schema", false, td("figure1.xml"), nil, nil, out); err == nil {
+	if err := run("nosuch.schema", false, td("figure1.xml"), 0, nil, nil, out); err == nil {
 		t.Error("missing schema should fail")
 	}
-	if err := run("", false, "nosuch.xml", nil, nil, out); err == nil {
+	if err := run("", false, "nosuch.xml", 0, nil, nil, out); err == nil {
 		t.Error("missing document should fail")
 	}
 }

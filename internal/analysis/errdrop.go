@@ -13,10 +13,16 @@ import (
 // mismatch, and the cmd/ tools do file I/O; swallowing either class
 // turns wrong answers into silent ones. An assignment that blanks
 // every result (`_ = f()`) remains the explicit, greppable opt-out.
+// Worker-pool paths add a third drop site: `go f()` detaches the call
+// entirely, so an error-returning f loses its error with no
+// assignment to grep for. Goroutine bodies must be funcs that return
+// nothing (collect errors via channels or per-worker slots, as the
+// engine's morsel executor does).
 var ErrDrop = &Analyzer{
 	Name: "errdrop",
-	Doc: "flag discarded error returns (bare call statements, or _ for the error " +
-		"position while keeping other results); use `_ = f()` to discard explicitly",
+	Doc: "flag discarded error returns (bare call statements, _ for the error " +
+		"position while keeping other results, or `go f()` on an error-returning f); " +
+		"use `_ = f()` to discard explicitly",
 	Run: runErrDrop,
 }
 
@@ -34,6 +40,11 @@ func runErrDrop(pass *Pass) error {
 					calleeLabel(call))
 			case *ast.AssignStmt:
 				checkBlankedErrors(pass, x, errType)
+			case *ast.GoStmt:
+				if callReturnsError(pass, x.Call, errType) && !errdropExempt(pass, x.Call) {
+					pass.Reportf(x.Pos(), "go %s discards the callee's error result; wrap it in a func that routes the error to a channel or error slot",
+						calleeLabel(x.Call))
+				}
 			}
 			return true
 		})

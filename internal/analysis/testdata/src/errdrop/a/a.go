@@ -24,3 +24,7 @@ func (closer) Close() error { return nil }
 func methodCall(c closer) {
 	c.Close() // want `c.Close returns an error that is discarded`
 }
+
+func detached() {
+	go fail() // want `go fail discards the callee's error result`
+}

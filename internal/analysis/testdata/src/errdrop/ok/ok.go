@@ -36,3 +36,16 @@ func exemptions() string {
 	b.WriteString("infallible")
 	return b.String()
 }
+
+// Worker-pool idiom: the goroutine body returns nothing; the error is
+// captured into a slot inside the wrapper.
+func workerPool() error {
+	errs := make([]error, 1)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		errs[0] = fail()
+	}()
+	<-done
+	return errs[0]
+}

@@ -60,6 +60,11 @@ type Workload struct {
 	Schema  *schema.Schema
 	Queries []Query
 
+	// Parallelism is the worker count the SQL-based systems pass to
+	// the engine's morsel executor (<= 1 means serial, the paper's
+	// configuration).
+	Parallelism int
+
 	Aware  *shred.SchemaAwareStore
 	Edge   *shred.EdgeStore
 	AccelS *shred.AccelStore
@@ -205,28 +210,56 @@ func (w *Workload) RunBudget(sys System, q Query, budget time.Duration) ([]int64
 		if err != nil {
 			return nil, err
 		}
-		db := w.Aware.DB
-		switch sys {
-		case EdgePPF:
-			db = w.Edge.DB
-		case Accel:
-			db = w.AccelS.DB
-		}
-		res, err := db.RunWithTimeout(stmt, budget)
-		if err != nil {
-			return nil, err
-		}
-		ids := make([]int64, len(res.Rows))
-		for i, r := range res.Rows {
-			ids[i] = r[0].I
-		}
-		return ids, nil
+		return w.runStmt(sys, stmt, budget, w.Parallelism)
 	case Staircase:
 		return w.Stair.EvalString(q.XPath)
 	case Commercial:
 		return w.OracleIDs(q)
 	}
 	return nil, fmt.Errorf("bench: unknown system %q", sys)
+}
+
+// RunParallel is Run with an explicit engine worker count for the
+// SQL-based systems, overriding the workload's Parallelism for this
+// call; non-SQL systems run as usual.
+func (w *Workload) RunParallel(sys System, q Query, workers int) ([]int64, error) {
+	switch sys {
+	case PPF, EdgePPF, Accel:
+		stmt, err := w.Translate(sys, q)
+		if err != nil {
+			return nil, err
+		}
+		return w.runStmt(sys, stmt, 0, workers)
+	}
+	return w.Run(sys, q)
+}
+
+// dbFor returns the engine database a SQL-based system queries, nil
+// for the non-SQL systems.
+func (w *Workload) dbFor(sys System) *engine.DB {
+	switch sys {
+	case PPF:
+		return w.Aware.DB
+	case EdgePPF:
+		return w.Edge.DB
+	case Accel:
+		return w.AccelS.DB
+	}
+	return nil
+}
+
+// runStmt executes a translated statement on a system's database
+// (through the engine's plan cache) and extracts the node ids.
+func (w *Workload) runStmt(sys System, stmt sqlast.Statement, budget time.Duration, workers int) ([]int64, error) {
+	res, err := w.dbFor(sys).RunWithOptions(stmt, engine.ExecOptions{Timeout: budget, Parallelism: workers})
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]int64, len(res.Rows))
+	for i, r := range res.Rows {
+		ids[i] = r[0].I
+	}
+	return ids, nil
 }
 
 // OracleIDs evaluates a query with the native evaluator, mapping text
@@ -328,20 +361,49 @@ type Measurement struct {
 	Timeout  bool
 	Skipped  bool // system does not support the query
 	ErrorMsg string
+	// CacheHitRate is the fraction of this measurement's engine
+	// executions that reused a cached plan (SQL-based systems only;
+	// 0 otherwise). With the statement translated once up front, every
+	// run after the first should hit.
+	CacheHitRate float64
 }
 
 // Measure times a query under a system: reps repetitions (after one
 // warm-up that also yields the cardinality), stopping early if a
 // single run exceeds budget (reported as a timeout, the paper's "~").
-func (w *Workload) Measure(sys System, q Query, reps int, budget time.Duration) Measurement {
-	m := Measurement{System: sys, QueryID: q.ID, Reps: reps}
+// SQL-based systems are translated once and re-planned only when the
+// engine's plan cache misses.
+func (w *Workload) Measure(sys System, q Query, reps int, budget time.Duration) (m Measurement) {
+	m = Measurement{System: sys, QueryID: q.ID, Reps: reps}
 	if !w.Supported(sys, q.ID) {
 		m.Skipped = true
 		return m
 	}
+	db := w.dbFor(sys)
+	var stmt sqlast.Statement
+	if db != nil {
+		var err error
+		if stmt, err = w.Translate(sys, q); err != nil {
+			m.ErrorMsg = err.Error()
+			return m
+		}
+		h0, mi0 := db.PlanCacheStats()
+		defer func() {
+			h1, mi1 := db.PlanCacheStats()
+			if total := (h1 - h0) + (mi1 - mi0); total > 0 {
+				m.CacheHitRate = float64(h1-h0) / float64(total)
+			}
+		}()
+	}
 	run := func() (int, time.Duration, error) {
 		start := time.Now()
-		ids, err := w.RunBudget(sys, q, budget)
+		var ids []int64
+		var err error
+		if stmt != nil {
+			ids, err = w.runStmt(sys, stmt, budget, w.Parallelism)
+		} else {
+			ids, err = w.RunBudget(sys, q, budget)
+		}
 		return len(ids), time.Since(start), err
 	}
 	n, d, err := run()

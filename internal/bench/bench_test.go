@@ -93,6 +93,61 @@ func TestMeasure(t *testing.T) {
 	}
 }
 
+// TestParallelAgreesWithOracle runs the SQL-based systems with the
+// morsel executor enabled and checks the node sets against the native
+// oracle — the same agreement bar the serial path must meet.
+func TestParallelAgreesWithOracle(t *testing.T) {
+	scale := 0.05
+	if testing.Short() {
+		scale = 0.02
+	}
+	w, err := NewXMark(scale, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range w.Queries {
+		want, err := w.OracleIDs(q)
+		if err != nil {
+			t.Fatalf("oracle %s: %v", q.ID, err)
+		}
+		for _, sys := range []System{PPF, EdgePPF, Accel} {
+			got, err := w.RunParallel(sys, q, 4)
+			if err != nil {
+				t.Errorf("%s on %s (parallel): %v", sys, q.ID, err)
+				continue
+			}
+			if !equalIDs(got, want) {
+				t.Errorf("%s on %s (parallel): %d ids, oracle has %d (first diff: %s)",
+					sys, q.ID, len(got), len(want), firstDiff(got, want))
+			}
+		}
+	}
+}
+
+// TestMeasureCacheHitRate checks that Measure routes repetitions
+// through the engine plan cache: with the statement translated once,
+// everything after the first planning should hit.
+func TestMeasureCacheHitRate(t *testing.T) {
+	w, err := NewXMark(0.01, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := w.Query("Q1")
+	m := w.Measure(PPF, q, 4, 0)
+	if m.ErrorMsg != "" {
+		t.Fatalf("measurement = %+v", m)
+	}
+	// 5 executions (1 warm-up + 4 reps): at most the first can miss.
+	if m.CacheHitRate < 0.79 {
+		t.Errorf("CacheHitRate = %.2f, want >= 0.8", m.CacheHitRate)
+	}
+	// Non-SQL systems report no cache activity.
+	m = w.Measure(Staircase, q, 2, 0)
+	if m.CacheHitRate != 0 {
+		t.Errorf("staircase CacheHitRate = %.2f, want 0", m.CacheHitRate)
+	}
+}
+
 func TestQueryLookup(t *testing.T) {
 	w, err := NewXMark(0.01, 1)
 	if err != nil {

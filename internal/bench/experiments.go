@@ -59,6 +59,47 @@ type Opts struct {
 	Reps   int
 	Budget time.Duration
 	Verify bool
+	// Sink, when non-nil, receives one machine-readable Record per
+	// measurement in addition to the rendered table cells.
+	Sink func(Record)
+}
+
+// Record is one machine-readable measurement, accumulated into the
+// repo's BENCH_<experiment>.json perf trajectory by cmd/xbench -json.
+type Record struct {
+	Experiment   string  `json:"experiment"`
+	Workload     string  `json:"workload"`
+	QueryID      string  `json:"query"`
+	System       string  `json:"system"`
+	NsPerOp      int64   `json:"ns_per_op"`
+	Nodes        int     `json:"nodes"`
+	Parallel     int     `json:"parallel"` // engine worker count; 0/1 = serial
+	Reps         int     `json:"reps"`
+	Timeout      bool    `json:"timeout"`
+	Skipped      bool    `json:"skipped"`
+	Error        string  `json:"error,omitempty"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+}
+
+// emit forwards a measurement to the Opts sink, if any.
+func (o Opts) emit(experiment string, w *Workload, m Measurement) {
+	if o.Sink == nil {
+		return
+	}
+	o.Sink(Record{
+		Experiment:   experiment,
+		Workload:     w.Name,
+		QueryID:      m.QueryID,
+		System:       string(m.System),
+		NsPerOp:      m.Avg.Nanoseconds(),
+		Nodes:        m.Nodes,
+		Parallel:     w.Parallelism,
+		Reps:         m.Reps,
+		Timeout:      m.Timeout,
+		Skipped:      m.Skipped,
+		Error:        m.ErrorMsg,
+		CacheHitRate: m.CacheHitRate,
+	})
 }
 
 // DefaultOpts mirror the paper's five repetitions with a generous
@@ -83,6 +124,8 @@ func Fig3(workloads []*Workload, o Opts) (*Table, error) {
 			}
 			a := w.Measure(PPF, q, o.Reps, o.Budget)
 			b := w.Measure(EdgePPF, q, o.Reps, o.Budget)
+			o.emit("fig3", w, a)
+			o.emit("fig3", w, b)
 			slow := "-"
 			if a.Avg > 0 && b.Avg > 0 && !a.Timeout && !b.Timeout {
 				slow = fmt.Sprintf("%.1fx", float64(b.Avg)/float64(a.Avg))
@@ -112,6 +155,7 @@ func AppendixC(w *Workload, o Opts) (*Table, error) {
 		row := []string{q.ID, ""}
 		for _, sys := range Systems {
 			m := w.Measure(sys, q, o.Reps, o.Budget)
+			o.emit("appc", w, m)
 			if m.Nodes > 0 || row[1] == "" {
 				if !m.Skipped && m.ErrorMsg == "" {
 					row[1] = fmt.Sprint(m.Nodes)

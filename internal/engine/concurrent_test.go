@@ -3,6 +3,8 @@ package engine
 import (
 	"sync"
 	"testing"
+
+	"repro/internal/sqlast"
 )
 
 // TestConcurrentReadQueries runs many queries in parallel against one
@@ -61,3 +63,74 @@ func TestConcurrentReadQueries(t *testing.T) {
 type errResult struct{ q string }
 
 func (e errResult) Error() string { return "nondeterministic result for " + e.q }
+
+// TestConcurrentParallelQueries stresses the morsel executor itself
+// under concurrency: many client goroutines each running parallel
+// queries against one database, so worker pools, the shared plan
+// cache, shared hash-join build sides, and the patternCache all
+// overlap. Run under -race in CI.
+func TestConcurrentParallelQueries(t *testing.T) {
+	db := bigDB(t)
+	queries := []string{
+		"SELECT i.id, i.text FROM item i WHERE i.val > 90 ORDER BY i.id",
+		"SELECT DISTINCT i.path_id FROM item i ORDER BY i.path_id DESC",
+		"SELECT COUNT(*) FROM item i WHERE i.val < 10",
+		"SELECT i.id FROM item i, cat c WHERE i.val = c.id AND c.name = 'cat-3' ORDER BY i.id",
+		"SELECT i.id FROM item i WHERE EXISTS (SELECT NULL FROM item j WHERE j.par = i.id AND j.val > 50) ORDER BY i.id",
+		"SELECT i.id FROM item i WHERE REGEXP_LIKE(i.text, '^1[0-9]*$') ORDER BY i.id",
+	}
+	want := make([]*Result, len(queries))
+	prepared := make([]*Prepared, len(queries))
+	stmts := make([]sqlast.Statement, len(queries))
+	for i, q := range queries {
+		p, err := db.Prepare(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prepared[i] = p
+		st, err := sqlast.Parse(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stmts[i] = st
+		res, err := p.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for rep := 0; rep < 5; rep++ {
+				for i, q := range queries {
+					// Alternate shared-Prepared and ad-hoc execution so both
+					// plan-cache entry points run concurrently.
+					var res *Result
+					var err error
+					if (g+rep)%2 == 0 {
+						res, err = prepared[i].RunWithOptions(ExecOptions{Parallelism: 4})
+					} else {
+						res, err = db.RunWithOptions(stmts[i], ExecOptions{Parallelism: 4})
+					}
+					if err != nil {
+						errs <- err
+						return
+					}
+					if !equalResults(res, want[i]) {
+						errs <- errResult{q}
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

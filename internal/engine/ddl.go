@@ -10,9 +10,15 @@ import (
 // rows (like Run); CREATE TABLE, CREATE INDEX and INSERT mutate the
 // database and return a result with a single status column.
 func (db *DB) Exec(st sqlast.Statement) (*Result, error) {
+	return db.ExecWithOptions(st, ExecOptions{})
+}
+
+// ExecWithOptions is Exec with execution options; the options only
+// affect SELECT/UNION statements.
+func (db *DB) ExecWithOptions(st sqlast.Statement, opts ExecOptions) (*Result, error) {
 	switch s := st.(type) {
 	case *sqlast.Select, *sqlast.Union:
-		return db.Run(st)
+		return db.RunWithOptions(st, opts)
 	case *sqlast.CreateTable:
 		cols := make([]Column, len(s.Cols))
 		for i, c := range s.Cols {
@@ -74,11 +80,16 @@ func (db *DB) Exec(st sqlast.Statement) (*Result, error) {
 
 // ExecSQL parses and executes one statement of text.
 func (db *DB) ExecSQL(src string) (*Result, error) {
+	return db.ExecSQLWithOptions(src, ExecOptions{})
+}
+
+// ExecSQLWithOptions is ExecSQL with execution options.
+func (db *DB) ExecSQLWithOptions(src string, opts ExecOptions) (*Result, error) {
 	st, err := sqlast.Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	return db.Exec(st)
+	return db.ExecWithOptions(st, opts)
 }
 
 func status(msg string) *Result {

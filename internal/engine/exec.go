@@ -4,7 +4,6 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
-	"sort"
 	"time"
 
 	"repro/internal/sqlast"
@@ -16,11 +15,27 @@ type Result struct {
 	Rows [][]Value
 }
 
-// execCtx carries execution state shared across a statement run.
+// ExecOptions tune the execution of a single statement.
+type ExecOptions struct {
+	// Parallelism is the maximum number of worker goroutines the
+	// morsel executor may use for the driving table of a top-level
+	// SELECT. Values <= 1 select the serial executor. Nested
+	// (correlated) subplans always run serially within the worker
+	// that binds their outer row.
+	Parallelism int
+	// Timeout is a wall-clock budget; ErrTimeout reports an exceeded
+	// budget (0 means no limit).
+	Timeout time.Duration
+}
+
+// execCtx carries execution state shared across a statement run. Each
+// parallel worker gets its own execCtx so the deadline tick counter
+// stays unshared.
 type execCtx struct {
-	db       *DB
-	deadline time.Time
-	ticks    int
+	db          *DB
+	deadline    time.Time
+	ticks       int
+	parallelism int
 }
 
 // ErrTimeout is returned when a statement exceeds its deadline.
@@ -47,92 +62,35 @@ func (ec *execCtx) pattern(pat string) (*matcher, error) { return compilePattern
 
 // Run plans and executes a SELECT or UNION statement.
 func (db *DB) Run(st sqlast.Statement) (*Result, error) {
-	return db.RunWithTimeout(st, 0)
+	return db.RunWithOptions(st, ExecOptions{})
 }
 
 // RunWithTimeout is Run with a wall-clock budget; it returns
 // ErrTimeout when the budget is exceeded (0 means no limit).
 func (db *DB) RunWithTimeout(st sqlast.Statement, timeout time.Duration) (*Result, error) {
-	p := &planner{db: db}
-	ec := &execCtx{db: db}
-	if timeout > 0 {
-		ec.deadline = time.Now().Add(timeout)
+	return db.RunWithOptions(st, ExecOptions{Timeout: timeout})
+}
+
+// RunWithOptions plans (through the prepared-plan cache) and executes
+// a SELECT or UNION statement with the given options.
+func (db *DB) RunWithOptions(st sqlast.Statement, opts ExecOptions) (*Result, error) {
+	cs, err := db.compiledFor(st, "")
+	if err != nil {
+		return nil, err
 	}
-	switch s := st.(type) {
-	case *sqlast.Select:
-		plan, err := p.planSelect(s, nil)
-		if err != nil {
-			return nil, err
-		}
-		return ec.runTop(plan)
-	case *sqlast.Union:
-		var out *Result
-		seen := map[string]bool{}
-		type orderedRow struct {
-			row  []Value
-			keys []Value
-		}
-		var rows []orderedRow
-		// Resolve union ORDER BY keys to projected column positions.
-		var orderPos []int
-		var orderDesc []bool
-		for _, branch := range s.Selects {
-			plan, err := p.planSelect(branch, nil)
-			if err != nil {
-				return nil, err
-			}
-			if out == nil {
-				out = &Result{Cols: plan.colNames}
-				for _, k := range s.OrderBy {
-					col, ok := k.Expr.(*sqlast.Col)
-					if !ok {
-						return nil, fmt.Errorf("engine: UNION ORDER BY must reference an output column")
-					}
-					pos := -1
-					for i, name := range plan.colNames {
-						if name == col.Column || name == col.String() {
-							pos = i
-							break
-						}
-					}
-					if pos < 0 {
-						return nil, fmt.Errorf("engine: UNION ORDER BY column %q not in output", col)
-					}
-					orderPos = append(orderPos, pos)
-					orderDesc = append(orderDesc, k.Desc)
-				}
-			} else if len(plan.colNames) != len(out.Cols) {
-				return nil, fmt.Errorf("engine: UNION branches project different column counts")
-			}
-			res, err := ec.runTop(plan)
-			if err != nil {
-				return nil, err
-			}
-			for _, r := range res.Rows {
-				key := rowKey(r)
-				if seen[key] {
-					continue
-				}
-				seen[key] = true
-				or := orderedRow{row: r}
-				for _, pos := range orderPos {
-					or.keys = append(or.keys, r[pos])
-				}
-				rows = append(rows, or)
-			}
-		}
-		if len(orderPos) > 0 {
-			sort.SliceStable(rows, func(i, j int) bool {
-				return lessKeys(rows[i].keys, rows[j].keys, orderDesc)
-			})
-		}
-		for _, r := range rows {
-			out.Rows = append(out.Rows, r.row)
-		}
-		return out, nil
-	default:
-		return nil, fmt.Errorf("engine: unsupported statement %T", st)
+	return db.runCompiled(cs, opts)
+}
+
+// runCompiled executes an already-compiled statement.
+func (db *DB) runCompiled(cs *compiledStmt, opts ExecOptions) (*Result, error) {
+	ec := &execCtx{db: db, parallelism: opts.Parallelism}
+	if opts.Timeout > 0 {
+		ec.deadline = time.Now().Add(opts.Timeout)
 	}
+	if cs.sel != nil {
+		return ec.runTop(cs.sel)
+	}
+	return ec.runUnion(cs.union)
 }
 
 // RunSQL parses and runs a statement given as text.
@@ -144,10 +102,54 @@ func (db *DB) RunSQL(src string) (*Result, error) {
 	return db.Run(st)
 }
 
+// runUnion executes a compiled UNION: branches run in order (each
+// branch through runTop, so morsel parallelism applies per branch),
+// duplicate rows are dropped across branches, and the merged rows are
+// ordered by the union-level ORDER BY.
+func (ec *execCtx) runUnion(u *unionPlan) (*Result, error) {
+	out := &Result{Cols: u.cols}
+	seen := map[string]bool{}
+	var rows []orderedRow
+	for _, plan := range u.branches {
+		res, err := ec.runTop(plan)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range res.Rows {
+			key := rowKey(r)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			or := orderedRow{row: r}
+			for _, pos := range u.orderPos {
+				or.keys = append(or.keys, r[pos])
+			}
+			rows = append(rows, or)
+		}
+	}
+	if len(u.orderPos) > 0 {
+		sortRows(rows, u.orderDesc)
+	}
+	for _, r := range rows {
+		out.Rows = append(out.Rows, r.row)
+	}
+	return out, nil
+}
+
 // runTop executes a plan as a top-level query: projection, DISTINCT,
-// ORDER BY.
+// ORDER BY. When the execution options allow it and the driving table
+// is large enough, row enumeration fans out over morsel workers.
 func (ec *execCtx) runTop(plan *selectPlan) (*Result, error) {
-	out := &Result{Cols: plan.colNames}
+	if ec.parallelism > 1 {
+		rows, count, handled, err := ec.collectParallel(plan)
+		if err != nil {
+			return nil, err
+		}
+		if handled {
+			return finishTop(plan, rows, count, true), nil
+		}
+	}
 	if plan.countStar {
 		n := int64(0)
 		err := ec.runPlan(plan, env{}, func([]Value) (bool, error) {
@@ -157,20 +159,14 @@ func (ec *execCtx) runTop(plan *selectPlan) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		out.Rows = append(out.Rows, []Value{NewInt(n)})
-		return out, nil
-	}
-	type orderedRow struct {
-		row  []Value
-		keys []Value
+		return finishTop(plan, nil, n, false), nil
 	}
 	var rows []orderedRow
 	var seen map[string]bool
 	if plan.distinct {
 		seen = map[string]bool{}
 	}
-	e := env{}
-	err := ec.runPlanOrdered(plan, e, func(row, keys []Value) (bool, error) {
+	err := ec.runPlanOrdered(plan, env{}, func(row, keys []Value) (bool, error) {
 		if plan.distinct {
 			k := rowKey(row)
 			if seen[k] {
@@ -184,22 +180,47 @@ func (ec *execCtx) runTop(plan *selectPlan) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	return finishTop(plan, rows, 0, false), nil
+}
+
+// finishTop applies DISTINCT (unless already applied during
+// collection), the top-level sort, and assembles the Result. The
+// parallel collector defers dedup to here so the surviving row for
+// each distinct key is the first in merged (= serial) order.
+func finishTop(plan *selectPlan, rows []orderedRow, count int64, dedup bool) *Result {
+	out := &Result{Cols: plan.colNames}
+	if plan.countStar {
+		out.Rows = append(out.Rows, []Value{NewInt(count)})
+		return out
+	}
+	if dedup && plan.distinct {
+		seen := make(map[string]bool, len(rows))
+		kept := rows[:0]
+		for _, r := range rows {
+			k := rowKey(r.row)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			kept = append(kept, r)
+		}
+		rows = kept
+	}
 	if len(plan.orderBy) > 0 {
 		desc := make([]bool, len(plan.orderBy))
 		for i, k := range plan.orderBy {
 			desc[i] = k.desc
 		}
-		sort.SliceStable(rows, func(i, j int) bool {
-			return lessKeys(rows[i].keys, rows[j].keys, desc)
-		})
+		sortRows(rows, desc)
 	}
 	for _, r := range rows {
 		out.Rows = append(out.Rows, r.row)
 	}
-	return out, nil
+	return out
 }
 
-// rowKey builds a distinct-set key for a projected row.
+// rowKey builds a distinct-set key for a projected row using the
+// order-preserving keyenc encoding.
 func rowKey(row []Value) string {
 	var buf []byte
 	for _, v := range row {
@@ -208,7 +229,9 @@ func rowKey(row []Value) string {
 	return string(buf)
 }
 
-// lessKeys compares two ORDER BY key vectors.
+// lessKeys compares two ORDER BY key vectors value by value. It is
+// the general comparison path; sortRows prefers precomputed
+// memcomparable keys when the key kinds allow it.
 func lessKeys(a, b []Value, desc []bool) bool {
 	for i := range a {
 		cmp, ok := Compare(a[i], b[i])
@@ -251,185 +274,208 @@ func (ec *execCtx) runPlanOrdered(plan *selectPlan, e env, emit func(row, keys [
 			return nil
 		}
 	}
-	stop := false
-	var rec func(step int) error
-	rec = func(step int) error {
-		if step == len(plan.steps) {
-			var row []Value
-			if plan.countStar {
-				row = nil
-			} else {
-				row = make([]Value, len(plan.cols))
-				for i, c := range plan.cols {
-					v, err := c.eval(ec, e)
-					if err != nil {
-						return err
-					}
-					row[i] = v
+	r := &stepRunner{ec: ec, plan: plan, e: e, emit: emit}
+	return r.run(0)
+}
+
+// stepRunner walks a plan's join steps recursively, binding one row
+// per step. The morsel executor reuses it from step 1 after binding
+// the driving row itself.
+type stepRunner struct {
+	ec   *execCtx
+	plan *selectPlan
+	e    env
+	emit func(row, keys []Value) (bool, error)
+	stop bool
+}
+
+// run enumerates the access path of the given step (projecting and
+// emitting once all steps are bound).
+func (r *stepRunner) run(step int) error {
+	if step == len(r.plan.steps) {
+		var row []Value
+		if !r.plan.countStar {
+			row = make([]Value, len(r.plan.cols))
+			for i, c := range r.plan.cols {
+				v, err := c.eval(r.ec, r.e)
+				if err != nil {
+					return err
 				}
+				row[i] = v
 			}
-			var keys []Value
-			if len(plan.orderBy) > 0 {
-				keys = make([]Value, len(plan.orderBy))
-				for i, k := range plan.orderBy {
-					v, err := k.x.eval(ec, e)
-					if err != nil {
-						return err
-					}
-					keys[i] = v
+		}
+		var keys []Value
+		if len(r.plan.orderBy) > 0 {
+			keys = make([]Value, len(r.plan.orderBy))
+			for i, k := range r.plan.orderBy {
+				v, err := k.x.eval(r.ec, r.e)
+				if err != nil {
+					return err
 				}
+				keys[i] = v
 			}
-			cont, err := emit(row, keys)
-			if err != nil {
-				return err
-			}
-			if !cont {
-				stop = true
-			}
+		}
+		cont, err := r.emit(row, keys)
+		if err != nil {
+			return err
+		}
+		if !cont {
+			r.stop = true
+		}
+		return nil
+	}
+	s := r.plan.steps[step]
+	return forEachRow(r.ec, r.e, s, func(id int64) (bool, error) {
+		if err := r.tryRow(step, id); err != nil {
+			return false, err
+		}
+		return !r.stop, nil
+	})
+}
+
+// tryRow binds one candidate row of a step, applies the step's
+// residual filters, and recurses into the next step.
+func (r *stepRunner) tryRow(step int, id int64) error {
+	if err := r.ec.checkDeadline(); err != nil {
+		return err
+	}
+	s := r.plan.steps[step]
+	r.e[s.name] = s.table.Rows[id]
+	defer delete(r.e, s.name)
+	for _, f := range s.filters {
+		v, err := f.eval(r.ec, r.e)
+		if err != nil {
+			return err
+		}
+		if !v.Truth() {
 			return nil
 		}
-		s := plan.steps[step]
-		tryRow := func(id int64) error {
-			if err := ec.checkDeadline(); err != nil {
+	}
+	return r.run(step + 1)
+}
+
+// forEachRow enumerates the candidate row ids of one join step's
+// access path under the current bindings, in the executor's canonical
+// order. yield returns false to stop early. The morsel executor uses
+// it to materialize the driving table's ids before partitioning.
+func forEachRow(ec *execCtx, e env, s *joinStep, yield func(id int64) (bool, error)) error {
+	switch a := s.access.(type) {
+	case fullScan:
+		for id := range s.table.Rows {
+			cont, err := yield(int64(id))
+			if err != nil || !cont {
 				return err
 			}
-			e[s.name] = s.table.Rows[id]
-			defer delete(e, s.name)
-			for _, f := range s.filters {
-				v, err := f.eval(ec, e)
-				if err != nil {
-					return err
-				}
-				if !v.Truth() {
-					return nil
-				}
-			}
-			return rec(step + 1)
 		}
-		switch a := s.access.(type) {
-		case fullScan:
-			for id := range s.table.Rows {
-				if err := tryRow(int64(id)); err != nil {
-					return err
-				}
-				if stop {
-					return nil
-				}
-			}
-		case *indexEq:
-			var key []byte
-			for _, kx := range a.keys {
-				v, err := kx.eval(ec, e)
-				if err != nil {
-					return err
-				}
-				if v.IsNull() {
-					return nil
-				}
-				key = encodeValue(key, v)
-			}
-			for _, id := range a.ix.Tree.Get(key) {
-				if err := tryRow(id); err != nil {
-					return err
-				}
-				if stop {
-					return nil
-				}
-			}
-		case *indexPrefixes:
-			v, err := a.x.eval(ec, e)
-			if err != nil {
-				return err
-			}
-			if v.Kind != KBytes {
-				return nil
-			}
-			for k := 0; k <= len(v.B); k++ {
-				// Prefix-match within a possibly composite index: scan the
-				// interval covering exactly this first-component value.
-				lo := encodeValue(nil, NewBytes(v.B[:k]))
-				hi := append(append([]byte(nil), lo...), 0xFF)
-				var scanErr error
-				a.ix.Tree.Scan(lo, hi, func(_ []byte, id int64) bool {
-					if err := tryRow(id); err != nil {
-						scanErr = err
-						return false
-					}
-					return !stop
-				})
-				if scanErr != nil {
-					return scanErr
-				}
-				if stop {
-					return nil
-				}
-			}
-		case *hashEq, *fatHash:
-			h, ok := s.access.(*hashEq)
-			if !ok {
-				h = s.access.(*fatHash).h
-			}
-			v, err := h.key.eval(ec, e)
+	case *indexEq:
+		var key []byte
+		for _, kx := range a.keys {
+			v, err := kx.eval(ec, e)
 			if err != nil {
 				return err
 			}
 			if v.IsNull() {
 				return nil
 			}
-			key := string(encodeValue(nil, v))
-			for _, id := range s.table.hash(h.col)[key] {
-				if err := tryRow(id); err != nil {
-					return err
-				}
-				if stop {
-					return nil
-				}
+			key = encodeValue(key, v)
+		}
+		for _, id := range a.ix.Tree.Get(key) {
+			cont, err := yield(id)
+			if err != nil || !cont {
+				return err
 			}
-		case *indexRange:
-			var lo, hi []byte
-			if a.lo != nil {
-				v, err := a.lo.eval(ec, e)
-				if err != nil {
-					return err
-				}
-				if v.IsNull() {
-					return nil
-				}
-				lo = encodeValue(nil, v)
-				if a.loStrict {
-					lo = append(lo, 0xFF)
-				}
-			}
-			if a.hi != nil {
-				v, err := a.hi.eval(ec, e)
-				if err != nil {
-					return err
-				}
-				if v.IsNull() {
-					return nil
-				}
-				hi = encodeValue(nil, v)
-				if !a.hiStrict {
-					hi = append(hi, 0xFF)
-				}
-			}
+		}
+	case *indexPrefixes:
+		v, err := a.x.eval(ec, e)
+		if err != nil {
+			return err
+		}
+		if v.Kind != KBytes {
+			return nil
+		}
+		for k := 0; k <= len(v.B); k++ {
+			// Prefix-match within a possibly composite index: scan the
+			// interval covering exactly this first-component value.
+			lo := encodeValue(nil, NewBytes(v.B[:k]))
+			hi := append(append([]byte(nil), lo...), 0xFF)
+			stop := false
 			var scanErr error
 			a.ix.Tree.Scan(lo, hi, func(_ []byte, id int64) bool {
-				if err := tryRow(id); err != nil {
+				cont, err := yield(id)
+				if err != nil {
 					scanErr = err
 					return false
 				}
-				return !stop
+				stop = !cont
+				return cont
 			})
-			if scanErr != nil {
+			if scanErr != nil || stop {
 				return scanErr
 			}
-		default:
-			return fmt.Errorf("engine: internal: unknown access path %T", s.access)
 		}
-		return nil
+	case *hashEq, *fatHash:
+		h, ok := s.access.(*hashEq)
+		if !ok {
+			h = s.access.(*fatHash).h
+		}
+		v, err := h.key.eval(ec, e)
+		if err != nil {
+			return err
+		}
+		if v.IsNull() {
+			return nil
+		}
+		key := string(encodeValue(nil, v))
+		for _, id := range s.table.hash(h.col)[key] {
+			cont, err := yield(id)
+			if err != nil || !cont {
+				return err
+			}
+		}
+	case *indexRange:
+		var lo, hi []byte
+		if a.lo != nil {
+			v, err := a.lo.eval(ec, e)
+			if err != nil {
+				return err
+			}
+			if v.IsNull() {
+				return nil
+			}
+			lo = encodeValue(nil, v)
+			if a.loStrict {
+				lo = append(lo, 0xFF)
+			}
+		}
+		if a.hi != nil {
+			v, err := a.hi.eval(ec, e)
+			if err != nil {
+				return err
+			}
+			if v.IsNull() {
+				return nil
+			}
+			hi = encodeValue(nil, v)
+			if !a.hiStrict {
+				hi = append(hi, 0xFF)
+			}
+		}
+		var scanErr error
+		a.ix.Tree.Scan(lo, hi, func(_ []byte, id int64) bool {
+			cont, err := yield(id)
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			return cont
+		})
+		if scanErr != nil {
+			return scanErr
+		}
+	default:
+		return fmt.Errorf("engine: internal: unknown access path %T", s.access)
 	}
-	return rec(0)
+	return nil
 }
 
 // equalResults reports whether two results hold the same multiset of

@@ -1,0 +1,170 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// morselSize is the number of driving-table rows per morsel. Small
+// enough that workers load-balance across skewed join fan-outs, large
+// enough to amortize scheduling.
+const morselSize = 256
+
+// morselOut is one morsel's private output buffer; workers never
+// share buffers, so emission is race-free by construction.
+type morselOut struct {
+	rows  []orderedRow
+	count int64
+}
+
+// collectParallel runs a top-level plan by partitioning the driving
+// step's row ids into fixed-size morsels executed by up to
+// ec.parallelism workers. Per-morsel buffers are concatenated in
+// morsel order, so the merged stream is exactly the serial emission
+// order (DISTINCT and the stable sort then behave identically to the
+// serial executor). handled=false means the plan isn't worth (or
+// can't be) partitioned and the caller should run serially.
+//
+// Correlated subplans (EXISTS, scalar subqueries) are not partitioned:
+// they run serially inside whichever worker bound their outer row,
+// against that worker's private env and execCtx.
+func (ec *execCtx) collectParallel(plan *selectPlan) (rows []orderedRow, count int64, handled bool, err error) {
+	if len(plan.steps) == 0 {
+		return nil, 0, false, nil
+	}
+	// Constant pre-filters: a false one yields an empty result (or a
+	// zero count) without touching any rows.
+	for _, f := range plan.preFilters {
+		v, ferr := f.eval(ec, env{})
+		if ferr != nil {
+			return nil, 0, false, ferr
+		}
+		if !v.Truth() {
+			return nil, 0, true, nil
+		}
+	}
+	ids, err := drivingIDs(ec, plan.steps[0])
+	if err != nil {
+		return nil, 0, false, err
+	}
+	if len(ids) <= morselSize {
+		// A single morsel gains nothing; let the serial executor run.
+		return nil, 0, false, nil
+	}
+	nMorsels := (len(ids) + morselSize - 1) / morselSize
+	workers := ec.parallelism
+	if workers > nMorsels {
+		workers = nMorsels
+	}
+	// Build shared read-only state up front so workers never race on
+	// lazily initialized hash-join build sides.
+	prebuildHashJoins(plan)
+
+	outs := make([]morselOut, nMorsels)
+	errs := make([]error, workers)
+	var next atomic.Int64
+	var aborted atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Private execCtx: the deadline tick counter must not be
+			// shared. Nested subplans see parallelism 0 (serial).
+			wec := &execCtx{db: ec.db, deadline: ec.deadline}
+			for {
+				m := int(next.Add(1)) - 1
+				if m >= nMorsels || aborted.Load() {
+					return
+				}
+				lo := m * morselSize
+				hi := lo + morselSize
+				if hi > len(ids) {
+					hi = len(ids)
+				}
+				if merr := runMorsel(wec, plan, ids[lo:hi], &outs[m]); merr != nil {
+					errs[w] = merr
+					aborted.Store(true)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, werr := range errs {
+		if werr != nil {
+			return nil, 0, false, werr
+		}
+	}
+	if plan.countStar {
+		for _, o := range outs {
+			count += o.count
+		}
+		return nil, count, true, nil
+	}
+	total := 0
+	for _, o := range outs {
+		total += len(o.rows)
+	}
+	rows = make([]orderedRow, 0, total)
+	for _, o := range outs {
+		rows = append(rows, o.rows...)
+	}
+	return rows, 0, true, nil
+}
+
+// runMorsel drives one morsel's row ids through the join pipeline,
+// buffering projected rows (or the count) into the morsel's private
+// output.
+func runMorsel(ec *execCtx, plan *selectPlan, ids []int64, out *morselOut) error {
+	r := &stepRunner{ec: ec, plan: plan, e: env{}, emit: func(row, keys []Value) (bool, error) {
+		if plan.countStar {
+			out.count++
+			return true, nil
+		}
+		out.rows = append(out.rows, orderedRow{row: row, keys: keys})
+		return true, nil
+	}}
+	for _, id := range ids {
+		if err := r.tryRow(0, id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// drivingIDs materializes the driving step's candidate row ids in the
+// executor's canonical enumeration order. At the top level the step's
+// access expressions can only reference constants (no outer
+// bindings), so enumeration under an empty env is exact.
+func drivingIDs(ec *execCtx, s *joinStep) ([]int64, error) {
+	if _, ok := s.access.(fullScan); ok {
+		ids := make([]int64, len(s.table.Rows))
+		for i := range ids {
+			ids[i] = int64(i)
+		}
+		return ids, nil
+	}
+	var ids []int64
+	err := forEachRow(ec, env{}, s, func(id int64) (bool, error) {
+		ids = append(ids, id)
+		return true, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ids, nil
+}
+
+// prebuildHashJoins forces construction of every hash-join build side
+// the plan's steps will probe.
+func prebuildHashJoins(plan *selectPlan) {
+	for _, s := range plan.steps {
+		switch a := s.access.(type) {
+		case *hashEq:
+			s.table.hash(a.col)
+		case *fatHash:
+			s.table.hash(a.h.col)
+		}
+	}
+}

@@ -151,6 +151,11 @@ func maxInt(a, b int) int {
 // planner compiles statements against a database.
 type planner struct {
 	db *DB
+	// touched records every table resolved while planning (including
+	// tables of correlated subselects) so the plan cache can pin the
+	// table versions a cached plan depends on. Nil when the caller
+	// doesn't need dependency tracking.
+	touched map[*Table]bool
 }
 
 // conjunct is one ANDed term of a WHERE clause during planning.
@@ -169,6 +174,9 @@ func (p *planner) planSelect(sel *sqlast.Select, outer *scope) (*selectPlan, err
 		t := p.db.Table(ref.Table)
 		if t == nil {
 			return nil, fmt.Errorf("engine: unknown table %q", ref.Table)
+		}
+		if p.touched != nil {
+			p.touched[t] = true
 		}
 		if err := sc.add(ref.Name(), t); err != nil {
 			return nil, err

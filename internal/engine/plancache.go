@@ -1,0 +1,239 @@
+package engine
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"repro/internal/sqlast"
+)
+
+// planCacheCap bounds the number of cached compiled statements per DB.
+const planCacheCap = 256
+
+// compiledStmt is a fully planned statement (exactly one of sel/union
+// is set) plus the versions of every table it was planned against.
+type compiledStmt struct {
+	sel    *selectPlan
+	union  *unionPlan
+	tables []tableVer
+}
+
+// tableVer pins the version a table had at plan time.
+type tableVer struct {
+	t   *Table
+	ver uint64
+}
+
+// fresh reports whether none of the plan's tables have been mutated
+// since planning.
+func (cs *compiledStmt) fresh() bool {
+	for _, tv := range cs.tables {
+		if tv.t.version != tv.ver {
+			return false
+		}
+	}
+	return true
+}
+
+// unionPlan is the compiled form of a UNION statement: per-branch
+// plans plus the union-level ORDER BY resolved to projected column
+// positions.
+type unionPlan struct {
+	branches  []*selectPlan
+	cols      []string
+	orderPos  []int
+	orderDesc []bool
+}
+
+// compileStmt plans a statement from scratch, recording the versions
+// of all tables it touches (including correlated-subquery tables).
+func compileStmt(db *DB, st sqlast.Statement) (*compiledStmt, error) {
+	p := &planner{db: db, touched: map[*Table]bool{}}
+	cs := &compiledStmt{}
+	switch s := st.(type) {
+	case *sqlast.Select:
+		plan, err := p.planSelect(s, nil)
+		if err != nil {
+			return nil, err
+		}
+		cs.sel = plan
+	case *sqlast.Union:
+		u := &unionPlan{}
+		for _, branch := range s.Selects {
+			plan, err := p.planSelect(branch, nil)
+			if err != nil {
+				return nil, err
+			}
+			if len(u.branches) == 0 {
+				u.cols = plan.colNames
+				// Resolve union ORDER BY keys to projected column positions.
+				for _, k := range s.OrderBy {
+					col, ok := k.Expr.(*sqlast.Col)
+					if !ok {
+						return nil, fmt.Errorf("engine: UNION ORDER BY must reference an output column")
+					}
+					pos := -1
+					for i, name := range plan.colNames {
+						if name == col.Column || name == col.String() {
+							pos = i
+							break
+						}
+					}
+					if pos < 0 {
+						return nil, fmt.Errorf("engine: UNION ORDER BY column %q not in output", col)
+					}
+					u.orderPos = append(u.orderPos, pos)
+					u.orderDesc = append(u.orderDesc, k.Desc)
+				}
+			} else if len(plan.colNames) != len(u.cols) {
+				return nil, fmt.Errorf("engine: UNION branches project different column counts")
+			}
+			u.branches = append(u.branches, plan)
+		}
+		cs.union = u
+	default:
+		return nil, fmt.Errorf("engine: unsupported statement %T", st)
+	}
+	for t := range p.touched {
+		cs.tables = append(cs.tables, tableVer{t: t, ver: t.version})
+	}
+	return cs, nil
+}
+
+// planCache is a bounded LRU of compiled statements keyed on rendered
+// SQL. A hit whose table versions are stale counts as a miss and is
+// evicted; the caller then re-plans and re-inserts.
+type planCache struct {
+	mu     sync.Mutex
+	lru    *list.List // front = most recently used; values are *planEntry
+	byKey  map[string]*list.Element
+	hits   uint64
+	misses uint64
+}
+
+type planEntry struct {
+	key string
+	cs  *compiledStmt
+}
+
+// get returns the cached plan for key, or nil on miss/stale.
+func (c *planCache) get(key string) *compiledStmt {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if ok {
+		cs := el.Value.(*planEntry).cs
+		if cs.fresh() {
+			c.hits++
+			c.lru.MoveToFront(el)
+			return cs
+		}
+		c.lru.Remove(el)
+		delete(c.byKey, key)
+	}
+	c.misses++
+	return nil
+}
+
+// put inserts a freshly compiled plan, evicting the least recently
+// used entry beyond capacity.
+func (c *planCache) put(key string, cs *compiledStmt) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.lru == nil {
+		c.lru = list.New()
+		c.byKey = map[string]*list.Element{}
+	}
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*planEntry).cs = cs
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.lru.PushFront(&planEntry{key: key, cs: cs})
+	for c.lru.Len() > planCacheCap {
+		el := c.lru.Back()
+		c.lru.Remove(el)
+		delete(c.byKey, el.Value.(*planEntry).key)
+	}
+}
+
+// size returns the number of cached plans.
+func (c *planCache) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.lru == nil {
+		return 0
+	}
+	return c.lru.Len()
+}
+
+// stats returns cumulative hit/miss counters.
+func (c *planCache) stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// compiledFor returns a compiled plan for st, consulting the DB's
+// plan cache. key is the canonical cache key (the sqlast rendering of
+// st); pass "" to have it computed here.
+func (db *DB) compiledFor(st sqlast.Statement, key string) (*compiledStmt, error) {
+	if key == "" {
+		key = sqlast.Render(st)
+	}
+	if cs := db.plans.get(key); cs != nil {
+		return cs, nil
+	}
+	cs, err := compileStmt(db, st)
+	if err != nil {
+		return nil, err
+	}
+	db.plans.put(key, cs)
+	return cs, nil
+}
+
+// PlanCacheSize returns the number of cached query plans.
+func (db *DB) PlanCacheSize() int { return db.plans.size() }
+
+// PlanCacheStats returns cumulative plan-cache hit and miss counts.
+// Lookups that find an entry invalidated by a table mutation count as
+// misses.
+func (db *DB) PlanCacheStats() (hits, misses uint64) { return db.plans.stats() }
+
+// Prepared is a parsed statement bound to a DB for repeated
+// execution. Its plan lives in the DB's plan cache: re-running reuses
+// the cached plan until a touched table is mutated, after which the
+// next run transparently re-plans.
+type Prepared struct {
+	db  *DB
+	st  sqlast.Statement
+	key string
+}
+
+// Prepare parses a SELECT/UNION statement for repeated execution.
+func (db *DB) Prepare(src string) (*Prepared, error) {
+	st, err := sqlast.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return db.PrepareStmt(st), nil
+}
+
+// PrepareStmt binds an already-parsed statement for repeated
+// execution.
+func (db *DB) PrepareStmt(st sqlast.Statement) *Prepared {
+	return &Prepared{db: db, st: st, key: sqlast.Render(st)}
+}
+
+// Run executes the prepared statement with default options.
+func (p *Prepared) Run() (*Result, error) { return p.RunWithOptions(ExecOptions{}) }
+
+// RunWithOptions executes the prepared statement.
+func (p *Prepared) RunWithOptions(opts ExecOptions) (*Result, error) {
+	cs, err := p.db.compiledFor(p.st, p.key)
+	if err != nil {
+		return nil, err
+	}
+	return p.db.runCompiled(cs, opts)
+}

@@ -1,0 +1,108 @@
+package engine
+
+import (
+	"bytes"
+	"sort"
+)
+
+// orderedRow pairs a projected row with its evaluated ORDER BY key
+// values.
+type orderedRow struct {
+	row  []Value
+	keys []Value
+}
+
+// sortRows stably sorts rows by their ORDER BY keys. When every key
+// column holds values of a single comparison class (integers,
+// text, or bytes — plus NULLs), each row is reduced to one
+// memcomparable byte string so a comparison is a single
+// bytes.Compare instead of a value-by-value walk with coercions.
+// Mixed-kind and float keys fall back to the general path: Compare's
+// numeric coercion (e.g. text-to-number) has no order-preserving
+// encoding, and floats are keyenc-encoded by their text form.
+func sortRows(rows []orderedRow, desc []bool) {
+	keys, ok := encodeSortKeys(rows, desc)
+	if !ok {
+		sortRowsGeneric(rows, desc)
+		return
+	}
+	// Sort an index permutation (cheap swaps), then apply it.
+	idx := make([]int, len(rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(i, j int) bool {
+		return bytes.Compare(keys[idx[i]], keys[idx[j]]) < 0
+	})
+	sorted := make([]orderedRow, len(rows))
+	for i, j := range idx {
+		sorted[i] = rows[j]
+	}
+	copy(rows, sorted)
+}
+
+// sortRowsGeneric is the general ORDER BY sort: one lessKeys walk per
+// comparison.
+func sortRowsGeneric(rows []orderedRow, desc []bool) {
+	sort.SliceStable(rows, func(i, j int) bool {
+		return lessKeys(rows[i].keys, rows[j].keys, desc)
+	})
+}
+
+// encodeSortKeys builds one memcomparable byte key per row, or
+// reports ok=false when the key kinds don't admit an order-preserving
+// encoding. Eligibility is per column: all non-NULL values must fall
+// in one class — {Int,Bool}, {Text}, or {Bytes}. DESC columns are
+// complemented bytewise, which reverses their order because keyenc
+// components are prefix-free. NULLs encode lowest, matching
+// lessKeys's NULL-first (ASC) / NULL-last (DESC) semantics.
+func encodeSortKeys(rows []orderedRow, desc []bool) ([][]byte, bool) {
+	if len(rows) == 0 || len(desc) == 0 {
+		return nil, false
+	}
+	// Profile each key column; KNull marks "no non-NULL value seen yet".
+	profile := make([]Kind, len(desc))
+	for _, r := range rows {
+		for c, v := range r.keys {
+			var class Kind
+			switch v.Kind {
+			case KNull:
+				continue
+			case KInt, KBool:
+				class = KInt
+			case KText:
+				class = KText
+			case KBytes:
+				class = KBytes
+			default:
+				return nil, false
+			}
+			if profile[c] == KNull {
+				profile[c] = class
+			} else if profile[c] != class {
+				return nil, false
+			}
+		}
+	}
+	// Encode every key into one contiguous buffer (one allocation,
+	// amortized) and slice it up afterwards.
+	offs := make([]int, len(rows)+1)
+	buf := make([]byte, 0, len(rows)*16)
+	for i, r := range rows {
+		for c, v := range r.keys {
+			start := len(buf)
+			buf = encodeValue(buf, v)
+			if desc[c] {
+				for j := start; j < len(buf); j++ {
+					buf[j] ^= 0xFF
+				}
+			}
+		}
+		offs[i+1] = len(buf)
+	}
+	keys := make([][]byte, len(rows))
+	for i := range keys {
+		keys[i] = buf[offs[i]:offs[i+1]]
+	}
+	return keys, true
+}

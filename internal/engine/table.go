@@ -30,6 +30,11 @@ type Table struct {
 	hashMu  sync.Mutex
 	hashIdx map[int]map[string][]int64
 	hashMax map[int]int // largest bucket per hashed column
+	// version counts mutations (Insert, CreateIndex) so cached plans
+	// can detect that a table they were planned against has changed.
+	// Mutations follow the same contract as the fields above: they
+	// must be externally serialized against concurrent queries.
+	version uint64
 }
 
 // Index is a B+tree index over one or more columns.
@@ -43,6 +48,7 @@ type Index struct {
 type DB struct {
 	tables map[string]*Table
 	names  []string
+	plans  planCache
 }
 
 // NewDB returns an empty database.
@@ -121,6 +127,7 @@ func (t *Table) Insert(row []Value) (int64, error) {
 		t.hashIdx = map[int]map[string][]int64{}
 		t.hashMax = map[int]int{}
 	}
+	t.version++
 	return id, nil
 }
 
@@ -158,6 +165,8 @@ func (t *Table) CreateIndex(name string, cols ...string) (*Index, error) {
 		ix.Tree.Insert(ix.key(row), int64(id))
 	}
 	t.indexes = append(t.indexes, ix)
+	// A new index can change the chosen access paths of cached plans.
+	t.version++
 	return ix, nil
 }
 

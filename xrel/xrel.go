@@ -52,10 +52,17 @@ func ParseXML(r io.Reader) (*Document, error) { return xmltree.Parse(r) }
 
 // Store is a schema-aware XML store with PPF-based XPath querying.
 type Store struct {
-	schema *schema.Schema
-	shred  *shred.SchemaAwareStore
-	tr     *core.Translator
+	schema      *schema.Schema
+	shred       *shred.SchemaAwareStore
+	tr          *core.Translator
+	parallelism int
 }
+
+// SetParallelism sets the engine worker count used by Query and
+// RunSQL (<= 1 means serial execution, the default). Queries repeated
+// against the store reuse cached plans either way; see
+// PlanCacheStats.
+func (s *Store) SetParallelism(workers int) { s.parallelism = workers }
 
 // Open creates an empty store for documents conforming to the schema,
 // using the paper's default translation options.
@@ -126,7 +133,7 @@ func (s *Store) Query(query string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := s.shred.DB.Run(tr.Stmt)
+	res, err := s.shred.DB.RunWithOptions(tr.Stmt, engine.ExecOptions{Parallelism: s.parallelism})
 	if err != nil {
 		return nil, fmt.Errorf("xrel: executing %q: %w", tr.SQL, err)
 	}
@@ -145,7 +152,7 @@ func (s *Store) Query(query string) (*Result, error) {
 // returning column names and stringified rows. It exposes the
 // embedded engine for inspection and tooling.
 func (s *Store) RunSQL(sql string) (cols []string, rows [][]string, err error) {
-	res, err := s.shred.DB.RunSQL(sql)
+	res, err := s.shred.DB.ExecSQLWithOptions(sql, engine.ExecOptions{Parallelism: s.parallelism})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -174,6 +181,15 @@ func (s *Store) TableSizes() []string { return s.shred.DB.SortedTableSizes() }
 // PathCount reports the number of distinct root-to-node paths stored
 // (the size of the paper's 'paths' relation).
 func (s *Store) PathCount() int { return s.shred.PathCount() }
+
+// PlanCacheStats reports the embedded engine's prepared-plan cache
+// counters: cached plans, cumulative hits, cumulative misses.
+// Repeating a query against an unchanged store hits the cache and
+// skips re-planning.
+func (s *Store) PlanCacheStats() (size int, hits, misses uint64) {
+	hits, misses = s.shred.DB.PlanCacheStats()
+	return s.shred.DB.PlanCacheSize(), hits, misses
+}
 
 // ValidQuery reports whether the query parses and is translatable for
 // this store's schema.

@@ -153,3 +153,53 @@ func TestOpenWithOptions(t *testing.T) {
 		t.Errorf("omission disabled should keep the path filter: %s", sql.Text)
 	}
 }
+
+// TestPlanCacheAcrossQueries checks that repeating an XPath query
+// reuses the engine's cached plan and that the counters are exposed.
+func TestPlanCacheAcrossQueries(t *testing.T) {
+	st := open(t)
+	q := "/A/B/C//F"
+	first, err := st.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, h0, m0 := st.PlanCacheStats()
+	again, err := st.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size, h1, m1 := st.PlanCacheStats()
+	if h1-h0 != 1 || m1 != m0 {
+		t.Errorf("repeat query: hits %d->%d misses %d->%d, want one new hit", h0, h1, m0, m1)
+	}
+	if size == 0 {
+		t.Error("PlanCacheStats size = 0 after queries")
+	}
+	if len(again.Nodes) != len(first.Nodes) {
+		t.Errorf("cached plan returned %d nodes, first run %d", len(again.Nodes), len(first.Nodes))
+	}
+}
+
+// TestSetParallelism checks that parallel execution returns the same
+// nodes as serial execution.
+func TestSetParallelism(t *testing.T) {
+	st := open(t)
+	q := "/A/B/C//F"
+	want, err := st.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.SetParallelism(4)
+	got, err := st.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Nodes) != len(want.Nodes) {
+		t.Fatalf("parallel: %d nodes, serial %d", len(got.Nodes), len(want.Nodes))
+	}
+	for i := range got.Nodes {
+		if got.Nodes[i] != want.Nodes[i] {
+			t.Fatalf("node %d differs: %+v vs %+v", i, got.Nodes[i], want.Nodes[i])
+		}
+	}
+}
