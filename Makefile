@@ -1,9 +1,9 @@
 # make check mirrors .github/workflows/ci.yml locally.
 GO ?= go
 
-.PHONY: check build fmtcheck vet xvet test race bench-smoke
+.PHONY: check build fmtcheck vet xvet test race chaos fuzz-smoke bench-smoke
 
-check: build fmtcheck vet xvet test race
+check: build fmtcheck vet xvet test race chaos
 
 build:
 	$(GO) build ./...
@@ -17,7 +17,8 @@ vet:
 	$(GO) vet ./...
 
 # The custom invariant analyzers (rawsql, deweycmp, regexploop,
-# errdrop); -novet because `make vet` already ran the standard passes.
+# errdrop, recoverguard); -novet because `make vet` already ran the
+# standard passes.
 xvet:
 	$(GO) run ./cmd/xvet -novet ./...
 
@@ -26,6 +27,21 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# chaos arms the failpoints (engine/morsel-claim, engine/hash-build,
+# engine/plancache-insert, engine/pattern-compile) and the budget
+# matrix under -race: injected faults must unwind to typed errors with
+# no goroutine leaks and no poisoned caches (DESIGN.md section 8).
+chaos:
+	$(GO) test -race -run 'TestChaos|TestBudget|TestRunContext|TestPreparedRunContext|TestConcurrentBudgeted' ./internal/engine/ ./internal/failpoint/
+
+# fuzz-smoke gives each native fuzz target a short budget; regression
+# inputs from past crashes live in each package's testdata/fuzz and
+# also run under plain `go test`.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzXPathParse -fuzztime=10s ./internal/xpath/
+	$(GO) test -fuzz=FuzzDeweyDecode -fuzztime=10s ./internal/dewey/
+	$(GO) test -fuzz=FuzzPathPattern -fuzztime=10s ./internal/pathre/
 
 # bench-smoke runs a tiny Figure 3 pass in both execution modes
 # (serial, then morsel-parallel) with oracle verification on: a fast

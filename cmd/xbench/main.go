@@ -6,7 +6,7 @@
 //	xbench -experiment fig3|appc-small|appc-large|appc-dblp|joins|\
 //	                   ablate-pathfilter|ablate-fkjoin|all
 //	       [-scale N] [-reps N] [-budget 60s] [-seed N] [-noverify]
-//	       [-parallel] [-json out.json]
+//	       [-parallel] [-max-mem BYTES] [-max-rows N] [-json out.json]
 //
 // Scale 1 approximates the paper's small (12 MB) XMark document;
 // appc-large uses 10x (the paper's 113 MB document). Timings cannot
@@ -15,7 +15,9 @@
 //
 // -parallel runs the SQL-based systems with the engine's morsel
 // executor at GOMAXPROCS workers (paper-shape comparisons are serial;
-// see EXPERIMENTS.md). -json writes every measurement as a JSON array
+// see EXPERIMENTS.md). -max-mem and -max-rows cap each statement's
+// materialized bytes and produced rows (0 = unlimited, the paper's
+// configuration); an exceeded budget prints ERR for that cell. -json writes every measurement as a JSON array
 // of records so the repo can accumulate a perf trajectory
 // (BENCH_<experiment>.json).
 package main
@@ -39,6 +41,8 @@ func main() {
 	seed := flag.Int64("seed", 42, "generator seed")
 	noverify := flag.Bool("noverify", false, "skip cross-checking every system against the oracle")
 	parallel := flag.Bool("parallel", false, "run SQL-based systems with GOMAXPROCS engine workers")
+	maxMem := flag.Int64("max-mem", 0, "per-statement memory budget in bytes for SQL-based systems (0 = unlimited)")
+	maxRows := flag.Int64("max-rows", 0, "per-statement produced-row budget for SQL-based systems (0 = unlimited)")
 	jsonOut := flag.String("json", "", "also write measurements as JSON records to this file")
 	flag.Parse()
 
@@ -46,13 +50,19 @@ func main() {
 	if *parallel {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if err := run(*experiment, *scale, *reps, *budget, *seed, !*noverify, workers, *jsonOut); err != nil {
+	lim := limits{mem: *maxMem, rows: *maxRows}
+	if err := run(*experiment, *scale, *reps, *budget, *seed, !*noverify, workers, lim, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "xbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment string, scale float64, reps int, budget time.Duration, seed int64, verify bool, workers int, jsonOut string) error {
+// limits carries the per-statement resource budgets into run.
+type limits struct {
+	mem, rows int64
+}
+
+func run(experiment string, scale float64, reps int, budget time.Duration, seed int64, verify bool, workers int, lim limits, jsonOut string) error {
 	opts := bench.Opts{Reps: reps, Budget: budget, Verify: verify}
 	var records []bench.Record
 	if jsonOut != "" {
@@ -64,6 +74,7 @@ func run(experiment string, scale float64, reps int, budget time.Duration, seed 
 		w, err := bench.NewXMark(s, seed)
 		if err == nil {
 			w.Parallelism = workers
+			w.MaxMemoryBytes, w.MaxRows = lim.mem, lim.rows
 		}
 		return w, err
 	}
@@ -72,6 +83,7 @@ func run(experiment string, scale float64, reps int, budget time.Duration, seed 
 		w, err := bench.NewDBLP(s, seed)
 		if err == nil {
 			w.Parallelism = workers
+			w.MaxMemoryBytes, w.MaxRows = lim.mem, lim.rows
 		}
 		return w, err
 	}

@@ -5,10 +5,13 @@
 // optional -schema, the shell starts with an XML document already
 // shredded under the schema-aware mapping.
 //
-//	xsql [-schema site.schema [-xsd]] [-load doc.xml] [-parallel N] [-e 'STMT'...]
+//	xsql [-schema site.schema [-xsd]] [-load doc.xml] [-parallel N]
+//	     [-max-mem BYTES] [-max-rows N] [-e 'STMT'...]
 //
 // -parallel N executes SELECTs with the engine's morsel executor at N
-// workers (0 = serial).
+// workers (0 = serial). -max-mem and -max-rows set per-statement
+// resource budgets (0 = unlimited): a statement that exceeds one
+// fails with a budget error and the shell keeps running.
 //
 // Special commands: \d lists tables; \stats prints engine cache
 // metrics; \q quits.
@@ -32,11 +35,14 @@ func main() {
 	useXSD := flag.Bool("xsd", false, "parse the schema file as XML Schema")
 	load := flag.String("load", "", "XML document to shred before starting")
 	parallel := flag.Int("parallel", 0, "engine worker count for SELECTs (0 = serial)")
+	maxMem := flag.Int64("max-mem", 0, "per-statement memory budget in bytes (0 = unlimited)")
+	maxRows := flag.Int64("max-rows", 0, "per-statement produced-row budget (0 = unlimited)")
 	var stmts multiFlag
 	flag.Var(&stmts, "e", "statement to execute (repeatable); skips the interactive loop")
 	flag.Parse()
 
-	if err := run(*schemaPath, *useXSD, *load, *parallel, stmts, os.Stdin, os.Stdout); err != nil {
+	opts := engine.ExecOptions{Parallelism: *parallel, MaxMemoryBytes: *maxMem, MaxRows: *maxRows}
+	if err := run(*schemaPath, *useXSD, *load, opts, stmts, os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "xsql:", err)
 		os.Exit(1)
 	}
@@ -47,7 +53,7 @@ type multiFlag []string
 func (m *multiFlag) String() string     { return strings.Join(*m, "; ") }
 func (m *multiFlag) Set(s string) error { *m = append(*m, s); return nil }
 
-func run(schemaPath string, useXSD bool, load string, parallel int, stmts []string, in *os.File, out *os.File) error {
+func run(schemaPath string, useXSD bool, load string, opts engine.ExecOptions, stmts []string, in *os.File, out *os.File) error {
 	db := engine.NewDB()
 	if load != "" {
 		f, err := os.Open(load)
@@ -105,9 +111,10 @@ func run(schemaPath string, useXSD bool, load string, parallel int, stmts []stri
 			fmt.Fprintf(out, "plan cache: %d entries, %d hits, %d misses\n",
 				db.PlanCacheSize(), hits, misses)
 			fmt.Fprintf(out, "pattern cache: %d entries\n", engine.PatternCacheSize())
+			fmt.Fprintf(out, "peak statement memory: %d bytes\n", db.PeakStatementMemory())
 			return
 		}
-		res, err := db.ExecSQLWithOptions(line, engine.ExecOptions{Parallelism: parallel})
+		res, err := db.ExecSQLWithOptions(line, opts)
 		if err != nil {
 			fmt.Fprintln(out, "error:", err)
 			return

@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/engine"
 )
 
 func td(name string) string { return filepath.Join("..", "..", "testdata", name) }
@@ -15,7 +17,7 @@ func TestRunStatements(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer out.Close()
-	err = run(td("figure1.schema"), false, td("figure1.xml"), 0, []string{
+	err = run(td("figure1.schema"), false, td("figure1.xml"), engine.ExecOptions{}, []string{
 		`\d`,
 		"SELECT COUNT(*) FROM F",
 		"SELECT F.id FROM F WHERE F.text = '2';",
@@ -46,7 +48,7 @@ func TestRunInteractiveLoop(t *testing.T) {
 	in.Seek(0, 0)
 	out, _ := os.CreateTemp(t.TempDir(), "out")
 	defer out.Close()
-	if err := run("", false, td("figure1.xml"), 0, nil, in, out); err != nil {
+	if err := run("", false, td("figure1.xml"), engine.ExecOptions{}, nil, in, out); err != nil {
 		t.Fatal(err)
 	}
 	data, _ := os.ReadFile(out.Name())
@@ -58,12 +60,46 @@ func TestRunInteractiveLoop(t *testing.T) {
 func TestRunErrors(t *testing.T) {
 	out, _ := os.CreateTemp(t.TempDir(), "out")
 	defer out.Close()
-	if err := run("nosuch.schema", false, td("figure1.xml"), 0, nil, nil, out); err == nil {
+	if err := run("nosuch.schema", false, td("figure1.xml"), engine.ExecOptions{}, nil, nil, out); err == nil {
 		t.Error("missing schema should fail")
 	}
-	if err := run("", false, "nosuch.xml", 0, nil, nil, out); err == nil {
+	if err := run("", false, "nosuch.xml", engine.ExecOptions{}, nil, nil, out); err == nil {
 		t.Error("missing document should fail")
 	}
 }
 
 func contains(s, sub string) bool { return strings.Contains(s, sub) }
+
+// TestRunBudgets drives the shell with per-statement budgets: the
+// over-budget statement reports an error inline, later statements
+// still run, and \stats shows the recorded peak.
+func TestRunBudgets(t *testing.T) {
+	out, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	err = run(td("figure1.schema"), false, td("figure1.xml"),
+		engine.ExecOptions{MaxRows: 1}, []string{
+			"SELECT id FROM F ORDER BY id", // >1 row: budget error
+			"SELECT COUNT(*) FROM F",       // counting is not materializing
+			`\stats`,
+		}, nil, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(data)
+	if !strings.Contains(got, "row budget") {
+		t.Errorf("output missing row-budget error:\n%s", got)
+	}
+	if !strings.Contains(got, "(1 row(s))") {
+		t.Errorf("COUNT after budget error did not run:\n%s", got)
+	}
+	if !strings.Contains(got, "peak statement memory:") {
+		t.Errorf("\\stats missing peak memory:\n%s", got)
+	}
+}

@@ -1,0 +1,56 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// recoverGuardFile is the one engine file allowed to call recover():
+// guardPanics in guard.go is the statement boundary that converts
+// panics to *InternalError.
+const recoverGuardFile = "guard.go"
+
+// RecoverGuard forbids recover() in internal/engine outside the
+// designated panic boundary. A stray recover() deeper in the executor
+// would swallow a panic mid-statement, leaving shared state (plan
+// cache entries, transient hash indexes, worker slots) half-updated
+// while the statement appears to succeed; the engine's invariant is
+// that panics unwind untouched to guardPanics, which converts them to
+// a typed ErrInternal at the statement boundary and nowhere else.
+var RecoverGuard = &Analyzer{
+	Name: "recoverguard",
+	Doc: "flag recover() in internal/engine outside guard.go; panics must unwind " +
+		"to the guardPanics statement boundary, which alone converts them to ErrInternal",
+	Run: runRecoverGuard,
+}
+
+func runRecoverGuard(pass *Pass) error {
+	if !strings.HasSuffix(pass.Pkg.Path(), "internal/engine") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "recover" {
+				return true
+			}
+			if _, builtin := pass.TypesInfo.Uses[id].(*types.Builtin); !builtin {
+				return true // a local function shadowing the builtin
+			}
+			if filepath.Base(pass.Fset.Position(call.Pos()).Filename) == recoverGuardFile {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"recover() in internal/engine outside %s; let panics unwind to the guardPanics statement boundary",
+				recoverGuardFile)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,19 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestRecoverGuard(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.RecoverGuard,
+		"recoverguard/internal/engine", "recoverguard/ok")
+}
+
+// The real engine must satisfy its own invariant: guardPanics in
+// guard.go is the only recover() site.
+func TestRecoverGuardSanctionsGuardPanics(t *testing.T) {
+	expectClean(t, analysis.RecoverGuard, "repro/internal/engine")
+}

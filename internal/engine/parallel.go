@@ -3,6 +3,8 @@ package engine
 import (
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/failpoint"
 )
 
 // morselSize is the number of driving-table rows per morsel. Small
@@ -57,8 +59,16 @@ func (ec *execCtx) collectParallel(plan *selectPlan) (rows []orderedRow, count i
 		workers = nMorsels
 	}
 	// Build shared read-only state up front so workers never race on
-	// lazily initialized hash-join build sides.
-	prebuildHashJoins(plan)
+	// lazily initialized hash-join build sides; a build that blows
+	// the memory budget fails the statement before any fan-out.
+	if err := prebuildHashJoins(plan, ec.acct); err != nil {
+		return nil, 0, false, err
+	}
+	// The builds may have consumed the deadline; observe it before
+	// spawning workers.
+	if err := ec.checkNow(); err != nil {
+		return nil, 0, false, err
+	}
 
 	outs := make([]morselOut, nMorsels)
 	errs := make([]error, workers)
@@ -70,23 +80,14 @@ func (ec *execCtx) collectParallel(plan *selectPlan) (rows []orderedRow, count i
 		go func(w int) {
 			defer wg.Done()
 			// Private execCtx: the deadline tick counter must not be
-			// shared. Nested subplans see parallelism 0 (serial).
-			wec := &execCtx{db: ec.db, deadline: ec.deadline}
-			for {
-				m := int(next.Add(1)) - 1
-				if m >= nMorsels || aborted.Load() {
-					return
-				}
-				lo := m * morselSize
-				hi := lo + morselSize
-				if hi > len(ids) {
-					hi = len(ids)
-				}
-				if merr := runMorsel(wec, plan, ids[lo:hi], &outs[m]); merr != nil {
-					errs[w] = merr
-					aborted.Store(true)
-					return
-				}
+			// shared. Nested subplans see parallelism 0 (serial). The
+			// accountant and context are shared: budgets govern the
+			// statement, not the worker.
+			wec := &execCtx{db: ec.db, ctx: ec.ctx, deadline: ec.deadline,
+				acct: ec.acct, sql: ec.sql}
+			if werr := wec.workerLoop(plan, ids, nMorsels, outs, &next, &aborted); werr != nil {
+				errs[w] = werr
+				aborted.Store(true)
 			}
 		}(w)
 	}
@@ -113,14 +114,52 @@ func (ec *execCtx) collectParallel(plan *selectPlan) (rows []orderedRow, count i
 	return rows, 0, true, nil
 }
 
+// workerLoop is one worker's morsel-claiming loop. It is the
+// worker-side statement boundary: a panic inside any morsel converts
+// to *InternalError here (the goroutine's own deferred recover — the
+// caller's cannot see it) and aborts the other workers at their next
+// claim.
+func (ec *execCtx) workerLoop(plan *selectPlan, ids []int64, nMorsels int,
+	outs []morselOut, next *atomic.Int64, aborted *atomic.Bool) (err error) {
+	defer guardPanics(ec.sql, &err)
+	for {
+		m := int(next.Add(1)) - 1
+		if m >= nMorsels || aborted.Load() {
+			return nil
+		}
+		if err := failpoint.Inject("engine/morsel-claim"); err != nil {
+			return err
+		}
+		// One unconditional deadline/cancellation check per claim: the
+		// in-morsel tick counter only fires every 1024 rows, which a
+		// worker draining a few small morsels never reaches.
+		if err := ec.checkNow(); err != nil {
+			return err
+		}
+		lo := m * morselSize
+		hi := lo + morselSize
+		if hi > len(ids) {
+			hi = len(ids)
+		}
+		if err := runMorsel(ec, plan, ids[lo:hi], &outs[m]); err != nil {
+			return err
+		}
+	}
+}
+
 // runMorsel drives one morsel's row ids through the join pipeline,
 // buffering projected rows (or the count) into the morsel's private
-// output.
+// output. Buffered rows are charged to the statement's shared
+// accountant, so a budget overrun surfaces within one morsel of the
+// row that crossed the line.
 func runMorsel(ec *execCtx, plan *selectPlan, ids []int64, out *morselOut) error {
 	r := &stepRunner{ec: ec, plan: plan, e: env{}, emit: func(row, keys []Value) (bool, error) {
 		if plan.countStar {
 			out.count++
 			return true, nil
+		}
+		if err := ec.acct.addRow(rowMemBytes(row, keys)); err != nil {
+			return false, err
 		}
 		out.rows = append(out.rows, orderedRow{row: row, keys: keys})
 		return true, nil
@@ -157,14 +196,23 @@ func drivingIDs(ec *execCtx, s *joinStep) ([]int64, error) {
 }
 
 // prebuildHashJoins forces construction of every hash-join build side
-// the plan's steps will probe.
-func prebuildHashJoins(plan *selectPlan) {
+// the plan's steps will probe, charging builds to the statement's
+// accountant.
+func prebuildHashJoins(plan *selectPlan, ac *accountant) error {
 	for _, s := range plan.steps {
+		col := -1
 		switch a := s.access.(type) {
 		case *hashEq:
-			s.table.hash(a.col)
+			col = a.col
 		case *fatHash:
-			s.table.hash(a.h.col)
+			col = a.h.col
+		}
+		if col < 0 {
+			continue
+		}
+		if _, _, err := s.table.hashFor(col, ac); err != nil {
+			return err
 		}
 	}
+	return nil
 }

@@ -2,9 +2,11 @@ package engine
 
 import (
 	"container/list"
+	"context"
 	"fmt"
 	"sync"
 
+	"repro/internal/failpoint"
 	"repro/internal/sqlast"
 )
 
@@ -137,10 +139,18 @@ func (c *planCache) get(key string) *compiledStmt {
 }
 
 // put inserts a freshly compiled plan, evicting the least recently
-// used entry beyond capacity.
+// used entry beyond capacity. A plan whose table versions have
+// already moved on is not inserted: a compile that raced with a
+// mutation (or an evicted plan whose execution was still in flight)
+// must not re-enter the cache with stale versions, where it would
+// evict a good entry and force the next lookup through the
+// stale-detection miss path.
 func (c *planCache) put(key string, cs *compiledStmt) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if !cs.fresh() {
+		return
+	}
 	if c.lru == nil {
 		c.lru = list.New()
 		c.byKey = map[string]*list.Element{}
@@ -189,6 +199,9 @@ func (db *DB) compiledFor(st sqlast.Statement, key string) (*compiledStmt, error
 	if err != nil {
 		return nil, err
 	}
+	if err := failpoint.Inject("engine/plancache-insert"); err != nil {
+		return nil, err
+	}
 	db.plans.put(key, cs)
 	return cs, nil
 }
@@ -231,9 +244,23 @@ func (p *Prepared) Run() (*Result, error) { return p.RunWithOptions(ExecOptions{
 
 // RunWithOptions executes the prepared statement.
 func (p *Prepared) RunWithOptions(opts ExecOptions) (*Result, error) {
+	return p.RunWithOptionsContext(nil, opts)
+}
+
+// RunContext executes the prepared statement honoring cancellation.
+func (p *Prepared) RunContext(ctx context.Context) (*Result, error) {
+	return p.RunWithOptionsContext(ctx, ExecOptions{})
+}
+
+// RunWithOptionsContext executes the prepared statement with options,
+// honoring ctx cancellation (nil means no context). Like
+// DB.RunWithOptionsContext it is a statement boundary: internal
+// panics return as *InternalError.
+func (p *Prepared) RunWithOptionsContext(ctx context.Context, opts ExecOptions) (res *Result, err error) {
+	defer guardPanics(p.key, &err)
 	cs, err := p.db.compiledFor(p.st, p.key)
 	if err != nil {
 		return nil, err
 	}
-	return p.db.runCompiled(cs, opts)
+	return p.db.runCompiled(ctx, cs, opts, p.key)
 }

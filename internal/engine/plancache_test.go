@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/dewey"
+	"repro/internal/sqlast"
 )
 
 // statsDelta runs f and returns the plan-cache hit/miss deltas it
@@ -173,5 +174,55 @@ func TestPrepare(t *testing.T) {
 	}
 	if _, err := db.Prepare("SELECT bogus FROM"); err == nil {
 		t.Error("Prepare accepted malformed SQL")
+	}
+}
+
+// TestPlanCacheStaleReinsert is the regression test for the
+// eviction/in-flight race: a plan compiled before a table mutation
+// (e.g. one whose cache entry was evicted while its execution was
+// still in flight) must not be re-inserted with stale table
+// versions, where it would evict a good entry and serve only to be
+// thrown away by the next lookup's staleness check.
+func TestPlanCacheStaleReinsert(t *testing.T) {
+	db := fixtureDB(t)
+	q := "SELECT F.id FROM F WHERE F.text = '2' ORDER BY F.id"
+	st, err := sqlast.Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := sqlast.Render(st)
+	// Compile (as an in-flight execution would have) before mutating.
+	cs, err := compileStmt(db, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The mutation bumps F's version: cs is now stale.
+	f := db.Table("F")
+	if _, err := f.Insert([]Value{NewInt(999), NewInt(6), NewBytes(dewey.New(1, 1, 2, 1, 3)), NewInt(6), NewText("2")}); err != nil {
+		t.Fatal(err)
+	}
+	if cs.fresh() {
+		t.Fatal("test setup: plan still fresh after Insert")
+	}
+	db.plans.put(key, cs)
+	if got := db.plans.get(key); got != nil {
+		t.Fatal("stale plan was re-inserted and served")
+	}
+	if n := db.PlanCacheSize(); n != 0 {
+		t.Fatalf("PlanCacheSize = %d after stale put, want 0", n)
+	}
+	// A fresh run re-plans, caches, and sees the inserted row.
+	res := mustRun(t, db, q)
+	found := false
+	for _, r := range res.Rows {
+		if r[0].I == 999 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("re-planned query does not see the post-mutation row")
+	}
+	if n := db.PlanCacheSize(); n != 1 {
+		t.Errorf("PlanCacheSize = %d after clean run, want 1", n)
 	}
 }

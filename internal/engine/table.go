@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/btree"
+	"repro/internal/failpoint"
 	"repro/internal/keyenc"
 )
 
@@ -49,7 +51,25 @@ type DB struct {
 	tables map[string]*Table
 	names  []string
 	plans  planCache
+	// peakMem is the high-water mark of per-statement accounted
+	// memory across every statement run against this DB.
+	peakMem atomic.Int64
 }
+
+// notePeakMemory folds one statement's peak accounted memory into
+// the DB-level high-water mark.
+func (db *DB) notePeakMemory(peak int64) {
+	for {
+		p := db.peakMem.Load()
+		if peak <= p || db.peakMem.CompareAndSwap(p, peak) {
+			return
+		}
+	}
+}
+
+// PeakStatementMemory returns the largest peak accounted memory any
+// single statement has reached on this DB (see Result.PeakMemBytes).
+func (db *DB) PeakStatementMemory() int64 { return db.peakMem.Load() }
 
 // NewDB returns an empty database.
 func NewDB() *DB { return &DB{tables: map[string]*Table{}} }
@@ -225,18 +245,60 @@ func encodeValue(dst []byte, v Value) []byte {
 }
 
 // hash returns (building on demand) the transient hash index for a
-// column: the executor's hash-join build side.
+// column: the executor's hash-join build side. This unaccounted form
+// serves the planner's cost estimation; execution paths go through
+// hashFor so builds are charged to the running statement.
 func (t *Table) hash(col int) map[string][]int64 {
+	m, _, err := t.hashFor(col, nil)
+	if err != nil {
+		// With a nil accountant the only failure mode is an armed
+		// failpoint; planner-side estimation has no error path, so an
+		// injected build fault surfaces through the statement panic
+		// boundary instead.
+		panic(err)
+	}
+	return m
+}
+
+// hashFor returns the transient hash index for a column, building it
+// on demand. A build is charged to the statement's accountant and
+// aborts (without publishing a partial map) when the memory budget
+// is exceeded; built reports whether this call performed the build,
+// so callers can re-check deadlines after a long one. The
+// "engine/hash-build" failpoint fires on every access, built or
+// cached, making the hash path's error handling injectable
+// regardless of which statement performed the build.
+func (t *Table) hashFor(col int, ac *accountant) (m map[string][]int64, built bool, err error) {
+	if err := failpoint.Inject("engine/hash-build"); err != nil {
+		return nil, false, err
+	}
 	t.hashMu.Lock()
 	defer t.hashMu.Unlock()
 	if m, ok := t.hashIdx[col]; ok {
-		return m
+		return m, false, nil
 	}
-	m := make(map[string][]int64, len(t.Rows))
+	m = make(map[string][]int64, len(t.Rows))
 	var buf []byte
+	var bytes int64
 	for id, row := range t.Rows {
 		buf = encodeValue(buf[:0], row[col])
-		m[string(buf)] = append(m[string(buf)], int64(id))
+		key := string(buf)
+		ids, ok := m[key]
+		if !ok {
+			bytes += int64(len(key)) + mapEntryBytes
+		}
+		bytes += 8 // one row id
+		m[key] = append(ids, int64(id))
+		if id&0x3FF == 0x3FF {
+			// Abort an over-budget build mid-way rather than after
+			// materializing the whole side.
+			if err := ac.wouldExceed(bytes); err != nil {
+				return nil, false, err
+			}
+		}
+	}
+	if err := ac.growBytes(bytes); err != nil {
+		return nil, false, err
 	}
 	max := 0
 	for _, ids := range m {
@@ -246,7 +308,7 @@ func (t *Table) hash(col int) map[string][]int64 {
 	}
 	t.hashIdx[col] = m
 	t.hashMax[col] = max
-	return m
+	return m, true, nil
 }
 
 // hashMaxBucket returns the largest bucket of the column's transient

@@ -1,0 +1,206 @@
+// Package failpoint provides name-addressed fault-injection points
+// for chaos testing the engine's error and panic recovery paths.
+//
+// A failpoint is a named hook compiled permanently into production
+// code:
+//
+//	if err := failpoint.Inject("engine/hash-build"); err != nil {
+//		return err
+//	}
+//
+// When no failpoint is armed anywhere in the process, Inject is a
+// single atomic load and a predictable branch — cheap enough for hot
+// paths. Tests arm individual points by name:
+//
+//	failpoint.Enable("engine/hash-build", failpoint.Return(errBoom))
+//	defer failpoint.Reset()
+//
+// Actions are deterministic: a point fires on every hit unless
+// narrowed with Times (fire at most n times) or After (skip the
+// first n hits), so a test can target exactly the k-th traversal of
+// a code path. Three action kinds cover the engine's failure modes:
+// Return (an error surfaces through the normal return path), Panic
+// (Inject panics, exercising the statement panic boundary), and
+// Sleep (the hit stalls, widening race and timeout windows).
+//
+// Naming convention: "<package>/<site>", lower-case, dash-separated
+// (e.g. "engine/morsel-claim"). Names are free-form strings; arming a
+// name no Inject call carries is legal and simply never fires. The
+// registry is bounded (MaxActive) so a leaking test loop cannot grow
+// process state without bound.
+package failpoint
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// MaxActive bounds the number of simultaneously armed failpoints.
+const MaxActive = 64
+
+// ErrRegistryFull reports an Enable that would exceed MaxActive.
+var ErrRegistryFull = errors.New("failpoint: registry full")
+
+// ErrInjected is the default error returned by Fail actions that do
+// not carry a caller-chosen error.
+var ErrInjected = errors.New("failpoint: injected error")
+
+// An Action describes what an armed failpoint does when hit. The
+// zero Action does nothing; build one with Return, Panic or Sleep
+// and optionally narrow it with Times and After.
+type Action struct {
+	err      error
+	panicMsg string
+	doPanic  bool
+	sleep    time.Duration
+	skip     int64 // hits to ignore before firing
+	limit    int64 // fires remaining; <0 = unlimited
+}
+
+// Return builds an action that makes Inject return err.
+func Return(err error) Action {
+	if err == nil {
+		err = ErrInjected
+	}
+	return Action{err: err, limit: -1}
+}
+
+// Panic builds an action that makes Inject panic with a *PanicValue
+// carrying msg.
+func Panic(msg string) Action { return Action{doPanic: true, panicMsg: msg, limit: -1} }
+
+// Sleep builds an action that makes Inject block for d, then return
+// nil.
+func Sleep(d time.Duration) Action { return Action{sleep: d, limit: -1} }
+
+// Times returns a copy of a that fires at most n times; later hits
+// pass through.
+func (a Action) Times(n int) Action { a.limit = int64(n); return a }
+
+// After returns a copy of a that ignores the first n hits.
+func (a Action) After(n int) Action { a.skip = int64(n); return a }
+
+// PanicValue is the value Inject panics with for Panic actions, so
+// recovery boundaries (and their tests) can recognize an injected
+// panic.
+type PanicValue struct {
+	Name string // failpoint name
+	Msg  string
+}
+
+func (p *PanicValue) String() string {
+	return fmt.Sprintf("failpoint %s: injected panic: %s", p.Name, p.Msg)
+}
+
+type point struct {
+	action Action
+	hits   int64 // total Inject arrivals (fired or not)
+	fired  int64
+}
+
+var (
+	// armed counts enabled failpoints; Inject's fast path is a single
+	// load of this counter.
+	armed atomic.Int64
+
+	mu     sync.Mutex
+	points map[string]*point
+)
+
+// Enable arms the named failpoint with an action, replacing any
+// previous action under the same name. It fails only when the
+// registry is full.
+func Enable(name string, a Action) error {
+	mu.Lock()
+	defer mu.Unlock()
+	if points == nil {
+		points = make(map[string]*point)
+	}
+	if _, ok := points[name]; !ok {
+		if len(points) >= MaxActive {
+			return ErrRegistryFull
+		}
+		armed.Add(1)
+	}
+	points[name] = &point{action: a}
+	return nil
+}
+
+// Disable disarms the named failpoint. Disabling an unarmed name is
+// a no-op.
+func Disable(name string) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := points[name]; ok {
+		delete(points, name)
+		armed.Add(-1)
+	}
+}
+
+// Reset disarms every failpoint. Tests should defer it after any
+// Enable so faults cannot leak across test boundaries.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	armed.Add(-int64(len(points)))
+	points = nil
+}
+
+// Active returns the names of the armed failpoints, sorted.
+func Active() []string {
+	mu.Lock()
+	defer mu.Unlock()
+	out := make([]string, 0, len(points))
+	for name := range points {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Hits returns how many times Inject has been reached for the named
+// failpoint since it was last enabled (including hits the action
+// skipped or had exhausted).
+func Hits(name string) int64 {
+	mu.Lock()
+	defer mu.Unlock()
+	if p, ok := points[name]; ok {
+		return p.hits
+	}
+	return 0
+}
+
+// Inject is the production-side hook. With no failpoint armed in the
+// process it returns nil after one atomic load. With the named point
+// armed it applies the action: returns its error, panics with a
+// *PanicValue, or sleeps and returns nil.
+func Inject(name string) error {
+	if armed.Load() == 0 {
+		return nil
+	}
+	mu.Lock()
+	p, ok := points[name]
+	if !ok {
+		mu.Unlock()
+		return nil
+	}
+	p.hits++
+	if p.hits <= p.action.skip || (p.action.limit >= 0 && p.fired >= p.action.limit) {
+		mu.Unlock()
+		return nil
+	}
+	p.fired++
+	a := p.action
+	mu.Unlock()
+	if a.doPanic {
+		panic(&PanicValue{Name: name, Msg: a.panicMsg})
+	}
+	if a.sleep > 0 {
+		time.Sleep(a.sleep)
+	}
+	return a.err
+}

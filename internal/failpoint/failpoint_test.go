@@ -1,0 +1,155 @@
+package failpoint
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDisabledInjectIsNil(t *testing.T) {
+	Reset()
+	if err := Inject("engine/never-armed"); err != nil {
+		t.Fatalf("Inject on unarmed point = %v, want nil", err)
+	}
+}
+
+func TestReturnAction(t *testing.T) {
+	defer Reset()
+	boom := errors.New("boom")
+	if err := Enable("t/return", Return(boom)); err != nil {
+		t.Fatal(err)
+	}
+	if err := Inject("t/return"); !errors.Is(err, boom) {
+		t.Fatalf("Inject = %v, want %v", err, boom)
+	}
+	// Other names stay unaffected.
+	if err := Inject("t/other"); err != nil {
+		t.Fatalf("unarmed sibling fired: %v", err)
+	}
+	Disable("t/return")
+	if err := Inject("t/return"); err != nil {
+		t.Fatalf("Inject after Disable = %v, want nil", err)
+	}
+}
+
+func TestReturnNilDefaultsToErrInjected(t *testing.T) {
+	defer Reset()
+	if err := Enable("t/default", Return(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := Inject("t/default"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Inject = %v, want ErrInjected", err)
+	}
+}
+
+func TestPanicAction(t *testing.T) {
+	defer Reset()
+	if err := Enable("t/panic", Panic("kaboom")); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		r := recover()
+		pv, ok := r.(*PanicValue)
+		if !ok {
+			t.Fatalf("recovered %v (%T), want *PanicValue", r, r)
+		}
+		if pv.Name != "t/panic" || pv.Msg != "kaboom" {
+			t.Fatalf("PanicValue = %+v", pv)
+		}
+	}()
+	_ = Inject("t/panic")
+	t.Fatal("Inject did not panic")
+}
+
+func TestSleepAction(t *testing.T) {
+	defer Reset()
+	if err := Enable("t/sleep", Sleep(20*time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := Inject("t/sleep"); err != nil {
+		t.Fatalf("Inject = %v, want nil", err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("Inject returned after %v, want >= 20ms", d)
+	}
+}
+
+func TestTimesAndAfter(t *testing.T) {
+	defer Reset()
+	boom := errors.New("boom")
+	// Skip 2 hits, then fire exactly 2 times.
+	if err := Enable("t/window", Return(boom).After(2).Times(2)); err != nil {
+		t.Fatal(err)
+	}
+	var got []bool
+	for i := 0; i < 6; i++ {
+		got = append(got, Inject("t/window") != nil)
+	}
+	want := []bool{false, false, true, true, false, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("hit %d fired=%v, want %v (sequence %v)", i, got[i], want[i], got)
+		}
+	}
+	if h := Hits("t/window"); h != 6 {
+		t.Fatalf("Hits = %d, want 6", h)
+	}
+}
+
+func TestRegistryBound(t *testing.T) {
+	defer Reset()
+	for i := 0; i < MaxActive; i++ {
+		if err := Enable(fmt.Sprintf("t/bound-%d", i), Return(nil)); err != nil {
+			t.Fatalf("Enable %d: %v", i, err)
+		}
+	}
+	if err := Enable("t/overflow", Return(nil)); !errors.Is(err, ErrRegistryFull) {
+		t.Fatalf("Enable beyond MaxActive = %v, want ErrRegistryFull", err)
+	}
+	// Re-arming an existing name is not growth and must succeed.
+	if err := Enable("t/bound-0", Panic("x")); err != nil {
+		t.Fatalf("re-Enable = %v", err)
+	}
+	if n := len(Active()); n != MaxActive {
+		t.Fatalf("Active = %d names, want %d", n, MaxActive)
+	}
+	Reset()
+	if n := len(Active()); n != 0 {
+		t.Fatalf("Active after Reset = %d names, want 0", n)
+	}
+	if err := Inject("t/bound-1"); err != nil {
+		t.Fatalf("Inject after Reset = %v, want nil", err)
+	}
+}
+
+// TestConcurrentInject hammers one armed point and one unarmed point
+// from many goroutines; run under -race in CI.
+func TestConcurrentInject(t *testing.T) {
+	defer Reset()
+	boom := errors.New("boom")
+	if err := Enable("t/conc", Return(boom)); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				if err := Inject("t/conc"); !errors.Is(err, boom) {
+					panic("armed point did not fire")
+				}
+				if err := Inject("t/conc-unarmed"); err != nil {
+					panic("unarmed point fired")
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if h := Hits("t/conc"); h != 8000 {
+		t.Fatalf("Hits = %d, want 8000", h)
+	}
+}

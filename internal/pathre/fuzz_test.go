@@ -1,0 +1,64 @@
+package pathre
+
+import (
+	"regexp"
+	"testing"
+)
+
+// asciiOnly reports whether s stays inside printable ASCII plus
+// newline — the alphabet on which pathre's byte-wise matcher and the
+// stdlib's rune-wise matcher are comparable.
+func asciiOnly(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; (c < 0x20 || c > 0x7e) && c != '\n' {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzPathPattern exercises Compile and MatchString on arbitrary
+// pattern/input pairs. Compile must reject, never panic; matching
+// must terminate. For ASCII pattern/input pairs the stdlib matcher
+// (with (?s), since pathre's '.' is POSIX any-byte) is the oracle.
+func FuzzPathPattern(f *testing.F) {
+	seeds := [][2]string{
+		{`^/A/B$`, "/A/B"},
+		{`^/A/.*/F$`, "/A/B/C/E/F"},
+		{`B/C`, "/A/B/C"},
+		{`^(/A|/B)/C$`, "/B/C"},
+		{`^[^/]+$`, "leaf"},
+		{`^[a-c0-2]+$`, "ab12"},
+		{`^[-a]$`, "-"},
+		{`a+b?c*`, "aac"},
+		{`(((`, ""},
+		{`[z-a]`, ""},
+		{`a**`, "aa"},
+		{`^$`, ""},
+		{``, "anything"},
+		{`(a*)*b`, "aaab"},
+		{`\(`, "("},
+	}
+	for _, s := range seeds {
+		f.Add(s[0], s[1])
+	}
+	f.Fuzz(func(t *testing.T, pattern, input string) {
+		re, err := Compile(pattern)
+		if err != nil {
+			return
+		}
+		got := re.MatchString(input)
+		if !asciiOnly(pattern) || !asciiOnly(input) {
+			return
+		}
+		std, err := regexp.Compile("(?s)" + pattern)
+		if err != nil {
+			// pathre's subset is slightly more permissive in spots the
+			// stdlib rejects; nothing to compare against.
+			return
+		}
+		if want := std.MatchString(input); got != want {
+			t.Fatalf("MatchString(%q, %q) = %v, stdlib says %v", pattern, input, got, want)
+		}
+	})
+}

@@ -104,15 +104,18 @@ func (re *Regexp) analyze() {
 	if len(s) < 2 || s[0] != '^' || s[len(s)-1] != '$' {
 		return
 	}
+	// Interior '^'/'$' are zero-width assertions, not literal bytes, so
+	// their presence disqualifies the fast paths too.
+	const meta = `.[]()*+?|\{}^$`
 	body := s[1 : len(s)-1]
-	if !strings.ContainsAny(body, `.[]()*+?|\{}`) {
+	if !strings.ContainsAny(body, meta) {
 		re.literal = &body
 		return
 	}
 	// '^prefix.*suffix$' with literal prefix/suffix.
 	if i := strings.Index(body, ".*"); i >= 0 {
 		pre, suf := body[:i], body[i+2:]
-		if !strings.ContainsAny(pre, `.[]()*+?|\{}`) && !strings.ContainsAny(suf, `.[]()*+?|\{}`) {
+		if !strings.ContainsAny(pre, meta) && !strings.ContainsAny(suf, meta) {
 			re.prefix, re.suffix = &pre, &suf
 		}
 	}

@@ -223,7 +223,9 @@ type Number struct{ Value float64 }
 
 func (n *Number) exprNode() {}
 func (n *Number) String() string {
-	return strconv.FormatFloat(n.Value, 'g', -1, 64)
+	// 'f' keeps large values in plain decimal notation — the lexer has
+	// no exponent syntax, so the rendering must not introduce one.
+	return strconv.FormatFloat(n.Value, 'f', -1, 64)
 }
 
 // Call is a function call. Supported functions: not(expr),

@@ -13,6 +13,7 @@
 package xrel
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -50,12 +51,25 @@ func InferSchema(docs ...*Document) (*Schema, error) { return schema.Infer(docs.
 // ParseXML parses an XML document.
 func ParseXML(r io.Reader) (*Document, error) { return xmltree.Parse(r) }
 
+// Typed execution errors (re-exported from the embedded engine).
+// Match with errors.Is: a query that exceeds a budget set via
+// SetLimits fails with ErrMemoryBudget or ErrRowBudget; an engine
+// panic surfaces as ErrInternal instead of crashing the process.
+var (
+	ErrMemoryBudget = engine.ErrMemoryBudget
+	ErrRowBudget    = engine.ErrRowBudget
+	ErrInternal     = engine.ErrInternal
+	ErrTimeout      = engine.ErrTimeout
+)
+
 // Store is a schema-aware XML store with PPF-based XPath querying.
 type Store struct {
 	schema      *schema.Schema
 	shred       *shred.SchemaAwareStore
 	tr          *core.Translator
 	parallelism int
+	maxMemBytes int64
+	maxRows     int64
 }
 
 // SetParallelism sets the engine worker count used by Query and
@@ -63,6 +77,33 @@ type Store struct {
 // against the store reuse cached plans either way; see
 // PlanCacheStats.
 func (s *Store) SetParallelism(workers int) { s.parallelism = workers }
+
+// SetLimits sets per-statement resource budgets applied to every
+// subsequent Query/QueryContext/RunSQL: maxMemoryBytes bounds the
+// bytes the engine may materialize (join build sides, sort buffers,
+// DISTINCT sets, result rows) and maxRows bounds the produced row
+// count. Zero (the default) means unlimited. Exceeding a budget fails
+// that statement with ErrMemoryBudget or ErrRowBudget and leaves the
+// store fully usable.
+func (s *Store) SetLimits(maxMemoryBytes, maxRows int64) {
+	s.maxMemBytes = maxMemoryBytes
+	s.maxRows = maxRows
+}
+
+// execOpts assembles the store-level execution options.
+func (s *Store) execOpts() engine.ExecOptions {
+	return engine.ExecOptions{
+		Parallelism:    s.parallelism,
+		MaxMemoryBytes: s.maxMemBytes,
+		MaxRows:        s.maxRows,
+	}
+}
+
+// PeakStatementMemory reports the largest accounted memory footprint
+// any single statement has reached on this store's engine, in bytes.
+func (s *Store) PeakStatementMemory() int64 {
+	return s.shred.DB.PeakStatementMemory()
+}
 
 // Open creates an empty store for documents conforming to the schema,
 // using the paper's default translation options.
@@ -129,11 +170,17 @@ type Result struct {
 
 // Query translates and executes an XPath query.
 func (s *Store) Query(query string) (*Result, error) {
+	return s.QueryContext(context.Background(), query)
+}
+
+// QueryContext is Query under a context: cancellation or deadline
+// expiry stops the engine mid-statement with ctx.Err().
+func (s *Store) QueryContext(ctx context.Context, query string) (*Result, error) {
 	tr, err := s.tr.Translate(query)
 	if err != nil {
 		return nil, err
 	}
-	res, err := s.shred.DB.RunWithOptions(tr.Stmt, engine.ExecOptions{Parallelism: s.parallelism})
+	res, err := s.shred.DB.RunWithOptionsContext(ctx, tr.Stmt, s.execOpts())
 	if err != nil {
 		return nil, fmt.Errorf("xrel: executing %q: %w", tr.SQL, err)
 	}
@@ -152,7 +199,7 @@ func (s *Store) Query(query string) (*Result, error) {
 // returning column names and stringified rows. It exposes the
 // embedded engine for inspection and tooling.
 func (s *Store) RunSQL(sql string) (cols []string, rows [][]string, err error) {
-	res, err := s.shred.DB.ExecSQLWithOptions(sql, engine.ExecOptions{Parallelism: s.parallelism})
+	res, err := s.shred.DB.ExecSQLWithOptions(sql, s.execOpts())
 	if err != nil {
 		return nil, nil, err
 	}

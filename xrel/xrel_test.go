@@ -1,6 +1,8 @@
 package xrel
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -201,5 +203,57 @@ func TestSetParallelism(t *testing.T) {
 		if got.Nodes[i] != want.Nodes[i] {
 			t.Fatalf("node %d differs: %+v vs %+v", i, got.Nodes[i], want.Nodes[i])
 		}
+	}
+}
+
+func TestSetLimits(t *testing.T) {
+	st := open(t)
+	baseline, err := st.Query("/A/B/C//F")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.SetLimits(16, 0) // far below any real materialization
+	if _, err := st.Query("/A/B/C//F"); !errors.Is(err, ErrMemoryBudget) {
+		t.Fatalf("memory-limited query: err = %v, want ErrMemoryBudget", err)
+	}
+	st.SetLimits(0, 1)
+	if _, err := st.Query("/A/B/C//F"); !errors.Is(err, ErrRowBudget) {
+		t.Fatalf("row-limited query: err = %v, want ErrRowBudget", err)
+	}
+	// Limits also govern RunSQL.
+	if _, _, err := st.RunSQL("SELECT COUNT(*) FROM paths"); err != nil {
+		t.Fatalf("COUNT under row limit (counts are not materialized rows): %v", err)
+	}
+	st.SetLimits(16, 0)
+	if _, _, err := st.RunSQL("SELECT id FROM paths ORDER BY id"); !errors.Is(err, ErrMemoryBudget) {
+		t.Fatalf("memory-limited RunSQL: err = %v, want ErrMemoryBudget", err)
+	}
+	// Back to unlimited: the store must be fully usable.
+	st.SetLimits(0, 0)
+	res, err := st.Query("/A/B/C//F")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Nodes) != len(baseline.Nodes) {
+		t.Fatalf("nodes after lifting limits = %d, want %d", len(res.Nodes), len(baseline.Nodes))
+	}
+	if st.PeakStatementMemory() <= 0 {
+		t.Error("PeakStatementMemory not recorded")
+	}
+}
+
+func TestQueryContext(t *testing.T) {
+	st := open(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := st.QueryContext(ctx, "/A/B/C//F"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled query: err = %v, want context.Canceled", err)
+	}
+	res, err := st.QueryContext(context.Background(), "/A/B/C//F")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Nodes) != 2 {
+		t.Fatalf("nodes = %v", res.Nodes)
 	}
 }
