@@ -1,7 +1,7 @@
 # make check mirrors .github/workflows/ci.yml locally.
 GO ?= go
 
-.PHONY: check build fmtcheck vet xvet test race chaos fuzz-smoke bench-smoke
+.PHONY: check build fmtcheck vet xvet test race chaos fuzz-smoke bench-smoke explain-smoke
 
 check: build fmtcheck vet xvet test race chaos
 
@@ -17,8 +17,8 @@ vet:
 	$(GO) vet ./...
 
 # The custom invariant analyzers (rawsql, deweycmp, regexploop,
-# errdrop, recoverguard); -novet because `make vet` already ran the
-# standard passes.
+# errdrop, recoverguard, opstats); -novet because `make vet` already
+# ran the standard passes.
 xvet:
 	$(GO) run ./cmd/xvet -novet ./...
 
@@ -50,3 +50,10 @@ fuzz-smoke:
 bench-smoke:
 	$(GO) run ./cmd/xbench -experiment fig3 -scale 0.02 -reps 1 -budget 30s
 	$(GO) run ./cmd/xbench -experiment fig3 -scale 0.02 -reps 1 -budget 30s -parallel
+
+# explain-smoke runs EXPLAIN ANALYZE over the Figure 3 query set on
+# both workloads, asserting that every operator reports runtime stats
+# and that no schema-aware UNION branch joins more relations than the
+# Edge-like translation's widest branch.
+explain-smoke:
+	$(GO) run ./cmd/xbench -experiment explain -scale 0.02 -reps 1

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	xbench -experiment fig3|appc-small|appc-large|appc-dblp|joins|\
-//	                   ablate-pathfilter|ablate-fkjoin|all
+//	                   explain|ablate-pathfilter|ablate-fkjoin|all
 //	       [-scale N] [-reps N] [-budget 60s] [-seed N] [-noverify]
 //	       [-parallel] [-max-mem BYTES] [-max-rows N] [-json out.json]
 //
@@ -139,6 +139,16 @@ func run(experiment string, scale float64, reps int, budget time.Duration, seed 
 				return err
 			}
 			return show(bench.JoinCounts(d))
+		case "explain":
+			x, err := xmarkAt(scale)
+			if err != nil {
+				return err
+			}
+			d, err := dblpAt(scale)
+			if err != nil {
+				return err
+			}
+			return show(bench.ExplainCheck([]*bench.Workload{x, d}, opts))
 		case "ablate-pathfilter":
 			w, err := xmarkAt(scale)
 			if err != nil {

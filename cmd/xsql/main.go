@@ -14,7 +14,9 @@
 // fails with a budget error and the shell keeps running.
 //
 // Special commands: \d lists tables; \stats prints engine cache
-// metrics; \q quits.
+// metrics; \explain STMT prints the physical operator tree of a
+// statement with per-operator runtime statistics (shorthand for
+// EXPLAIN ANALYZE STMT, which also works); \q quits.
 package main
 
 import (
@@ -27,6 +29,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/schema"
 	"repro/internal/shred"
+	"repro/internal/sqlast"
 	"repro/internal/xmltree"
 )
 
@@ -112,6 +115,20 @@ func run(schemaPath string, useXSD bool, load string, opts engine.ExecOptions, s
 				db.PlanCacheSize(), hits, misses)
 			fmt.Fprintf(out, "pattern cache: %d entries\n", engine.PatternCacheSize())
 			fmt.Fprintf(out, "peak statement memory: %d bytes\n", db.PeakStatementMemory())
+			return
+		}
+		if rest, ok := strings.CutPrefix(line, `\explain `); ok {
+			st, err := sqlast.Parse(strings.TrimSpace(rest))
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+				return
+			}
+			text, err := db.ExplainAnalyzeWithOptions(st, opts)
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+				return
+			}
+			fmt.Fprint(out, text)
 			return
 		}
 		res, err := db.ExecSQLWithOptions(line, opts)

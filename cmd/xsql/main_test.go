@@ -39,6 +39,38 @@ func TestRunStatements(t *testing.T) {
 	}
 }
 
+// TestRunExplain drives the \explain command and the EXPLAIN ANALYZE
+// statement form: both print an annotated operator tree; a malformed
+// \explain argument reports an error without killing the shell.
+func TestRunExplain(t *testing.T) {
+	out, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	err = run(td("figure1.schema"), false, td("figure1.xml"), engine.ExecOptions{}, []string{
+		`\explain SELECT F.id FROM F ORDER BY F.id DESC`,
+		"EXPLAIN SELECT F.id FROM F",
+		"EXPLAIN ANALYZE SELECT F.id FROM F",
+		`\explain NOT SQL AT ALL`,
+	}, nil, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(out.Name())
+	s := string(data)
+	for _, want := range []string{
+		"sort: F.id DESC [loops=", // \explain runs EXPLAIN ANALYZE
+		"scan F: full scan\n",     // bare EXPLAIN carries no stats
+		"total: rows=",
+		"error:",
+	} {
+		if !contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
 func TestRunInteractiveLoop(t *testing.T) {
 	in, err := os.CreateTemp(t.TempDir(), "in")
 	if err != nil {

@@ -1,7 +1,8 @@
 // Command xvet is the repository's multichecker: it runs the standard
-// `go vet` passes and then the four custom invariant analyzers from
-// internal/analysis (rawsql, deweycmp, regexploop, errdrop) that
-// enforce the paper-derived disciplines the type system cannot see.
+// `go vet` passes and then the custom invariant analyzers from
+// internal/analysis (rawsql, deweycmp, regexploop, errdrop,
+// recoverguard, opstats) that enforce the paper-derived disciplines
+// the type system cannot see.
 //
 // Usage:
 //

@@ -4,8 +4,8 @@ import "testing"
 
 func TestSelectAnalyzers(t *testing.T) {
 	all, err := selectAnalyzers("")
-	if err != nil || len(all) != 5 {
-		t.Fatalf("default selection: got %d analyzers, err %v; want 5, nil", len(all), err)
+	if err != nil || len(all) != 6 {
+		t.Fatalf("default selection: got %d analyzers, err %v; want 6, nil", len(all), err)
 	}
 	some, err := selectAnalyzers("rawsql, errdrop")
 	if err != nil {

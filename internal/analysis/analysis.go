@@ -83,7 +83,7 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 // All returns the full analyzer suite run by cmd/xvet, in reporting
 // order.
 func All() []*Analyzer {
-	return []*Analyzer{RawSQL, DeweyCmp, RegexpLoop, ErrDrop, RecoverGuard}
+	return []*Analyzer{RawSQL, DeweyCmp, RegexpLoop, ErrDrop, RecoverGuard, OpStatsMut}
 }
 
 // ByName resolves a comma-free analyzer name, or nil.

@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// OpStatsMut forbids writing OpStats counter fields from outside
+// OpStats's own methods. The executor's EXPLAIN ANALYZE numbers are
+// trustworthy only if every increment flows through the mutators in
+// opstats.go: those keep the counter semantics documented there (what
+// counts as a loop, a probe, an output row) in one place, and they are
+// what keeps the serial and morsel-parallel paths merge-compatible. A
+// raw `st.rowsOut++` scattered in an operator would silently drift
+// from the documented meaning and dodge review of the stats contract.
+var OpStatsMut = &Analyzer{
+	Name: "opstats",
+	Doc: "flag direct writes to OpStats fields in internal/engine outside OpStats " +
+		"methods; per-operator counters must go through the opstats.go mutators",
+	Run: runOpStats,
+}
+
+func runOpStats(pass *Pass) error {
+	if !strings.HasSuffix(pass.Pkg.Path(), "internal/engine") {
+		return nil
+	}
+	pass.inspect(func(n ast.Node, stack []ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				pass.checkOpStatsWrite(lhs, stack)
+			}
+		case *ast.IncDecStmt:
+			pass.checkOpStatsWrite(st.X, stack)
+		case *ast.UnaryExpr:
+			// &s.field escapes the counter for arbitrary later writes.
+			if st.Op.String() == "&" {
+				pass.checkOpStatsWrite(st.X, stack)
+			}
+		}
+		return true
+	})
+	return nil
+}
+
+// checkOpStatsWrite reports e when it selects a field of engine's
+// OpStats outside an OpStats method.
+func (p *Pass) checkOpStatsWrite(e ast.Expr, stack []ast.Node) {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	selection, ok := p.TypesInfo.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return
+	}
+	if !isOpStats(selection.Recv()) || p.inOpStatsMethod(stack) {
+		return
+	}
+	p.Reportf(sel.Pos(),
+		"direct write to OpStats field %s outside an OpStats method; use the opstats.go mutators",
+		sel.Sel.Name)
+}
+
+// isOpStats reports whether t is engine's OpStats (possibly behind a
+// pointer).
+func isOpStats(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Name() == "OpStats" &&
+		strings.HasSuffix(named.Obj().Pkg().Path(), "internal/engine")
+}
+
+// inOpStatsMethod reports whether the innermost enclosing function
+// declaration is a method with an OpStats (or *OpStats) receiver.
+func (p *Pass) inOpStatsMethod(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		fd, ok := stack[i].(*ast.FuncDecl)
+		if !ok || fd.Recv == nil {
+			continue
+		}
+		fn, ok := p.TypesInfo.Defs[fd.Name].(*types.Func)
+		if !ok {
+			return false
+		}
+		recv := fn.Type().(*types.Signature).Recv()
+		return recv != nil && isOpStats(recv.Type())
+	}
+	return false
+}

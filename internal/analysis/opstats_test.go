@@ -1,0 +1,19 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestOpStatsMut(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.OpStatsMut,
+		"opstats/internal/engine", "opstats/ok")
+}
+
+// The real engine must satisfy its own invariant: every OpStats
+// counter mutation goes through the opstats.go methods.
+func TestOpStatsMutEngineClean(t *testing.T) {
+	expectClean(t, analysis.OpStatsMut, "repro/internal/engine")
+}

@@ -1,0 +1,35 @@
+// Violation cases: operators writing counters directly instead of
+// going through the OpStats mutators.
+package engine
+
+type execCtx struct {
+	stats []OpStats
+}
+
+func (ec *execCtx) scan(op int, ids []int64) {
+	st := &ec.stats[op]
+	st.loops++ // want `direct write to OpStats field loops outside an OpStats method`
+	for range ids {
+		st.rowsOut += 1 // want `direct write to OpStats field rowsOut outside an OpStats method`
+	}
+	ec.stats[op].rowsOut = 0 // want `direct write to OpStats field rowsOut outside an OpStats method`
+	leak := &st.loops        // want `direct write to OpStats field loops outside an OpStats method`
+	_ = leak
+}
+
+// Method calls are the sanctioned path; reads of exported accessors
+// are free.
+func (ec *execCtx) ok(op int) int64 {
+	st := &ec.stats[op]
+	st.open()
+	st.rowOut()
+	return st.Loops()
+}
+
+// A different type with the same field names is not OpStats.
+type rowCounter struct{ loops, rowsOut int64 }
+
+func (ec *execCtx) other(c *rowCounter) {
+	c.loops++
+	c.rowsOut = 7
+}

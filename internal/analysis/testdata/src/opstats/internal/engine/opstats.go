@@ -1,0 +1,19 @@
+// A miniature of the engine's OpStats: the mutators here are the only
+// sanctioned write sites.
+package engine
+
+type OpStats struct {
+	loops   int64
+	rowsOut int64
+}
+
+func (s *OpStats) open() { s.loops++ }
+
+func (s *OpStats) rowOut() { s.rowsOut++ }
+
+func (s *OpStats) merge(o *OpStats) {
+	s.loops += o.loops
+	s.rowsOut += o.rowsOut
+}
+
+func (s *OpStats) Loops() int64 { return s.loops }

@@ -1,0 +1,7 @@
+// Outside internal/engine the analyzer is silent: other packages may
+// define their own OpStats-named types with their own discipline.
+package ok
+
+type OpStats struct{ loops int64 }
+
+func bump(s *OpStats) { s.loops++ }

@@ -377,6 +377,11 @@ type Measurement struct {
 	// 0 otherwise). With the statement translated once up front, every
 	// run after the first should hit.
 	CacheHitRate float64
+	// Joins is the translated statement's join-step count and
+	// Operators the number of physical operators it lowers to
+	// (SQL-based systems only; 0 otherwise).
+	Joins     int
+	Operators int
 }
 
 // Measure times a query under a system: reps repetitions (after one
@@ -397,6 +402,10 @@ func (w *Workload) Measure(sys System, q Query, reps int, budget time.Duration) 
 		if stmt, err = w.Translate(sys, q); err != nil {
 			m.ErrorMsg = err.Error()
 			return m
+		}
+		m.Joins = engine.JoinSteps(stmt)
+		if n, err := db.OperatorCount(stmt); err == nil {
+			m.Operators = n
 		}
 		h0, mi0 := db.PlanCacheStats()
 		defer func() {

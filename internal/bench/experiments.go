@@ -79,6 +79,8 @@ type Record struct {
 	Skipped      bool    `json:"skipped"`
 	Error        string  `json:"error,omitempty"`
 	CacheHitRate float64 `json:"cache_hit_rate"`
+	Joins        int     `json:"joins"`
+	Operators    int     `json:"operators"`
 }
 
 // emit forwards a measurement to the Opts sink, if any.
@@ -99,6 +101,8 @@ func (o Opts) emit(experiment string, w *Workload, m Measurement) {
 		Skipped:      m.Skipped,
 		Error:        m.ErrorMsg,
 		CacheHitRate: m.CacheHitRate,
+		Joins:        m.Joins,
+		Operators:    m.Operators,
 	})
 }
 
@@ -231,6 +235,82 @@ func AblateFKJoin(w *Workload, o Opts) (*Table, error) {
 		})
 	}
 	return t, nil
+}
+
+// ExplainCheck runs EXPLAIN ANALYZE for every query of the Figure 3
+// comparison (schema-aware PPF vs Edge-like PPF) and asserts the
+// structural claim behind the figure: no UNION branch of the
+// schema-aware translation joins more relations than the widest
+// branch of the schema-oblivious one (branches are the unit of the
+// paper's SQL-splitting argument — a wildcard query like //*[@id] may
+// split into more branches, but each must stay narrower). It also
+// verifies that every operator in both annotated plans carries runtime
+// statistics. An assertion failure is returned as an error.
+func ExplainCheck(workloads []*Workload, o Opts) (*Table, error) {
+	t := &Table{
+		Title:   "EXPLAIN ANALYZE check: per-operator stats and join counts (PPF vs Edge-like PPF)",
+		Headers: []string{"query", "PPF joins", "PPF ops", "Edge joins", "Edge ops", "check"},
+	}
+	for _, w := range workloads {
+		for _, q := range w.Queries {
+			row, err := w.explainCheckRow(q)
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return t, nil
+}
+
+func (w *Workload) explainCheckRow(q Query) ([]string, error) {
+	counts := make(map[System][2]int, 2)
+	for _, sys := range []System{PPF, EdgePPF} {
+		stmt, err := w.Translate(sys, q)
+		if err != nil {
+			return nil, fmt.Errorf("%s %s: translate: %w", sys, q.ID, err)
+		}
+		db := w.dbFor(sys)
+		plan, err := db.ExplainAnalyzeWithOptions(stmt, engine.ExecOptions{
+			Parallelism:    w.Parallelism,
+			MaxMemoryBytes: w.MaxMemoryBytes,
+			MaxRows:        w.MaxRows,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s %s: explain analyze: %w", sys, q.ID, err)
+		}
+		if err := checkOperatorStats(plan); err != nil {
+			return nil, fmt.Errorf("%s %s: %w", sys, q.ID, err)
+		}
+		ops, err := db.OperatorCount(stmt)
+		if err != nil {
+			return nil, fmt.Errorf("%s %s: operator count: %w", sys, q.ID, err)
+		}
+		counts[sys] = [2]int{engine.MaxBranchJoins(stmt), ops}
+	}
+	ppf, edge := counts[PPF], counts[EdgePPF]
+	if ppf[0] > edge[0] {
+		return nil, fmt.Errorf("%s: PPF branch joins %d > Edge-like PPF branch joins %d",
+			q.ID, ppf[0], edge[0])
+	}
+	return []string{
+		q.ID, fmt.Sprint(ppf[0]), fmt.Sprint(ppf[1]),
+		fmt.Sprint(edge[0]), fmt.Sprint(edge[1]), "ok",
+	}, nil
+}
+
+// checkOperatorStats asserts every operator line of an EXPLAIN ANALYZE
+// rendering carries a stats block (the "total:" footer is exempt).
+func checkOperatorStats(plan string) error {
+	for _, line := range strings.Split(strings.TrimRight(plan, "\n"), "\n") {
+		if strings.HasPrefix(line, "total:") || strings.HasSuffix(strings.TrimSpace(line), ":") {
+			continue
+		}
+		if !strings.Contains(line, "[loops=") || !strings.Contains(line, "time=") {
+			return fmt.Errorf("operator line missing stats: %q", line)
+		}
+	}
+	return nil
 }
 
 // JoinCounts reports the paper's join-count argument: FROM entries

@@ -80,6 +80,25 @@ func TestAblationTables(t *testing.T) {
 	}
 }
 
+func TestExplainCheckTable(t *testing.T) {
+	w, err := NewXMark(0.02, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := ExplainCheck([]*Workload{w}, tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != len(w.Queries) {
+		t.Fatalf("rows = %d, want %d", len(tb.Rows), len(w.Queries))
+	}
+	for _, r := range tb.Rows {
+		if r[len(r)-1] != "ok" {
+			t.Errorf("query %s failed the explain check: %v", r[0], r)
+		}
+	}
+}
+
 func TestJoinCountsTable(t *testing.T) {
 	w, err := NewXMark(0.02, 9)
 	if err != nil {

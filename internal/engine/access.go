@@ -1,0 +1,178 @@
+package engine
+
+// The uniform scan-operator contract: every access path pushes the
+// candidate row ids of its joinStep under the current bindings, in
+// the executor's canonical order, recording probes and governor
+// charges against the step's scan OpStats. yield returns false to
+// stop early. This file is the decomposition of the former monolithic
+// forEachRow switch into one method per access kind.
+
+// rowYield receives one candidate row id; it returns false to stop
+// the enumeration early.
+type rowYield func(id int64) (bool, error)
+
+// forEachRow dispatches to the concrete access path's enumerate
+// method. The executor's row loops call this instead of the
+// accessPath interface method so escape analysis can keep their
+// yield closures off the heap: an interface call would force a
+// heap-allocated closure per join binding, which is measurable on
+// the paper's join-heavy Edge queries.
+func forEachRow(ec *execCtx, e env, s *joinStep, st *OpStats, yield rowYield) error {
+	switch a := s.access.(type) {
+	case fullScan:
+		return a.enumerate(ec, e, s, st, yield)
+	case *indexEq:
+		return a.enumerate(ec, e, s, st, yield)
+	case *indexPrefixes:
+		return a.enumerate(ec, e, s, st, yield)
+	case *hashEq:
+		return a.enumerate(ec, e, s, st, yield)
+	case *fatHash:
+		return a.h.enumerate(ec, e, s, st, yield)
+	case *indexRange:
+		return a.enumerate(ec, e, s, st, yield)
+	default:
+		panic("engine: unknown access path")
+	}
+}
+
+func (fullScan) enumerate(ec *execCtx, e env, s *joinStep, st *OpStats, yield rowYield) error {
+	for id := range s.table.Rows {
+		cont, err := yield(int64(id))
+		if err != nil || !cont {
+			return err
+		}
+	}
+	return nil
+}
+
+func (a *indexEq) enumerate(ec *execCtx, e env, s *joinStep, st *OpStats, yield rowYield) error {
+	var key []byte
+	for _, kx := range a.keys {
+		v, err := kx.eval(ec, e)
+		if err != nil {
+			return err
+		}
+		if v.IsNull() {
+			return nil
+		}
+		key = encodeValue(key, v)
+	}
+	st.probe()
+	for _, id := range a.ix.Tree.Get(key) {
+		cont, err := yield(id)
+		if err != nil || !cont {
+			return err
+		}
+	}
+	return nil
+}
+
+func (a *indexPrefixes) enumerate(ec *execCtx, e env, s *joinStep, st *OpStats, yield rowYield) error {
+	v, err := a.x.eval(ec, e)
+	if err != nil {
+		return err
+	}
+	if v.Kind != KBytes {
+		return nil
+	}
+	for k := 0; k <= len(v.B); k++ {
+		// Prefix-match within a possibly composite index: scan the
+		// interval covering exactly this first-component value.
+		lo := encodeValue(nil, NewBytes(v.B[:k]))
+		hi := append(append([]byte(nil), lo...), 0xFF)
+		st.probe()
+		stop := false
+		var scanErr error
+		a.ix.Tree.Scan(lo, hi, func(_ []byte, id int64) bool {
+			cont, err := yield(id)
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			stop = !cont
+			return cont
+		})
+		if scanErr != nil || stop {
+			return scanErr
+		}
+	}
+	return nil
+}
+
+func (a *hashEq) enumerate(ec *execCtx, e env, s *joinStep, st *OpStats, yield rowYield) error {
+	v, err := a.key.eval(ec, e)
+	if err != nil {
+		return err
+	}
+	if v.IsNull() {
+		return nil
+	}
+	key := string(encodeValue(nil, v))
+	m, built, bytes, err := s.table.hashFor(a.col, ec.acct)
+	if err != nil {
+		return err
+	}
+	if built {
+		st.charge(bytes)
+		// The build may have consumed a large slice of the deadline;
+		// observe it before starting the probe phase instead of
+		// waiting out the tick counter.
+		if err := ec.checkNow(); err != nil {
+			return err
+		}
+	}
+	st.probe()
+	for _, id := range m[key] {
+		cont, err := yield(id)
+		if err != nil || !cont {
+			return err
+		}
+	}
+	return nil
+}
+
+func (a *fatHash) enumerate(ec *execCtx, e env, s *joinStep, st *OpStats, yield rowYield) error {
+	return a.h.enumerate(ec, e, s, st, yield)
+}
+
+func (a *indexRange) enumerate(ec *execCtx, e env, s *joinStep, st *OpStats, yield rowYield) error {
+	var lo, hi []byte
+	if a.lo != nil {
+		v, err := a.lo.eval(ec, e)
+		if err != nil {
+			return err
+		}
+		if v.IsNull() {
+			return nil
+		}
+		lo = encodeValue(nil, v)
+		if a.loStrict {
+			lo = append(lo, 0xFF)
+		}
+	}
+	if a.hi != nil {
+		v, err := a.hi.eval(ec, e)
+		if err != nil {
+			return err
+		}
+		if v.IsNull() {
+			return nil
+		}
+		hi = encodeValue(nil, v)
+		if !a.hiStrict {
+			hi = append(hi, 0xFF)
+		}
+	}
+	st.probe()
+	var scanErr error
+	a.ix.Tree.Scan(lo, hi, func(_ []byte, id int64) bool {
+		cont, err := yield(id)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		return cont
+	})
+	return scanErr
+}

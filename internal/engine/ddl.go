@@ -17,7 +17,7 @@ func (db *DB) Exec(st sqlast.Statement) (*Result, error) {
 // affect SELECT/UNION statements.
 func (db *DB) ExecWithOptions(st sqlast.Statement, opts ExecOptions) (*Result, error) {
 	switch s := st.(type) {
-	case *sqlast.Select, *sqlast.Union:
+	case *sqlast.Select, *sqlast.Union, *sqlast.Explain:
 		return db.RunWithOptions(st, opts)
 	case *sqlast.CreateTable:
 		cols := make([]Column, len(s.Cols))

@@ -5,6 +5,7 @@ import (
 	"regexp"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/failpoint"
 	"repro/internal/pathre"
@@ -319,45 +320,84 @@ func (c *cfunc) eval(ec *execCtx, e env) (Value, error) {
 type cexists struct {
 	plan   *selectPlan
 	negate bool
+	node   *opNode // subplan boundary operator, set by lowerStmt
 }
 
 func (c *cexists) eval(ec *execCtx, e env) (Value, error) {
+	st := ec.op(c.node)
+	st.open()
 	found := false
-	err := ec.runPlan(c.plan, e, func([]Value) (bool, error) {
+	emit := func([]Value) (bool, error) {
 		found = true
 		return false, nil // stop at first row
-	})
+	}
+	var err error
+	if ec.timing {
+		t0 := time.Now()
+		err = ec.runPlan(c.plan, e, emit)
+		st.addTime(time.Since(t0))
+	} else {
+		err = ec.runPlan(c.plan, e, emit)
+	}
 	if err != nil {
 		return Null, err
+	}
+	if found {
+		st.rowOut()
 	}
 	return NewBool(found != c.negate), nil
 }
 
 type csubq struct {
 	plan *selectPlan
+	node *opNode // subplan boundary operator, set by lowerStmt
 }
 
 func (c *csubq) eval(ec *execCtx, e env) (Value, error) {
+	st := ec.op(c.node)
+	st.open()
 	// COUNT(*) subqueries count; other scalar subqueries return the
 	// first row's single value (NULL when empty).
 	if c.plan.countStar {
 		n := int64(0)
-		err := ec.runPlan(c.plan, e, func([]Value) (bool, error) {
+		emit := func([]Value) (bool, error) {
 			n++
 			return true, nil
-		})
+		}
+		var err error
+		if ec.timing {
+			t0 := time.Now()
+			err = ec.runPlan(c.plan, e, emit)
+			st.addTime(time.Since(t0))
+		} else {
+			err = ec.runPlan(c.plan, e, emit)
+		}
 		if err != nil {
 			return Null, err
 		}
+		st.rowOut()
 		return NewInt(n), nil
 	}
 	out := Null
-	err := ec.runPlan(c.plan, e, func(row []Value) (bool, error) {
+	got := false
+	emit := func(row []Value) (bool, error) {
 		out = row[0]
+		got = true
 		return false, nil
-	})
+	}
+	var err error
+	if ec.timing {
+		t0 := time.Now()
+		err = ec.runPlan(c.plan, e, emit)
+		st.addTime(time.Since(t0))
+	} else {
+		err = ec.runPlan(c.plan, e, emit)
+	}
 	if err != nil {
 		return Null, err
+	}
+	if got {
+		st.rowOut()
 	}
 	return out, nil
 }
@@ -399,15 +439,23 @@ func PatternCacheSize() int {
 	return len(patternCache.m)
 }
 
+// lookupPattern returns the cached matcher for a pattern, or nil on a
+// miss. Split out of compilePattern so the executor can count
+// per-operator cache hits without touching the compile path.
+func lookupPattern(pat string) *matcher {
+	patternCache.mu.RLock()
+	m := patternCache.m[pat]
+	patternCache.mu.RUnlock()
+	return m
+}
+
 // compilePattern is the engine's only sanctioned pattern-compilation
 // site (enforced by the regexploop analyzer): every per-row matcher
 // must come from here so row loops hit the cache instead of
 // recompiling.
 func compilePattern(pat string) (*matcher, error) {
-	patternCache.mu.RLock()
-	m := patternCache.m[pat]
-	patternCache.mu.RUnlock()
-	if m != nil {
+	var m *matcher
+	if m = lookupPattern(pat); m != nil {
 		return m, nil
 	}
 	if err := failpoint.Inject("engine/pattern-compile"); err != nil {

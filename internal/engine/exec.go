@@ -4,7 +4,6 @@ import (
 	"bytes"
 	"context"
 	"errors"
-	"fmt"
 	"time"
 
 	"repro/internal/sqlast"
@@ -55,7 +54,21 @@ type execCtx struct {
 	parallelism int
 	acct        *accountant
 	sql         string // rendered statement text, for InternalError
+	// stats is this execution's operator stats frame (one slot per
+	// opNode id). Parallel workers carry private frames merged into
+	// the parent's after the workers join, so slots are single-writer.
+	stats opFrame
+	// cur is the operator whose expressions are currently being
+	// evaluated; pattern-cache hits are attributed to it.
+	cur *OpStats
+	// timing enables per-operator wall-clock measurement (EXPLAIN
+	// ANALYZE); plain runs never read the clock per operator.
+	timing bool
 }
+
+// op returns the stats slot of an operator node in this execution's
+// frame.
+func (ec *execCtx) op(n *opNode) *OpStats { return &ec.stats[n.id] }
 
 // ErrTimeout is returned when a statement exceeds its deadline.
 var ErrTimeout = errors.New("engine: statement timed out")
@@ -94,8 +107,17 @@ func (ec *execCtx) checkNow() error {
 }
 
 // pattern returns a compiled matcher for a dynamic REGEXP_LIKE
-// pattern (constant patterns are compiled at plan time).
-func (ec *execCtx) pattern(pat string) (*matcher, error) { return compilePattern(pat) }
+// pattern (constant patterns are compiled at plan time), attributing
+// cache hits to the operator currently evaluating expressions.
+func (ec *execCtx) pattern(pat string) (*matcher, error) {
+	if m := lookupPattern(pat); m != nil {
+		if ec.cur != nil {
+			ec.cur.patternHit()
+		}
+		return m, nil
+	}
+	return compilePattern(pat)
+}
 
 // Run plans and executes a SELECT or UNION statement.
 func (db *DB) Run(st sqlast.Statement) (*Result, error) {
@@ -128,6 +150,9 @@ func (db *DB) RunContext(ctx context.Context, st sqlast.Statement) (*Result, err
 func (db *DB) RunWithOptionsContext(ctx context.Context, st sqlast.Statement, opts ExecOptions) (res *Result, err error) {
 	key := sqlast.Render(st)
 	defer guardPanics(key, &err)
+	if ex, ok := st.(*sqlast.Explain); ok {
+		return db.runExplainStmt(ctx, ex, opts)
+	}
 	cs, err := db.compiledFor(st, key)
 	if err != nil {
 		return nil, err
@@ -139,8 +164,18 @@ func (db *DB) RunWithOptionsContext(ctx context.Context, st sqlast.Statement, op
 // have deferred guardPanics; sql is the rendered statement text
 // carried into worker-side InternalErrors.
 func (db *DB) runCompiled(ctx context.Context, cs *compiledStmt, opts ExecOptions, sql string) (*Result, error) {
+	res, _, err := db.runCompiledFrame(ctx, cs, opts, sql, false)
+	return res, err
+}
+
+// runCompiledFrame is runCompiled exposing the execution's operator
+// stats frame (merged across workers). timing enables per-operator
+// wall-clock measurement; EXPLAIN ANALYZE is its only caller with
+// timing on, so plain runs stay clock-free in the row loops.
+func (db *DB) runCompiledFrame(ctx context.Context, cs *compiledStmt, opts ExecOptions, sql string, timing bool) (*Result, opFrame, error) {
 	ec := &execCtx{db: db, parallelism: opts.Parallelism, sql: sql,
-		acct: newAccountant(opts.MaxMemoryBytes, opts.MaxRows)}
+		acct:  newAccountant(opts.MaxMemoryBytes, opts.MaxRows),
+		stats: make(opFrame, cs.nOps), timing: timing}
 	if ctx != nil {
 		ec.ctx = ctx
 		if d, ok := ctx.Deadline(); ok {
@@ -156,7 +191,7 @@ func (db *DB) runCompiled(ctx context.Context, cs *compiledStmt, opts ExecOption
 	// work: short statements would otherwise finish between periodic
 	// checks and mask the cancellation.
 	if err := ec.checkNow(); err != nil {
-		return nil, err
+		return nil, ec.stats, err
 	}
 	var res *Result
 	var err error
@@ -169,10 +204,11 @@ func (db *DB) runCompiled(ctx context.Context, cs *compiledStmt, opts ExecOption
 	// exactly when the high-water mark matters.
 	db.notePeakMemory(ec.acct.peakBytes())
 	if err != nil {
-		return nil, err
+		return nil, ec.stats, err
 	}
+	finalizeFrame(cs, ec.stats)
 	res.PeakMemBytes = ec.acct.peakBytes()
-	return res, nil
+	return res, ec.stats, nil
 }
 
 // RunSQL parses and runs a statement given as text.
@@ -190,6 +226,8 @@ func (db *DB) RunSQL(src string) (*Result, error) {
 // ordered by the union-level ORDER BY.
 func (ec *execCtx) runUnion(u *unionPlan) (*Result, error) {
 	out := &Result{Cols: u.cols}
+	st := ec.op(u.phys.union)
+	st.open()
 	seen := map[string]bool{}
 	var rows []orderedRow
 	for _, plan := range u.branches {
@@ -198,6 +236,7 @@ func (ec *execCtx) runUnion(u *unionPlan) (*Result, error) {
 			return nil, err
 		}
 		for _, r := range res.Rows {
+			st.rowIn()
 			key := rowKey(r)
 			if seen[key] {
 				continue
@@ -208,7 +247,9 @@ func (ec *execCtx) runUnion(u *unionPlan) (*Result, error) {
 			if err := ec.acct.growBytes(int64(len(key)) + mapEntryBytes); err != nil {
 				return nil, err
 			}
+			st.charge(int64(len(key)) + mapEntryBytes)
 			seen[key] = true
+			st.rowOut()
 			or := orderedRow{row: r}
 			for _, pos := range u.orderPos {
 				or.keys = append(or.keys, r[pos])
@@ -217,7 +258,18 @@ func (ec *execCtx) runUnion(u *unionPlan) (*Result, error) {
 		}
 	}
 	if len(u.orderPos) > 0 {
+		sst := ec.op(u.phys.sort)
+		sst.open()
+		sst.rowsInN(int64(len(rows)))
+		var t0 time.Time
+		if ec.timing {
+			t0 = time.Now()
+		}
 		sortRows(rows, u.orderDesc)
+		if ec.timing {
+			sst.addTime(time.Since(t0))
+		}
+		sst.rowsOutN(int64(len(rows)))
 	}
 	for _, r := range rows {
 		out.Rows = append(out.Rows, r.row)
@@ -235,7 +287,7 @@ func (ec *execCtx) runTop(plan *selectPlan) (*Result, error) {
 			return nil, err
 		}
 		if handled {
-			return finishTop(plan, rows, count, true), nil
+			return ec.finishTop(plan, rows, count, true), nil
 		}
 	}
 	if plan.countStar {
@@ -247,15 +299,19 @@ func (ec *execCtx) runTop(plan *selectPlan) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		return finishTop(plan, nil, n, false), nil
+		return ec.finishTop(plan, nil, n, false), nil
 	}
 	var rows []orderedRow
 	var seen map[string]bool
+	var dst *OpStats
 	if plan.distinct {
 		seen = map[string]bool{}
+		dst = ec.op(plan.phys.dedup)
+		dst.open()
 	}
 	err := ec.runPlanOrdered(plan, env{}, func(row, keys []Value) (bool, error) {
 		if plan.distinct {
+			dst.rowIn()
 			k := rowKey(row)
 			if seen[k] {
 				return true, nil
@@ -263,7 +319,9 @@ func (ec *execCtx) runTop(plan *selectPlan) (*Result, error) {
 			if err := ec.acct.growBytes(int64(len(k)) + mapEntryBytes); err != nil {
 				return false, err
 			}
+			dst.charge(int64(len(k)) + mapEntryBytes)
 			seen[k] = true
+			dst.rowOut()
 		}
 		if err := ec.acct.addRow(rowMemBytes(row, keys)); err != nil {
 			return false, err
@@ -274,20 +332,23 @@ func (ec *execCtx) runTop(plan *selectPlan) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return finishTop(plan, rows, 0, false), nil
+	return ec.finishTop(plan, rows, 0, false), nil
 }
 
 // finishTop applies DISTINCT (unless already applied during
 // collection), the top-level sort, and assembles the Result. The
 // parallel collector defers dedup to here so the surviving row for
 // each distinct key is the first in merged (= serial) order.
-func finishTop(plan *selectPlan, rows []orderedRow, count int64, dedup bool) *Result {
+func (ec *execCtx) finishTop(plan *selectPlan, rows []orderedRow, count int64, dedup bool) *Result {
 	out := &Result{Cols: plan.colNames}
 	if plan.countStar {
 		out.Rows = append(out.Rows, []Value{NewInt(count)})
 		return out
 	}
 	if dedup && plan.distinct {
+		st := ec.op(plan.phys.dedup)
+		st.open()
+		st.rowsInN(int64(len(rows)))
 		seen := make(map[string]bool, len(rows))
 		kept := rows[:0]
 		for _, r := range rows {
@@ -299,13 +360,25 @@ func finishTop(plan *selectPlan, rows []orderedRow, count int64, dedup bool) *Re
 			kept = append(kept, r)
 		}
 		rows = kept
+		st.rowsOutN(int64(len(rows)))
 	}
 	if len(plan.orderBy) > 0 {
+		st := ec.op(plan.phys.sort)
+		st.open()
+		st.rowsInN(int64(len(rows)))
 		desc := make([]bool, len(plan.orderBy))
 		for i, k := range plan.orderBy {
 			desc[i] = k.desc
 		}
+		var t0 time.Time
+		if ec.timing {
+			t0 = time.Now()
+		}
 		sortRows(rows, desc)
+		if ec.timing {
+			st.addTime(time.Since(t0))
+		}
+		st.rowsOutN(int64(len(rows)))
 	}
 	for _, r := range rows {
 		out.Rows = append(out.Rows, r.row)
@@ -359,22 +432,56 @@ func (ec *execCtx) runPlan(plan *selectPlan, e env, emit func(row []Value) (bool
 
 // runPlanOrdered additionally evaluates ORDER BY keys per emitted row.
 func (ec *execCtx) runPlanOrdered(plan *selectPlan, e env, emit func(row, keys []Value) (bool, error)) error {
-	for _, f := range plan.preFilters {
-		v, err := f.eval(ec, e)
-		if err != nil {
+	if len(plan.preFilters) > 0 {
+		ok, err := ec.evalPreFilters(plan, e)
+		if err != nil || !ok {
 			return err
-		}
-		if !v.Truth() {
-			return nil
 		}
 	}
 	r := &stepRunner{ec: ec, plan: plan, e: e, emit: emit}
 	return r.run(0)
 }
 
-// stepRunner walks a plan's join steps recursively, binding one row
-// per step. The morsel executor reuses it from step 1 after binding
-// the driving row itself.
+// evalPreFilters evaluates the plan's constant conjuncts against the
+// prefilter operator; ok=false means the plan yields no rows.
+func (ec *execCtx) evalPreFilters(plan *selectPlan, e env) (ok bool, err error) {
+	if len(plan.preFilters) == 0 {
+		return true, nil
+	}
+	st := ec.op(plan.phys.prefilter)
+	st.open()
+	prev := ec.cur
+	ec.cur = st
+	var t0 time.Time
+	if ec.timing {
+		t0 = time.Now()
+	}
+	pass := true
+	for _, f := range plan.preFilters {
+		v, ferr := f.eval(ec, e)
+		if ferr != nil {
+			err = ferr
+			break
+		}
+		if !v.Truth() {
+			pass = false
+			break
+		}
+	}
+	if ec.timing {
+		st.addTime(time.Since(t0))
+	}
+	ec.cur = prev
+	if err != nil || !pass {
+		return false, err
+	}
+	st.rowOut()
+	return true, nil
+}
+
+// stepRunner walks a plan's physical scan/filter pipeline
+// recursively, binding one row per step. The morsel executor reuses
+// it from step 1 after binding the driving row itself.
 type stepRunner struct {
 	ec   *execCtx
 	plan *selectPlan
@@ -383,205 +490,155 @@ type stepRunner struct {
 	stop bool
 }
 
-// run enumerates the access path of the given step (projecting and
-// emitting once all steps are bound).
+// run opens the scan operator of the given step and pushes each
+// candidate row down the pipeline (projecting and emitting once all
+// steps are bound). A scan's measured time is inclusive of its
+// downstream operators, like the nesting of the rendered tree.
 func (r *stepRunner) run(step int) error {
 	if step == len(r.plan.steps) {
-		var row []Value
-		if !r.plan.countStar {
-			row = make([]Value, len(r.plan.cols))
-			for i, c := range r.plan.cols {
-				v, err := c.eval(r.ec, r.e)
-				if err != nil {
-					return err
-				}
-				row[i] = v
-			}
-		}
-		var keys []Value
-		if len(r.plan.orderBy) > 0 {
-			keys = make([]Value, len(r.plan.orderBy))
-			for i, k := range r.plan.orderBy {
-				v, err := k.x.eval(r.ec, r.e)
-				if err != nil {
-					return err
-				}
-				keys[i] = v
-			}
-		}
-		cont, err := r.emit(row, keys)
-		if err != nil {
-			return err
-		}
-		if !cont {
-			r.stop = true
-		}
-		return nil
+		return r.project()
 	}
 	s := r.plan.steps[step]
-	return forEachRow(r.ec, r.e, s, func(id int64) (bool, error) {
+	st := r.ec.op(r.plan.phys.scans[step])
+	st.open()
+	yield := func(id int64) (bool, error) {
+		st.rowOut()
 		if err := r.tryRow(step, id); err != nil {
 			return false, err
 		}
 		return !r.stop, nil
-	})
+	}
+	if r.ec.timing {
+		t0 := time.Now()
+		err := forEachRow(r.ec, r.e, s, st, yield)
+		st.addTime(time.Since(t0))
+		return err
+	}
+	return forEachRow(r.ec, r.e, s, st, yield)
 }
 
 // tryRow binds one candidate row of a step, applies the step's
-// residual filters, and recurses into the next step.
+// filter operator, and recurses into the next step. The filter loop
+// is inlined here rather than split into a helper: it runs once per
+// candidate row, and in the common untimed case must cost no more
+// than the counter increments themselves.
 func (r *stepRunner) tryRow(step int, id int64) error {
-	if err := r.ec.checkDeadline(); err != nil {
+	ec := r.ec
+	if err := ec.checkDeadline(); err != nil {
 		return err
 	}
 	s := r.plan.steps[step]
 	r.e[s.name] = s.table.Rows[id]
 	defer delete(r.e, s.name)
-	for _, f := range s.filters {
-		v, err := f.eval(r.ec, r.e)
-		if err != nil {
-			return err
-		}
-		if !v.Truth() {
-			return nil
+	if len(s.filters) > 0 {
+		st := ec.op(r.plan.phys.filters[step])
+		if ec.timing {
+			ok, err := r.evalFiltersTimed(s, st)
+			if err != nil || !ok {
+				return err
+			}
+		} else {
+			// No row counting here: the filter's row flow is derived
+			// once per execution by finalizeFrame. Only expression
+			// attribution (ec.cur) is maintained per row.
+			prev := ec.cur
+			ec.cur = st
+			for _, fx := range s.filters {
+				v, err := fx.eval(ec, r.e)
+				if err != nil {
+					ec.cur = prev
+					return err
+				}
+				if !v.Truth() {
+					ec.cur = prev
+					return nil
+				}
+			}
+			ec.cur = prev
 		}
 	}
 	return r.run(step + 1)
 }
 
-// forEachRow enumerates the candidate row ids of one join step's
-// access path under the current bindings, in the executor's canonical
-// order. yield returns false to stop early. The morsel executor uses
-// it to materialize the driving table's ids before partitioning.
-func forEachRow(ec *execCtx, e env, s *joinStep, yield func(id int64) (bool, error)) error {
-	switch a := s.access.(type) {
-	case fullScan:
-		for id := range s.table.Rows {
-			cont, err := yield(int64(id))
-			if err != nil || !cont {
-				return err
-			}
+// evalFiltersTimed is the EXPLAIN ANALYZE variant of tryRow's filter
+// loop: wall-clock attribution of expression work (pattern-cache
+// hits, correlated subplan evaluation) to the filter operator. Row
+// flow is derived by finalizeFrame in both modes.
+func (r *stepRunner) evalFiltersTimed(s *joinStep, st *OpStats) (ok bool, err error) {
+	ec := r.ec
+	prev := ec.cur
+	ec.cur = st
+	t0 := time.Now()
+	pass := true
+	for _, f := range s.filters {
+		v, ferr := f.eval(ec, r.e)
+		if ferr != nil {
+			err = ferr
+			break
 		}
-	case *indexEq:
-		var key []byte
-		for _, kx := range a.keys {
-			v, err := kx.eval(ec, e)
-			if err != nil {
-				return err
-			}
-			if v.IsNull() {
-				return nil
-			}
-			key = encodeValue(key, v)
+		if !v.Truth() {
+			pass = false
+			break
 		}
-		for _, id := range a.ix.Tree.Get(key) {
-			cont, err := yield(id)
-			if err != nil || !cont {
-				return err
-			}
-		}
-	case *indexPrefixes:
-		v, err := a.x.eval(ec, e)
-		if err != nil {
-			return err
-		}
-		if v.Kind != KBytes {
-			return nil
-		}
-		for k := 0; k <= len(v.B); k++ {
-			// Prefix-match within a possibly composite index: scan the
-			// interval covering exactly this first-component value.
-			lo := encodeValue(nil, NewBytes(v.B[:k]))
-			hi := append(append([]byte(nil), lo...), 0xFF)
-			stop := false
-			var scanErr error
-			a.ix.Tree.Scan(lo, hi, func(_ []byte, id int64) bool {
-				cont, err := yield(id)
-				if err != nil {
-					scanErr = err
-					return false
-				}
-				stop = !cont
-				return cont
-			})
-			if scanErr != nil || stop {
-				return scanErr
-			}
-		}
-	case *hashEq, *fatHash:
-		h, ok := s.access.(*hashEq)
-		if !ok {
-			h = s.access.(*fatHash).h
-		}
-		v, err := h.key.eval(ec, e)
-		if err != nil {
-			return err
-		}
-		if v.IsNull() {
-			return nil
-		}
-		key := string(encodeValue(nil, v))
-		m, built, err := s.table.hashFor(h.col, ec.acct)
-		if err != nil {
-			return err
-		}
-		if built {
-			// The build may have consumed a large slice of the deadline;
-			// observe it before starting the probe phase instead of
-			// waiting out the tick counter.
-			if err := ec.checkNow(); err != nil {
-				return err
-			}
-		}
-		for _, id := range m[key] {
-			cont, err := yield(id)
-			if err != nil || !cont {
-				return err
-			}
-		}
-	case *indexRange:
-		var lo, hi []byte
-		if a.lo != nil {
-			v, err := a.lo.eval(ec, e)
-			if err != nil {
-				return err
-			}
-			if v.IsNull() {
-				return nil
-			}
-			lo = encodeValue(nil, v)
-			if a.loStrict {
-				lo = append(lo, 0xFF)
-			}
-		}
-		if a.hi != nil {
-			v, err := a.hi.eval(ec, e)
-			if err != nil {
-				return err
-			}
-			if v.IsNull() {
-				return nil
-			}
-			hi = encodeValue(nil, v)
-			if !a.hiStrict {
-				hi = append(hi, 0xFF)
-			}
-		}
-		var scanErr error
-		a.ix.Tree.Scan(lo, hi, func(_ []byte, id int64) bool {
-			cont, err := yield(id)
-			if err != nil {
-				scanErr = err
-				return false
-			}
-			return cont
-		})
-		if scanErr != nil {
-			return scanErr
-		}
-	default:
-		return fmt.Errorf("engine: internal: unknown access path %T", s.access)
+	}
+	st.addTime(time.Since(t0))
+	ec.cur = prev
+	return err == nil && pass, err
+}
+
+// project evaluates the projection (and ORDER BY keys) for a fully
+// bound row and emits it through the output operator.
+func (r *stepRunner) project() error {
+	ec := r.ec
+	st := ec.op(r.plan.phys.output)
+	st.rowIn()
+	prev := ec.cur
+	ec.cur = st
+	var row, keys []Value
+	var err error
+	if ec.timing {
+		t0 := time.Now()
+		row, keys, err = r.projectRow()
+		st.addTime(time.Since(t0))
+	} else {
+		row, keys, err = r.projectRow()
+	}
+	ec.cur = prev
+	if err != nil {
+		return err
+	}
+	st.rowOut()
+	cont, err := r.emit(row, keys)
+	if err != nil {
+		return err
+	}
+	if !cont {
+		r.stop = true
 	}
 	return nil
+}
+
+// projectRow evaluates the projection columns and ORDER BY keys for
+// the currently bound row.
+func (r *stepRunner) projectRow() (row, keys []Value, err error) {
+	ec := r.ec
+	if !r.plan.countStar {
+		row = make([]Value, len(r.plan.cols))
+		for i, c := range r.plan.cols {
+			if row[i], err = c.eval(ec, r.e); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	if len(r.plan.orderBy) > 0 {
+		keys = make([]Value, len(r.plan.orderBy))
+		for i, k := range r.plan.orderBy {
+			if keys[i], err = k.x.eval(ec, r.e); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	return row, keys, nil
 }
 
 // equalResults reports whether two results hold the same multiset of

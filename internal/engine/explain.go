@@ -1,0 +1,80 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/internal/sqlast"
+)
+
+// EXPLAIN ANALYZE: run the statement with per-operator timing enabled
+// and render the physical operator tree annotated with each
+// operator's merged OpStats (see opstats.go for counter semantics;
+// operator times are inclusive of nested operators, like the
+// indentation of the rendered tree).
+
+// ExplainAnalyze executes the statement with default options and
+// returns the annotated plan.
+func (db *DB) ExplainAnalyze(st sqlast.Statement) (string, error) {
+	return db.ExplainAnalyzeWithOptions(st, ExecOptions{})
+}
+
+// ExplainAnalyzeWithOptions executes the statement with the given
+// options (so parallel plans report their merged per-worker stats)
+// and returns the annotated plan.
+func (db *DB) ExplainAnalyzeWithOptions(st sqlast.Statement, opts ExecOptions) (string, error) {
+	return db.explainAnalyzeContext(nil, st, opts)
+}
+
+func (db *DB) explainAnalyzeContext(ctx context.Context, st sqlast.Statement, opts ExecOptions) (out string, err error) {
+	key := sqlast.Render(st)
+	defer guardPanics(key, &err)
+	cs, err := db.compiledFor(st, key)
+	if err != nil {
+		return "", err
+	}
+	res, frame, err := db.runCompiledFrame(ctx, cs, opts, key, true)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString(renderCompiled(cs, frame))
+	fmt.Fprintf(&b, "total: rows=%d peak-mem=%dB\n", len(res.Rows), res.PeakMemBytes)
+	return b.String(), nil
+}
+
+// runExplainStmt executes an EXPLAIN / EXPLAIN ANALYZE statement,
+// returning the rendered plan as a one-column result (one row per
+// plan line) so the statement flows through every Run/Exec surface.
+func (db *DB) runExplainStmt(ctx context.Context, ex *sqlast.Explain, opts ExecOptions) (*Result, error) {
+	var text string
+	var err error
+	if ex.Analyze {
+		text, err = db.explainAnalyzeContext(ctx, ex.Stmt, opts)
+	} else {
+		text, err = db.Explain(ex.Stmt)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Cols: []string{"plan"}}
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		res.Rows = append(res.Rows, []Value{NewText(line)})
+	}
+	return res, nil
+}
+
+// OperatorCount returns the number of physical operator nodes the
+// statement lowers to (scans, filters, projections, dedup, sorts,
+// union machinery, and correlated-subplan boundaries) — the
+// per-operator companion to JoinSteps for experiment reports.
+func (db *DB) OperatorCount(st sqlast.Statement) (n int, err error) {
+	key := sqlast.Render(st)
+	defer guardPanics(key, &err)
+	cs, err := db.compiledFor(st, key)
+	if err != nil {
+		return 0, err
+	}
+	return cs.nOps, nil
+}

@@ -3,6 +3,7 @@ package engine
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/failpoint"
 )
@@ -36,16 +37,14 @@ func (ec *execCtx) collectParallel(plan *selectPlan) (rows []orderedRow, count i
 	}
 	// Constant pre-filters: a false one yields an empty result (or a
 	// zero count) without touching any rows.
-	for _, f := range plan.preFilters {
-		v, ferr := f.eval(ec, env{})
-		if ferr != nil {
-			return nil, 0, false, ferr
-		}
-		if !v.Truth() {
-			return nil, 0, true, nil
-		}
+	ok, err := ec.evalPreFilters(plan, env{})
+	if err != nil {
+		return nil, 0, false, err
 	}
-	ids, err := drivingIDs(ec, plan.steps[0])
+	if !ok {
+		return nil, 0, true, nil
+	}
+	ids, err := drivingIDs(ec, plan)
 	if err != nil {
 		return nil, 0, false, err
 	}
@@ -61,7 +60,7 @@ func (ec *execCtx) collectParallel(plan *selectPlan) (rows []orderedRow, count i
 	// Build shared read-only state up front so workers never race on
 	// lazily initialized hash-join build sides; a build that blows
 	// the memory budget fails the statement before any fan-out.
-	if err := prebuildHashJoins(plan, ec.acct); err != nil {
+	if err := prebuildHashJoins(ec, plan); err != nil {
 		return nil, 0, false, err
 	}
 	// The builds may have consumed the deadline; observe it before
@@ -72,6 +71,7 @@ func (ec *execCtx) collectParallel(plan *selectPlan) (rows []orderedRow, count i
 
 	outs := make([]morselOut, nMorsels)
 	errs := make([]error, workers)
+	frames := make([]opFrame, workers)
 	var next atomic.Int64
 	var aborted atomic.Bool
 	var wg sync.WaitGroup
@@ -79,12 +79,15 @@ func (ec *execCtx) collectParallel(plan *selectPlan) (rows []orderedRow, count i
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			// Private execCtx: the deadline tick counter must not be
-			// shared. Nested subplans see parallelism 0 (serial). The
-			// accountant and context are shared: budgets govern the
+			// Private execCtx: the deadline tick counter and the operator
+			// stats frame must not be shared (frames are merged below,
+			// after the join). Nested subplans see parallelism 0 (serial).
+			// The accountant and context are shared: budgets govern the
 			// statement, not the worker.
 			wec := &execCtx{db: ec.db, ctx: ec.ctx, deadline: ec.deadline,
-				acct: ec.acct, sql: ec.sql}
+				acct: ec.acct, sql: ec.sql,
+				stats: make(opFrame, len(ec.stats)), timing: ec.timing}
+			frames[w] = wec.stats
 			if werr := wec.workerLoop(plan, ids, nMorsels, outs, &next, &aborted); werr != nil {
 				errs[w] = werr
 				aborted.Store(true)
@@ -92,6 +95,11 @@ func (ec *execCtx) collectParallel(plan *selectPlan) (rows []orderedRow, count i
 		}(w)
 	}
 	wg.Wait()
+	// Fold the per-worker stats shards into the statement's frame; the
+	// workers have joined, so each slot is back to a single writer.
+	for _, f := range frames {
+		ec.stats.mergeFrom(f)
+	}
 	for _, werr := range errs {
 		if werr != nil {
 			return nil, 0, false, werr
@@ -173,19 +181,36 @@ func runMorsel(ec *execCtx, plan *selectPlan, ids []int64, out *morselOut) error
 }
 
 // drivingIDs materializes the driving step's candidate row ids in the
-// executor's canonical enumeration order. At the top level the step's
-// access expressions can only reference constants (no outer
-// bindings), so enumeration under an empty env is exact.
-func drivingIDs(ec *execCtx, s *joinStep) ([]int64, error) {
+// executor's canonical enumeration order, recording the enumeration
+// against the driving scan's operator (the workers then only replay
+// the materialized ids, so the scan is counted exactly once). At the
+// top level the step's access expressions can only reference
+// constants (no outer bindings), so enumeration under an empty env is
+// exact.
+func drivingIDs(ec *execCtx, plan *selectPlan) ([]int64, error) {
+	s := plan.steps[0]
+	st := ec.op(plan.phys.scans[0])
+	st.open()
+	var t0 time.Time
+	if ec.timing {
+		t0 = time.Now()
+	}
+	defer func() {
+		if ec.timing {
+			st.addTime(time.Since(t0))
+		}
+	}()
 	if _, ok := s.access.(fullScan); ok {
 		ids := make([]int64, len(s.table.Rows))
 		for i := range ids {
 			ids[i] = int64(i)
 		}
+		st.rowsOutN(int64(len(ids)))
 		return ids, nil
 	}
 	var ids []int64
-	err := forEachRow(ec, env{}, s, func(id int64) (bool, error) {
+	err := forEachRow(ec, env{}, s, st, func(id int64) (bool, error) {
+		st.rowOut()
 		ids = append(ids, id)
 		return true, nil
 	})
@@ -197,9 +222,10 @@ func drivingIDs(ec *execCtx, s *joinStep) ([]int64, error) {
 
 // prebuildHashJoins forces construction of every hash-join build side
 // the plan's steps will probe, charging builds to the statement's
-// accountant.
-func prebuildHashJoins(plan *selectPlan, ac *accountant) error {
-	for _, s := range plan.steps {
+// accountant and attributing the charged bytes to the probing step's
+// scan operator.
+func prebuildHashJoins(ec *execCtx, plan *selectPlan) error {
+	for i, s := range plan.steps {
 		col := -1
 		switch a := s.access.(type) {
 		case *hashEq:
@@ -210,8 +236,12 @@ func prebuildHashJoins(plan *selectPlan, ac *accountant) error {
 		if col < 0 {
 			continue
 		}
-		if _, _, err := s.table.hashFor(col, ac); err != nil {
+		_, built, bytes, err := s.table.hashFor(col, ec.acct)
+		if err != nil {
 			return err
+		}
+		if built {
+			ec.op(plan.phys.scans[i]).charge(bytes)
 		}
 	}
 	return nil

@@ -18,11 +18,16 @@ type selectPlan struct {
 	preFilters []cexpr // conjuncts that reference no local table
 	steps      []*joinStep
 	orderBy    []corder
+	// phys is the lowered physical operator pipeline (physplan.go),
+	// set by lowerStmt for every plan reachable from a compiled
+	// statement — including correlated subplans.
+	phys *physSelect
 }
 
 type corder struct {
 	x    cexpr
 	desc bool
+	src  string // source text of the key expression, for Explain
 }
 
 // joinStep binds one FROM table using an access path, then applies
@@ -37,7 +42,9 @@ type joinStep struct {
 }
 
 // accessPath determines which rows of a table are visited given the
-// rows bound so far.
+// rows bound so far. It is both the planner's cost abstraction
+// (rank/est) and the executor's scan-operator contract (enumerate,
+// implemented per access kind in access.go).
 type accessPath interface {
 	describe() string
 	// rank orders access kinds for tie-breaking (lower is better).
@@ -45,6 +52,10 @@ type accessPath interface {
 	// est estimates the rows this access yields per binding of the
 	// already-bound tables — the planner's cost metric.
 	est(t *Table) int
+	// enumerate pushes the candidate row ids for the step under the
+	// current bindings, in the executor's canonical order, recording
+	// probes and governor charges against the scan's OpStats.
+	enumerate(ec *execCtx, e env, s *joinStep, st *OpStats, yield rowYield) error
 }
 
 type fullScan struct{}
@@ -295,7 +306,7 @@ func (p *planner) planSelect(sel *sqlast.Select, outer *scope) (*selectPlan, err
 		if err != nil {
 			return nil, err
 		}
-		plan.orderBy = append(plan.orderBy, corder{x: ce, desc: k.Desc})
+		plan.orderBy = append(plan.orderBy, corder{x: ce, desc: k.Desc, src: k.Expr.String()})
 	}
 	return plan, nil
 }
@@ -782,40 +793,19 @@ func (p *planner) compile(e sqlast.Expr, sc *scope) (cexpr, error) {
 	return nil, fmt.Errorf("engine: cannot compile %T", e)
 }
 
-// Explain renders the chosen plan of a statement for diagnostics and
-// tests.
-func (db *DB) Explain(st sqlast.Statement) (string, error) {
-	p := &planner{db: db}
-	var b strings.Builder
-	var explainSelect func(sel *sqlast.Select, indent string) error
-	explainSelect = func(sel *sqlast.Select, indent string) error {
-		plan, err := p.planSelect(sel, nil)
-		if err != nil {
-			return err
-		}
-		for i, s := range plan.steps {
-			fmt.Fprintf(&b, "%s%d. %s: %s", indent, i+1, s.name, s.access.describe())
-			if len(s.filters) > 0 {
-				fmt.Fprintf(&b, " [%d filter(s)]", len(s.filters))
-			}
-			b.WriteByte('\n')
-		}
-		return nil
+// Explain renders the statement's physical operator tree (one line
+// per operator, correlated subplans nested) for diagnostics and
+// tests. The statement is planned through the plan cache but not
+// executed; EXPLAIN ANALYZE (explain.go) runs it and annotates each
+// operator with its OpStats.
+func (db *DB) Explain(st sqlast.Statement) (out string, err error) {
+	key := sqlast.Render(st)
+	defer guardPanics(key, &err)
+	cs, err := db.compiledFor(st, key)
+	if err != nil {
+		return "", err
 	}
-	switch s := st.(type) {
-	case *sqlast.Select:
-		if err := explainSelect(s, ""); err != nil {
-			return "", err
-		}
-	case *sqlast.Union:
-		for i, sel := range s.Selects {
-			fmt.Fprintf(&b, "UNION branch %d:\n", i+1)
-			if err := explainSelect(sel, "  "); err != nil {
-				return "", err
-			}
-		}
-	}
-	return b.String(), nil
+	return renderCompiled(cs, nil), nil
 }
 
 // JoinSteps returns, for tests and experiment reports, the number of
@@ -863,4 +853,25 @@ func JoinSteps(st sqlast.Statement) int {
 		}
 	}
 	return n
+}
+
+// MaxBranchJoins returns the largest per-SELECT join count of the
+// statement: for a UNION it is the widest branch (each counted with
+// its subselect joins), for a plain SELECT it equals JoinSteps. This
+// is the metric behind the paper's SQL-splitting argument — splitting
+// a query into UNION branches trades statement count for shorter join
+// chains, so branches are compared individually.
+func MaxBranchJoins(st sqlast.Statement) int {
+	switch s := st.(type) {
+	case *sqlast.Union:
+		m := 0
+		for _, sel := range s.Selects {
+			if n := JoinSteps(sel); n > m {
+				m = n
+			}
+		}
+		return m
+	default:
+		return JoinSteps(st)
+	}
 }

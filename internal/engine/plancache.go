@@ -19,6 +19,10 @@ type compiledStmt struct {
 	sel    *selectPlan
 	union  *unionPlan
 	tables []tableVer
+	// nOps is the number of operator nodes lowerStmt assigned across
+	// the whole statement (including subplans and union branches): the
+	// size of the per-execution stats frame.
+	nOps int
 }
 
 // tableVer pins the version a table had at plan time.
@@ -46,6 +50,7 @@ type unionPlan struct {
 	cols      []string
 	orderPos  []int
 	orderDesc []bool
+	phys      *physUnion // union-level operators, set by lowerStmt
 }
 
 // compileStmt plans a statement from scratch, recording the versions
@@ -100,6 +105,9 @@ func compileStmt(db *DB, st sqlast.Statement) (*compiledStmt, error) {
 	for t := range p.touched {
 		cs.tables = append(cs.tables, tableVer{t: t, ver: t.version})
 	}
+	// Lower to the physical operator tree before the plan can be
+	// published to (and shared through) the plan cache.
+	lowerStmt(cs)
 	return cs, nil
 }
 

@@ -249,7 +249,7 @@ func encodeValue(dst []byte, v Value) []byte {
 // serves the planner's cost estimation; execution paths go through
 // hashFor so builds are charged to the running statement.
 func (t *Table) hash(col int) map[string][]int64 {
-	m, _, err := t.hashFor(col, nil)
+	m, _, _, err := t.hashFor(col, nil)
 	if err != nil {
 		// With a nil accountant the only failure mode is an armed
 		// failpoint; planner-side estimation has no error path, so an
@@ -263,23 +263,23 @@ func (t *Table) hash(col int) map[string][]int64 {
 // hashFor returns the transient hash index for a column, building it
 // on demand. A build is charged to the statement's accountant and
 // aborts (without publishing a partial map) when the memory budget
-// is exceeded; built reports whether this call performed the build,
-// so callers can re-check deadlines after a long one. The
-// "engine/hash-build" failpoint fires on every access, built or
-// cached, making the hash path's error handling injectable
+// is exceeded; built reports whether this call performed the build
+// (so callers can re-check deadlines after a long one) and bytes the
+// amount it charged, for attribution to the probing operator's
+// OpStats. The "engine/hash-build" failpoint fires on every access,
+// built or cached, making the hash path's error handling injectable
 // regardless of which statement performed the build.
-func (t *Table) hashFor(col int, ac *accountant) (m map[string][]int64, built bool, err error) {
+func (t *Table) hashFor(col int, ac *accountant) (m map[string][]int64, built bool, bytes int64, err error) {
 	if err := failpoint.Inject("engine/hash-build"); err != nil {
-		return nil, false, err
+		return nil, false, 0, err
 	}
 	t.hashMu.Lock()
 	defer t.hashMu.Unlock()
 	if m, ok := t.hashIdx[col]; ok {
-		return m, false, nil
+		return m, false, 0, nil
 	}
 	m = make(map[string][]int64, len(t.Rows))
 	var buf []byte
-	var bytes int64
 	for id, row := range t.Rows {
 		buf = encodeValue(buf[:0], row[col])
 		key := string(buf)
@@ -293,12 +293,12 @@ func (t *Table) hashFor(col int, ac *accountant) (m map[string][]int64, built bo
 			// Abort an over-budget build mid-way rather than after
 			// materializing the whole side.
 			if err := ac.wouldExceed(bytes); err != nil {
-				return nil, false, err
+				return nil, false, 0, err
 			}
 		}
 	}
 	if err := ac.growBytes(bytes); err != nil {
-		return nil, false, err
+		return nil, false, 0, err
 	}
 	max := 0
 	for _, ids := range m {
@@ -308,7 +308,7 @@ func (t *Table) hashFor(col int, ac *accountant) (m map[string][]int64, built bo
 	}
 	t.hashIdx[col] = m
 	t.hashMax[col] = max
-	return m, true, nil
+	return m, true, bytes, nil
 }
 
 // hashMaxBucket returns the largest bucket of the column's transient

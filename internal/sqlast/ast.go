@@ -37,6 +37,16 @@ type Union struct {
 
 func (*Union) stmtNode() {}
 
+// Explain is 'EXPLAIN [ANALYZE] <stmt>': render the physical plan of
+// the wrapped statement, executing it first when Analyze is set so
+// each operator carries its runtime statistics.
+type Explain struct {
+	Analyze bool
+	Stmt    Statement
+}
+
+func (*Explain) stmtNode() {}
+
 // SelectCol is one projected column.
 type SelectCol struct {
 	Expr  Expr

@@ -192,7 +192,8 @@ func (p *sqlParser) expect(kind sqlTokenKind, text, what string) error {
 }
 
 func (p *sqlParser) parseStatement() (Statement, error) {
-	// DDL and INSERT lead with identifiers (not reserved keywords).
+	// DDL, INSERT and EXPLAIN lead with identifiers (not reserved
+	// keywords, so they stay usable as table/column names).
 	if t := p.peek(); t.kind == sqlIdent {
 		switch strings.ToUpper(t.text) {
 		case "CREATE":
@@ -201,6 +202,22 @@ func (p *sqlParser) parseStatement() (Statement, error) {
 		case "INSERT":
 			p.next()
 			return p.parseInsert()
+		case "EXPLAIN":
+			p.next()
+			ex := &Explain{}
+			if a := p.peek(); a.kind == sqlIdent && strings.ToUpper(a.text) == "ANALYZE" {
+				p.next()
+				ex.Analyze = true
+			}
+			inner, err := p.parseStatement()
+			if err != nil {
+				return nil, err
+			}
+			if _, nested := inner.(*Explain); nested {
+				return nil, fmt.Errorf("sqlast: EXPLAIN cannot be nested")
+			}
+			ex.Stmt = inner
+			return ex, nil
 		}
 	}
 	first, err := p.parseSelect()

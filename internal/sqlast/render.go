@@ -26,6 +26,12 @@ func renderStatement(b *strings.Builder, st Statement) {
 			renderSelect(b, sel)
 		}
 		renderOrderBy(b, s.OrderBy)
+	case *Explain:
+		b.WriteString("EXPLAIN ")
+		if s.Analyze {
+			b.WriteString("ANALYZE ")
+		}
+		renderStatement(b, s.Stmt)
 	default:
 		panic(fmt.Sprintf("sqlast: unknown statement %T", st))
 	}
@@ -81,6 +87,8 @@ func renderOrderBy(b *strings.Builder, keys []OrderKey) {
 		}
 	}
 }
+
+func (e *Explain) String() string { return Render(e) }
 
 func (c *CreateTable) String() string {
 	var b strings.Builder

@@ -213,13 +213,26 @@ func (s *Store) RunSQL(sql string) (cols []string, rows [][]string, err error) {
 	return res.Cols, rows, nil
 }
 
-// Explain renders the engine's execution plan for an XPath query.
+// Explain renders the engine's physical operator tree for an XPath
+// query without executing it.
 func (s *Store) Explain(query string) (string, error) {
 	tr, err := s.tr.Translate(query)
 	if err != nil {
 		return "", err
 	}
 	return s.shred.DB.Explain(tr.Stmt)
+}
+
+// ExplainAnalyze executes an XPath query under the store's limits and
+// parallelism and renders the physical operator tree annotated with
+// per-operator runtime statistics (rows in/out, loops, index probes,
+// pattern-cache hits, memory charged, wall time).
+func (s *Store) ExplainAnalyze(query string) (string, error) {
+	tr, err := s.tr.Translate(query)
+	if err != nil {
+		return "", err
+	}
+	return s.shred.DB.ExplainAnalyzeWithOptions(tr.Stmt, s.execOpts())
 }
 
 // TableSizes reports "relation=rows" pairs, sorted by name.

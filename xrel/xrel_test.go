@@ -85,6 +85,28 @@ func TestRunSQLAndExplain(t *testing.T) {
 	}
 }
 
+func TestExplainAnalyze(t *testing.T) {
+	st := open(t)
+	plan, err := st.ExplainAnalyze("/A/B/C//F")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"scan ", "[loops=", "time=", "total: rows=2 "} {
+		if !strings.Contains(plan, want) {
+			t.Errorf("EXPLAIN ANALYZE missing %q:\n%s", want, plan)
+		}
+	}
+	// The store's parallelism applies to the analyzed execution too.
+	st.SetParallelism(4)
+	par, err := st.ExplainAnalyze("/A/B/C//F")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(par, "total: rows=2 ") {
+		t.Errorf("parallel EXPLAIN ANALYZE lost rows:\n%s", par)
+	}
+}
+
 func TestStats(t *testing.T) {
 	st := open(t)
 	if st.PathCount() != 8 {
