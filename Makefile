@@ -1,9 +1,9 @@
 # make check mirrors .github/workflows/ci.yml locally.
 GO ?= go
 
-.PHONY: check build fmtcheck vet xvet test race chaos fuzz-smoke bench-smoke explain-smoke
+.PHONY: check build fmtcheck vet xvet transcheck test race chaos fuzz-smoke bench-smoke explain-smoke
 
-check: build fmtcheck vet xvet test race chaos
+check: build fmtcheck vet xvet transcheck test race chaos
 
 build:
 	$(GO) build ./...
@@ -17,10 +17,19 @@ vet:
 	$(GO) vet ./...
 
 # The custom invariant analyzers (rawsql, deweycmp, regexploop,
-# errdrop, recoverguard, opstats); -novet because `make vet` already
-# ran the standard passes.
+# errdrop, recoverguard, opstats, ctxflow, lockscope, sqltaint,
+# hotalloc, xvetignore); -novet because `make vet` already ran the
+# standard passes.
 xvet:
 	$(GO) run ./cmd/xvet -novet ./...
+
+# Static translation validation: every Table 1 pattern derivation —
+# over the synthetic axis/shape matrix and over everything traced
+# while translating the fig3 + XPathMark corpora — must be
+# language-equivalent to a reference automaton built directly from
+# the axis semantics (DESIGN.md section 6).
+transcheck:
+	$(GO) run ./cmd/xvet -transcheck
 
 test:
 	$(GO) test ./...

@@ -118,6 +118,7 @@ func run(schemaPath string, useXSD bool, load string, opts engine.ExecOptions, s
 			return
 		}
 		if rest, ok := strings.CutPrefix(line, `\explain `); ok {
+			//xvet:ignore sqltaint -- REPL input: the user's typed SQL is the one legitimate raw source
 			st, err := sqlast.Parse(strings.TrimSpace(rest))
 			if err != nil {
 				fmt.Fprintln(out, "error:", err)

@@ -1,20 +1,31 @@
 // Command xvet is the repository's multichecker: it runs the standard
 // `go vet` passes and then the custom invariant analyzers from
 // internal/analysis (rawsql, deweycmp, regexploop, errdrop,
-// recoverguard, opstats) that enforce the paper-derived disciplines
-// the type system cannot see.
+// recoverguard, opstats, ctxflow, lockscope, sqltaint, hotalloc,
+// xvetignore) that enforce the paper-derived disciplines the type
+// system cannot see.
 //
 // Usage:
 //
-//	xvet [-novet] [-only name,name] [-list] [packages]
+//	xvet [-novet] [-only name,name] [-list] [-json] [packages]
+//	xvet -transcheck [-json]
 //
 // Packages default to ./... resolved against the enclosing module.
 // Exit status is nonzero if go vet fails or any analyzer reports a
 // diagnostic. -novet skips the go vet subprocess (CI runs it as its
-// own step); -only restricts the custom analyzers.
+// own step); -only restricts the custom analyzers; -json emits
+// machine-readable diagnostics on stdout instead of the text form.
+//
+// -transcheck runs the static translation validator instead of the
+// analyzers: every Table 1 pattern derivation — over a synthetic
+// axis/shape matrix and over all patterns traced while translating
+// the fig3 and XPathMark query corpora — is checked for language
+// equivalence against a reference automaton built directly from the
+// axis semantics.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,12 +33,25 @@ import (
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/transcheck"
 )
+
+// jsonDiag is the machine-readable diagnostic form emitted by -json:
+// one JSON object per line (JSON Lines), stable field names.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
 
 func main() {
 	novet := flag.Bool("novet", false, "skip running the standard `go vet` passes first")
 	only := flag.String("only", "", "comma-separated subset of analyzers to run")
 	list := flag.Bool("list", false, "list the custom analyzers and exit")
+	asJSON := flag.Bool("json", false, "emit diagnostics as JSON Lines on stdout")
+	trans := flag.Bool("transcheck", false, "run the static translation validator instead of the analyzers")
 	flag.Parse()
 
 	if *list {
@@ -35,6 +59,9 @@ func main() {
 			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
 		}
 		return
+	}
+	if *trans {
+		os.Exit(runTranscheck(*asJSON))
 	}
 
 	patterns := flag.Args()
@@ -55,7 +82,7 @@ func main() {
 	analyzers, err := selectAnalyzers(*only)
 	if err == nil {
 		var n int
-		n, err = runAnalyzers(analyzers, patterns)
+		n, err = runAnalyzers(analyzers, patterns, *asJSON)
 		if n > 0 {
 			failed = true
 		}
@@ -85,7 +112,7 @@ func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
 	return out, nil
 }
 
-func runAnalyzers(analyzers []*analysis.Analyzer, patterns []string) (int, error) {
+func runAnalyzers(analyzers []*analysis.Analyzer, patterns []string, asJSON bool) (int, error) {
 	cwd, err := os.Getwd()
 	if err != nil {
 		return 0, err
@@ -98,6 +125,7 @@ func runAnalyzers(analyzers []*analysis.Analyzer, patterns []string) (int, error
 	if err != nil {
 		return 0, err
 	}
+	enc := json.NewEncoder(os.Stdout)
 	count := 0
 	for _, pkg := range pkgs {
 		diags, err := analysis.Run(pkg, analyzers)
@@ -105,9 +133,77 @@ func runAnalyzers(analyzers []*analysis.Analyzer, patterns []string) (int, error
 			return count, err
 		}
 		for _, d := range diags {
-			fmt.Printf("%s: %s: %s\n", pkg.Fset.Position(d.Pos), d.Analyzer.Name, d.Message)
+			pos := pkg.Fset.Position(d.Pos)
+			if asJSON {
+				if err := enc.Encode(jsonDiag{
+					File:     pos.Filename,
+					Line:     pos.Line,
+					Column:   pos.Column,
+					Analyzer: d.Analyzer.Name,
+					Message:  d.Message,
+				}); err != nil {
+					return count, err
+				}
+			} else {
+				fmt.Printf("%s: %s: %s\n", pos, d.Analyzer.Name, d.Message)
+			}
 			count++
 		}
 	}
 	return count, nil
+}
+
+// runTranscheck executes both halves of the translation validator and
+// reports findings; the exit status is the CI gate.
+func runTranscheck(asJSON bool) int {
+	type result struct {
+		name     string
+		findings []transcheck.Finding
+		stats    transcheck.Stats
+	}
+	var results []result
+	fail := false
+
+	mf, ms, err := transcheck.CheckMatrix()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xvet: transcheck matrix:", err)
+		return 1
+	}
+	results = append(results, result{"matrix", mf, ms})
+
+	cf, cs, err := transcheck.CheckCorpus()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xvet: transcheck corpus:", err)
+		return 1
+	}
+	results = append(results, result{"corpus", cf, cs})
+
+	enc := json.NewEncoder(os.Stdout)
+	for _, r := range results {
+		for _, f := range r.findings {
+			fail = true
+			if asJSON {
+				if err := enc.Encode(f); err != nil {
+					fmt.Fprintln(os.Stderr, "xvet:", err)
+					return 1
+				}
+			} else {
+				fmt.Printf("transcheck: %s\n", f)
+			}
+		}
+		if !asJSON {
+			switch r.name {
+			case "matrix":
+				fmt.Printf("transcheck: matrix: %d derivations checked, %d findings\n",
+					r.stats.Checked, len(r.findings))
+			case "corpus":
+				fmt.Printf("transcheck: corpus: %d queries translated, %d distinct patterns checked, %d findings\n",
+					r.stats.Queries, r.stats.Checked, len(r.findings))
+			}
+		}
+	}
+	if fail {
+		return 1
+	}
+	return 0
 }

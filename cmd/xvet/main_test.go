@@ -4,8 +4,8 @@ import "testing"
 
 func TestSelectAnalyzers(t *testing.T) {
 	all, err := selectAnalyzers("")
-	if err != nil || len(all) != 6 {
-		t.Fatalf("default selection: got %d analyzers, err %v; want 6, nil", len(all), err)
+	if err != nil || len(all) != 11 {
+		t.Fatalf("default selection: got %d analyzers, err %v; want 11, nil", len(all), err)
 	}
 	some, err := selectAnalyzers("rawsql, errdrop")
 	if err != nil {
@@ -17,7 +17,14 @@ func TestSelectAnalyzers(t *testing.T) {
 	if _, err := selectAnalyzers("nosuch"); err == nil {
 		t.Fatal("unknown analyzer name must error")
 	}
+	for _, name := range []string{"ctxflow", "lockscope", "sqltaint", "hotalloc", "xvetignore"} {
+		if _, err := selectAnalyzers(name); err != nil {
+			t.Errorf("analyzer %s not registered: %v", name, err)
+		}
+	}
 }
 
 // The analyzer run path is exercised end to end against the real tree
-// by internal/analysis's tests and by CI's `go run ./cmd/xvet ./...`.
+// by internal/analysis's tests and by CI's `go run ./cmd/xvet ./...`;
+// the -transcheck path by internal/transcheck's tests and CI's
+// `make transcheck`.

@@ -60,9 +60,22 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 }
 
 // Run applies the analyzers to a loaded package and returns the
-// diagnostics sorted by file position.
+// diagnostics sorted by file position. //xvet:ignore directives are
+// honored here, below every analyzer: a well-formed directive
+// (analyzer named, reason given) suppresses matching diagnostics on
+// its own or the following line; malformed directives are themselves
+// reported under the xvetignore name.
 func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
-	var out []Diagnostic
+	badPass := &Pass{
+		Analyzer: BadIgnore,
+		Fset:     pkg.Fset,
+		Files:    pkg.Files,
+	}
+	var directives []ignoreDirective
+	for _, f := range pkg.Files {
+		directives = append(directives, parseIgnores(pkg.Fset, f, badPass.Reportf)...)
+	}
+	out := append([]Diagnostic(nil), badPass.diagnostics...)
 	for _, a := range analyzers {
 		pass := &Pass{
 			Analyzer:  a,
@@ -74,7 +87,12 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
 		}
-		out = append(out, pass.diagnostics...)
+		for _, d := range pass.diagnostics {
+			if suppressed(pkg.Fset, directives, d) {
+				continue
+			}
+			out = append(out, d)
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
 	return out, nil
@@ -83,7 +101,8 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 // All returns the full analyzer suite run by cmd/xvet, in reporting
 // order.
 func All() []*Analyzer {
-	return []*Analyzer{RawSQL, DeweyCmp, RegexpLoop, ErrDrop, RecoverGuard, OpStatsMut}
+	return []*Analyzer{RawSQL, DeweyCmp, RegexpLoop, ErrDrop, RecoverGuard, OpStatsMut,
+		CtxFlow, LockScope, SQLTaint, HotAlloc, BadIgnore}
 }
 
 // ByName resolves a comma-free analyzer name, or nil.

@@ -1,0 +1,275 @@
+package cfg_test
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/cfg"
+)
+
+// checkSrc type-checks one synthetic file and returns its pieces.
+func checkSrc(t *testing.T, src string) (*token.FileSet, *ast.File, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	if _, err := conf.Check("p", fset, []*ast.File{f}, info); err != nil {
+		t.Fatal(err)
+	}
+	return fset, f, info
+}
+
+func funcNamed(t *testing.T, f *ast.File, name string) *ast.FuncDecl {
+	t.Helper()
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return fd
+		}
+	}
+	t.Fatalf("no func %s", name)
+	return nil
+}
+
+func param(t *testing.T, info *types.Info, fd *ast.FuncDecl, name string) *types.Var {
+	t.Helper()
+	for _, field := range fd.Type.Params.List {
+		for _, n := range field.Names {
+			if n.Name == name {
+				return info.Defs[n].(*types.Var)
+			}
+		}
+	}
+	t.Fatalf("no param %s", name)
+	return nil
+}
+
+const branchSrc = `package p
+
+func branchy(cond bool) int {
+	x := 1
+	if cond {
+		x = 2
+	} else {
+		x = 3
+	}
+	return x
+}
+
+func loopy(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+		if total > 100 {
+			break
+		}
+	}
+	return total
+}
+
+func dead() int {
+	return 1
+	panic("unreachable") //nolint
+}
+`
+
+// The if/else diamond: condition block, two arm blocks, a join.
+func TestBranchStructure(t *testing.T) {
+	_, f, _ := checkSrc(t, branchSrc)
+	g := cfg.New("branchy", funcNamed(t, f, "branchy").Body)
+	dump := g.Dump(nil)
+	// Entry has two successors (the arms); both arms reach the return.
+	var twoWay int
+	for _, b := range g.Blocks {
+		if len(b.Succs) == 2 {
+			twoWay++
+		}
+		if g.InLoop(b) {
+			t.Errorf("branchy has no loop, but b%d is marked in-loop\n%s", b.Index, dump)
+		}
+	}
+	if twoWay != 1 {
+		t.Errorf("want exactly 1 two-way branch block, got %d\n%s", twoWay, dump)
+	}
+}
+
+// Loop bodies (and the head they cycle through) are marked in-loop;
+// code before and after the loop is not.
+func TestLoopMarking(t *testing.T) {
+	fset, f, _ := checkSrc(t, branchSrc)
+	fd := funcNamed(t, f, "loopy")
+	g := cfg.New("loopy", fd.Body)
+	anyLoop := false
+	for _, b := range g.Blocks {
+		if g.InLoop(b) {
+			anyLoop = true
+		}
+	}
+	if !anyLoop {
+		t.Fatalf("no block marked in-loop:\n%s", g.Dump(nil))
+	}
+	// The `total := 0` init statement is outside the loop.
+	initStmt := fd.Body.List[0]
+	b := g.BlockOf(initStmt)
+	if b == nil || g.InLoop(b) {
+		t.Errorf("init statement should be outside the loop (block %v)", b)
+	}
+	_ = fset
+}
+
+// Statements after a terminator are pruned as unreachable.
+func TestUnreachablePruned(t *testing.T) {
+	_, f, _ := checkSrc(t, branchSrc)
+	fd := funcNamed(t, f, "dead")
+	g := cfg.New("dead", fd.Body)
+	panicStmt := fd.Body.List[1]
+	if b := g.BlockOf(panicStmt); b != nil {
+		t.Errorf("statement after return should be pruned, found in b%d", b.Index)
+	}
+}
+
+const reachSrc = `package p
+
+func flow(a int, cond bool) int {
+	x := a
+	if cond {
+		x = 2
+	}
+	y := x
+	return y
+}
+`
+
+// Reaching definitions: at the final read both the initial binding
+// and the branch assignment reach; before the branch only the first.
+func TestReachingDefs(t *testing.T) {
+	fset, f, info := checkSrc(t, reachSrc)
+	fd := funcNamed(t, f, "flow")
+	g := cfg.New("flow", fd.Body)
+	reach := cfg.Reaching(g, info, []*types.Var{param(t, info, fd, "a")}, fd.Body)
+
+	var xVar *types.Var
+	for id, obj := range info.Defs {
+		if id.Name == "x" {
+			xVar, _ = obj.(*types.Var)
+		}
+	}
+	if xVar == nil {
+		t.Fatal("no x var")
+	}
+	assignY := fd.Body.List[2]
+	defs := reach.At(assignY, xVar)
+	if len(defs) != 2 {
+		t.Fatalf("want 2 reaching defs of x at y := x, got %d\n%s", len(defs), reach.Dump(fset))
+	}
+}
+
+const taintSrc = `package p
+
+func source() string { return "s" }
+func sink() string   { return "t" }
+
+func prop(p string, cond bool) (string, string, string) {
+	a := p
+	b := sink()
+	c := p
+	if cond {
+		c = sink()
+	}
+	return a, b, c
+}
+`
+
+// The taint lattice: parameter-derived values stay Yes, unknown call
+// results are No, and a branch rebinding joins to Mixed.
+func TestTaintLattice(t *testing.T) {
+	_, f, info := checkSrc(t, taintSrc)
+	fd := funcNamed(t, f, "prop")
+	g := cfg.New("prop", fd.Body)
+	p := param(t, info, fd, "p")
+	reach := cfg.Reaching(g, info, []*types.Var{p}, fd.Body)
+	taint := cfg.SolveTaint(g, info, map[*types.Var]cfg.Value{p: cfg.Yes}, reach,
+		func(e ast.Expr, eval func(ast.Expr) cfg.Value) cfg.Value { return cfg.Bottom })
+
+	ret := fd.Body.List[len(fd.Body.List)-1].(*ast.ReturnStmt)
+	want := []cfg.Value{cfg.Yes, cfg.No, cfg.Mixed}
+	for i, expr := range ret.Results {
+		if got := taint.EvalAt(ret, expr); got != want[i] {
+			t.Errorf("result %d: got %v, want %v", i, got, want[i])
+		}
+	}
+}
+
+// Vars written from inside closures are unreliable and pin to Mixed.
+const closureSrc = `package p
+
+func cl(p string, run func(func())) string {
+	s := p
+	run(func() { s = "other" })
+	return s
+}
+`
+
+func TestClosureWrittenMixed(t *testing.T) {
+	_, f, info := checkSrc(t, closureSrc)
+	fd := funcNamed(t, f, "cl")
+	g := cfg.New("cl", fd.Body)
+	p := param(t, info, fd, "p")
+	reach := cfg.Reaching(g, info, []*types.Var{p}, fd.Body)
+	taint := cfg.SolveTaint(g, info, map[*types.Var]cfg.Value{p: cfg.Yes}, reach,
+		func(e ast.Expr, eval func(ast.Expr) cfg.Value) cfg.Value { return cfg.Bottom })
+	ret := fd.Body.List[len(fd.Body.List)-1].(*ast.ReturnStmt)
+	if got := taint.EvalAt(ret, ret.Results[0]); got != cfg.Mixed {
+		t.Errorf("closure-written var: got %v, want Mixed", got)
+	}
+	var sVar *types.Var
+	for id, obj := range info.Defs {
+		if id.Name == "s" {
+			sVar, _ = obj.(*types.Var)
+		}
+	}
+	if sVar == nil || !reach.ClosureWritten(sVar) {
+		t.Error("s should be marked closure-written")
+	}
+}
+
+// Dump output is stable and mentions every block exactly once.
+func TestDumpStable(t *testing.T) {
+	_, f, _ := checkSrc(t, branchSrc)
+	g := cfg.New("loopy", funcNamed(t, f, "loopy").Body)
+	d1, d2 := g.Dump(nil), g.Dump(nil)
+	if d1 != d2 {
+		t.Error("Dump is not deterministic")
+	}
+	for _, b := range g.Blocks {
+		if !strings.Contains(d1, "b"+itoa(b.Index)) {
+			t.Errorf("dump missing block b%d", b.Index)
+		}
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for ; i > 0; i /= 10 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+	}
+	return string(b)
+}

@@ -1,0 +1,328 @@
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// A Def is one definition site of a local variable: an assignment, a
+// declaration, a range binding, or (Node == nil) the function entry
+// for parameters and named results.
+type Def struct {
+	Var *types.Var
+	// Node is the defining statement, or nil for the entry definition.
+	Node ast.Node
+	// RHS is the defining expression when the definition has one
+	// (x := e, x = e); nil for entry defs, range bindings, and
+	// multi-value assignments from calls, where RHSCall is set instead.
+	RHS ast.Expr
+	// RHSCall is the call expression when the variable is bound from a
+	// multi-value call result (x, y := f()).
+	RHSCall *ast.CallExpr
+	// Index is the tuple position for multi-value bindings (0 otherwise).
+	Index int
+}
+
+// Reach holds the reaching-definitions solution for one graph.
+type Reach struct {
+	g    *Graph
+	info *types.Info
+	defs []Def
+	// byVar indexes defs by variable for kill sets.
+	byVar map[*types.Var][]int
+	in    []bitset
+	out   []bitset
+	// closureWrites are variables assigned inside function literals of
+	// the body: their reaching sets are unreliable (the write happens
+	// at call time, not at the literal's position), so clients must
+	// treat them pessimistically.
+	closureWrites map[*types.Var]bool
+}
+
+// Reaching computes reaching definitions for the graph. params seeds
+// entry definitions (typically the function's parameters, receiver,
+// and named results). body is the same block New was built from, used
+// to find writes hidden inside function literals.
+func Reaching(g *Graph, info *types.Info, params []*types.Var, body *ast.BlockStmt) *Reach {
+	r := &Reach{g: g, info: info, byVar: map[*types.Var][]int{}, closureWrites: map[*types.Var]bool{}}
+	for _, p := range params {
+		r.addDef(Def{Var: p})
+	}
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			r.collectDefs(n)
+		}
+	}
+	r.findClosureWrites(body)
+	n := len(g.Blocks)
+	r.in = make([]bitset, n)
+	r.out = make([]bitset, n)
+	words := (len(r.defs) + 63) / 64
+	for i := 0; i < n; i++ {
+		r.in[i] = newBitset(words)
+		r.out[i] = newBitset(words)
+	}
+	// Entry defs reach the entry block's in-set.
+	for i, d := range r.defs {
+		if d.Node == nil {
+			r.in[g.Entry.Index].set(i)
+		}
+	}
+	// Worklist iteration to fixpoint.
+	work := make([]*Block, len(g.Blocks))
+	copy(work, g.Blocks)
+	inWork := make([]bool, n)
+	for i := range inWork {
+		inWork[i] = true
+	}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		inWork[b.Index] = false
+		if b != g.Entry {
+			r.in[b.Index].clear()
+			for _, p := range b.Preds {
+				r.in[b.Index].or(r.out[p.Index])
+			}
+		}
+		newOut := r.in[b.Index].clone()
+		for _, node := range b.Nodes {
+			r.apply(node, newOut)
+		}
+		if !newOut.equal(r.out[b.Index]) {
+			r.out[b.Index] = newOut
+			for _, s := range b.Succs {
+				if !inWork[s.Index] {
+					inWork[s.Index] = true
+					work = append(work, s)
+				}
+			}
+		}
+	}
+	return r
+}
+
+// At returns the definitions of v that reach the program point just
+// before stmt (a node present in the graph). A nil slice means the
+// statement is unreachable or v is unknown here.
+func (r *Reach) At(stmt ast.Node, v *types.Var) []Def {
+	b := r.g.BlockOf(stmt)
+	if b == nil {
+		return nil
+	}
+	live := r.in[b.Index].clone()
+	for _, node := range b.Nodes {
+		if node == stmt {
+			break
+		}
+		r.apply(node, live)
+	}
+	var out []Def
+	for _, i := range r.byVar[v] {
+		if live.has(i) {
+			out = append(out, r.defs[i])
+		}
+	}
+	return out
+}
+
+// ClosureWritten reports whether v is assigned inside a function
+// literal of the body, making its flow-sensitive value unreliable.
+func (r *Reach) ClosureWritten(v *types.Var) bool { return r.closureWrites[v] }
+
+// Dump renders the per-block in/out definition sets as stable text
+// for golden tests.
+func (r *Reach) Dump(fset *token.FileSet) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "reaching %s\n", r.g.Name)
+	name := func(i int) string {
+		d := r.defs[i]
+		if d.Node == nil {
+			return d.Var.Name() + "@entry"
+		}
+		return fmt.Sprintf("%s@L%d", d.Var.Name(), fset.Position(d.Node.Pos()).Line)
+	}
+	set := func(bs bitset) string {
+		var parts []string
+		for i := range r.defs {
+			if bs.has(i) {
+				parts = append(parts, name(i))
+			}
+		}
+		sort.Strings(parts)
+		return strings.Join(parts, " ")
+	}
+	for _, b := range r.g.Blocks {
+		fmt.Fprintf(&sb, "b%d in:{%s} out:{%s}\n", b.Index, set(r.in[b.Index]), set(r.out[b.Index]))
+	}
+	return sb.String()
+}
+
+func (r *Reach) addDef(d Def) {
+	if d.Var == nil {
+		return
+	}
+	r.byVar[d.Var] = append(r.byVar[d.Var], len(r.defs))
+	r.defs = append(r.defs, d)
+}
+
+// collectDefs records the definition sites contributed by one node.
+func (r *Reach) collectDefs(n ast.Node) {
+	switch x := n.(type) {
+	case *ast.AssignStmt:
+		call, isCall := singleCallRHS(x)
+		for i, lhs := range x.Lhs {
+			v := r.lhsVar(lhs)
+			if v == nil {
+				continue
+			}
+			d := Def{Var: v, Node: n, Index: i}
+			if isCall && len(x.Lhs) > 1 {
+				d.RHSCall = call
+			} else if len(x.Rhs) == len(x.Lhs) {
+				d.RHS = x.Rhs[i]
+				d.Index = 0
+			} else if isCall {
+				d.RHSCall = call
+			}
+			r.addDef(d)
+		}
+	case *ast.IncDecStmt:
+		if v := r.lhsVar(x.X); v != nil {
+			r.addDef(Def{Var: v, Node: n})
+		}
+	case *ast.DeclStmt:
+		gd, ok := x.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, id := range vs.Names {
+				v, _ := r.info.Defs[id].(*types.Var)
+				if v == nil {
+					continue
+				}
+				d := Def{Var: v, Node: n}
+				if i < len(vs.Values) {
+					d.RHS = vs.Values[i]
+				}
+				r.addDef(d)
+			}
+		}
+	case *ast.RangeStmt:
+		for _, e := range []ast.Expr{x.Key, x.Value} {
+			if v := r.lhsVar(e); v != nil {
+				r.addDef(Def{Var: v, Node: n})
+			}
+		}
+	}
+}
+
+// apply updates the live set across one node: each variable defined by
+// the node kills its other defs and gens its own.
+func (r *Reach) apply(n ast.Node, live bitset) {
+	for i, d := range r.defs {
+		if d.Node == n {
+			for _, j := range r.byVar[d.Var] {
+				live.unset(j)
+			}
+			live.set(i)
+		}
+	}
+}
+
+func (r *Reach) lhsVar(e ast.Expr) *types.Var {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if v, ok := r.info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := r.info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+// findClosureWrites walks function literals in the body recording
+// assignments to variables declared outside them.
+func (r *Reach) findClosureWrites(body *ast.BlockStmt) {
+	if body == nil {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		fl, ok := n.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		ast.Inspect(fl.Body, func(m ast.Node) bool {
+			switch x := m.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range x.Lhs {
+					if v := r.lhsVar(lhs); v != nil && !within(fl, v.Pos()) {
+						r.closureWrites[v] = true
+					}
+				}
+			case *ast.IncDecStmt:
+				if v := r.lhsVar(x.X); v != nil && !within(fl, v.Pos()) {
+					r.closureWrites[v] = true
+				}
+			}
+			return true
+		})
+		return false // inner literals were covered by the inspect above
+	})
+}
+
+func within(n ast.Node, pos token.Pos) bool {
+	return n.Pos() <= pos && pos < n.End()
+}
+
+func singleCallRHS(x *ast.AssignStmt) (*ast.CallExpr, bool) {
+	if len(x.Rhs) != 1 {
+		return nil, false
+	}
+	call, ok := x.Rhs[0].(*ast.CallExpr)
+	return call, ok
+}
+
+// bitset is a fixed-width bit vector.
+type bitset []uint64
+
+func newBitset(words int) bitset { return make(bitset, words) }
+
+func (b bitset) set(i int)      { b[i/64] |= 1 << (i % 64) }
+func (b bitset) unset(i int)    { b[i/64] &^= 1 << (i % 64) }
+func (b bitset) has(i int) bool { return b[i/64]&(1<<(i%64)) != 0 }
+func (b bitset) clear() {
+	for i := range b {
+		b[i] = 0
+	}
+}
+func (b bitset) or(o bitset) {
+	for i := range b {
+		b[i] |= o[i]
+	}
+}
+func (b bitset) clone() bitset {
+	c := make(bitset, len(b))
+	copy(c, b)
+	return c
+}
+func (b bitset) equal(o bitset) bool {
+	for i := range b {
+		if b[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}

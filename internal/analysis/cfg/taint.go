@@ -1,0 +1,299 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Value is a point in the four-element must-taint lattice. "Taint" is
+// analyzer-defined: for ctxflow it means "is the function's context
+// parameter", for sqltaint it means "derived from sqlast rendering".
+//
+//	  Mixed (⊤: differs across paths)
+//	  /   \
+//	Yes   No
+//	  \   /
+//	 Bottom (⊥: not yet reached)
+type Value uint8
+
+const (
+	Bottom Value = iota
+	Yes
+	No
+	Mixed
+)
+
+func (v Value) String() string {
+	switch v {
+	case Bottom:
+		return "⊥"
+	case Yes:
+		return "yes"
+	case No:
+		return "no"
+	default:
+		return "mixed"
+	}
+}
+
+// Join combines the values of two control-flow paths.
+func Join(a, b Value) Value {
+	switch {
+	case a == b:
+		return a
+	case a == Bottom:
+		return b
+	case b == Bottom:
+		return a
+	default:
+		return Mixed
+	}
+}
+
+// A Classifier assigns lattice values to non-variable expressions.
+// eval resolves subexpressions (including local variables) in the
+// current environment; returning Bottom means "no opinion", which the
+// solver interprets as No (untainted by default).
+type Classifier func(e ast.Expr, eval func(ast.Expr) Value) Value
+
+// Taint holds the flow-sensitive solution: for every block, the
+// lattice value of each tracked variable at block entry.
+type Taint struct {
+	g        *Graph
+	info     *types.Info
+	classify Classifier
+	reach    *Reach // for ClosureWritten only
+	in       []map[*types.Var]Value
+	seed     map[*types.Var]Value
+}
+
+// SolveTaint runs a forward dataflow over the graph. seed gives the
+// entry values of parameters (untracked variables start at No);
+// classify interprets leaf expressions. reach may be nil; when given,
+// closure-written variables are pinned to Mixed.
+func SolveTaint(g *Graph, info *types.Info, seed map[*types.Var]Value, reach *Reach, classify Classifier) *Taint {
+	t := &Taint{g: g, info: info, classify: classify, reach: reach, seed: seed}
+	n := len(g.Blocks)
+	t.in = make([]map[*types.Var]Value, n)
+	t.in[g.Entry.Index] = map[*types.Var]Value{}
+	for v, val := range seed {
+		t.in[g.Entry.Index][v] = val
+	}
+	work := []*Block{g.Entry}
+	inWork := make([]bool, n)
+	inWork[g.Entry.Index] = true
+	out := make([]map[*types.Var]Value, n)
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		inWork[b.Index] = false
+		if b != g.Entry {
+			env := map[*types.Var]Value{}
+			first := true
+			for _, p := range b.Preds {
+				po := out[p.Index]
+				if po == nil {
+					continue // predecessor not yet reached
+				}
+				if first {
+					for v, val := range po {
+						env[v] = val
+					}
+					first = false
+					continue
+				}
+				for v, val := range po {
+					env[v] = Join(env[v], val)
+				}
+				for v := range env {
+					if _, ok := po[v]; !ok {
+						// Not tracked on that path: untracked means No.
+						env[v] = Join(env[v], No)
+					}
+				}
+			}
+			t.in[b.Index] = env
+		}
+		newOut := cloneEnv(t.in[b.Index])
+		for _, node := range b.Nodes {
+			t.transfer(node, newOut)
+		}
+		if !envEqual(newOut, out[b.Index]) {
+			out[b.Index] = newOut
+			for _, s := range b.Succs {
+				if !inWork[s.Index] {
+					inWork[s.Index] = true
+					work = append(work, s)
+				}
+			}
+		}
+	}
+	return t
+}
+
+// EvalAt computes the lattice value of expression e at the program
+// point just before stmt. Unreachable statements evaluate to Bottom.
+func (t *Taint) EvalAt(stmt ast.Node, e ast.Expr) Value {
+	b := t.g.BlockOf(stmt)
+	if b == nil || t.in[b.Index] == nil {
+		return Bottom
+	}
+	env := cloneEnv(t.in[b.Index])
+	for _, node := range b.Nodes {
+		if node == stmt {
+			break
+		}
+		t.transfer(node, env)
+	}
+	return t.eval(e, env)
+}
+
+// At returns the lattice value of variable v just before stmt.
+func (t *Taint) At(stmt ast.Node, v *types.Var) Value {
+	b := t.g.BlockOf(stmt)
+	if b == nil || t.in[b.Index] == nil {
+		return Bottom
+	}
+	env := cloneEnv(t.in[b.Index])
+	for _, node := range b.Nodes {
+		if node == stmt {
+			break
+		}
+		t.transfer(node, env)
+	}
+	return t.lookup(v, env)
+}
+
+func (t *Taint) lookup(v *types.Var, env map[*types.Var]Value) Value {
+	if t.reach != nil && t.reach.ClosureWritten(v) {
+		return Mixed
+	}
+	if val, ok := env[v]; ok {
+		return val
+	}
+	return No
+}
+
+// eval resolves an expression to a lattice value in env: identifiers
+// through the environment, parens/conversions transparently, anything
+// else via the classifier.
+func (t *Taint) eval(e ast.Expr, env map[*types.Var]Value) Value {
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		return t.eval(x.X, env)
+	case *ast.Ident:
+		if v, ok := t.info.Uses[x].(*types.Var); ok && v.Pkg() != nil && !v.IsField() {
+			// Local or package variable: classifier first (it may know
+			// better, e.g. a sanctioned global), else the environment.
+			if t.classify != nil {
+				if val := t.classify(e, func(sub ast.Expr) Value { return t.eval(sub, env) }); val != Bottom {
+					return val
+				}
+			}
+			return t.lookup(v, env)
+		}
+	}
+	if t.classify != nil {
+		if val := t.classify(e, func(sub ast.Expr) Value { return t.eval(sub, env) }); val != Bottom {
+			return val
+		}
+	}
+	return No
+}
+
+// transfer updates env across one node: assignments bind LHS variables
+// to the evaluated RHS.
+func (t *Taint) transfer(n ast.Node, env map[*types.Var]Value) {
+	switch x := n.(type) {
+	case *ast.AssignStmt:
+		if len(x.Lhs) == len(x.Rhs) {
+			// Evaluate all RHS first (simultaneous assignment).
+			vals := make([]Value, len(x.Rhs))
+			for i, rhs := range x.Rhs {
+				vals[i] = t.eval(rhs, env)
+			}
+			for i, lhs := range x.Lhs {
+				if v := t.assignable(lhs); v != nil {
+					env[v] = vals[i]
+				}
+			}
+			return
+		}
+		// Multi-value from a single call: classify the call once per
+		// tuple slot via a synthetic eval of the call expression.
+		if call, ok := singleCallRHS(x); ok {
+			val := t.eval(call, env)
+			for _, lhs := range x.Lhs {
+				if v := t.assignable(lhs); v != nil {
+					env[v] = val
+				}
+			}
+		}
+	case *ast.DeclStmt:
+		gd, ok := x.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, id := range vs.Names {
+				v, _ := t.info.Defs[id].(*types.Var)
+				if v == nil {
+					continue
+				}
+				if i < len(vs.Values) {
+					env[v] = t.eval(vs.Values[i], env)
+				} else {
+					env[v] = No // zero value
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		for _, e := range []ast.Expr{x.Key, x.Value} {
+			if v := t.assignable(e); v != nil {
+				env[v] = No
+			}
+		}
+	case *ast.IncDecStmt:
+		if v := t.assignable(x.X); v != nil {
+			env[v] = No
+		}
+	}
+}
+
+func (t *Taint) assignable(e ast.Expr) *types.Var {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if v, ok := t.info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := t.info.Uses[id].(*types.Var); ok && !v.IsField() {
+		return v
+	}
+	return nil
+}
+
+func cloneEnv(env map[*types.Var]Value) map[*types.Var]Value {
+	c := make(map[*types.Var]Value, len(env))
+	for v, val := range env {
+		c[v] = val
+	}
+	return c
+}
+
+func envEqual(a, b map[*types.Var]Value) bool {
+	if b == nil || len(a) != len(b) {
+		return false
+	}
+	for v, val := range a {
+		if b[v] != val {
+			return false
+		}
+	}
+	return true
+}

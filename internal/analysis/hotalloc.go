@@ -1,0 +1,225 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis/cfg"
+)
+
+// HotAlloc flags closure allocations on the engine's per-row path —
+// the regression class the operator-tree PR fixed by hand: passing a
+// capturing closure to an interface method (enumerate) or func-typed
+// value forces the closure and its captured variables onto the heap
+// once per call, which on the row path means one allocation per join
+// binding. The sanctioned pattern is the forEachRow type-switch:
+// static dispatch keeps yield closures stack-allocated.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc: "no heap-escaping capturing closures on internal/engine row paths: a capturing " +
+		"func literal must not be passed to a dynamic callee (interface method or " +
+		"func-typed value) nor stored from inside a loop; route row callbacks through " +
+		"static dispatch like access.go's forEachRow type-switch",
+	Run: runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) error {
+	if !strings.HasSuffix(pass.Pkg.Path(), "internal/engine") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkHotAllocFunc(pass, fd.Name.Name, fd.Body)
+			// Every literal at any depth gets its own scope; the
+			// per-scope walks stop at nested literals, so each site is
+			// checked exactly once.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if fl, ok := n.(*ast.FuncLit); ok {
+					checkHotAllocFunc(pass, fd.Name.Name+".func", fl.Body)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func checkHotAllocFunc(pass *Pass, name string, body *ast.BlockStmt) {
+	g := cfg.New(name, body)
+	reach := cfg.Reaching(g, pass.TypesInfo, nil, body)
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			checkStoredInLoop(pass, g, stack, x)
+			// Not pushed: Inspect skips both children and the closing
+			// nil call when we return false.
+			return false // body belongs to the literal's own scope
+		case *ast.CallExpr:
+			checkDynamicCallArgs(pass, g, reach, stack, x)
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// checkDynamicCallArgs flags capturing closures (literal or via a
+// local whose reaching definitions bind one) passed to a dynamic
+// callee. go/defer launch sites are exempt: those closures escape by
+// design, once per fan-out, not per row.
+func checkDynamicCallArgs(pass *Pass, g *cfg.Graph, reach *cfg.Reach, stack []ast.Node, call *ast.CallExpr) {
+	if underGoOrDefer(stack, call) || !isDynamicCall(pass, call) {
+		return
+	}
+	stmt, blk := g.BlockOfStack(append(stack[:len(stack):len(stack)], call))
+	if blk == nil {
+		return
+	}
+	for _, arg := range call.Args {
+		switch a := ast.Unparen(arg).(type) {
+		case *ast.FuncLit:
+			if capturesLocals(pass, a) {
+				pass.Reportf(a.Pos(),
+					"capturing closure passed to dynamic callee %s escapes to the heap per "+
+						"call; dispatch statically (forEachRow type-switch) or hoist the closure",
+					exprText(pass.Fset, call.Fun))
+			}
+		case *ast.Ident:
+			v, ok := pass.TypesInfo.Uses[a].(*types.Var)
+			if !ok || !isFuncType(v.Type()) {
+				continue
+			}
+			for _, def := range reach.At(stmt, v) {
+				if fl, ok := ast.Unparen(def.RHS).(*ast.FuncLit); ok && capturesLocals(pass, fl) {
+					pass.Reportf(a.Pos(),
+						"%s binds a capturing closure (defined at line %d) and is passed to "+
+							"dynamic callee %s; it escapes to the heap per call — dispatch "+
+							"statically or hoist the closure",
+						v.Name(), pass.Fset.Position(fl.Pos()).Line, exprText(pass.Fset, call.Fun))
+					break
+				}
+			}
+		}
+	}
+}
+
+// checkStoredInLoop flags a capturing closure built inside a loop and
+// stored (field/index assignment, composite literal, channel send,
+// append): each iteration allocates a fresh escaping closure.
+func checkStoredInLoop(pass *Pass, g *cfg.Graph, stack []ast.Node, fl *ast.FuncLit) {
+	if !capturesLocals(pass, fl) || underGoOrDefer(stack, fl) {
+		return
+	}
+	_, blk := g.BlockOfStack(stack)
+	if blk == nil || !g.InLoop(blk) {
+		return
+	}
+	if !storedContext(pass, stack, fl) {
+		return
+	}
+	pass.Reportf(fl.Pos(),
+		"capturing closure allocated and stored every loop iteration; hoist it above the "+
+			"loop or restructure to static dispatch")
+}
+
+// storedContext reports whether the literal's immediate use stores it
+// beyond the current frame: composite literal fields, assignments to
+// non-local targets, sends, returns, and append.
+func storedContext(pass *Pass, stack []ast.Node, fl *ast.FuncLit) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	parent := stack[len(stack)-1]
+	switch p := parent.(type) {
+	case *ast.KeyValueExpr, *ast.CompositeLit, *ast.SendStmt, *ast.ReturnStmt:
+		return true
+	case *ast.UnaryExpr:
+		return true // &struct{...} wrapping etc.
+	case *ast.CallExpr:
+		if id, ok := p.Fun.(*ast.Ident); ok && id.Name == "append" {
+			if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+				return true
+			}
+		}
+		return false
+	case *ast.AssignStmt:
+		for i, rhs := range p.Rhs {
+			if ast.Unparen(rhs) != fl {
+				continue
+			}
+			if i < len(p.Lhs) {
+				if _, isIdent := p.Lhs[i].(*ast.Ident); !isIdent {
+					return true // field, index or deref target
+				}
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// underGoOrDefer reports whether n is the function (or an argument) of
+// a go/defer statement's call.
+func underGoOrDefer(stack []ast.Node, n ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch s := stack[i].(type) {
+		case *ast.GoStmt, *ast.DeferStmt:
+			return true
+		case *ast.FuncLit:
+			_ = s
+			return false
+		case *ast.BlockStmt:
+			return false
+		}
+	}
+	return false
+}
+
+// capturesLocals reports whether the literal references variables
+// declared outside it but inside the enclosing function (captured
+// state is what forces the heap allocation; a closure over nothing
+// compiles to a static function value).
+func capturesLocals(pass *Pass, fl *ast.FuncLit) bool {
+	captures := false
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if captures {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || v.IsField() || v.Pkg() == nil {
+			return true
+		}
+		if within(fl, v.Pos()) {
+			return true // the literal's own params/locals
+		}
+		if v.Parent() == pass.Pkg.Scope() || v.Parent() == types.Universe {
+			return true // package-level state is not a capture
+		}
+		captures = true
+		return false
+	})
+	return captures
+}
+
+func isFuncType(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Signature)
+	return ok
+}
+
+func within(n ast.Node, pos token.Pos) bool {
+	return n.Pos() <= pos && pos < n.End()
+}

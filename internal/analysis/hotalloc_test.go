@@ -1,0 +1,19 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestHotAlloc(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.HotAlloc, "hotalloc/internal/engine")
+}
+
+// The real engine's row paths (joinorder's cardinality probes,
+// eval's predicate closures, parallel's worker fan-out) use static
+// dispatch or launch-site closures and must stay clean.
+func TestHotAllocClean(t *testing.T) {
+	expectClean(t, analysis.HotAlloc, "repro/internal/engine")
+}

@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// BadIgnore tags diagnostics about malformed //xvet:ignore directives.
+// It has no Run of its own: the directives are parsed once per package
+// in Run, and a directive without an analyzer name or without a
+// "-- reason" is itself a finding — unexplained suppressions rot.
+var BadIgnore = &Analyzer{
+	Name: "xvetignore",
+	Doc: "suppression directives must name an analyzer and carry a reason: " +
+		"//xvet:ignore <analyzer> -- <reason>; a bare ignore is a diagnostic",
+	Run: func(*Pass) error { return nil },
+}
+
+const ignorePrefix = "//xvet:ignore"
+
+// An ignoreDirective is one parsed //xvet:ignore comment. It
+// suppresses diagnostics of the named analyzers on its own line
+// (trailing form) and on the following line (standalone form).
+type ignoreDirective struct {
+	file      string
+	line      int
+	analyzers []string
+}
+
+// parseIgnores scans a file's comments for directives, returning the
+// well-formed ones and reporting malformed ones via report.
+func parseIgnores(fset *token.FileSet, f *ast.File, report func(pos token.Pos, format string, args ...any)) []ignoreDirective {
+	var out []ignoreDirective
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, ignorePrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(c.Text, ignorePrefix)
+			if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+				continue // e.g. //xvet:ignorefoo — not a directive
+			}
+			names, reason, hasReason := strings.Cut(rest, "--")
+			fields := strings.Fields(names)
+			if !hasReason || strings.TrimSpace(reason) == "" {
+				report(c.Pos(), "xvet:ignore without a reason; write //xvet:ignore <analyzer> -- <why>")
+				continue
+			}
+			if len(fields) == 0 {
+				report(c.Pos(), "xvet:ignore names no analyzer; write //xvet:ignore <analyzer> -- <why>")
+				continue
+			}
+			valid := true
+			for _, name := range fields {
+				if ByName(name) == nil {
+					report(c.Pos(), "xvet:ignore names unknown analyzer %q", name)
+					valid = false
+				}
+			}
+			if !valid {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			out = append(out, ignoreDirective{file: pos.Filename, line: pos.Line, analyzers: fields})
+		}
+	}
+	return out
+}
+
+// suppressed reports whether d is covered by a directive: same
+// analyzer, same file, directive on the diagnostic's line or the line
+// above.
+func suppressed(fset *token.FileSet, directives []ignoreDirective, d Diagnostic) bool {
+	pos := fset.Position(d.Pos)
+	for _, dir := range directives {
+		if dir.file != pos.Filename {
+			continue
+		}
+		if dir.line != pos.Line && dir.line != pos.Line-1 {
+			continue
+		}
+		for _, name := range dir.analyzers {
+			if name == d.Analyzer.Name {
+				return true
+			}
+		}
+	}
+	return false
+}

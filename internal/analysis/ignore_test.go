@@ -1,0 +1,20 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+// Malformed directives are themselves diagnostics.
+func TestBadIgnore(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.BadIgnore, "xvetignore/a")
+}
+
+// Well-formed directives suppress matching diagnostics: the ok
+// package is wall-to-wall rawsql violations, each with a reasoned
+// ignore, and must report nothing.
+func TestIgnoreSuppresses(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.RawSQL, "xvetignore/ok")
+}

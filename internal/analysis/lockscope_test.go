@@ -1,0 +1,18 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestLockScope(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.LockScope, "lockscope/internal/engine")
+}
+
+// The engine's real critical sections (pattern cache, hash builds,
+// plan cache, morsel queue) must stay tight.
+func TestLockScopeClean(t *testing.T) {
+	expectClean(t, analysis.LockScope, "repro/internal/engine")
+}

@@ -1,0 +1,19 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestSQLTaint(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.SQLTaint, "sqltaint/a", "sqltaint/ok")
+}
+
+// Real packages that execute SQL must stay clean; cmd/xsql's REPL
+// parse carries the one sanctioned //xvet:ignore sqltaint.
+func TestSQLTaintClean(t *testing.T) {
+	expectClean(t, analysis.SQLTaint,
+		"repro/internal/engine", "repro/xrel", "repro/internal/core", "repro/cmd/xsql")
+}

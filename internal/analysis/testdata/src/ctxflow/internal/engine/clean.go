@@ -1,0 +1,43 @@
+// Sanctioned context idioms that ctxflow must not flag.
+package engine
+
+import (
+	"context"
+	"time"
+)
+
+// Threading the parameter straight through is the normal case.
+func threads(ctx context.Context, s store, q string) error {
+	return s.queryContext(ctx, q)
+}
+
+// Deriving preserves the caller's cancellation signal.
+func derives(ctx context.Context, s store, q string) error {
+	c, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	return s.queryContext(c, q)
+}
+
+// Rebinding to a derivation on one branch still carries ctx.
+func derivesOnBranch(ctx context.Context, slow bool, s store, q string) error {
+	c := ctx
+	if slow {
+		var cancel context.CancelFunc
+		c, cancel = context.WithTimeout(ctx, time.Minute)
+		defer cancel()
+	}
+	return s.queryContext(c, q)
+}
+
+// A blank parameter declares the drop; adapters satisfying an
+// interface shape they don't need are exempt.
+func declaredDrop(_ context.Context, s store, q string) error {
+	return s.queryContext(nil, q)
+}
+
+// Reading the deadline counts as use even with no ctx-accepting
+// callee.
+func deadlineOnly(ctx context.Context) bool {
+	_, ok := ctx.Deadline()
+	return ok
+}

@@ -1,0 +1,48 @@
+// Seeded violations for the ctxflow analyzer. Regression note: the
+// shape in background() is the exact bug fixed in xrel.Query — it
+// called s.QueryContext(context.Background(), q), defeating the
+// engine's nil-context fast path while enabling no cancellation; the
+// fix passes nil. The dataflow rules below catch the subtler forms:
+// a ctx parameter that is accepted but never forwarded, or forwarded
+// only on some paths.
+package engine
+
+import "context"
+
+type store struct{}
+
+func (store) queryContext(_ context.Context, q string) error { return nil }
+
+// Rule 1: Background/TODO are banned in engine scope outright.
+func background(s store, q string) error {
+	ctx := context.Background() // want `context.Background\(\) defeats the engine's nil-context fast path`
+	return s.queryContext(ctx, q)
+}
+
+// No ctx parameter here, so only rule 1 fires (rule 2 guards
+// functions that declare a context of their own).
+func todo(s store, q string) error {
+	return s.queryContext(context.TODO(), q) // want `context.TODO\(\) defeats the engine's nil-context fast path`
+}
+
+// Rule 2: the declared ctx must reach every ctx-accepting callee.
+func swapped(ctx context.Context, detached context.Context, s store, q string) error {
+	_ = ctx.Err()
+	return s.queryContext(detached, q) // want `context argument does not carry the function's ctx parameter ctx`
+}
+
+// Rule 2, path-sensitivity: rebinding on one branch loses the
+// caller's deadline on the other.
+func somePaths(ctx context.Context, detached context.Context, retry bool, s store, q string) error {
+	c := ctx
+	if retry {
+		c = detached
+	}
+	return s.queryContext(c, q) // want `context argument carries ctx only on some paths`
+}
+
+// Rule 3: a named ctx parameter that no callee receives is a dropped
+// context; rename it _ to declare the drop.
+func dropped(ctx context.Context, s store, q string) error { // want `context parameter ctx is dropped`
+	return s.queryContext(nil, q)
+}

@@ -1,0 +1,10 @@
+// Outside internal/engine and xrel the analyzer keeps quiet:
+// context.Background is the correct root context for a main loop or a
+// test harness.
+package ok
+
+import "context"
+
+func harness() context.Context {
+	return context.Background()
+}

@@ -1,0 +1,67 @@
+// Sanctioned closure shapes hotalloc must not flag: non-capturing
+// literals, static dispatch, direct invocation, and go/defer launch
+// sites (those escape once per fan-out, not per row).
+package engine
+
+import "sync"
+
+// A closure over nothing compiles to a static function value.
+func nonCapturing(p *plan) {
+	p.src.enumerate(func(v int) bool { return v >= 0 })
+}
+
+// Static callees can inline; the compiler keeps the closure on the
+// stack (the forEachRow type-switch pattern).
+func forEachStatic(rows []int, f func(int) bool) {
+	for _, v := range rows {
+		if !f(v) {
+			return
+		}
+	}
+}
+
+func staticDispatch(rows []int) int {
+	count := 0
+	forEachStatic(rows, func(v int) bool {
+		count++
+		return true
+	})
+	return count
+}
+
+// Direct invocation of a local closure never leaves the frame.
+func directCall(rows []int) int {
+	total := 0
+	add := func(v int) { total += v }
+	for _, v := range rows {
+		add(v)
+	}
+	return total
+}
+
+// Worker fan-out: go closures escape by design, once per worker.
+func fanOut(workers int, rows []int) int {
+	var wg sync.WaitGroup
+	total := 0
+	var mu sync.Mutex
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			mu.Lock()
+			total += len(rows)
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	return total
+}
+
+// Hoisted above the loop: one allocation, amortized.
+func hoisted(p *plan, rows []int) {
+	seen := map[int]bool{}
+	keep := func(v int) bool { return !seen[v] }
+	for range rows {
+		p.filters = append(p.filters, keep)
+	}
+}

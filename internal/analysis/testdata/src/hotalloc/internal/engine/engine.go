@@ -1,0 +1,64 @@
+// Seeded violations for the hotalloc analyzer. Regression note: this
+// is the operator-tree PR's per-row allocation class — enumerate
+// (an interface method) took a capturing yield closure per call, one
+// heap allocation per join binding; the fix was access.go's
+// forEachRow type-switch, which dispatches statically and keeps the
+// closure on the stack.
+package engine
+
+type rowSource interface {
+	enumerate(yield func(int) bool)
+}
+
+type plan struct {
+	src     rowSource
+	filters []func(int) bool
+}
+
+// A capturing closure handed to an interface method escapes per call.
+func scanRows(p *plan, limit int) int {
+	count := 0
+	p.src.enumerate(func(v int) bool { // want `capturing closure passed to dynamic callee p\.src\.enumerate`
+		count++
+		return count < limit
+	})
+	return count
+}
+
+// Same escape through a local binding: reaching definitions tie the
+// variable to the capturing literal.
+func scanViaLocal(p *plan, limit int) int {
+	count := 0
+	yield := func(v int) bool {
+		count++
+		return count < limit
+	}
+	p.src.enumerate(yield) // want `yield binds a capturing closure`
+	return count
+}
+
+// A func-typed field is a dynamic callee too.
+type stepRunner struct {
+	emit func(int) bool
+}
+
+func runStep(r *stepRunner, rows []int, sum *int) {
+	for _, v := range rows {
+		r.emit(v) // no finding here: the arg is not a closure...
+	}
+	cb := func(v int) bool { *sum += v; return true }
+	apply(r, cb) // static callee: fine
+	_ = cb
+}
+
+func apply(r *stepRunner, f func(int) bool) { r.emit(0) }
+
+// Capturing closures stored from a loop body allocate per iteration.
+func buildFilters(p *plan, cols []int) {
+	for _, c := range cols {
+		c := c
+		p.filters = append(p.filters, func(v int) bool { // want `capturing closure allocated and stored every loop iteration`
+			return v == c
+		})
+	}
+}

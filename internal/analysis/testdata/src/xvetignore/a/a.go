@@ -1,0 +1,15 @@
+// Malformed suppression directives: each is itself a diagnostic —
+// unexplained or untargeted ignores rot.
+package a
+
+func placeholder() int {
+	//xvet:ignore rawsql // want `xvet:ignore without a reason`
+	x := 1
+	//xvet:ignore -- concatenation is fine here // want `xvet:ignore names no analyzer`
+	x++
+	//xvet:ignore nosuch -- the analyzer was renamed // want `xvet:ignore names unknown analyzer "nosuch"`
+	x++
+	//xvet:ignore rawsql sqltaint -- two analyzers, one reason: well-formed
+	x++
+	return x
+}

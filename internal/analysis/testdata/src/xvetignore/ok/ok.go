@@ -1,0 +1,23 @@
+// Well-formed suppressions actually suppress: each violation below
+// would trip rawsql, and each carries a reasoned directive — so this
+// package must produce no diagnostics at all (no want comments).
+package ok
+
+import "fmt"
+
+// Trailing form: directive on the diagnostic's own line.
+func trailing(table string) string {
+	return "SELECT id FROM " + table //xvet:ignore rawsql -- fixture: trailing-form suppression
+}
+
+// Standalone form: directive on the line above.
+func standalone(table string) string {
+	//xvet:ignore rawsql -- fixture: standalone-form suppression
+	return fmt.Sprintf("SELECT id FROM %s WHERE id = 1", table)
+}
+
+// A directive listing several analyzers covers each of them.
+func multi(table string) string {
+	//xvet:ignore rawsql sqltaint -- fixture: multi-analyzer suppression
+	return "SELECT d.pos FROM " + table + " d ORDER BY d.pos"
+}

@@ -249,7 +249,9 @@ func forwardRegex(steps []*xpath.Step, anchored bool, baseName string) (string, 
 			return "", fmt.Errorf("core: forward fragment can never match")
 		}
 	}
-	return assemble(alts), nil
+	pat := assemble(alts)
+	tracePattern("forward", steps, anchored, baseName, pat)
+	return pat, nil
 }
 
 // backwardRegex builds the pattern constraining the root-to-node path
@@ -284,7 +286,9 @@ func backwardRegex(steps []*xpath.Step, contextName string) (string, error) {
 	for i := range alts {
 		alts[i].pre = "^.*/" + alts[i].pre
 	}
-	return assemble(alts), nil
+	pat := assemble(alts)
+	tracePattern("backward", steps, false, contextName, pat)
+	return pat, nil
 }
 
 // forwardSuffixRegex builds the anchored pattern that the part of the
@@ -324,7 +328,9 @@ func forwardSuffixRegex(steps []*xpath.Step, prevNamePat string) (string, error)
 			return "", fmt.Errorf("core: forward fragment can never match")
 		}
 	}
-	return assemble(alts), nil
+	pat := assemble(alts)
+	tracePattern("forward-suffix", steps, false, prevNamePat, pat)
+	return pat, nil
 }
 
 // backwardSuffixRegex builds the anchored pattern that the part of
@@ -369,7 +375,9 @@ func backwardSuffixRegex(steps []*xpath.Step, contextName string) (string, error
 		}
 		suffix = append(suffix, alt{pre: "^", head: "", post: p})
 	}
-	return assemble(dedupeAlts(suffix)), nil
+	pat := assemble(dedupeAlts(suffix))
+	tracePattern("backward-suffix", steps, false, contextName, pat)
+	return pat, nil
 }
 
 func dedupeAlts(alts []alt) []alt {

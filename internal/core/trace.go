@@ -1,0 +1,40 @@
+package core
+
+import "repro/internal/xpath"
+
+// PatternTrace records one Table 1 regex construction as it happens:
+// the inputs (fragment steps, anchoring, boundary name pattern) and
+// the pattern the translator derived from them. transcheck subscribes
+// to it to verify every emitted pattern against a reference automaton
+// built directly from the axis semantics — the trace fires at
+// construction time, before path-filter omission (Section 4.5) can
+// discard the pattern, so statically omitted filters are still
+// checked.
+type PatternTrace struct {
+	// Kind is the constructing rule: "forward", "backward",
+	// "forward-suffix" or "backward-suffix".
+	Kind string
+	// Steps are the fragment's normalized steps (shared, read-only).
+	Steps []*xpath.Step
+	// Anchored is the forward rule's root anchoring flag.
+	Anchored bool
+	// Base is the boundary name pattern: forward's baseName,
+	// backward's contextName, the suffix rules' prev/context name.
+	Base string
+	// Pattern is the derived Table 1 regex.
+	Pattern string
+}
+
+// patternTrace, when non-nil, observes every Table 1 construction.
+var patternTrace func(PatternTrace)
+
+// SetPatternTrace installs (or, with nil, removes) the construction
+// observer. Not safe for use concurrently with translation; the only
+// intended caller is transcheck's single-threaded corpus sweep.
+func SetPatternTrace(fn func(PatternTrace)) { patternTrace = fn }
+
+func tracePattern(kind string, steps []*xpath.Step, anchored bool, base, pattern string) {
+	if patternTrace != nil {
+		patternTrace(PatternTrace{Kind: kind, Steps: steps, Anchored: anchored, Base: base, Pattern: pattern})
+	}
+}

@@ -1,0 +1,135 @@
+package pathre
+
+// Builder assembles NFA programs directly from combinators, bypassing
+// the pattern parser. transcheck uses it to build reference automata
+// straight from XPath axis semantics, so that translator-emitted
+// patterns can be checked for language equivalence against an
+// construction that shares no string-assembly code with Table 1.
+//
+// Fragments are single-use: passing a Frag to two combinators aliases
+// its dangling out-slots and corrupts the program.
+type Builder struct {
+	prog []inst
+}
+
+// A Frag is a partial program: an entry point plus dangling exits.
+type Frag struct {
+	start int
+	out   []patchSlot
+}
+
+func (b *Builder) emit(in inst) int {
+	b.prog = append(b.prog, in)
+	return len(b.prog) - 1
+}
+
+// Byte matches exactly the byte c.
+func (b *Builder) Byte(c byte) Frag {
+	pc := b.emit(inst{op: opChar, c: c})
+	return Frag{start: pc, out: []patchSlot{{pc: pc}}}
+}
+
+// Literal matches the bytes of s in sequence.
+func (b *Builder) Literal(s string) Frag {
+	if s == "" {
+		return b.Empty()
+	}
+	frags := make([]Frag, len(s))
+	for i := 0; i < len(s); i++ {
+		frags[i] = b.Byte(s[i])
+	}
+	return b.Seq(frags...)
+}
+
+// AnyByte matches any single byte ('.').
+func (b *Builder) AnyByte() Frag {
+	pc := b.emit(inst{op: opAny})
+	return Frag{start: pc, out: []patchSlot{{pc: pc}}}
+}
+
+// Class matches one byte against the listed bytes, or their
+// complement when negated ("[...]" / "[^...]").
+func (b *Builder) Class(negated bool, bytes ...byte) Frag {
+	cl := &class{negated: negated}
+	for _, c := range bytes {
+		cl.add(c)
+	}
+	pc := b.emit(inst{op: opClass, class: cl})
+	return Frag{start: pc, out: []patchSlot{{pc: pc}}}
+}
+
+// Empty matches the empty string.
+func (b *Builder) Empty() Frag {
+	pc := b.emit(inst{op: opJmp})
+	return Frag{start: pc, out: []patchSlot{{pc: pc}}}
+}
+
+// Bol asserts beginning of input ('^').
+func (b *Builder) Bol() Frag {
+	pc := b.emit(inst{op: opBOL})
+	return Frag{start: pc, out: []patchSlot{{pc: pc}}}
+}
+
+// Eol asserts end of input ('$').
+func (b *Builder) Eol() Frag {
+	pc := b.emit(inst{op: opEOL})
+	return Frag{start: pc, out: []patchSlot{{pc: pc}}}
+}
+
+// Seq concatenates fragments left to right.
+func (b *Builder) Seq(frags ...Frag) Frag {
+	if len(frags) == 0 {
+		return b.Empty()
+	}
+	cur := frags[0]
+	for _, next := range frags[1:] {
+		patch(b.prog, cur.out, next.start)
+		cur = Frag{start: cur.start, out: next.out}
+	}
+	return cur
+}
+
+// Alt matches any one of the fragments.
+func (b *Builder) Alt(frags ...Frag) Frag {
+	if len(frags) == 0 {
+		return b.Empty()
+	}
+	cur := frags[0]
+	for _, right := range frags[1:] {
+		pc := b.emit(inst{op: opSplit, x: cur.start, y: right.start})
+		cur = Frag{start: pc, out: append(cur.out, right.out...)}
+	}
+	return cur
+}
+
+// Star matches f zero or more times.
+func (b *Builder) Star(f Frag) Frag {
+	pc := b.emit(inst{op: opSplit, x: f.start})
+	patch(b.prog, f.out, pc)
+	return Frag{start: pc, out: []patchSlot{{pc: pc, y: true}}}
+}
+
+// Plus matches f one or more times.
+func (b *Builder) Plus(f Frag) Frag {
+	pc := b.emit(inst{op: opSplit, x: f.start})
+	patch(b.prog, f.out, pc)
+	return Frag{start: f.start, out: []patchSlot{{pc: pc, y: true}}}
+}
+
+// Opt matches f zero or one time.
+func (b *Builder) Opt(f Frag) Frag {
+	pc := b.emit(inst{op: opSplit, x: f.start})
+	return Frag{start: pc, out: append(f.out, patchSlot{pc: pc, y: true})}
+}
+
+// Compile seals the program rooted at f into a matchable Regexp.
+// label stands in for the source pattern in String() and error
+// messages; the fast-path analysis is skipped (the NFA is the ground
+// truth being compared against, so it must run as an NFA).
+func (b *Builder) Compile(f Frag, label string) *Regexp {
+	pc := b.emit(inst{op: opMatch})
+	patch(b.prog, f.out, pc)
+	prog := make([]inst, len(b.prog))
+	copy(prog, b.prog)
+	return &Regexp{prog: prog, start: f.start, pattern: label}
+}

@@ -1,0 +1,74 @@
+package pathre
+
+import "testing"
+
+// Builder-constructed NFAs must match exactly like their parsed
+// counterparts: each combinator mirrors one parser construction.
+func TestBuilderMirrorsParser(t *testing.T) {
+	b := &Builder{}
+	seg := func() Frag { return b.Plus(b.Class(true, '/')) }
+	built := b.Compile(b.Seq(
+		b.Bol(), b.Byte('/'), b.Literal("a"), b.Byte('/'),
+		b.Star(b.Seq(seg(), b.Byte('/'))),
+		b.Literal("b"), b.Eol(),
+	), "built")
+	parsed := compile(t, `^/a/([^/]+/)*b$`)
+	eq, witness, err := Equivalent(built, parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Fatalf("builder and parser disagree, witness %q", witness)
+	}
+}
+
+func TestBuilderMatchSemantics(t *testing.T) {
+	b := &Builder{}
+	re := b.Compile(b.Seq(
+		b.Bol(), b.Byte('/'),
+		b.Alt(b.Literal("x"), b.Literal("yz")),
+		b.Opt(b.Seq(b.Byte('/'), b.Literal("w"))),
+		b.Eol(),
+	), "alt-opt")
+	for s, want := range map[string]bool{
+		"/x":    true,
+		"/yz":   true,
+		"/x/w":  true,
+		"/yz/w": true,
+		"/y":    false,
+		"x":     false,
+		"/x/":   false,
+	} {
+		if got := re.MatchString(s); got != want {
+			t.Errorf("MatchString(%q) = %v, want %v", s, got, want)
+		}
+	}
+}
+
+// Empty and Bol/Eol edge cases: the empty-path pattern ^$ accepts
+// exactly the empty string (the backward-suffix pure or-self case).
+func TestBuilderEmptyPattern(t *testing.T) {
+	b := &Builder{}
+	re := b.Compile(b.Seq(b.Bol(), b.Eol()), "empty")
+	if !re.MatchString("") {
+		t.Error("^$ must accept the empty string")
+	}
+	if re.MatchString("/a") {
+		t.Error("^$ must reject /a")
+	}
+	eq, witness, err := Equivalent(re, compile(t, `^$`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Errorf("built ^$ differs from parsed ^$, witness %q", witness)
+	}
+}
+
+func TestBuilderLabel(t *testing.T) {
+	b := &Builder{}
+	re := b.Compile(b.Literal("a"), "my-label")
+	if re.String() != "my-label" {
+		t.Errorf("String() = %q, want my-label", re.String())
+	}
+}

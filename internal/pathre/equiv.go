@@ -1,0 +1,342 @@
+package pathre
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// equivMaxStates bounds the product-DFA exploration. The translator's
+// patterns determinize to a handful of states; the bound exists so a
+// pathological input degrades to an error, not a hang.
+const equivMaxStates = 50000
+
+// Equivalent reports whether two compiled patterns accept exactly the
+// same language under this package's matching semantics (POSIX-style
+// unanchored substring matching). When they differ it returns a
+// shortest witness string accepted by exactly one of them.
+//
+// The check determinizes both NFAs lazily and walks the product DFA:
+// a state is the ε-closure of live program counters with BOL enabled
+// only at position zero; acceptance at a position is the closure with
+// EOL enabled containing opMatch; a match reachable mid-string (the
+// engine's early return) makes every extension accepted, modeled as a
+// universal sink. Bytes are explored per equivalence class computed
+// from both programs' consuming instructions, so the walk is
+// O(states x classes).
+func Equivalent(a, b *Regexp) (bool, string, error) {
+	return EquivalentWithin(nil, a, b)
+}
+
+// EquivalentWithin is Equivalent restricted to a domain: the two
+// patterns must agree on every string the domain pattern accepts
+// (strings outside it never occur, so disagreement there is
+// irrelevant). A nil domain means all of Σ*. The witness, when
+// returned, lies inside the domain.
+func EquivalentWithin(domain, a, b *Regexp) (bool, string, error) {
+	progs := [][]inst{a.prog, b.prog}
+	if domain != nil {
+		progs = append(progs, domain.prog)
+	}
+	alphabet := byteClasses(progs...)
+	da := newDFA(a.prog, a.start)
+	db := newDFA(b.prog, b.start)
+	var dd *dfa
+	if domain != nil {
+		dd = newDFA(domain.prog, domain.start)
+	}
+
+	type triple struct{ a, b, d int }
+	type visit struct {
+		st     triple
+		parent int  // index into trail, -1 for the initial state
+		via    byte // byte consumed entering this state
+	}
+	sa, err := da.stateFor(da.initialSeeds(), true)
+	if err != nil {
+		return false, "", err
+	}
+	sb, err := db.stateFor(db.initialSeeds(), true)
+	if err != nil {
+		return false, "", err
+	}
+	sd := -1
+	if dd != nil {
+		if sd, err = dd.stateFor(dd.initialSeeds(), true); err != nil {
+			return false, "", err
+		}
+	}
+	trail := []visit{{st: triple{sa, sb, sd}, parent: -1}}
+	seen := map[triple]bool{{sa, sb, sd}: true}
+	witness := func(i int) string {
+		var bytes []byte
+		for ; trail[i].parent >= 0; i = trail[i].parent {
+			bytes = append(bytes, trail[i].via)
+		}
+		for l, r := 0, len(bytes)-1; l < r; l, r = l+1, r-1 {
+			bytes[l], bytes[r] = bytes[r], bytes[l]
+		}
+		return string(bytes)
+	}
+	for i := 0; i < len(trail); i++ {
+		cur := trail[i]
+		inDomain := dd == nil || dd.states[cur.st.d].accept
+		if inDomain && da.states[cur.st.a].accept != db.states[cur.st.b].accept {
+			return false, witness(i), nil
+		}
+		for _, c := range alphabet {
+			na, err := da.step(cur.st.a, c)
+			if err != nil {
+				return false, "", err
+			}
+			nb, err := db.step(cur.st.b, c)
+			if err != nil {
+				return false, "", err
+			}
+			nd := -1
+			if dd != nil {
+				if nd, err = dd.step(cur.st.d, c); err != nil {
+					return false, "", err
+				}
+			}
+			np := triple{na, nb, nd}
+			if seen[np] {
+				continue
+			}
+			if len(seen) > equivMaxStates {
+				return false, "", fmt.Errorf("pathre: equivalence check exceeded %d product states (%s vs %s)",
+					equivMaxStates, a.pattern, b.pattern)
+			}
+			seen[np] = true
+			trail = append(trail, visit{st: np, parent: i, via: c})
+		}
+	}
+	return true, "", nil
+}
+
+// dfa is a lazily determinized view of one NFA program.
+type dfa struct {
+	prog  []inst
+	start int
+	// states[0] is the universal accept sink (a mid-string match makes
+	// every extension accepted).
+	states []*dstate
+	index  map[string]int
+	trans  map[int]map[byte]int
+}
+
+type dstate struct {
+	// consuming holds the live opChar/opAny/opClass pcs, sorted.
+	consuming []int
+	// accept: a string ending in this state matches (EOL-enabled
+	// closure of the seeds reached opMatch).
+	accept bool
+	// sticky: the EOL-disabled closure already matched, so the engine
+	// returns true regardless of the remaining input.
+	sticky bool
+}
+
+func newDFA(prog []inst, start int) *dfa {
+	d := &dfa{prog: prog, start: start, index: map[string]int{}, trans: map[int]map[byte]int{}}
+	d.states = []*dstate{{accept: true, sticky: true}} // the sink
+	return d
+}
+
+func (d *dfa) initialSeeds() []int { return []int{d.start} }
+
+// stateFor interns the DFA state reached by ε-closing seeds. bol
+// enables opBOL transitions (true only for the initial state: the
+// engine re-seeds the start pc at every later position with pos > 0).
+func (d *dfa) stateFor(seeds []int, bol bool) (int, error) {
+	st := d.close(seeds, bol)
+	if st.sticky {
+		return 0, nil
+	}
+	key := stateKey(st)
+	if id, ok := d.index[key]; ok {
+		return id, nil
+	}
+	if len(d.states) > equivMaxStates {
+		return 0, fmt.Errorf("pathre: determinization exceeded %d states", equivMaxStates)
+	}
+	d.states = append(d.states, st)
+	id := len(d.states) - 1
+	d.index[key] = id
+	return id, nil
+}
+
+// step returns the successor state on byte c, memoized.
+func (d *dfa) step(id int, c byte) (int, error) {
+	if row, ok := d.trans[id]; ok {
+		if to, ok := row[c]; ok {
+			return to, nil
+		}
+	}
+	var to int
+	var err error
+	if id == 0 {
+		to = 0 // the sink absorbs
+	} else {
+		st := d.states[id]
+		var seeds []int
+		for _, pc := range st.consuming {
+			in := &d.prog[pc]
+			ok := false
+			switch in.op {
+			case opChar:
+				ok = in.c == c
+			case opAny:
+				ok = true
+			case opClass:
+				ok = in.class.matches(c)
+			}
+			if ok {
+				seeds = append(seeds, in.x)
+			}
+		}
+		// Unanchored matching: the engine re-adds the start state at
+		// every position.
+		seeds = append(seeds, d.start)
+		to, err = d.stateFor(seeds, false)
+		if err != nil {
+			return 0, err
+		}
+	}
+	if d.trans[id] == nil {
+		d.trans[id] = map[byte]int{}
+	}
+	d.trans[id][c] = to
+	return to, nil
+}
+
+// close computes the ε-closure of seeds under two assertion regimes:
+// the EOL-disabled walk yields the consuming set (threads parked at $
+// cannot advance mid-string) and the sticky flag; a second,
+// EOL-enabled walk decides end-of-string acceptance.
+func (d *dfa) close(seeds []int, bol bool) *dstate {
+	st := &dstate{}
+	visited := map[int]bool{}
+	var walk func(pc int, eol bool)
+	walk = func(pc int, eol bool) {
+		if visited[pc] {
+			return
+		}
+		visited[pc] = true
+		switch in := &d.prog[pc]; in.op {
+		case opJmp:
+			walk(in.x, eol)
+		case opSplit:
+			walk(in.x, eol)
+			walk(in.y, eol)
+		case opBOL:
+			if bol {
+				walk(in.x, eol)
+			}
+		case opEOL:
+			if eol {
+				walk(in.x, eol)
+			}
+		case opMatch:
+			if eol {
+				st.accept = true
+			} else {
+				st.sticky = true
+			}
+		default:
+			st.consuming = append(st.consuming, pc)
+		}
+	}
+	for _, s := range seeds {
+		walk(s, false)
+	}
+	sort.Ints(st.consuming)
+	if st.sticky {
+		st.accept = true
+		return st
+	}
+	// EOL-enabled pass for end-of-string acceptance.
+	visited = map[int]bool{}
+	saveConsuming := st.consuming
+	st.consuming = nil
+	for _, s := range seeds {
+		walk(s, true)
+	}
+	st.consuming = saveConsuming
+	return st
+}
+
+func stateKey(st *dstate) string {
+	var sb strings.Builder
+	if st.accept {
+		sb.WriteByte('A')
+	}
+	for _, pc := range st.consuming {
+		fmt.Fprintf(&sb, ",%d", pc)
+	}
+	return sb.String()
+}
+
+// byteClasses partitions the byte alphabet by the consuming
+// instructions of both programs: bytes no instruction distinguishes
+// behave identically, so one representative per class suffices.
+// Representatives prefer printable bytes for readable witnesses.
+func byteClasses(progs ...[]inst) []byte {
+	type matcher struct {
+		op    opcode
+		c     byte
+		class *class
+	}
+	var ms []matcher
+	for _, prog := range progs {
+		for _, in := range prog {
+			switch in.op {
+			case opChar, opClass:
+				ms = append(ms, matcher{op: in.op, c: in.c, class: in.class})
+			}
+		}
+	}
+	groups := map[string]byte{}
+	var order []string
+	for b := 255; b >= 0; b-- {
+		c := byte(b)
+		var sig strings.Builder
+		for _, m := range ms {
+			hit := false
+			if m.op == opChar {
+				hit = m.c == c
+			} else {
+				hit = m.class.matches(c)
+			}
+			if hit {
+				sig.WriteByte('1')
+			} else {
+				sig.WriteByte('0')
+			}
+		}
+		key := sig.String()
+		if _, ok := groups[key]; !ok {
+			order = append(order, key)
+		}
+		// Iterating high to low and overwriting prefers low bytes;
+		// printable ASCII beats control bytes and 0x80+.
+		prev, had := groups[key]
+		if !had || preferable(c, prev) {
+			groups[key] = c
+		}
+	}
+	out := make([]byte, 0, len(order))
+	for _, key := range order {
+		out = append(out, groups[key])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func preferable(c, prev byte) bool {
+	cp := c >= 32 && c < 127
+	pp := prev >= 32 && prev < 127
+	if cp != pp {
+		return cp
+	}
+	return c < prev
+}

@@ -1,0 +1,127 @@
+package pathre
+
+import "testing"
+
+func compile(t *testing.T, pattern string) *Regexp {
+	t.Helper()
+	re, err := Compile(pattern)
+	if err != nil {
+		t.Fatalf("compile %q: %v", pattern, err)
+	}
+	return re
+}
+
+// domain compiles ^(/seg)+$ (valid root-to-node path strings) via the
+// Builder, the way transcheck restricts its comparisons.
+func pathDomain() *Regexp {
+	b := &Builder{}
+	seg := b.Plus(b.Class(true, '/'))
+	return b.Compile(b.Seq(b.Bol(), b.Plus(b.Seq(b.Byte('/'), seg)), b.Eol()), "domain")
+}
+
+func TestEquivalentBasics(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{`^/a$`, `^/a$`, true},
+		{`^/(a)$`, `^/a$`, true},
+		{`(^/a$)|(^/b$)`, `(^/b$)|(^/a$)`, true}, // alternation commutes
+		{`^/a$`, `^/b$`, false},
+		{`^/a/b$`, `^/a/.*b$`, false}, // extra gap admits /a/xb
+		{`^.*/a$`, `/a$`, true},       // unanchored prefix == ^.* prefix
+		{`^/(x/)*a$`, `^/(x/)(x/)*a$`, false},
+		{`a`, `.*a.*`, true}, // substring semantics: both accept any string containing a
+	}
+	for _, tc := range cases {
+		got, witness, err := Equivalent(compile(t, tc.a), compile(t, tc.b))
+		if err != nil {
+			t.Errorf("%q vs %q: %v", tc.a, tc.b, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("Equivalent(%q, %q) = %v (witness %q), want %v", tc.a, tc.b, got, witness, tc.want)
+		}
+	}
+}
+
+// A witness must actually discriminate: accepted by exactly one side.
+func TestWitnessDiscriminates(t *testing.T) {
+	pairs := [][2]string{
+		{`^/a$`, `^/b$`},
+		{`^/a/b$`, `^/a/(.+/)?b$`},
+		{`^/(.+/)?a$`, `^/([^/]+/)*a$`}, // differ only outside the path domain
+	}
+	for _, p := range pairs {
+		a, b := compile(t, p[0]), compile(t, p[1])
+		eq, witness, err := Equivalent(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if eq {
+			t.Errorf("%q vs %q: expected inequivalent", p[0], p[1])
+			continue
+		}
+		if a.MatchString(witness) == b.MatchString(witness) {
+			t.Errorf("%q vs %q: witness %q does not discriminate", p[0], p[1], witness)
+		}
+	}
+}
+
+// The Table 1 descendant gap: '(.+/)?' and the segment-structured
+// '([^/]+/)*' disagree over Σ* (the former admits slash-bearing and
+// empty "segments", witness ///a) but agree on every valid path
+// string — the restriction transcheck's comparisons rely on.
+func TestDomainRestriction(t *testing.T) {
+	loose := compile(t, `^/(.+/)?a$`)
+	strict := compile(t, `^/([^/]+/)*a$`)
+	eq, witness, err := Equivalent(loose, strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq {
+		t.Fatal("expected Σ* inequivalence")
+	}
+	if loose.MatchString(witness) == strict.MatchString(witness) {
+		t.Fatalf("witness %q does not discriminate", witness)
+	}
+	eq, witness, err = EquivalentWithin(pathDomain(), loose, strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Fatalf("expected in-domain equivalence, witness %q", witness)
+	}
+}
+
+// In-domain witnesses lie inside the domain.
+func TestWitnessInDomain(t *testing.T) {
+	dom := pathDomain()
+	a := compile(t, `^/a/b$`)
+	b := compile(t, `^/a/(.+/)?b$`)
+	eq, witness, err := EquivalentWithin(dom, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq {
+		t.Fatal("expected inequivalence: the gap admits /a/x/b")
+	}
+	if !dom.MatchString(witness) {
+		t.Errorf("witness %q is outside the domain", witness)
+	}
+	if a.MatchString(witness) == b.MatchString(witness) {
+		t.Errorf("witness %q does not discriminate", witness)
+	}
+}
+
+// Mid-string acceptance (no trailing $) makes every extension match:
+// the universal-sink modeling.
+func TestStickyMatch(t *testing.T) {
+	eq, _, err := Equivalent(compile(t, `^/a`), compile(t, `^/a.*`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Error("^/a and ^/a.* accept the same language under substring semantics")
+	}
+}

@@ -1,0 +1,20 @@
+package transcheck
+
+import (
+	"testing"
+
+	"repro/internal/pathre"
+)
+
+func mustCompile(t *testing.T, pattern string) *pathre.Regexp {
+	t.Helper()
+	re, err := pathre.Compile(pattern)
+	if err != nil {
+		t.Fatalf("compile %q: %v", pattern, err)
+	}
+	return re
+}
+
+func equivalentAll(a, b *pathre.Regexp) (bool, string, error) {
+	return pathre.Equivalent(a, b)
+}

@@ -1,0 +1,99 @@
+package transcheck
+
+import (
+	"testing"
+
+	"repro/internal/xpath"
+)
+
+// TestMatrix is the synthetic half of the CI gate: every Table 1
+// derivation over the full axis/shape matrix must be language-
+// equivalent to the reference automaton.
+func TestMatrix(t *testing.T) {
+	findings, stats, err := CheckMatrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+	t.Logf("matrix: %d derivations checked", stats.Checked)
+}
+
+// TestCorpus is the corpus half of the gate: every pattern the
+// translator constructs while translating the fig3 and XPathMark
+// query sets (under both translators) must be equivalent to its
+// reference automaton.
+func TestCorpus(t *testing.T) {
+	findings, stats, err := CheckCorpus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+	t.Logf("corpus: %d queries translated, %d distinct patterns checked", stats.Queries, stats.Checked)
+}
+
+// TestReferenceRejectsBrokenPatterns pins that the checker actually
+// discriminates: hand-broken variants of correct translator output
+// must produce witnesses.
+func TestReferenceRejectsBrokenPatterns(t *testing.T) {
+	steps := []*xpath.Step{
+		{Axis: xpath.Child, Test: xpath.NameTest, Name: "a"},
+		{Axis: xpath.Descendant, Test: xpath.NameTest, Name: "b"},
+	}
+	cases := []struct {
+		name    string
+		kind    string
+		pattern string
+	}{
+		// Descendant demoted to child: misses /a/x/b.
+		{"descendant-as-child", "forward", "^/a/b$"},
+		// Gap made mandatory: misses the direct child /a/b.
+		{"mandatory-gap", "forward", "^/a/(.+/)+b$"},
+		// Wrong leaf name.
+		{"wrong-name", "forward", "^/a/(.+/)?c$"},
+	}
+	for _, tc := range cases {
+		f := checkOne("broken/"+tc.name, tc.kind, steps, true, "", tc.pattern)
+		if f == nil {
+			t.Errorf("%s: checker accepted broken pattern %q", tc.name, tc.pattern)
+			continue
+		}
+		if f.Err != "" {
+			t.Errorf("%s: checker errored instead of producing a witness: %s", tc.name, f.Err)
+			continue
+		}
+		t.Logf("%s: witness %q", tc.name, f.Witness)
+	}
+}
+
+// TestSegmentGapVsDotPlus pins the domain-restriction argument from
+// the design notes: '(.+/)?' and a segment-structured gap are NOT
+// equivalent over all strings (the former admits empty and
+// slash-bearing "segments"), but they agree on every valid path
+// string, which is all the engine ever matches against.
+func TestSegmentGapVsDotPlus(t *testing.T) {
+	steps := []*xpath.Step{
+		{Axis: xpath.Descendant, Test: xpath.NameTest, Name: "a"},
+	}
+	// The translator's own anchored pattern for /descendant::a.
+	if f := checkOne("gap", "forward", steps, true, "", "^/(.+/)?a$"); f != nil {
+		t.Errorf("in-domain check rejected translator pattern: %s", f)
+	}
+	// The same pair compared over all of Σ* must differ.
+	ref, err := referenceForward(steps, true, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := mustCompile(t, "^/(.+/)?a$")
+	eq, witness, err := equivalentAll(got, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq {
+		t.Fatal("(.+/)? and segment gap reported equivalent over Σ*; domain restriction would be vacuous")
+	}
+	t.Logf("Σ* witness: %q", witness)
+}

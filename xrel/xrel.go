@@ -168,9 +168,12 @@ type Result struct {
 	SQL string
 }
 
-// Query translates and executes an XPath query.
+// Query translates and executes an XPath query. It passes a nil
+// context — not context.Background() — so the engine's nil-context
+// fast path skips the per-1024-row cancellation poll entirely
+// (ctxflow enforces this).
 func (s *Store) Query(query string) (*Result, error) {
-	return s.QueryContext(context.Background(), query)
+	return s.QueryContext(nil, query)
 }
 
 // QueryContext is Query under a context: cancellation or deadline
