@@ -1,9 +1,9 @@
 # make check mirrors .github/workflows/ci.yml locally.
 GO ?= go
 
-.PHONY: check build fmtcheck vet xvet transcheck test race chaos fuzz-smoke bench-smoke explain-smoke
+.PHONY: check build fmtcheck vet xvet transcheck plancheck test race chaos fuzz-smoke bench-smoke explain-smoke
 
-check: build fmtcheck vet xvet transcheck test race chaos
+check: build fmtcheck vet xvet transcheck plancheck test race chaos
 
 build:
 	$(GO) build ./...
@@ -18,8 +18,9 @@ vet:
 
 # The custom invariant analyzers (rawsql, deweycmp, regexploop,
 # errdrop, recoverguard, opstats, ctxflow, lockscope, sqltaint,
-# hotalloc, xvetignore); -novet because `make vet` already ran the
-# standard passes.
+# hotalloc, goleak, xvetignore); -novet because `make vet` already ran
+# the standard passes. Results are cached per package under
+# .xvetcache/; pass -nocache to force a full re-check.
 xvet:
 	$(GO) run ./cmd/xvet -novet ./...
 
@@ -30,6 +31,15 @@ xvet:
 # the axis semantics (DESIGN.md section 6).
 transcheck:
 	$(GO) run ./cmd/xvet -transcheck
+
+# Static plan verification: the fig3 + XPathMark corpora and a seeded
+# random query matrix (2500 queries per workload, each compiled under
+# both translators) are translated and compiled, and every compiled
+# plan is certificate-checked against the logical form of its SQL
+# statement; §4.5 path-filter omissions are re-justified independently
+# (DESIGN.md section 10).
+plancheck:
+	$(GO) run ./cmd/xvet -plancheck
 
 test:
 	$(GO) test ./...
@@ -43,6 +53,7 @@ race:
 # no goroutine leaks and no poisoned caches (DESIGN.md section 8).
 chaos:
 	$(GO) test -race -run 'TestChaos|TestBudget|TestRunContext|TestPreparedRunContext|TestConcurrentBudgeted' ./internal/engine/ ./internal/failpoint/
+	$(GO) test -race -run 'TestVerifyPlan|TestMutationsRejected' ./internal/plancheck/
 
 # fuzz-smoke gives each native fuzz target a short budget; regression
 # inputs from past crashes live in each package's testdata/fuzz and

@@ -1,0 +1,204 @@
+// Per-package analyzer result cache. The expensive part of an xvet
+// run is parsing and type-checking; analyzer output for a package is a
+// pure function of (analyzer set, toolchain, package sources, sources
+// of its module-internal dependencies). The cache keys on exactly
+// that, so a warm run skips loading unchanged packages entirely and
+// touching one file invalidates only its package and the packages
+// that (transitively) import it. Standard-library sources are assumed
+// stable for a given toolchain version, which the key includes.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// cacheDirName lives under the module root (gitignored).
+const cacheDirName = ".xvetcache"
+
+// cacheEntry is one package's stored result.
+type cacheEntry struct {
+	Key   string     `json:"key"`
+	Diags []jsonDiag `json:"diags"`
+}
+
+// pkgMeta is the cheap (ImportsOnly) view of one package: enough to
+// hash its content and walk its module-internal dependency edges
+// without type-checking anything.
+type pkgMeta struct {
+	contentHash string
+	imports     []string // module-internal import paths, sorted
+}
+
+type resultCache struct {
+	loader *analysis.Loader
+	dir    string // <module>/.xvetcache
+	salt   string // toolchain version + analyzer set
+
+	metas    map[string]*pkgMeta
+	keys     map[string]string
+	visiting map[string]bool
+}
+
+func newResultCache(loader *analysis.Loader, analyzers []*analysis.Analyzer) (*resultCache, error) {
+	h := sha256.New()
+	fmt.Fprintln(h, runtime.Version())
+	for _, a := range analyzers {
+		fmt.Fprintln(h, a.Name)
+	}
+	return &resultCache{
+		loader:   loader,
+		dir:      filepath.Join(loader.ModuleRoot, cacheDirName),
+		salt:     hex.EncodeToString(h.Sum(nil)),
+		metas:    map[string]*pkgMeta{},
+		keys:     map[string]string{},
+		visiting: map[string]bool{},
+	}, nil
+}
+
+// get returns the cached diagnostics for the package if its key (own
+// content + transitive module-internal dependency content + analyzer
+// set) still matches the stored entry.
+func (c *resultCache) get(importPath string) ([]jsonDiag, bool) {
+	key, err := c.key(importPath)
+	if err != nil {
+		return nil, false
+	}
+	data, err := os.ReadFile(c.entryPath(importPath))
+	if err != nil {
+		return nil, false
+	}
+	var e cacheEntry
+	if json.Unmarshal(data, &e) != nil || e.Key != key {
+		return nil, false
+	}
+	if e.Diags == nil {
+		e.Diags = []jsonDiag{}
+	}
+	return e.Diags, true
+}
+
+// put stores the package's diagnostics under its current key.
+func (c *resultCache) put(importPath string, diags []jsonDiag) error {
+	key, err := c.key(importPath)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.Marshal(cacheEntry{Key: key, Diags: diags})
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(c.entryPath(importPath), data, 0o644)
+}
+
+func (c *resultCache) entryPath(importPath string) string {
+	sum := sha256.Sum256([]byte(importPath))
+	return filepath.Join(c.dir, hex.EncodeToString(sum[:])+".json")
+}
+
+// key computes the package's cache key, memoized: a hash over the
+// salt, the package's own file names and contents, and the keys of
+// every module-internal import (hence transitively their content).
+func (c *resultCache) key(importPath string) (string, error) {
+	if k, ok := c.keys[importPath]; ok {
+		return k, nil
+	}
+	if c.visiting[importPath] {
+		return "", fmt.Errorf("xvet: import cycle through %s", importPath)
+	}
+	c.visiting[importPath] = true
+	defer delete(c.visiting, importPath)
+
+	m, err := c.meta(importPath)
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	fmt.Fprintln(h, c.salt)
+	fmt.Fprintln(h, importPath)
+	fmt.Fprintln(h, m.contentHash)
+	for _, dep := range m.imports {
+		dk, err := c.key(dep)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintln(h, dep, dk)
+	}
+	k := hex.EncodeToString(h.Sum(nil))
+	c.keys[importPath] = k
+	return k, nil
+}
+
+// meta reads the package directory with ImportsOnly parsing: the same
+// file-selection rules as the loader (non-test .go files, sorted),
+// hashing names and contents and collecting module-internal imports.
+func (c *resultCache) meta(importPath string) (*pkgMeta, error) {
+	if m, ok := c.metas[importPath]; ok {
+		return m, nil
+	}
+	rel := strings.TrimPrefix(strings.TrimPrefix(importPath, c.loader.ModulePath), "/")
+	dir := filepath.Join(c.loader.ModuleRoot, filepath.FromSlash(rel))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasPrefix(name, ".") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	h := sha256.New()
+	fset := token.NewFileSet()
+	depSet := map[string]bool{}
+	for _, name := range names {
+		path := filepath.Join(dir, name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintln(h, name, len(data))
+		_, _ = h.Write(data)
+		f, err := parser.ParseFile(fset, path, data, parser.ImportsOnly)
+		if err != nil {
+			return nil, err
+		}
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if p == c.loader.ModulePath || strings.HasPrefix(p, c.loader.ModulePath+"/") {
+				depSet[p] = true
+			}
+		}
+	}
+	var imports []string
+	for p := range depSet {
+		imports = append(imports, p)
+	}
+	sort.Strings(imports)
+	m := &pkgMeta{contentHash: hex.EncodeToString(h.Sum(nil)), imports: imports}
+	c.metas[importPath] = m
+	return m, nil
+}

@@ -2,19 +2,27 @@
 // `go vet` passes and then the custom invariant analyzers from
 // internal/analysis (rawsql, deweycmp, regexploop, errdrop,
 // recoverguard, opstats, ctxflow, lockscope, sqltaint, hotalloc,
-// xvetignore) that enforce the paper-derived disciplines the type
-// system cannot see.
+// goleak, xvetignore) that enforce the paper-derived disciplines the
+// type system cannot see.
 //
 // Usage:
 //
-//	xvet [-novet] [-only name,name] [-list] [-json] [packages]
+//	xvet [-novet] [-only name,name] [-nocache] [-list] [-json] [packages]
 //	xvet -transcheck [-json]
+//	xvet -plancheck [-matrix n] [-json]
 //
 // Packages default to ./... resolved against the enclosing module.
-// Exit status is nonzero if go vet fails or any analyzer reports a
-// diagnostic. -novet skips the go vet subprocess (CI runs it as its
-// own step); -only restricts the custom analyzers; -json emits
+//
+// Exit status: 0 if everything is clean, 1 if go vet fails or any
+// analyzer/validator reports a finding, 2 on a package load failure or
+// internal error. -novet skips the go vet subprocess (CI runs it as
+// its own step); -only restricts the custom analyzers; -json emits
 // machine-readable diagnostics on stdout instead of the text form.
+//
+// Analyzer results are cached per package under <module>/.xvetcache/,
+// keyed by the analyzer set and the content of the package and its
+// module-internal dependencies, so a warm run re-checks only what
+// changed. -nocache bypasses the cache entirely.
 //
 // -transcheck runs the static translation validator instead of the
 // analyzers: every Table 1 pattern derivation — over a synthetic
@@ -22,22 +30,32 @@
 // the fig3 and XPathMark query corpora — is checked for language
 // equivalence against a reference automaton built directly from the
 // axis semantics.
+//
+// -plancheck runs the static plan-equivalence checker instead of the
+// analyzers: the fig3 and XPathMark corpora plus a seeded random query
+// matrix (-matrix queries per workload, each compiled under both
+// translators) are translated, compiled, and every compiled plan is
+// certificate-checked against the logical form of its SQL statement;
+// §4.5 path-filter omissions are re-justified independently.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/exec"
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/plancheck"
 	"repro/internal/transcheck"
 )
 
 // jsonDiag is the machine-readable diagnostic form emitted by -json:
-// one JSON object per line (JSON Lines), stable field names.
+// one JSON object per line (JSON Lines), stable field names. It is
+// also the cached on-disk form — positions survive without a FileSet.
 type jsonDiag struct {
 	File     string `json:"file"`
 	Line     int    `json:"line"`
@@ -46,54 +64,81 @@ type jsonDiag struct {
 	Message  string `json:"message"`
 }
 
+func (d jsonDiag) text() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Column, d.Analyzer, d.Message)
+}
+
+const (
+	exitClean    = 0
+	exitFindings = 1
+	exitInternal = 2
+)
+
 func main() {
-	novet := flag.Bool("novet", false, "skip running the standard `go vet` passes first")
-	only := flag.String("only", "", "comma-separated subset of analyzers to run")
-	list := flag.Bool("list", false, "list the custom analyzers and exit")
-	asJSON := flag.Bool("json", false, "emit diagnostics as JSON Lines on stdout")
-	trans := flag.Bool("transcheck", false, "run the static translation validator instead of the analyzers")
-	flag.Parse()
+	os.Exit(run(".", os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole command, factored for tests: dir anchors module
+// discovery, the return value is the process exit code (0 clean, 1
+// findings, 2 load failure or internal error).
+func run(dir string, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("xvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	novet := fs.Bool("novet", false, "skip running the standard `go vet` passes first")
+	only := fs.String("only", "", "comma-separated subset of analyzers to run")
+	nocache := fs.Bool("nocache", false, "ignore and do not update the per-package result cache")
+	list := fs.Bool("list", false, "list the custom analyzers and exit")
+	asJSON := fs.Bool("json", false, "emit diagnostics as JSON Lines on stdout")
+	trans := fs.Bool("transcheck", false, "run the static translation validator instead of the analyzers")
+	plan := fs.Bool("plancheck", false, "run the static plan-equivalence checker instead of the analyzers")
+	matrixN := fs.Int("matrix", 2500, "with -plancheck: random queries per workload in the seeded matrix")
+	if err := fs.Parse(args); err != nil {
+		return exitInternal
+	}
 
 	if *list {
 		for _, a := range analysis.All() {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
 		}
-		return
+		return exitClean
 	}
 	if *trans {
-		os.Exit(runTranscheck(*asJSON))
+		return runTranscheck(*asJSON, stdout, stderr)
+	}
+	if *plan {
+		return runPlancheck(*asJSON, *matrixN, stdout, stderr)
 	}
 
-	patterns := flag.Args()
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 
-	failed := false
+	findings := false
 	if !*novet {
 		cmd := exec.Command("go", append([]string{"vet"}, patterns...)...)
-		cmd.Stdout = os.Stdout
-		cmd.Stderr = os.Stderr
+		cmd.Dir = dir
+		cmd.Stdout = stdout
+		cmd.Stderr = stderr
 		if err := cmd.Run(); err != nil {
-			failed = true
+			findings = true
 		}
 	}
 
 	analyzers, err := selectAnalyzers(*only)
-	if err == nil {
-		var n int
-		n, err = runAnalyzers(analyzers, patterns, *asJSON)
-		if n > 0 {
-			failed = true
-		}
-	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "xvet:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "xvet:", err)
+		return exitInternal
 	}
-	if failed {
-		os.Exit(1)
+	res, err := runAnalyzers(dir, analyzers, patterns, *asJSON, !*nocache, stdout)
+	if err != nil {
+		fmt.Fprintln(stderr, "xvet:", err)
+		return exitInternal
 	}
+	if findings || res.Findings > 0 {
+		return exitFindings
+	}
+	return exitClean
 }
 
 func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
@@ -112,50 +157,93 @@ func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
 	return out, nil
 }
 
-func runAnalyzers(analyzers []*analysis.Analyzer, patterns []string, asJSON bool) (int, error) {
-	cwd, err := os.Getwd()
+// analyzerRun summarizes one sweep for callers and tests.
+type analyzerRun struct {
+	Findings int // diagnostics emitted
+	Loaded   int // packages type-checked and analyzed this run
+	Hits     int // packages answered from the result cache
+}
+
+func runAnalyzers(dir string, analyzers []*analysis.Analyzer, patterns []string, asJSON, useCache bool, stdout io.Writer) (analyzerRun, error) {
+	var res analyzerRun
+	loader, err := analysis.NewLoader(dir)
 	if err != nil {
-		return 0, err
+		return res, err
 	}
-	loader, err := analysis.NewLoader(cwd)
+	pkgDirs, err := loader.Dirs(patterns...)
 	if err != nil {
-		return 0, err
+		return res, err
 	}
-	pkgs, err := loader.Packages(patterns...)
-	if err != nil {
-		return 0, err
+	var cache *resultCache
+	if useCache {
+		if cache, err = newResultCache(loader, analyzers); err != nil {
+			return res, err
+		}
 	}
-	enc := json.NewEncoder(os.Stdout)
-	count := 0
-	for _, pkg := range pkgs {
+
+	enc := json.NewEncoder(stdout)
+	emit := func(d jsonDiag) error {
+		res.Findings++
+		if asJSON {
+			return enc.Encode(d)
+		}
+		_, err := fmt.Fprintln(stdout, d.text())
+		return err
+	}
+
+	for _, pkgDir := range pkgDirs {
+		importPath, err := loader.ImportPath(pkgDir)
+		if err != nil {
+			return res, err
+		}
+		if cache != nil {
+			if diags, ok := cache.get(importPath); ok {
+				res.Hits++
+				for _, d := range diags {
+					if err := emit(d); err != nil {
+						return res, err
+					}
+				}
+				continue
+			}
+		}
+		pkg, err := loader.Load(importPath)
+		if err != nil {
+			return res, err
+		}
 		diags, err := analysis.Run(pkg, analyzers)
 		if err != nil {
-			return count, err
+			return res, err
 		}
+		res.Loaded++
+		jds := make([]jsonDiag, 0, len(diags))
 		for _, d := range diags {
 			pos := pkg.Fset.Position(d.Pos)
-			if asJSON {
-				if err := enc.Encode(jsonDiag{
-					File:     pos.Filename,
-					Line:     pos.Line,
-					Column:   pos.Column,
-					Analyzer: d.Analyzer.Name,
-					Message:  d.Message,
-				}); err != nil {
-					return count, err
-				}
-			} else {
-				fmt.Printf("%s: %s: %s\n", pos, d.Analyzer.Name, d.Message)
+			jds = append(jds, jsonDiag{
+				File:     pos.Filename,
+				Line:     pos.Line,
+				Column:   pos.Column,
+				Analyzer: d.Analyzer.Name,
+				Message:  d.Message,
+			})
+		}
+		if cache != nil {
+			if err := cache.put(importPath, jds); err != nil {
+				return res, err
 			}
-			count++
+		}
+		for _, d := range jds {
+			if err := emit(d); err != nil {
+				return res, err
+			}
 		}
 	}
-	return count, nil
+	return res, nil
 }
 
 // runTranscheck executes both halves of the translation validator and
 // reports findings; the exit status is the CI gate.
-func runTranscheck(asJSON bool) int {
+func runTranscheck(asJSON bool, stdout, stderr io.Writer) int {
 	type result struct {
 		name     string
 		findings []transcheck.Finding
@@ -166,44 +254,93 @@ func runTranscheck(asJSON bool) int {
 
 	mf, ms, err := transcheck.CheckMatrix()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "xvet: transcheck matrix:", err)
-		return 1
+		fmt.Fprintln(stderr, "xvet: transcheck matrix:", err)
+		return exitInternal
 	}
 	results = append(results, result{"matrix", mf, ms})
 
 	cf, cs, err := transcheck.CheckCorpus()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "xvet: transcheck corpus:", err)
-		return 1
+		fmt.Fprintln(stderr, "xvet: transcheck corpus:", err)
+		return exitInternal
 	}
 	results = append(results, result{"corpus", cf, cs})
 
-	enc := json.NewEncoder(os.Stdout)
+	enc := json.NewEncoder(stdout)
 	for _, r := range results {
 		for _, f := range r.findings {
 			fail = true
 			if asJSON {
 				if err := enc.Encode(f); err != nil {
-					fmt.Fprintln(os.Stderr, "xvet:", err)
-					return 1
+					fmt.Fprintln(stderr, "xvet:", err)
+					return exitInternal
 				}
 			} else {
-				fmt.Printf("transcheck: %s\n", f)
+				fmt.Fprintf(stdout, "transcheck: %s\n", f)
 			}
 		}
 		if !asJSON {
 			switch r.name {
 			case "matrix":
-				fmt.Printf("transcheck: matrix: %d derivations checked, %d findings\n",
+				fmt.Fprintf(stdout, "transcheck: matrix: %d derivations checked, %d findings\n",
 					r.stats.Checked, len(r.findings))
 			case "corpus":
-				fmt.Printf("transcheck: corpus: %d queries translated, %d distinct patterns checked, %d findings\n",
+				fmt.Fprintf(stdout, "transcheck: corpus: %d queries translated, %d distinct patterns checked, %d findings\n",
 					r.stats.Queries, r.stats.Checked, len(r.findings))
 			}
 		}
 	}
 	if fail {
-		return 1
+		return exitFindings
 	}
-	return 0
+	return exitClean
+}
+
+// runPlancheck sweeps the query corpora and the seeded random matrix
+// through both translators, certificate-checking every compiled plan.
+func runPlancheck(asJSON bool, matrixN int, stdout, stderr io.Writer) int {
+	type result struct {
+		name     string
+		findings []plancheck.Finding
+		stats    plancheck.Stats
+	}
+	var results []result
+
+	cf, cs, err := plancheck.CheckCorpus()
+	if err != nil {
+		fmt.Fprintln(stderr, "xvet: plancheck corpus:", err)
+		return exitInternal
+	}
+	results = append(results, result{"corpus", cf, cs})
+
+	mf, ms, err := plancheck.CheckMatrix(matrixN, 1)
+	if err != nil {
+		fmt.Fprintln(stderr, "xvet: plancheck matrix:", err)
+		return exitInternal
+	}
+	results = append(results, result{"matrix", mf, ms})
+
+	enc := json.NewEncoder(stdout)
+	fail := false
+	for _, r := range results {
+		for _, f := range r.findings {
+			fail = true
+			if asJSON {
+				if err := enc.Encode(f); err != nil {
+					fmt.Fprintln(stderr, "xvet:", err)
+					return exitInternal
+				}
+			} else {
+				fmt.Fprintf(stdout, "plancheck: %s\n", f)
+			}
+		}
+		if !asJSON {
+			fmt.Fprintf(stdout, "plancheck: %s: %d queries, %d plans checked, %d skipped, %d omissions audited, %d findings\n",
+				r.name, r.stats.Queries, r.stats.Checked, r.stats.Skipped, r.stats.Omissions, len(r.findings))
+		}
+	}
+	if fail {
+		return exitFindings
+	}
+	return exitClean
 }

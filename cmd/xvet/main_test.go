@@ -1,11 +1,19 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
 
 func TestSelectAnalyzers(t *testing.T) {
 	all, err := selectAnalyzers("")
-	if err != nil || len(all) != 11 {
-		t.Fatalf("default selection: got %d analyzers, err %v; want 11, nil", len(all), err)
+	if err != nil || len(all) != 12 {
+		t.Fatalf("default selection: got %d analyzers, err %v; want 12, nil", len(all), err)
 	}
 	some, err := selectAnalyzers("rawsql, errdrop")
 	if err != nil {
@@ -17,14 +25,188 @@ func TestSelectAnalyzers(t *testing.T) {
 	if _, err := selectAnalyzers("nosuch"); err == nil {
 		t.Fatal("unknown analyzer name must error")
 	}
-	for _, name := range []string{"ctxflow", "lockscope", "sqltaint", "hotalloc", "xvetignore"} {
+	for _, name := range []string{"ctxflow", "lockscope", "sqltaint", "hotalloc", "goleak", "xvetignore"} {
 		if _, err := selectAnalyzers(name); err != nil {
 			t.Errorf("analyzer %s not registered: %v", name, err)
 		}
 	}
 }
 
-// The analyzer run path is exercised end to end against the real tree
-// by internal/analysis's tests and by CI's `go run ./cmd/xvet ./...`;
-// the -transcheck path by internal/transcheck's tests and CI's
-// `make transcheck`.
+// writeTree materializes a file tree (paths relative to root).
+func writeTree(t *testing.T, root string, files map[string]string) {
+	t.Helper()
+	for rel, content := range files {
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+const tmpGoMod = "module xvettmp\n\ngo 1.22\n"
+
+// Exit status must distinguish findings (1) from load failures and
+// internal errors (2), with 0 for a clean tree.
+func TestExitCodes(t *testing.T) {
+	var out, errw bytes.Buffer
+
+	clean := t.TempDir()
+	writeTree(t, clean, map[string]string{
+		"go.mod": tmpGoMod,
+		"a/a.go": "package a\n\nfunc A() int { return 1 }\n",
+		"b/b.go": "package b\n\nfunc B() int { return 2 }\n",
+	})
+	if code := run(clean, []string{"-novet", "-nocache", "./..."}, &out, &errw); code != exitClean {
+		t.Fatalf("clean tree: exit %d, want %d\nstdout: %s\nstderr: %s", code, exitClean, out.String(), errw.String())
+	}
+
+	// A goroutine leak inside a package whose import path ends in
+	// internal/engine is a finding: exit 1.
+	leaky := t.TempDir()
+	writeTree(t, leaky, map[string]string{
+		"go.mod":               tmpGoMod,
+		"internal/engine/e.go": "package engine\n\nfunc spawn() {\n\tgo func() {\n\t\tfor {\n\t\t}\n\t}()\n}\n",
+	})
+	out.Reset()
+	errw.Reset()
+	if code := run(leaky, []string{"-novet", "-nocache", "./..."}, &out, &errw); code != exitFindings {
+		t.Fatalf("leaky tree: exit %d, want %d\nstderr: %s", code, exitFindings, errw.String())
+	}
+	if !strings.Contains(out.String(), "goleak") {
+		t.Fatalf("leaky tree output missing goleak diagnostic:\n%s", out.String())
+	}
+
+	// A type error makes the package unloadable: exit 2.
+	broken := t.TempDir()
+	writeTree(t, broken, map[string]string{
+		"go.mod": tmpGoMod,
+		"a/a.go": "package a\n\nvar x int = \"not an int\"\n",
+	})
+	out.Reset()
+	errw.Reset()
+	if code := run(broken, []string{"-novet", "-nocache", "./..."}, &out, &errw); code != exitInternal {
+		t.Fatalf("broken tree: exit %d, want %d\nstderr: %s", code, exitInternal, errw.String())
+	}
+
+	// An unknown analyzer name is an internal error, not a finding.
+	out.Reset()
+	errw.Reset()
+	if code := run(clean, []string{"-novet", "-only", "nosuch", "./..."}, &out, &errw); code != exitInternal {
+		t.Fatalf("unknown analyzer: exit %d, want %d", code, exitInternal)
+	}
+}
+
+// A warm run must answer every package from the cache without loading
+// anything, and must be measurably faster than the cold run that
+// populated it.
+func TestCacheWarmFasterThanCold(t *testing.T) {
+	root := t.TempDir()
+	// A deliberately sizable package so the cold type-check dwarfs
+	// the warm run's file hashing.
+	var big strings.Builder
+	big.WriteString("package big\n\nimport \"strings\"\n\n")
+	for i := 0; i < 1200; i++ {
+		fmt.Fprintf(&big, "func f%d(s string) string { return strings.TrimSpace(s) + %q }\n", i, fmt.Sprint(i))
+	}
+	writeTree(t, root, map[string]string{
+		"go.mod":     tmpGoMod,
+		"big/big.go": big.String(),
+		"a/a.go":     "package a\n\nfunc A() int { return 1 }\n",
+	})
+	analyzers, err := selectAnalyzers("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+
+	start := time.Now()
+	cold, err := runAnalyzers(root, analyzers, []string{"./..."}, false, true, &out)
+	coldDur := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Loaded != 2 || cold.Hits != 0 || cold.Findings != 0 {
+		t.Fatalf("cold run: %+v, want 2 loaded, 0 hits, 0 findings", cold)
+	}
+
+	start = time.Now()
+	warm, err := runAnalyzers(root, analyzers, []string{"./..."}, false, true, &out)
+	warmDur := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Loaded != 0 || warm.Hits != 2 {
+		t.Fatalf("warm run: %+v, want 0 loaded, 2 hits", warm)
+	}
+	if warmDur >= coldDur {
+		t.Errorf("warm run not faster than cold: warm %v, cold %v", warmDur, coldDur)
+	}
+	t.Logf("cold %v, warm %v", coldDur, warmDur)
+
+	// -nocache bypasses the cache entirely.
+	nocache, err := runAnalyzers(root, analyzers, []string{"./..."}, false, false, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nocache.Hits != 0 || nocache.Loaded != 2 {
+		t.Fatalf("-nocache run: %+v, want 2 loaded, 0 hits", nocache)
+	}
+}
+
+// Touching one file invalidates only its own package and the packages
+// that import it; unrelated packages still hit the cache. Cached
+// diagnostics are replayed verbatim.
+func TestCacheInvalidationIsPerPackage(t *testing.T) {
+	root := t.TempDir()
+	writeTree(t, root, map[string]string{
+		"go.mod":               tmpGoMod,
+		"a/a.go":               "package a\n\nfunc A() int { return 1 }\n",
+		"b/b.go":               "package b\n\nfunc B() int { return 2 }\n",
+		"c/c.go":               "package c\n\nimport \"xvettmp/a\"\n\nfunc C() int { return a.A() }\n",
+		"internal/engine/e.go": "package engine\n\nfunc spawn() {\n\tgo func() {\n\t\tfor {\n\t\t}\n\t}()\n}\n",
+	})
+	analyzers, err := selectAnalyzers("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+
+	cold, err := runAnalyzers(root, analyzers, []string{"./..."}, false, true, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Loaded != 4 || cold.Findings != 1 {
+		t.Fatalf("cold run: %+v, want 4 loaded, 1 finding", cold)
+	}
+	firstOut := out.String()
+
+	out.Reset()
+	warm, err := runAnalyzers(root, analyzers, []string{"./..."}, false, true, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Loaded != 0 || warm.Hits != 4 || warm.Findings != 1 {
+		t.Fatalf("warm run: %+v, want 0 loaded, 4 hits, 1 finding", warm)
+	}
+	if out.String() != firstOut {
+		t.Fatalf("cached diagnostics differ from original:\ncold: %s\nwarm: %s", firstOut, out.String())
+	}
+
+	// Touch a: a and its importer c must reload; b and the engine
+	// package must still hit.
+	if err := os.WriteFile(filepath.Join(root, "a", "a.go"),
+		[]byte("package a\n\nfunc A() int { return 42 }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	after, err := runAnalyzers(root, analyzers, []string{"./..."}, false, true, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Loaded != 2 || after.Hits != 2 {
+		t.Fatalf("after touching a: %+v, want 2 loaded (a, c), 2 hits (b, engine)", after)
+	}
+}

@@ -1,0 +1,19 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestGoLeak(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.GoLeak,
+		"goleak/internal/engine", "goleak/ok")
+}
+
+// The real engine must satisfy its own invariant: its only fan-out
+// (the morsel worker pool) joins through a WaitGroup.
+func TestGoLeakEngineClean(t *testing.T) {
+	expectClean(t, analysis.GoLeak, "repro/internal/engine")
+}

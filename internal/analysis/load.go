@@ -107,12 +107,12 @@ func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
 	return l.check(dir, importPath, true)
 }
 
-// Packages loads every package matched by the patterns. A pattern is
-// a directory (absolute or relative to the loader's module root),
-// optionally ending in "/..." for a recursive walk. Directories named
-// testdata, hidden directories, and directories with no non-test Go
-// files are skipped.
-func (l *Loader) Packages(patterns ...string) ([]*Package, error) {
+// Dirs resolves patterns to the package directories they denote
+// without loading anything. A pattern is a directory (absolute or
+// relative to the loader's module root), optionally ending in "/..."
+// for a recursive walk. Directories named testdata, hidden
+// directories, and directories with no non-test Go files are skipped.
+func (l *Loader) Dirs(patterns ...string) ([]string, error) {
 	var dirs []string
 	seen := map[string]bool{}
 	add := func(d string) {
@@ -156,18 +156,40 @@ func (l *Loader) Packages(patterns ...string) ([]*Package, error) {
 		}
 	}
 
+	out := dirs[:0]
+	for _, dir := range dirs {
+		if l.hasGoFiles(dir) {
+			out = append(out, dir)
+		}
+	}
+	return out, nil
+}
+
+// ImportPath maps a package directory inside the module to its import
+// path.
+func (l *Loader) ImportPath(dir string) (string, error) {
+	rel, err := filepath.Rel(l.ModuleRoot, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("analysis: %s is outside module %s", dir, l.ModuleRoot)
+	}
+	if rel == "." {
+		return l.ModulePath, nil
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel), nil
+}
+
+// Packages loads every package matched by the patterns (see Dirs for
+// the pattern syntax).
+func (l *Loader) Packages(patterns ...string) ([]*Package, error) {
+	dirs, err := l.Dirs(patterns...)
+	if err != nil {
+		return nil, err
+	}
 	var out []*Package
 	for _, dir := range dirs {
-		if !l.hasGoFiles(dir) {
-			continue
-		}
-		rel, err := filepath.Rel(l.ModuleRoot, dir)
-		if err != nil || strings.HasPrefix(rel, "..") {
-			return nil, fmt.Errorf("analysis: %s is outside module %s", dir, l.ModuleRoot)
-		}
-		importPath := l.ModulePath
-		if rel != "." {
-			importPath = l.ModulePath + "/" + filepath.ToSlash(rel)
+		importPath, err := l.ImportPath(dir)
+		if err != nil {
+			return nil, err
 		}
 		p, err := l.Load(importPath)
 		if err != nil {

@@ -1,0 +1,73 @@
+// Goroutine-leak fixtures for the engine package: every spawn must
+// carry a visible cancellation or join mechanism.
+package engine
+
+import (
+	"context"
+	"sync"
+)
+
+func plainLeak() {
+	go func() { // want "no cancellation or join mechanism"
+		for {
+			work()
+		}
+	}()
+}
+
+func namedLeak() {
+	go worker(7) // want "no cancellation or join mechanism"
+}
+
+func worker(int)                {}
+func workerCtx(context.Context) {}
+func work()                     {}
+
+func okWaitGroupJoin() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func(w int) {
+		defer wg.Done()
+		work()
+	}(0)
+	wg.Wait()
+}
+
+func okContextParam(ctx context.Context) {
+	go func(ctx context.Context) {
+		<-ctx.Done()
+	}(ctx)
+}
+
+func okNamedWithContext(ctx context.Context) {
+	go workerCtx(ctx)
+}
+
+func okChannelReceive(done chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+func okCapturedChannel() {
+	stop := make(chan struct{})
+	go func() {
+		<-stop
+	}()
+	close(stop)
+}
+
+func okRangeOverChannel(in chan int) {
+	go func() {
+		for range in {
+			work()
+		}
+	}()
+}

@@ -1,0 +1,10 @@
+// Outside internal/engine the analyzer is silent: other packages may
+// manage goroutine lifetimes through mechanisms it cannot see.
+package ok
+
+func spawn() {
+	go func() {
+		for {
+		}
+	}()
+}

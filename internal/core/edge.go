@@ -64,10 +64,14 @@ func (t *EdgeTranslator) TranslateExpr(e xpath.Expr) (*Translation, error) {
 
 // edgeBuilder accumulates one SELECT over the Edge mapping.
 type edgeBuilder struct {
-	tr     *EdgeTranslator
-	nextE  int
-	nextA  int
-	joined map[string]string
+	tr    *EdgeTranslator
+	nextE int
+	nextA int
+	// joined memoizes paths joins per SELECT scope (a join added to
+	// one subquery's FROM is invisible to its siblings); aliases are
+	// deduplicated statement-wide by nextP.
+	joined map[*sqlast.Select]map[string]string
+	nextP  map[string]int
 }
 
 // edgeCtx is the chain state: previous prominent alias and name
@@ -105,7 +109,7 @@ func (t *EdgeTranslator) translatePath(p *xpath.Path) (*sqlast.Select, error) {
 	if len(frags) == 0 || frags[0].kind != ppfForward {
 		return nil, fmt.Errorf("an absolute path must begin with a forward step")
 	}
-	b := &edgeBuilder{tr: t, joined: map[string]string{}}
+	b := &edgeBuilder{tr: t, joined: map[*sqlast.Select]map[string]string{}, nextP: map[string]int{}}
 	sel := &sqlast.Select{Distinct: true}
 	end, err := b.buildChain(sel, frags, edgeCtx{})
 	if err != nil {
@@ -251,13 +255,22 @@ func (b *edgeBuilder) nameFilter(sel *sqlast.Select, alias string, step *xpath.S
 }
 
 func (b *edgeBuilder) joinWithPaths(sel *sqlast.Select, alias string) string {
-	if pa, ok := b.joined[alias]; ok {
+	if pa, ok := b.joined[sel][alias]; ok {
 		return pa
 	}
+	// Unique statement-wide: a subquery re-joining an outer alias's
+	// paths row must not shadow the enclosing scope's join.
 	pa := alias + "_paths"
+	b.nextP[pa]++
+	if n := b.nextP[pa]; n > 1 {
+		pa = fmt.Sprintf("%s_%d", pa, n)
+	}
 	sel.From = append(sel.From, sqlast.TableRef{Table: shred.PathsTable, Alias: pa})
 	sel.AddConjunct(sqlast.Eq(sqlast.C(alias, shred.ColPath), sqlast.C(pa, shred.ColID)))
-	b.joined[alias] = pa
+	if b.joined[sel] == nil {
+		b.joined[sel] = map[string]string{}
+	}
+	b.joined[sel][alias] = pa
 	return pa
 }
 

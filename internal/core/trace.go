@@ -1,6 +1,9 @@
 package core
 
-import "repro/internal/xpath"
+import (
+	"repro/internal/schema"
+	"repro/internal/xpath"
+)
 
 // PatternTrace records one Table 1 regex construction as it happens:
 // the inputs (fragment steps, anchoring, boundary name pattern) and
@@ -36,5 +39,39 @@ func SetPatternTrace(fn func(PatternTrace)) { patternTrace = fn }
 func tracePattern(kind string, steps []*xpath.Step, anchored bool, base, pattern string) {
 	if patternTrace != nil {
 		patternTrace(PatternTrace{Kind: kind, Steps: steps, Anchored: anchored, Base: base, Pattern: pattern})
+	}
+}
+
+// OmissionTrace records one Section 4.5 path-filter decision as the
+// translator makes it: the node whose filter was considered, the
+// pattern, and the decision with the evidence (Mark, matched path
+// counts) that justified it. plancheck subscribes to it and
+// re-derives every decision independently, failing when the evidence
+// does not support the decision. It fires only when the
+// PathFilterOmission option is on — with the optimization off no
+// filter is ever omitted, so there is nothing to audit.
+type OmissionTrace struct {
+	// Node is the schema node whose path filter was considered
+	// (shared, read-only).
+	Node *schema.Node
+	// Pattern is the path regex the filter would test.
+	Pattern string
+	// Decision is the static outcome the translator applied.
+	Decision schema.OmissionDecision
+	// Evidence is the justification JustifyOmission derived.
+	Evidence schema.OmissionEvidence
+}
+
+// omissionTrace, when non-nil, observes every omission decision.
+var omissionTrace func(OmissionTrace)
+
+// SetOmissionTrace installs (or, with nil, removes) the omission
+// observer. Not safe for use concurrently with translation; the
+// intended caller is plancheck's single-threaded sweep.
+func SetOmissionTrace(fn func(OmissionTrace)) { omissionTrace = fn }
+
+func traceOmission(node *schema.Node, pattern string, d schema.OmissionDecision, ev schema.OmissionEvidence) {
+	if omissionTrace != nil {
+		omissionTrace(OmissionTrace{Node: node, Pattern: pattern, Decision: d, Evidence: ev})
 	}
 }

@@ -185,11 +185,15 @@ type chainCtx struct {
 type builder struct {
 	tr      *Translator
 	aliases map[string]int
-	joined  map[string]string // alias -> its paths alias
+	// joined memoizes paths joins per SELECT scope: a join added to
+	// one subquery's FROM is invisible to its siblings, so an alias
+	// may need a (1:1, paths.id is a key) re-join in each scope that
+	// inspects its path.
+	joined map[*sqlast.Select]map[string]string
 }
 
 func (t *Translator) newBuilder() *builder {
-	return &builder{tr: t, aliases: map[string]int{}, joined: map[string]string{}}
+	return &builder{tr: t, aliases: map[string]int{}, joined: map[*sqlast.Select]map[string]string{}}
 }
 
 func (b *builder) newAlias(rel string) string {
@@ -482,23 +486,25 @@ func (c sqlCond) asExpr() sqlast.Expr {
 }
 
 // pathFilterCond produces the path-filter condition for a relation,
-// applying the marking rules statically where possible.
+// applying the marking rules statically where possible. The decision
+// itself is delegated to schema.JustifyOmission (the single source of
+// truth plancheck audits) and reported through the omission trace.
 func (b *builder) pathFilterCond(sel *sqlast.Select, alias string, node *schema.Node, pattern string) (sqlCond, error) {
-	if b.tr.opts.PathFilterOmission && node.Mark != schema.InfinitePaths {
-		re, err := pathre.Compile(pattern)
-		if err != nil {
-			return sqlCond{}, fmt.Errorf("bad path pattern %q: %w", pattern, err)
-		}
-		matched := 0
-		for _, p := range node.RootPaths {
-			if re.MatchString(p) {
-				matched++
+	if b.tr.opts.PathFilterOmission {
+		matches := func(string) bool { return false } // I-P never consults it
+		if node.Mark != schema.InfinitePaths {
+			re, err := pathre.Compile(pattern)
+			if err != nil {
+				return sqlCond{}, fmt.Errorf("bad path pattern %q: %w", pattern, err)
 			}
+			matches = re.MatchString
 		}
-		switch {
-		case matched == len(node.RootPaths):
+		decision, ev := node.JustifyOmission(matches)
+		traceOmission(node, pattern, decision, ev)
+		switch decision {
+		case schema.OmitFilter:
 			return condTrue, nil
-		case matched == 0:
+		case schema.EmptyResult:
 			return condFalse, nil
 		}
 	}
@@ -509,13 +515,19 @@ func (b *builder) pathFilterCond(sel *sqlast.Select, alias string, node *schema.
 // joinWithPaths ensures alias is joined to the paths relation,
 // returning the paths alias.
 func (b *builder) joinWithPaths(sel *sqlast.Select, alias string) string {
-	if pa, ok := b.joined[alias]; ok {
+	if pa, ok := b.joined[sel][alias]; ok {
 		return pa
 	}
-	pa := alias + "_paths"
+	// The paths alias is unique statement-wide (newAlias), not just
+	// per scope: a subquery may re-join an outer alias's paths row,
+	// and reusing the bare name would shadow the enclosing join.
+	pa := b.newAlias(alias + "_paths")
 	sel.From = append(sel.From, sqlast.TableRef{Table: shred.PathsTable, Alias: pa})
 	sel.AddConjunct(sqlast.Eq(sqlast.C(alias, shred.ColPath), sqlast.C(pa, shred.ColID)))
-	b.joined[alias] = pa
+	if b.joined[sel] == nil {
+		b.joined[sel] = map[string]string{}
+	}
+	b.joined[sel][alias] = pa
 	return pa
 }
 

@@ -136,6 +136,72 @@ func (a *fatHash) enumerate(ec *execCtx, e env, s *joinStep, st *OpStats, yield 
 	return a.h.enumerate(ec, e, s, st, yield)
 }
 
+// The shape methods below describe each access kind for the exported
+// plan shape (plantrace.go). They decompile the same key expressions
+// enumerate evaluates, so the certificate checker justifies the path
+// against exactly what would execute.
+
+func (fullScan) shape(*shapeBuilder, *Table) (AccessShape, error) {
+	return AccessShape{Kind: "full-scan"}, nil
+}
+
+func (a *indexEq) shape(sb *shapeBuilder, t *Table) (AccessShape, error) {
+	as := AccessShape{Kind: "index-eq", Index: a.ix.Name,
+		IndexCols: indexColNames(t, a.ix), Col: t.Cols[a.ix.Cols[0]].Name}
+	for _, k := range a.keys {
+		es, err := sb.expr(k)
+		if err != nil {
+			return AccessShape{}, err
+		}
+		as.Keys = append(as.Keys, es)
+	}
+	return as, nil
+}
+
+func (a *indexPrefixes) shape(sb *shapeBuilder, t *Table) (AccessShape, error) {
+	key, err := sb.expr(a.x)
+	if err != nil {
+		return AccessShape{}, err
+	}
+	return AccessShape{Kind: "index-prefixes", Index: a.ix.Name,
+		IndexCols: indexColNames(t, a.ix), Col: t.Cols[a.ix.Cols[0]].Name, Key: key}, nil
+}
+
+func (a *hashEq) shape(sb *shapeBuilder, t *Table) (AccessShape, error) {
+	key, err := sb.expr(a.key)
+	if err != nil {
+		return AccessShape{}, err
+	}
+	return AccessShape{Kind: "hash-eq", Col: t.Cols[a.col].Name, Key: key}, nil
+}
+
+func (a *fatHash) shape(sb *shapeBuilder, t *Table) (AccessShape, error) {
+	as, err := a.h.shape(sb, t)
+	if err != nil {
+		return AccessShape{}, err
+	}
+	as.Kind = "fat-hash"
+	return as, nil
+}
+
+func (a *indexRange) shape(sb *shapeBuilder, t *Table) (AccessShape, error) {
+	as := AccessShape{Kind: "index-range", Index: a.ix.Name,
+		IndexCols: indexColNames(t, a.ix), Col: t.Cols[a.ix.Cols[0]].Name,
+		LoStrict: a.loStrict, HiStrict: a.hiStrict}
+	var err error
+	if a.lo != nil {
+		if as.Lo, err = sb.expr(a.lo); err != nil {
+			return AccessShape{}, err
+		}
+	}
+	if a.hi != nil {
+		if as.Hi, err = sb.expr(a.hi); err != nil {
+			return AccessShape{}, err
+		}
+	}
+	return as, nil
+}
+
 func (a *indexRange) enumerate(ec *execCtx, e env, s *joinStep, st *OpStats, yield rowYield) error {
 	var lo, hi []byte
 	if a.lo != nil {

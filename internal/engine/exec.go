@@ -40,6 +40,12 @@ type ExecOptions struct {
 	// ErrRowBudget reports an overrun (0 means no limit). COUNT(*)
 	// aggregation counts without materializing and is not bounded.
 	MaxRows int64
+	// VerifyPlan runs the installed plan verifier (SetPlanVerifier)
+	// against the compiled plan before executing — a debug check that
+	// the plan the cache hands back is still provably equivalent to
+	// the statement. Execution fails when the verifier rejects the
+	// plan. A no-op when no verifier is installed.
+	VerifyPlan bool
 }
 
 // execCtx carries execution state shared across a statement run. Each
@@ -156,6 +162,11 @@ func (db *DB) RunWithOptionsContext(ctx context.Context, st sqlast.Statement, op
 	cs, err := db.compiledFor(st, key)
 	if err != nil {
 		return nil, err
+	}
+	if opts.VerifyPlan {
+		if err := verifyCompiled(st, key, cs); err != nil {
+			return nil, err
+		}
 	}
 	return db.runCompiled(ctx, cs, opts, key)
 }

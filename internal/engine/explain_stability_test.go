@@ -1,0 +1,67 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sqlast"
+)
+
+// EXPLAIN output is a contract with the plan cache: creating an index
+// on a table the statement never touches must not perturb the cached
+// plan (byte-identical EXPLAIN, served as a cache hit), while an index
+// on a referenced column must invalidate the entry and re-plan onto
+// the new access path.
+func TestExplainStableUnderUnrelatedIndex(t *testing.T) {
+	db := fixtureDB(t)
+	st := sqlast.MustParse("SELECT F.id FROM F WHERE F.text = '2'")
+
+	s1, err := db.Explain(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(s1, "F_text") {
+		t.Fatalf("plan uses an index that does not exist yet:\n%s", s1)
+	}
+
+	// Index on a table the statement does not reference: the cached
+	// plan must survive verbatim and be served from the cache.
+	if _, err := db.Table("G").CreateIndex("G_par_extra", "par", "id"); err != nil {
+		t.Fatal(err)
+	}
+	var s2 string
+	hits, misses := statsDelta(db, func() {
+		s2, err = db.Explain(st)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2 != s1 {
+		t.Fatalf("EXPLAIN changed after index on unrelated table:\nbefore:\n%s\nafter:\n%s", s1, s2)
+	}
+	if hits != 1 || misses != 0 {
+		t.Fatalf("unrelated index: hits=%d misses=%d, want 1/0 (cached plan reused)", hits, misses)
+	}
+
+	// Index on the referenced table's predicate column: the entry is
+	// stale, the statement re-plans, and the new access path shows up.
+	if _, err := db.Table("F").CreateIndex("F_text", "text"); err != nil {
+		t.Fatal(err)
+	}
+	var s3 string
+	hits, misses = statsDelta(db, func() {
+		s3, err = db.Explain(st)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if misses != 1 {
+		t.Fatalf("index on referenced table: hits=%d misses=%d, want a miss (re-plan)", hits, misses)
+	}
+	if s3 == s1 {
+		t.Fatalf("EXPLAIN unchanged after index on referenced column:\n%s", s3)
+	}
+	if !strings.Contains(s3, "F_text") {
+		t.Fatalf("re-planned statement does not use the new index:\n%s", s3)
+	}
+}

@@ -18,10 +18,12 @@ const sampleLimit = 4096
 // beyond that it falls back to a greedy minimum-fanout order. Both
 // use per-step access-path estimates scaled by sampled single-table
 // filter selectivities, with a heavy penalty for cross products.
-func (p *planner) chooseJoinOrder(names []string, local map[string]*Table, conjuncts []*conjunct, sc *scope) []string {
+// The returned method name ("single", "dp", "greedy") is recorded on
+// the plan for the exported shape (plantrace.go).
+func (p *planner) chooseJoinOrder(names []string, local map[string]*Table, conjuncts []*conjunct, sc *scope) ([]string, string) {
 	n := len(names)
 	if n <= 1 {
-		return names
+		return names, "single"
 	}
 	sel := p.sampleSelectivities(names, local, conjuncts, sc)
 
@@ -41,7 +43,7 @@ func (p *planner) chooseJoinOrder(names []string, local map[string]*Table, conju
 	}
 
 	if n > maxDPTables {
-		return p.greedyOrder(names, local, conjuncts, sc, fanout)
+		return p.greedyOrder(names, local, conjuncts, sc, fanout), "greedy"
 	}
 
 	type state struct {
@@ -95,7 +97,7 @@ func (p *planner) chooseJoinOrder(names []string, local map[string]*Table, conju
 	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
 		out[i], out[j] = out[j], out[i]
 	}
-	return out
+	return out, "dp"
 }
 
 // greedyOrder is the fallback for wide FROM lists: repeatedly bind

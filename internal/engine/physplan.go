@@ -156,6 +156,51 @@ func (l *lowerer) lowerSelect(p *selectPlan) {
 	}
 }
 
+// pipeline lists the plan's lowered operators in execution order as
+// canonical tokens for the exported plan shape (plantrace.go):
+// "prefilter", "scan <alias>", "filter <alias>", "project", "count",
+// "distinct", "sort". The tokens are derived from the phys node
+// identities, not from the plan's flags, so the shape reflects what
+// the lowering actually emitted.
+func (p *selectPlan) pipeline() []string {
+	ps := p.phys
+	if ps == nil {
+		return nil
+	}
+	scanIdx := map[*opNode]int{}
+	for i, n := range ps.scans {
+		scanIdx[n] = i
+	}
+	filterIdx := map[*opNode]int{}
+	for i, n := range ps.filters {
+		if n != nil {
+			filterIdx[n] = i
+		}
+	}
+	out := make([]string, 0, len(ps.ops))
+	for _, n := range ps.ops {
+		switch {
+		case n == ps.prefilter:
+			out = append(out, "prefilter")
+		case n.kind == opScan:
+			out = append(out, "scan "+p.steps[scanIdx[n]].name)
+		case n.kind == opFilter:
+			out = append(out, "filter "+p.steps[filterIdx[n]].name)
+		case n.kind == opProject:
+			out = append(out, "project")
+		case n.kind == opCount:
+			out = append(out, "count")
+		case n.kind == opDedup:
+			out = append(out, "distinct")
+		case n.kind == opSort:
+			out = append(out, "sort")
+		default:
+			out = append(out, "op?")
+		}
+	}
+	return out
+}
+
 // attachSubplans walks compiled expressions for correlated subqueries,
 // creating a boundary node per subquery under owner and lowering each
 // subplan's own pipeline.

@@ -18,6 +18,13 @@ type selectPlan struct {
 	preFilters []cexpr // conjuncts that reference no local table
 	steps      []*joinStep
 	orderBy    []corder
+	// fromOrder is the statement's FROM order before join reordering
+	// and joinMethod how the binding order was chosen ("single", "dp"
+	// or "greedy") — recorded for the exported plan shape
+	// (plantrace.go) so the certificate checker can report the
+	// reordering step it validated.
+	fromOrder  []string
+	joinMethod string
 	// phys is the lowered physical operator pipeline (physplan.go),
 	// set by lowerStmt for every plan reachable from a compiled
 	// statement — including correlated subplans.
@@ -56,6 +63,10 @@ type accessPath interface {
 	// current bindings, in the executor's canonical order, recording
 	// probes and governor charges against the scan's OpStats.
 	enumerate(ec *execCtx, e env, s *joinStep, st *OpStats, yield rowYield) error
+	// shape describes the access path for the exported plan shape
+	// (plantrace.go), decompiling key expressions through sb;
+	// implemented per access kind in access.go.
+	shape(sb *shapeBuilder, t *Table) (AccessShape, error)
 }
 
 type fullScan struct{}
@@ -238,7 +249,9 @@ func (p *planner) planSelect(sel *sqlast.Select, outer *scope) (*selectPlan, err
 	// Join ordering: exhaustive dynamic programming over join orders
 	// for small FROM lists (Selinger-style, cumulative-rows cost),
 	// greedy fallback beyond that.
-	order := p.chooseJoinOrder(localOrder, local, conjuncts, sc)
+	plan.fromOrder = append([]string(nil), localOrder...)
+	order, method := p.chooseJoinOrder(localOrder, local, conjuncts, sc)
+	plan.joinMethod = method
 	bound := map[string]bool{}
 	for _, name := range order {
 		access, _ := p.bestAccess(name, local[name], conjuncts, bound, sc)

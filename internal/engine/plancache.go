@@ -207,6 +207,7 @@ func (db *DB) compiledFor(st sqlast.Statement, key string) (*compiledStmt, error
 	if err != nil {
 		return nil, err
 	}
+	traceCompiled(st, key, cs)
 	if err := failpoint.Inject("engine/plancache-insert"); err != nil {
 		return nil, err
 	}
@@ -269,6 +270,11 @@ func (p *Prepared) RunWithOptionsContext(ctx context.Context, opts ExecOptions) 
 	cs, err := p.db.compiledFor(p.st, p.key)
 	if err != nil {
 		return nil, err
+	}
+	if opts.VerifyPlan {
+		if err := verifyCompiled(p.st, p.key, cs); err != nil {
+			return nil, err
+		}
 	}
 	return p.db.runCompiled(ctx, cs, opts, p.key)
 }

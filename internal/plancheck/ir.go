@@ -1,0 +1,200 @@
+// Package plancheck proves a compiled plan equivalent to the
+// statement it came from. Both sides — the sqlast statement the
+// translator produced and the decompiled shape of what the planner
+// and physical lowering actually built (engine.StmtShape) — are
+// extracted into a canonical relational-algebra normal form (SelIR)
+// through a fixed set of verified rewrite rules: AND/OR flattening
+// and commutative operand ordering, comparison orientation (a > b
+// rewritten to b < a), function-name case folding, and
+// content-addressed fingerprinting of correlated subplans. A
+// certificate records the justification of every plan decision the
+// normal form cannot express positionally: join binding order,
+// access-path substitution (each index or hash access must be
+// justified by a predicate of the statement plus index metadata),
+// physical pipeline legality (DISTINCT/ORDER placement), and the
+// Section 4.5 path-filter omissions taken at translation time. A
+// mismatch anywhere is reported as a Finding carrying a minimal
+// counterexample — the first conjunct, column, or operator token on
+// which the two sides disagree.
+package plancheck
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+
+	"repro/internal/sqlast"
+)
+
+// SelIR is the canonical normal form of one SELECT block. Two SELECT
+// blocks are equivalent under the checker's rewrite rules iff their
+// SelIRs are equal field by field (Preds as a multiset, which the
+// sorted slice encodes).
+type SelIR struct {
+	Distinct  bool
+	CountStar bool
+	// Cols are the projected expressions in output order, canonical.
+	Cols []string
+	// ColNames are the projected column names in output order.
+	ColNames []string
+	// Tables are the "alias=table" bindings, sorted.
+	Tables []string
+	// Preds are the WHERE conjuncts, canonical and sorted (a
+	// multiset: duplicates are preserved).
+	Preds []string
+	// Order are the ORDER BY keys in order, canonical, with " DESC"
+	// appended for descending keys.
+	Order []string
+
+	// predExprs holds the normalized expression for each entry of
+	// Preds (same order), for the regexp-equivalence fallback.
+	predExprs []sqlast.Expr
+}
+
+// canonical serializes the IR deterministically. It is the input to
+// Hash and the basis of subplan fingerprints.
+func (ir *SelIR) canonical() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "distinct=%v;countstar=%v;", ir.Distinct, ir.CountStar)
+	fmt.Fprintf(&b, "cols=%s;", strings.Join(ir.Cols, "\x01"))
+	fmt.Fprintf(&b, "names=%s;", strings.Join(ir.ColNames, "\x01"))
+	fmt.Fprintf(&b, "tables=%s;", strings.Join(ir.Tables, "\x01"))
+	fmt.Fprintf(&b, "preds=%s;", strings.Join(ir.Preds, "\x01"))
+	fmt.Fprintf(&b, "order=%s", strings.Join(ir.Order, "\x01"))
+	return b.String()
+}
+
+// Hash returns the normal-form hash: the final certificate step
+// compares the two sides' hashes after all structural checks pass.
+func (ir *SelIR) Hash() string { return fingerprint(ir.canonical()) }
+
+// UnionIR is the canonical form of a UNION statement.
+type UnionIR struct {
+	Branches []*SelIR
+	// OrderPos/OrderDesc are the union-level ORDER BY keys resolved
+	// to projected column positions of the first branch.
+	OrderPos  []int
+	OrderDesc []bool
+}
+
+// StmtIR is the canonical form of a statement; exactly one of
+// Select/Union is set.
+type StmtIR struct {
+	Select *SelIR
+	Union  *UnionIR
+}
+
+// Hash returns the statement's normal-form hash.
+func (s *StmtIR) Hash() string {
+	if s.Select != nil {
+		return s.Select.Hash()
+	}
+	var b strings.Builder
+	for i, br := range s.Union.Branches {
+		fmt.Fprintf(&b, "branch%d=%s;", i, br.canonical())
+	}
+	fmt.Fprintf(&b, "orderpos=%v;orderdesc=%v", s.Union.OrderPos, s.Union.OrderDesc)
+	return fingerprint(b.String())
+}
+
+// fingerprint content-addresses a canonical string (FNV-1a 64).
+func fingerprint(s string) string {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// normalize rewrites an expression into the checker's canonical form
+// using only equivalence-preserving rules:
+//
+//   - AND and OR chains are flattened, their operands normalized,
+//     sorted by rendered text, and rebuilt left-associatively
+//     (commutativity + associativity of the boolean connectives);
+//   - = and <> sort their two operands by rendered text
+//     (commutativity of equality);
+//   - a > b becomes b < a and a >= b becomes b <= a (comparison
+//     orientation);
+//   - function names are folded to upper case, matching the planner.
+//
+// All other nodes are rebuilt structurally with normalized children.
+func normalize(e sqlast.Expr) sqlast.Expr {
+	switch x := e.(type) {
+	case *sqlast.Binary:
+		switch x.Op {
+		case sqlast.OpAnd, sqlast.OpOr:
+			parts := flattenChain(x, x.Op)
+			for i := range parts {
+				parts[i] = normalize(parts[i])
+			}
+			sort.Slice(parts, func(i, j int) bool { return parts[i].String() < parts[j].String() })
+			out := parts[0]
+			for _, p := range parts[1:] {
+				out = &sqlast.Binary{Op: x.Op, L: out, R: p}
+			}
+			return out
+		}
+		l, r := normalize(x.L), normalize(x.R)
+		op := x.Op
+		switch op {
+		case sqlast.OpGt:
+			op, l, r = sqlast.OpLt, r, l
+		case sqlast.OpGe:
+			op, l, r = sqlast.OpLe, r, l
+		}
+		if (op == sqlast.OpEq || op == sqlast.OpNe) && r.String() < l.String() {
+			l, r = r, l
+		}
+		return &sqlast.Binary{Op: op, L: l, R: r}
+	case *sqlast.Not:
+		return &sqlast.Not{X: normalize(x.X)}
+	case *sqlast.Between:
+		return &sqlast.Between{X: normalize(x.X), Lo: normalize(x.Lo), Hi: normalize(x.Hi)}
+	case *sqlast.IsNull:
+		return &sqlast.IsNull{X: normalize(x.X), Negate: x.Negate}
+	case *sqlast.Func:
+		f := &sqlast.Func{Name: strings.ToUpper(x.Name)}
+		for _, a := range x.Args {
+			f.Args = append(f.Args, normalize(a))
+		}
+		return f
+	}
+	return e
+}
+
+// flattenChain collects the operands of a nested And/Or chain.
+func flattenChain(e sqlast.Expr, op sqlast.BinOp) []sqlast.Expr {
+	if b, ok := e.(*sqlast.Binary); ok && b.Op == op {
+		return append(flattenChain(b.L, op), flattenChain(b.R, op)...)
+	}
+	return []sqlast.Expr{e}
+}
+
+// flattenConjuncts splits a WHERE expression into its top-level AND
+// conjuncts (nil yields none).
+func flattenConjuncts(e sqlast.Expr) []sqlast.Expr {
+	if e == nil {
+		return nil
+	}
+	return flattenChain(e, sqlast.OpAnd)
+}
+
+// sortPreds normalizes a conjunct list into the sorted canonical
+// multiset plus the parallel expression slice.
+func sortPreds(conjuncts []sqlast.Expr) (texts []string, exprs []sqlast.Expr) {
+	type pair struct {
+		t string
+		e sqlast.Expr
+	}
+	ps := make([]pair, len(conjuncts))
+	for i, c := range conjuncts {
+		n := normalize(c)
+		ps[i] = pair{t: n.String(), e: n}
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].t < ps[j].t })
+	for _, p := range ps {
+		texts = append(texts, p.t)
+		exprs = append(exprs, p.e)
+	}
+	return texts, exprs
+}

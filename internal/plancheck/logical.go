@@ -1,0 +1,260 @@
+package plancheck
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/engine"
+	"repro/internal/sqlast"
+)
+
+// The logical extractor maps a sqlast statement into the canonical
+// IR, replicating exactly the name-resolution semantics the engine's
+// planner applies (qualified references walk the scope chain;
+// unqualified references must be unique within the innermost scope
+// that can bind them) so that both sides of the comparison qualify
+// every column with the same alias.
+
+// lscope is one level of the FROM-clause name environment.
+type lscope struct {
+	parent *lscope
+	tables map[string]*engine.Table
+	order  []string // aliases in FROM order
+}
+
+// resolve maps a column reference to its binding alias.
+func (sc *lscope) resolve(c *sqlast.Col) (string, error) {
+	if c.Table != "" {
+		for s := sc; s != nil; s = s.parent {
+			if t, ok := s.tables[c.Table]; ok {
+				if t.ColIndex(c.Column) < 0 {
+					return "", fmt.Errorf("column %s.%s does not exist", c.Table, c.Column)
+				}
+				return c.Table, nil
+			}
+		}
+		return "", fmt.Errorf("unknown table alias %q", c.Table)
+	}
+	for s := sc; s != nil; s = s.parent {
+		found := ""
+		for _, alias := range s.order {
+			if s.tables[alias].ColIndex(c.Column) >= 0 {
+				if found != "" {
+					return "", fmt.Errorf("ambiguous column %q", c.Column)
+				}
+				found = alias
+			}
+		}
+		if found != "" {
+			return found, nil
+		}
+	}
+	return "", fmt.Errorf("unknown column %q", c.Column)
+}
+
+// LogicalIR extracts the canonical IR of a statement against the
+// tables of db.
+func LogicalIR(db *engine.DB, st sqlast.Statement) (*StmtIR, error) {
+	switch s := st.(type) {
+	case *sqlast.Select:
+		ir, err := logicalSelect(db, s, nil)
+		if err != nil {
+			return nil, err
+		}
+		return &StmtIR{Select: ir}, nil
+	case *sqlast.Union:
+		u := &UnionIR{}
+		for _, br := range s.Selects {
+			ir, err := logicalSelect(db, br, nil)
+			if err != nil {
+				return nil, err
+			}
+			u.Branches = append(u.Branches, ir)
+		}
+		// Resolve union-level ORDER BY to first-branch column
+		// positions, replicating the engine's rule.
+		if len(s.Selects) > 0 {
+			names := u.Branches[0].ColNames
+			for _, k := range s.OrderBy {
+				col, ok := k.Expr.(*sqlast.Col)
+				if !ok {
+					return nil, fmt.Errorf("UNION ORDER BY must reference an output column")
+				}
+				pos := -1
+				for i, name := range names {
+					if name == col.Column || name == col.String() {
+						pos = i
+						break
+					}
+				}
+				if pos < 0 {
+					return nil, fmt.Errorf("UNION ORDER BY column %q not in output", col)
+				}
+				u.OrderPos = append(u.OrderPos, pos)
+				u.OrderDesc = append(u.OrderDesc, k.Desc)
+			}
+		}
+		return &StmtIR{Union: u}, nil
+	}
+	return nil, fmt.Errorf("unsupported statement %T", st)
+}
+
+// logicalSelect extracts one SELECT block under a parent scope (nil
+// at top level).
+func logicalSelect(db *engine.DB, sel *sqlast.Select, parent *lscope) (*SelIR, error) {
+	sc := &lscope{parent: parent, tables: map[string]*engine.Table{}}
+	ir := &SelIR{Distinct: sel.Distinct}
+	for _, ref := range sel.From {
+		t := db.Table(ref.Table)
+		if t == nil {
+			return nil, fmt.Errorf("unknown table %q", ref.Table)
+		}
+		name := ref.Name()
+		if _, dup := sc.tables[name]; dup {
+			return nil, fmt.Errorf("duplicate table alias %q", name)
+		}
+		sc.tables[name] = t
+		sc.order = append(sc.order, name)
+		ir.Tables = append(ir.Tables, name+"="+ref.Table)
+	}
+	sort.Strings(ir.Tables)
+
+	// Projection, replicating the planner's COUNT(*) and column-name
+	// rules.
+	if len(sel.Cols) == 1 {
+		if _, ok := sel.Cols[0].Expr.(*sqlast.CountStar); ok {
+			ir.CountStar = true
+			ir.ColNames = []string{"COUNT(*)"}
+		}
+	}
+	if !ir.CountStar {
+		for _, c := range sel.Cols {
+			q, err := qualify(db, c.Expr, sc)
+			if err != nil {
+				return nil, err
+			}
+			ir.Cols = append(ir.Cols, normalize(q).String())
+			name := c.Alias
+			if name == "" {
+				name = c.Expr.String()
+			}
+			ir.ColNames = append(ir.ColNames, name)
+		}
+	}
+
+	var conjuncts []sqlast.Expr
+	for _, c := range flattenConjuncts(sel.Where) {
+		q, err := qualify(db, c, sc)
+		if err != nil {
+			return nil, err
+		}
+		conjuncts = append(conjuncts, q)
+	}
+	ir.Preds, ir.predExprs = sortPreds(conjuncts)
+
+	for _, k := range sel.OrderBy {
+		q, err := qualify(db, k.Expr, sc)
+		if err != nil {
+			return nil, err
+		}
+		ir.Order = append(ir.Order, orderText(normalize(q).String(), k.Desc))
+	}
+	return ir, nil
+}
+
+// qualify rewrites an expression with every column reference
+// qualified by its resolved alias and every correlated subquery
+// replaced by a marker pseudo-call carrying the content fingerprint
+// of the subquery's own canonical IR. The markers make subplan
+// references position-independent: the two sides may discover
+// subplans in different orders and still compare equal.
+func qualify(db *engine.DB, e sqlast.Expr, sc *lscope) (sqlast.Expr, error) {
+	switch x := e.(type) {
+	case *sqlast.Col:
+		alias, err := sc.resolve(x)
+		if err != nil {
+			return nil, err
+		}
+		return sqlast.C(alias, x.Column), nil
+	case *sqlast.Binary:
+		l, err := qualify(db, x.L, sc)
+		if err != nil {
+			return nil, err
+		}
+		r, err := qualify(db, x.R, sc)
+		if err != nil {
+			return nil, err
+		}
+		return &sqlast.Binary{Op: x.Op, L: l, R: r}, nil
+	case *sqlast.Not:
+		inner, err := qualify(db, x.X, sc)
+		if err != nil {
+			return nil, err
+		}
+		return &sqlast.Not{X: inner}, nil
+	case *sqlast.Between:
+		bx, err := qualify(db, x.X, sc)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := qualify(db, x.Lo, sc)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := qualify(db, x.Hi, sc)
+		if err != nil {
+			return nil, err
+		}
+		return &sqlast.Between{X: bx, Lo: lo, Hi: hi}, nil
+	case *sqlast.IsNull:
+		inner, err := qualify(db, x.X, sc)
+		if err != nil {
+			return nil, err
+		}
+		return &sqlast.IsNull{X: inner, Negate: x.Negate}, nil
+	case *sqlast.Func:
+		f := &sqlast.Func{Name: x.Name}
+		for _, a := range x.Args {
+			qa, err := qualify(db, a, sc)
+			if err != nil {
+				return nil, err
+			}
+			f.Args = append(f.Args, qa)
+		}
+		return f, nil
+	case *sqlast.Exists:
+		sub, err := logicalSelect(db, x.Select, sc)
+		if err != nil {
+			return nil, err
+		}
+		kind, name := "exists", engine.MarkerExists
+		if x.Negate {
+			kind, name = "not-exists", engine.MarkerNotExists
+		}
+		return subplanMarker(name, kind, sub), nil
+	case *sqlast.Subquery:
+		sub, err := logicalSelect(db, x.Select, sc)
+		if err != nil {
+			return nil, err
+		}
+		kind := "scalar"
+		if sub.CountStar {
+			kind = "count"
+		}
+		return subplanMarker(engine.MarkerScalar, kind, sub), nil
+	}
+	return e, nil
+}
+
+// subplanMarker builds the canonical marker call for a subplan.
+func subplanMarker(name, kind string, sub *SelIR) sqlast.Expr {
+	fp := fingerprint(kind + "|" + sub.canonical())
+	return &sqlast.Func{Name: name, Args: []sqlast.Expr{sqlast.Str(fp)}}
+}
+
+func orderText(key string, desc bool) string {
+	if desc {
+		return key + " DESC"
+	}
+	return key
+}

@@ -1,0 +1,264 @@
+package plancheck
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/schema"
+	"repro/internal/sqlast"
+)
+
+// The mutation harness proves the checker is not vacuous: each
+// mutation simulates a distinct planner or lowering defect by
+// corrupting a freshly extracted plan shape (or forging an omission
+// trace), and the checker must reject every one with a
+// counterexample.
+
+// Mutation is one seeded defect. Apply corrupts the shape in place
+// and reports whether the defect was applicable to this plan.
+type Mutation struct {
+	Name   string
+	Defect string // the planner bug the mutation simulates
+	Apply  func(*engine.StmtShape) bool
+}
+
+// MutationResult records one mutation run.
+type MutationResult struct {
+	Name     string
+	Applied  bool
+	Rejected bool
+	// Finding is the first counterexample the checker produced.
+	Finding string
+}
+
+// firstSelect returns the shape's select block (first union branch
+// for unions).
+func firstSelect(sh *engine.StmtShape) *engine.SelectShape {
+	if sh.Select != nil {
+		return sh.Select
+	}
+	if sh.Union != nil && len(sh.Union.Branches) > 0 {
+		return sh.Union.Branches[0]
+	}
+	return nil
+}
+
+// Mutations returns the seeded defects, each distinct in the rule it
+// must trip.
+func Mutations() []Mutation {
+	return []Mutation{
+		{
+			Name:   "swap-join-bounds",
+			Defect: "bad Table 2 join condition: BETWEEN bounds swapped",
+			Apply: func(sh *engine.StmtShape) bool {
+				sel := firstSelect(sh)
+				if sel == nil {
+					return false
+				}
+				for si := range sel.Steps {
+					for fi, f := range sel.Steps[si].Filters {
+						if b, ok := f.Expr.(*sqlast.Between); ok {
+							sel.Steps[si].Filters[fi].Expr = &sqlast.Between{X: b.X, Lo: b.Hi, Hi: b.Lo}
+							return true
+						}
+					}
+				}
+				return false
+			},
+		},
+		{
+			Name:   "drop-predicate",
+			Defect: "planner silently drops a WHERE conjunct",
+			Apply: func(sh *engine.StmtShape) bool {
+				sel := firstSelect(sh)
+				if sel == nil {
+					return false
+				}
+				for si := range sel.Steps {
+					fs := sel.Steps[si].Filters
+					if len(fs) > 0 {
+						sel.Steps[si].Filters = fs[:len(fs)-1]
+						return true
+					}
+				}
+				if len(sel.PreFilters) > 0 {
+					sel.PreFilters = sel.PreFilters[:len(sel.PreFilters)-1]
+					return true
+				}
+				return false
+			},
+		},
+		{
+			Name:   "wrong-access-path",
+			Defect: "access path not justified by any predicate or index",
+			Apply: func(sh *engine.StmtShape) bool {
+				sel := firstSelect(sh)
+				if sel == nil || len(sel.Steps) == 0 {
+					return false
+				}
+				s := &sel.Steps[len(sel.Steps)-1]
+				s.Access = engine.AccessShape{
+					Kind:      "index-eq",
+					Index:     "phantom_idx",
+					IndexCols: []string{"no_such_col"},
+					Col:       "no_such_col",
+					Keys:      []engine.ExprShape{{Expr: sqlast.Int(42)}},
+				}
+				return true
+			},
+		},
+		{
+			Name:   "misplace-distinct",
+			Defect: "DISTINCT dropped from (or invented in) the lowered pipeline",
+			Apply: func(sh *engine.StmtShape) bool {
+				sel := firstSelect(sh)
+				if sel == nil {
+					return false
+				}
+				for i, tok := range sel.Pipeline {
+					if tok == "distinct" {
+						sel.Pipeline = append(sel.Pipeline[:i], sel.Pipeline[i+1:]...)
+						return true
+					}
+				}
+				sel.Pipeline = append(sel.Pipeline, "distinct")
+				return true
+			},
+		},
+		{
+			Name:   "reorder-binding",
+			Defect: "join order binds a table after an expression that reads it",
+			Apply: func(sh *engine.StmtShape) bool {
+				sel := firstSelect(sh)
+				if sel == nil {
+					return false
+				}
+				// Swap a referencing step in front of the step it
+				// reads, so its access keys or filters run before the
+				// alias is bound.
+				for j := range sel.Steps {
+					for i := 0; i < j; i++ {
+						if stepReferences(sel.Steps[j], sel.Steps[i].Alias) {
+							sel.Steps[i], sel.Steps[j] = sel.Steps[j], sel.Steps[i]
+							pi, pj := pipelinePos(sel.Pipeline, sel.Steps[j].Alias), pipelinePos(sel.Pipeline, sel.Steps[i].Alias)
+							if pi >= 0 && pj >= 0 {
+								sel.Pipeline[pi], sel.Pipeline[pj] = sel.Pipeline[pj], sel.Pipeline[pi]
+							}
+							return true
+						}
+					}
+				}
+				return false
+			},
+		},
+	}
+}
+
+func stepReferences(s engine.StepShape, alias string) bool {
+	for _, es := range accessExprs(s.Access) {
+		for _, r := range es.Refs {
+			if r == alias {
+				return true
+			}
+		}
+	}
+	for _, f := range s.Filters {
+		for _, r := range f.Refs {
+			if r == alias {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func pipelinePos(pipeline []string, alias string) int {
+	for i, tok := range pipeline {
+		if tok == "scan "+alias {
+			return i
+		}
+	}
+	return -1
+}
+
+// CheckMutations extracts st's plan shape once per mutation, applies
+// the defect, and runs the checker. A sound checker rejects every
+// applied mutation.
+func CheckMutations(db *engine.DB, st sqlast.Statement) ([]MutationResult, error) {
+	var out []MutationResult
+	for _, m := range Mutations() {
+		sh, err := db.PlanShape(st)
+		if err != nil {
+			return nil, fmt.Errorf("extract shape for %s: %w", m.Name, err)
+		}
+		res := MutationResult{Name: m.Name}
+		if !m.Apply(sh) {
+			out = append(out, res)
+			continue
+		}
+		res.Applied = true
+		_, fs := CheckShape(db, st, sh)
+		if len(fs) > 0 {
+			res.Rejected = true
+			res.Finding = fs[0].String()
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// OmissionMutations forges Section 4.5 traces with unjustified
+// decisions against s; the validator must reject each.
+func OmissionMutations(s *schema.Schema) []MutationResult {
+	var ipNode, fpNode *schema.Node
+	for _, n := range s.Nodes() {
+		switch n.Mark {
+		case schema.InfinitePaths:
+			if ipNode == nil {
+				ipNode = n
+			}
+		case schema.FinitePaths, schema.UniquePath:
+			if fpNode == nil && len(n.RootPaths) > 0 {
+				fpNode = n
+			}
+		}
+	}
+	var out []MutationResult
+	run := func(name string, tr core.OmissionTrace, applicable bool) {
+		res := MutationResult{Name: name, Applied: applicable}
+		if applicable {
+			if f := ValidateOmission(tr); f != nil {
+				res.Rejected = true
+				res.Finding = f.String()
+			}
+		}
+		out = append(out, res)
+	}
+	run("omit-on-infinite-paths", core.OmissionTrace{
+		Node:     ipNode,
+		Pattern:  "#.*#",
+		Decision: schema.OmitFilter,
+	}, ipNode != nil)
+	if fpNode != nil {
+		// A pattern matching no root path: omission would admit every
+		// row the filter should reject.
+		run("omit-without-full-match", core.OmissionTrace{
+			Node:     fpNode,
+			Pattern:  "#never-a-root-path#",
+			Decision: schema.OmitFilter,
+			Evidence: schema.OmissionEvidence{Mark: fpNode.Mark, Total: len(fpNode.RootPaths)},
+		}, true)
+		// Claiming emptiness while every root path matches.
+		run("empty-despite-matches", core.OmissionTrace{
+			Node:     fpNode,
+			Pattern:  ".*",
+			Decision: schema.EmptyResult,
+			Evidence: schema.OmissionEvidence{Mark: fpNode.Mark, Total: len(fpNode.RootPaths), Matched: len(fpNode.RootPaths)},
+		}, true)
+	} else {
+		run("omit-without-full-match", core.OmissionTrace{}, false)
+		run("empty-despite-matches", core.OmissionTrace{}, false)
+	}
+	return out
+}

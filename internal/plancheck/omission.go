@@ -1,0 +1,74 @@
+package plancheck
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/pathre"
+	"repro/internal/schema"
+)
+
+// ValidateOmission re-derives one Section 4.5 path-filter decision
+// from scratch — recompiling the pattern and recounting the matching
+// root paths — and reports a finding when the translator's decision
+// is not justified by that independent evidence. nil means the
+// decision is proven.
+func ValidateOmission(tr core.OmissionTrace) *Finding {
+	fail := func(detail string) *Finding {
+		return &Finding{
+			Rule: "omission",
+			Detail: fmt.Sprintf("node %s (%s, %d root paths), pattern %q, decision %s: %s",
+				tr.Node.Name, tr.Node.Mark, len(tr.Node.RootPaths), tr.Pattern, tr.Decision, detail),
+		}
+	}
+	if tr.Decision == schema.KeepFilter {
+		// Keeping the dynamic filter is always sound.
+		return nil
+	}
+	if tr.Node.Mark == schema.InfinitePaths {
+		return fail("static decisions require a finite path set (U-P or F-P marking)")
+	}
+	re, err := pathre.Compile(tr.Pattern)
+	if err != nil {
+		return fail("pattern does not compile: " + err.Error())
+	}
+	matched := 0
+	for _, p := range tr.Node.RootPaths {
+		if re.MatchString(p) {
+			matched++
+		}
+	}
+	total := len(tr.Node.RootPaths)
+	if tr.Evidence.Matched != matched || tr.Evidence.Total != total {
+		return fail(fmt.Sprintf("evidence claims %d/%d matching paths, recount finds %d/%d",
+			tr.Evidence.Matched, tr.Evidence.Total, matched, total))
+	}
+	switch tr.Decision {
+	case schema.OmitFilter:
+		if matched != total {
+			return fail(fmt.Sprintf("only %d of %d root paths match — omitting the filter would admit the other %d", matched, total, total-matched))
+		}
+	case schema.EmptyResult:
+		if matched != 0 {
+			return fail(fmt.Sprintf("%d of %d root paths match — the result is not statically empty", matched, total))
+		}
+		if total == 0 {
+			return fail("a node with no root paths omits the filter, it does not empty the result")
+		}
+	default:
+		return fail("unknown decision")
+	}
+	return nil
+}
+
+// ValidateOmissions validates a batch of traces, labelling findings.
+func ValidateOmissions(query string, traces []core.OmissionTrace) []Finding {
+	var fs []Finding
+	for _, tr := range traces {
+		if f := ValidateOmission(tr); f != nil {
+			f.Query = query
+			fs = append(fs, *f)
+		}
+	}
+	return fs
+}

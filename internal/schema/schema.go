@@ -50,6 +50,70 @@ func (m Mark) String() string {
 // which is always correct).
 const maxEnumeratedPaths = 64
 
+// OmissionDecision is the Section 4.5 static outcome for one path
+// filter on one node.
+type OmissionDecision uint8
+
+const (
+	// KeepFilter: the filter must be evaluated dynamically (I-P node,
+	// or only some enumerated root paths match the pattern).
+	KeepFilter OmissionDecision = iota
+	// OmitFilter: every enumerated root path matches; the filter is
+	// redundant and may be dropped.
+	OmitFilter
+	// EmptyResult: no enumerated root path matches; the select is
+	// statically empty.
+	EmptyResult
+)
+
+func (d OmissionDecision) String() string {
+	switch d {
+	case KeepFilter:
+		return "keep-filter"
+	case OmitFilter:
+		return "omit-filter"
+	case EmptyResult:
+		return "empty-result"
+	}
+	return fmt.Sprintf("OmissionDecision(%d)", uint8(d))
+}
+
+// OmissionEvidence carries the facts that justify an omission
+// decision, so a checker can re-derive and audit it.
+type OmissionEvidence struct {
+	Mark    Mark
+	Total   int // enumerated root paths considered
+	Matched int // how many the pattern accepted
+}
+
+// JustifyOmission derives the Section 4.5 decision for a path filter
+// on this node: matches reports whether the filter's pattern accepts
+// one root-to-node path. An I-P node always keeps the filter — its
+// root-path set is infinite, so no finite evidence can justify
+// omission. This is the single source of truth the translator applies
+// and plancheck re-validates.
+func (n *Node) JustifyOmission(matches func(path string) bool) (OmissionDecision, OmissionEvidence) {
+	ev := OmissionEvidence{Mark: n.Mark, Total: len(n.RootPaths)}
+	if n.Mark == InfinitePaths {
+		return KeepFilter, ev
+	}
+	for _, p := range n.RootPaths {
+		if matches(p) {
+			ev.Matched++
+		}
+	}
+	switch {
+	case ev.Matched == ev.Total:
+		// Total == 0 lands here: a node without enumerated root paths
+		// is unreachable, so no row can fail the omitted filter.
+		return OmitFilter, ev
+	case ev.Matched == 0:
+		return EmptyResult, ev
+	default:
+		return KeepFilter, ev
+	}
+}
+
 // Node is a vertex of the schema graph: an element definition and its
 // relation in the schema-aware mapping.
 type Node struct {
