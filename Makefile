@@ -1,9 +1,9 @@
 # make check mirrors .github/workflows/ci.yml locally.
 GO ?= go
 
-.PHONY: check build fmtcheck vet xvet transcheck plancheck test race chaos fuzz-smoke bench-smoke explain-smoke
+.PHONY: check build fmtcheck vet xvet transcheck plancheck test race chaos batch-smoke fuzz-smoke bench-smoke explain-smoke
 
-check: build fmtcheck vet xvet transcheck plancheck test race chaos
+check: build fmtcheck vet xvet transcheck plancheck test race chaos batch-smoke
 
 build:
 	$(GO) build ./...
@@ -55,6 +55,16 @@ chaos:
 	$(GO) test -race -run 'TestChaos|TestBudget|TestRunContext|TestPreparedRunContext|TestConcurrentBudgeted' ./internal/engine/ ./internal/failpoint/
 	$(GO) test -race -run 'TestVerifyPlan|TestMutationsRejected' ./internal/plancheck/
 
+# batch-smoke checks batch-size invariance: every query in the
+# engine's parallel matrix and the Figure 3 corpus must return
+# byte-identical results, operator statistics, and governor errors at
+# every batch capacity (including the degenerate 1), and a fault
+# injected at the engine/batch-flush failpoint must unwind to a typed
+# error with no goroutine leaks (DESIGN.md section 11).
+batch-smoke:
+	$(GO) test -race -count=1 -run 'TestBatchSizeInvariance|TestGovernorBatchInvariance|TestChaosBatchFlush|TestBatchSizeOptionPlumbs' ./internal/engine/
+	$(GO) test -race -count=1 -run 'TestBatchSizeInvarianceOnFig3' ./internal/bench/
+
 # fuzz-smoke gives each native fuzz target a short budget; regression
 # inputs from past crashes live in each package's testdata/fuzz and
 # also run under plain `go test`.
@@ -62,6 +72,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzXPathParse -fuzztime=10s ./internal/xpath/
 	$(GO) test -fuzz=FuzzDeweyDecode -fuzztime=10s ./internal/dewey/
 	$(GO) test -fuzz=FuzzPathPattern -fuzztime=10s ./internal/pathre/
+	$(GO) test -fuzz=FuzzPathDFA -fuzztime=10s ./internal/pathre/
 
 # bench-smoke runs a tiny Figure 3 pass in both execution modes
 # (serial, then morsel-parallel) with oracle verification on: a fast

@@ -6,7 +6,8 @@
 //	xbench -experiment fig3|appc-small|appc-large|appc-dblp|joins|\
 //	                   explain|ablate-pathfilter|ablate-fkjoin|all
 //	       [-scale N] [-reps N] [-budget 60s] [-seed N] [-noverify]
-//	       [-parallel] [-max-mem BYTES] [-max-rows N] [-json out.json]
+//	       [-parallel] [-batch N] [-max-mem BYTES] [-max-rows N]
+//	       [-json out.json]
 //
 // Scale 1 approximates the paper's small (12 MB) XMark document;
 // appc-large uses 10x (the paper's 113 MB document). Timings cannot
@@ -15,7 +16,9 @@
 //
 // -parallel runs the SQL-based systems with the engine's morsel
 // executor at GOMAXPROCS workers (paper-shape comparisons are serial;
-// see EXPERIMENTS.md). -max-mem and -max-rows cap each statement's
+// see EXPERIMENTS.md). -batch overrides the engine's row-id batch
+// capacity for the SQL-based systems (0 = engine default; results are
+// batch-size invariant). -max-mem and -max-rows cap each statement's
 // materialized bytes and produced rows (0 = unlimited, the paper's
 // configuration); an exceeded budget prints ERR for that cell. -json writes every measurement as a JSON array
 // of records so the repo can accumulate a perf trajectory
@@ -41,6 +44,7 @@ func main() {
 	seed := flag.Int64("seed", 42, "generator seed")
 	noverify := flag.Bool("noverify", false, "skip cross-checking every system against the oracle")
 	parallel := flag.Bool("parallel", false, "run SQL-based systems with GOMAXPROCS engine workers")
+	batch := flag.Int("batch", 0, "engine row-id batch capacity for SQL-based systems (0 = engine default)")
 	maxMem := flag.Int64("max-mem", 0, "per-statement memory budget in bytes for SQL-based systems (0 = unlimited)")
 	maxRows := flag.Int64("max-rows", 0, "per-statement produced-row budget for SQL-based systems (0 = unlimited)")
 	jsonOut := flag.String("json", "", "also write measurements as JSON records to this file")
@@ -50,16 +54,18 @@ func main() {
 	if *parallel {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	lim := limits{mem: *maxMem, rows: *maxRows}
+	lim := limits{mem: *maxMem, rows: *maxRows, batch: *batch}
 	if err := run(*experiment, *scale, *reps, *budget, *seed, !*noverify, workers, lim, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "xbench:", err)
 		os.Exit(1)
 	}
 }
 
-// limits carries the per-statement resource budgets into run.
+// limits carries the per-statement resource budgets and the engine
+// batch capacity into run.
 type limits struct {
 	mem, rows int64
+	batch     int
 }
 
 func run(experiment string, scale float64, reps int, budget time.Duration, seed int64, verify bool, workers int, lim limits, jsonOut string) error {
@@ -75,6 +81,7 @@ func run(experiment string, scale float64, reps int, budget time.Duration, seed 
 		if err == nil {
 			w.Parallelism = workers
 			w.MaxMemoryBytes, w.MaxRows = lim.mem, lim.rows
+			w.BatchSize = lim.batch
 		}
 		return w, err
 	}
@@ -84,6 +91,7 @@ func run(experiment string, scale float64, reps int, budget time.Duration, seed 
 		if err == nil {
 			w.Parallelism = workers
 			w.MaxMemoryBytes, w.MaxRows = lim.mem, lim.rows
+			w.BatchSize = lim.batch
 		}
 		return w, err
 	}

@@ -6,10 +6,12 @@
 // shredded under the schema-aware mapping.
 //
 //	xsql [-schema site.schema [-xsd]] [-load doc.xml] [-parallel N]
-//	     [-max-mem BYTES] [-max-rows N] [-e 'STMT'...]
+//	     [-batch-size N] [-max-mem BYTES] [-max-rows N] [-e 'STMT'...]
 //
 // -parallel N executes SELECTs with the engine's morsel executor at N
-// workers (0 = serial). -max-mem and -max-rows set per-statement
+// workers (0 = serial). -batch-size N sets the engine's row-id batch
+// capacity (0 = engine default; results are identical at every
+// setting). -max-mem and -max-rows set per-statement
 // resource budgets (0 = unlimited): a statement that exceeds one
 // fails with a budget error and the shell keeps running.
 //
@@ -38,13 +40,15 @@ func main() {
 	useXSD := flag.Bool("xsd", false, "parse the schema file as XML Schema")
 	load := flag.String("load", "", "XML document to shred before starting")
 	parallel := flag.Int("parallel", 0, "engine worker count for SELECTs (0 = serial)")
+	batchSize := flag.Int("batch-size", 0, "engine row-id batch capacity (0 = engine default)")
 	maxMem := flag.Int64("max-mem", 0, "per-statement memory budget in bytes (0 = unlimited)")
 	maxRows := flag.Int64("max-rows", 0, "per-statement produced-row budget (0 = unlimited)")
 	var stmts multiFlag
 	flag.Var(&stmts, "e", "statement to execute (repeatable); skips the interactive loop")
 	flag.Parse()
 
-	opts := engine.ExecOptions{Parallelism: *parallel, MaxMemoryBytes: *maxMem, MaxRows: *maxRows}
+	opts := engine.ExecOptions{Parallelism: *parallel, BatchSize: *batchSize,
+		MaxMemoryBytes: *maxMem, MaxRows: *maxRows}
 	if err := run(*schemaPath, *useXSD, *load, opts, stmts, os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "xsql:", err)
 		os.Exit(1)

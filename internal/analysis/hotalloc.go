@@ -14,14 +14,19 @@ import (
 // capturing closure to an interface method (enumerate) or func-typed
 // value forces the closure and its captured variables onto the heap
 // once per call, which on the row path means one allocation per join
-// binding. The sanctioned pattern is the forEachRow type-switch:
-// static dispatch keeps yield closures stack-allocated.
+// binding. The sanctioned pattern is the forEachBatch type-switch:
+// static dispatch keeps yield closures stack-allocated. The batched
+// executor adds a second discipline: a yield closure handed to a
+// batch enumerator is built once per step activation, never inside a
+// loop (one allocation per batch-loop turn).
 var HotAlloc = &Analyzer{
 	Name: "hotalloc",
 	Doc: "no heap-escaping capturing closures on internal/engine row paths: a capturing " +
 		"func literal must not be passed to a dynamic callee (interface method or " +
-		"func-typed value) nor stored from inside a loop; route row callbacks through " +
-		"static dispatch like access.go's forEachRow type-switch",
+		"func-typed value) nor stored from inside a loop, and yield closures handed to " +
+		"the batch enumerators (forEachBatch/yieldChunks/flushTail) must be built " +
+		"outside loops; route row callbacks through static dispatch like access.go's " +
+		"forEachBatch type-switch",
 	Run: runHotAlloc,
 }
 
@@ -67,6 +72,7 @@ func checkHotAllocFunc(pass *Pass, name string, body *ast.BlockStmt) {
 			return false // body belongs to the literal's own scope
 		case *ast.CallExpr:
 			checkDynamicCallArgs(pass, g, reach, stack, x)
+			checkBatchLoopClosure(pass, g, stack, x)
 		}
 		stack = append(stack, n)
 		return true
@@ -91,7 +97,7 @@ func checkDynamicCallArgs(pass *Pass, g *cfg.Graph, reach *cfg.Reach, stack []as
 			if capturesLocals(pass, a) {
 				pass.Reportf(a.Pos(),
 					"capturing closure passed to dynamic callee %s escapes to the heap per "+
-						"call; dispatch statically (forEachRow type-switch) or hoist the closure",
+						"call; dispatch statically (forEachBatch type-switch) or hoist the closure",
 					exprText(pass.Fset, call.Fun))
 			}
 		case *ast.Ident:
@@ -109,6 +115,43 @@ func checkDynamicCallArgs(pass *Pass, g *cfg.Graph, reach *cfg.Reach, stack []as
 					break
 				}
 			}
+		}
+	}
+}
+
+// batchEnumFuncs are the engine's batch-enumeration entry points. A
+// yield closure handed to one of them escapes through the access
+// paths' indirect callbacks (tree scans, posting-list walks), so it
+// heap-allocates at the call site; the discipline is one build per
+// step activation, amortized over every batch the step enumerates.
+var batchEnumFuncs = map[string]bool{
+	"forEachBatch": true, "yieldChunks": true, "flushTail": true,
+}
+
+// checkBatchLoopClosure flags a capturing closure literal passed to a
+// batch enumerator from inside a loop: each loop turn rebuilds (and
+// re-allocates) a closure that should exist once per step activation.
+func checkBatchLoopClosure(pass *Pass, g *cfg.Graph, stack []ast.Node, call *ast.CallExpr) {
+	var name string
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		name = f.Name
+	case *ast.SelectorExpr:
+		name = f.Sel.Name
+	}
+	if !batchEnumFuncs[name] || underGoOrDefer(stack, call) {
+		return
+	}
+	_, blk := g.BlockOfStack(append(stack[:len(stack):len(stack)], call))
+	if blk == nil || !g.InLoop(blk) {
+		return
+	}
+	for _, arg := range call.Args {
+		if fl, ok := ast.Unparen(arg).(*ast.FuncLit); ok && capturesLocals(pass, fl) {
+			pass.Reportf(fl.Pos(),
+				"capturing yield closure built inside a loop and passed to %s allocates per "+
+					"loop turn; build it once per step activation, above the loop",
+				name)
 		}
 	}
 }

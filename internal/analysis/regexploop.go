@@ -20,6 +20,10 @@ var RegexpLoop = &Analyzer{
 
 var compileFuncs = map[string]bool{
 	"Compile": true, "MustCompile": true, "CompilePOSIX": true, "MustCompilePOSIX": true,
+	// Determinizing a pattern into the engine's dense DFA is at least
+	// as expensive as compiling it; it belongs in compilePattern next
+	// to the NFA compile, never on a per-row path.
+	"CompileDFA": true,
 }
 
 func runRegexpLoop(pass *Pass) error {

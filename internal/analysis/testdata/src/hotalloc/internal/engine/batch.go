@@ -1,0 +1,76 @@
+// Batched-executor shapes: a yield closure handed to a batch
+// enumerator (forEachBatch / yieldChunks / flushTail) is built once
+// per step activation; building it inside a loop re-allocates it
+// every turn — the batched successor of the per-row closure class.
+package engine
+
+type batchYield func(ids []int64) (bool, error)
+
+func forEachBatch(ids []int64, batch int, yield batchYield) error {
+	for len(ids) > 0 {
+		n := batch
+		if n > len(ids) {
+			n = len(ids)
+		}
+		if ok, err := yield(ids[:n]); err != nil || !ok {
+			return err
+		}
+		ids = ids[n:]
+	}
+	return nil
+}
+
+func yieldChunks(ids []int64, batch int, yield batchYield) error {
+	return forEachBatch(ids, batch, yield)
+}
+
+// Built once per activation, reused for every batch: sanctioned.
+func runStepHoisted(ids []int64, batch int, sum *int64) error {
+	yield := func(b []int64) (bool, error) {
+		for _, id := range b {
+			*sum += id
+		}
+		return true, nil
+	}
+	return forEachBatch(ids, batch, yield)
+}
+
+// Rebuilt per morsel: one closure allocation per loop turn.
+func runMorselsRebuilt(morsels [][]int64, batch int, sum *int64) error {
+	for _, m := range morsels {
+		err := forEachBatch(m, batch, func(b []int64) (bool, error) { // want `capturing yield closure built inside a loop and passed to forEachBatch`
+			for _, id := range b {
+				*sum += id
+			}
+			return true, nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Same rebuild through the chunking helper.
+func chunkRebuilt(morsels [][]int64, batch int, sum *int64) error {
+	for _, m := range morsels {
+		if err := yieldChunks(m, batch, func(b []int64) (bool, error) { // want `capturing yield closure built inside a loop and passed to yieldChunks`
+			*sum += int64(len(b))
+			return true, nil
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// A non-capturing literal compiles to a static function value; no
+// finding even inside the loop.
+func nonCapturingInLoop(morsels [][]int64, batch int) error {
+	for _, m := range morsels {
+		if err := forEachBatch(m, batch, func(b []int64) (bool, error) { return true, nil }); err != nil {
+			return err
+		}
+	}
+	return nil
+}

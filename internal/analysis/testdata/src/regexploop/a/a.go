@@ -45,3 +45,23 @@ func closureInLoop(pats []string) []func() *regexp.Regexp {
 	}
 	return out
 }
+
+// Determinizing into the engine's dense DFA is at least as expensive
+// as compiling; per-row determinization is the same class of bug.
+func determinizeInLoop(pats []string) (int, error) {
+	n := 0
+	for _, p := range pats {
+		re, err := pathre.Compile(p) // want `pathre.Compile inside a loop`
+		if err != nil {
+			return 0, err
+		}
+		d, err := pathre.CompileDFA(re) // want `pathre.CompileDFA inside a loop`
+		if err != nil {
+			return 0, err
+		}
+		if d.MatchString("x") {
+			n++
+		}
+	}
+	return n, nil
+}

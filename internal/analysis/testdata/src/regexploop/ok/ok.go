@@ -23,3 +23,21 @@ func hoistedBeforeLoop(pat string, rows []string) (int, error) {
 	}
 	return n, nil
 }
+
+func dfaHoistedBeforeLoop(pat string, rows []string) (int, error) {
+	re, err := pathre.Compile(pat)
+	if err != nil {
+		return 0, err
+	}
+	d, err := pathre.CompileDFA(re)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, r := range rows {
+		if d.MatchString(r) {
+			n++
+		}
+	}
+	return n, nil
+}

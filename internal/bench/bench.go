@@ -9,6 +9,7 @@ package bench
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"time"
 
@@ -70,6 +71,12 @@ type Workload struct {
 	// configuration); exceeding one reports ERR for that cell.
 	MaxMemoryBytes int64
 	MaxRows        int64
+
+	// BatchSize is the engine's row-id batch capacity for the
+	// SQL-based systems (0 = the engine default). Results are
+	// batch-size invariant; the knob exists for the batching
+	// experiments.
+	BatchSize int
 
 	Aware  *shred.SchemaAwareStore
 	Edge   *shred.EdgeStore
@@ -262,6 +269,7 @@ func (w *Workload) runStmt(sys System, stmt sqlast.Statement, budget time.Durati
 		Parallelism:    workers,
 		MaxMemoryBytes: w.MaxMemoryBytes,
 		MaxRows:        w.MaxRows,
+		BatchSize:      w.BatchSize,
 	})
 	if err != nil {
 		return nil, err
@@ -382,6 +390,14 @@ type Measurement struct {
 	// (SQL-based systems only; 0 otherwise).
 	Joins     int
 	Operators int
+	// AllocsPerOp is the heap allocations per timed repetition
+	// (cumulative Mallocs delta across the reps loop divided by the
+	// repetitions — an approximate meter including harness overhead,
+	// comparable across runs of the same harness).
+	AllocsPerOp int64
+	// BatchSize is the effective engine row-id batch capacity the
+	// measurement ran with (SQL-based systems only; 0 otherwise).
+	BatchSize int
 }
 
 // Measure times a query under a system: reps repetitions (after one
@@ -398,6 +414,10 @@ func (w *Workload) Measure(sys System, q Query, reps int, budget time.Duration) 
 	db := w.dbFor(sys)
 	var stmt sqlast.Statement
 	if db != nil {
+		m.BatchSize = w.BatchSize
+		if m.BatchSize <= 0 {
+			m.BatchSize = engine.DefaultBatchSize
+		}
 		var err error
 		if stmt, err = w.Translate(sys, q); err != nil {
 			m.ErrorMsg = err.Error()
@@ -442,6 +462,11 @@ func (w *Workload) Measure(sys System, q Query, reps int, budget time.Duration) 
 		m.Avg = d
 		return m
 	}
+	// Mallocs is cumulative and GC-immune, so the delta across the
+	// timed loop divided by the repetitions is the allocations per
+	// execution (plus a constant sliver of harness overhead).
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
 	var total time.Duration
 	for i := 0; i < reps; i++ {
 		_, d, err := run()
@@ -455,8 +480,10 @@ func (w *Workload) Measure(sys System, q Query, reps int, budget time.Duration) 
 			break
 		}
 	}
+	runtime.ReadMemStats(&ms1)
 	if m.Reps > 0 {
 		m.Avg = total / time.Duration(m.Reps)
+		m.AllocsPerOp = int64(ms1.Mallocs-ms0.Mallocs) / int64(m.Reps)
 	}
 	return m
 }

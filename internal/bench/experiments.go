@@ -81,6 +81,8 @@ type Record struct {
 	CacheHitRate float64 `json:"cache_hit_rate"`
 	Joins        int     `json:"joins"`
 	Operators    int     `json:"operators"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BatchSize    int     `json:"batch_size"` // effective engine batch capacity; 0 = non-SQL system
 }
 
 // emit forwards a measurement to the Opts sink, if any.
@@ -103,6 +105,8 @@ func (o Opts) emit(experiment string, w *Workload, m Measurement) {
 		CacheHitRate: m.CacheHitRate,
 		Joins:        m.Joins,
 		Operators:    m.Operators,
+		AllocsPerOp:  m.AllocsPerOp,
+		BatchSize:    m.BatchSize,
 	})
 }
 
@@ -275,6 +279,7 @@ func (w *Workload) explainCheckRow(q Query) ([]string, error) {
 			Parallelism:    w.Parallelism,
 			MaxMemoryBytes: w.MaxMemoryBytes,
 			MaxRows:        w.MaxRows,
+			BatchSize:      w.BatchSize,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("%s %s: explain analyze: %w", sys, q.ID, err)

@@ -3,51 +3,87 @@ package engine
 // The uniform scan-operator contract: every access path pushes the
 // candidate row ids of its joinStep under the current bindings, in
 // the executor's canonical order, recording probes and governor
-// charges against the step's scan OpStats. yield returns false to
-// stop early. This file is the decomposition of the former monolithic
-// forEachRow switch into one method per access kind.
+// charges against the step's scan OpStats. Ids move in batches of up
+// to cap(sc.ids) (ExecOptions.BatchSize) so the per-row dispatch,
+// deadline, and stat costs are amortized per batch; yield returns
+// false to stop early.
 
-// rowYield receives one candidate row id; it returns false to stop
-// the enumeration early.
-type rowYield func(id int64) (bool, error)
+// batchYield receives one batch of candidate row ids, never empty,
+// in canonical order. The slice is either the enumerator's scratch
+// buffer or a zero-copy sub-slice of an index's posting list — valid
+// only until yield returns, and never to be mutated. It returns
+// false to stop the enumeration early.
+type batchYield func(ids []int64) (bool, error)
 
-// forEachRow dispatches to the concrete access path's enumerate
+// forEachBatch dispatches to the concrete access path's enumerate
 // method. The executor's row loops call this instead of the
 // accessPath interface method so escape analysis can keep their
 // yield closures off the heap: an interface call would force a
 // heap-allocated closure per join binding, which is measurable on
 // the paper's join-heavy Edge queries.
-func forEachRow(ec *execCtx, e env, s *joinStep, st *OpStats, yield rowYield) error {
+func forEachBatch(ec *execCtx, e env, s *joinStep, st *OpStats, sc *batchScratch, yield batchYield) error {
 	switch a := s.access.(type) {
 	case fullScan:
-		return a.enumerate(ec, e, s, st, yield)
+		return a.enumerate(ec, e, s, st, sc, yield)
 	case *indexEq:
-		return a.enumerate(ec, e, s, st, yield)
+		return a.enumerate(ec, e, s, st, sc, yield)
 	case *indexPrefixes:
-		return a.enumerate(ec, e, s, st, yield)
+		return a.enumerate(ec, e, s, st, sc, yield)
 	case *hashEq:
-		return a.enumerate(ec, e, s, st, yield)
+		return a.enumerate(ec, e, s, st, sc, yield)
 	case *fatHash:
-		return a.h.enumerate(ec, e, s, st, yield)
+		return a.h.enumerate(ec, e, s, st, sc, yield)
 	case *indexRange:
-		return a.enumerate(ec, e, s, st, yield)
+		return a.enumerate(ec, e, s, st, sc, yield)
 	default:
 		panic("engine: unknown access path")
 	}
 }
 
-func (fullScan) enumerate(ec *execCtx, e env, s *joinStep, st *OpStats, yield rowYield) error {
-	for id := range s.table.Rows {
-		cont, err := yield(int64(id))
+// flushTail yields the final partial batch, if any.
+func flushTail(buf []int64, yield batchYield) error {
+	if len(buf) == 0 {
+		return nil
+	}
+	_, err := yield(buf)
+	return err
+}
+
+// yieldChunks streams an index's already-materialized posting list to
+// yield in sub-slices of at most batch ids, without copying.
+func yieldChunks(ids []int64, batch int, yield batchYield) error {
+	for len(ids) > 0 {
+		n := len(ids)
+		if n > batch {
+			n = batch
+		}
+		cont, err := yield(ids[:n])
 		if err != nil || !cont {
 			return err
 		}
+		ids = ids[n:]
 	}
 	return nil
 }
 
-func (a *indexEq) enumerate(ec *execCtx, e env, s *joinStep, st *OpStats, yield rowYield) error {
-	var key []byte
+func (fullScan) enumerate(ec *execCtx, e env, s *joinStep, st *OpStats, sc *batchScratch, yield batchYield) error {
+	n := len(s.table.Rows)
+	buf := sc.ids[:0]
+	for id := 0; id < n; id++ {
+		buf = append(buf, int64(id))
+		if len(buf) == cap(buf) {
+			cont, err := yield(buf)
+			if err != nil || !cont {
+				return err
+			}
+			buf = buf[:0]
+		}
+	}
+	return flushTail(buf, yield)
+}
+
+func (a *indexEq) enumerate(ec *execCtx, e env, s *joinStep, st *OpStats, sc *batchScratch, yield batchYield) error {
+	key := sc.key[:0]
 	for _, kx := range a.keys {
 		v, err := kx.eval(ec, e)
 		if err != nil {
@@ -58,17 +94,12 @@ func (a *indexEq) enumerate(ec *execCtx, e env, s *joinStep, st *OpStats, yield 
 		}
 		key = encodeValue(key, v)
 	}
+	sc.key = key
 	st.probe()
-	for _, id := range a.ix.Tree.Get(key) {
-		cont, err := yield(id)
-		if err != nil || !cont {
-			return err
-		}
-	}
-	return nil
+	return yieldChunks(a.ix.Tree.Get(key), cap(sc.ids), yield)
 }
 
-func (a *indexPrefixes) enumerate(ec *execCtx, e env, s *joinStep, st *OpStats, yield rowYield) error {
+func (a *indexPrefixes) enumerate(ec *execCtx, e env, s *joinStep, st *OpStats, sc *batchScratch, yield batchYield) error {
 	v, err := a.x.eval(ec, e)
 	if err != nil {
 		return err
@@ -76,31 +107,42 @@ func (a *indexPrefixes) enumerate(ec *execCtx, e env, s *joinStep, st *OpStats, 
 	if v.Kind != KBytes {
 		return nil
 	}
+	buf := sc.ids[:0]
 	for k := 0; k <= len(v.B); k++ {
 		// Prefix-match within a possibly composite index: scan the
-		// interval covering exactly this first-component value.
-		lo := encodeValue(nil, NewBytes(v.B[:k]))
-		hi := append(append([]byte(nil), lo...), 0xFF)
+		// interval covering exactly this first-component value. The
+		// bounds live in this step's scratch (not shared buffers):
+		// yield runs nested steps while the Scan is still walking them.
+		lo := encodeValue(sc.key[:0], NewBytes(v.B[:k]))
+		sc.key = lo
+		hi := append(sc.key2[:0], lo...)
+		hi = append(hi, 0xFF)
+		sc.key2 = hi
 		st.probe()
 		stop := false
 		var scanErr error
 		a.ix.Tree.Scan(lo, hi, func(_ []byte, id int64) bool {
-			cont, err := yield(id)
-			if err != nil {
-				scanErr = err
-				return false
+			buf = append(buf, id)
+			if len(buf) == cap(buf) {
+				cont, err := yield(buf)
+				buf = buf[:0]
+				if err != nil {
+					scanErr = err
+					return false
+				}
+				stop = !cont
+				return cont
 			}
-			stop = !cont
-			return cont
+			return true
 		})
 		if scanErr != nil || stop {
 			return scanErr
 		}
 	}
-	return nil
+	return flushTail(buf, yield)
 }
 
-func (a *hashEq) enumerate(ec *execCtx, e env, s *joinStep, st *OpStats, yield rowYield) error {
+func (a *hashEq) enumerate(ec *execCtx, e env, s *joinStep, st *OpStats, sc *batchScratch, yield batchYield) error {
 	v, err := a.key.eval(ec, e)
 	if err != nil {
 		return err
@@ -108,7 +150,8 @@ func (a *hashEq) enumerate(ec *execCtx, e env, s *joinStep, st *OpStats, yield r
 	if v.IsNull() {
 		return nil
 	}
-	key := string(encodeValue(nil, v))
+	key := encodeValue(sc.key[:0], v)
+	sc.key = key
 	m, built, bytes, err := s.table.hashFor(a.col, ec.acct)
 	if err != nil {
 		return err
@@ -123,17 +166,11 @@ func (a *hashEq) enumerate(ec *execCtx, e env, s *joinStep, st *OpStats, yield r
 		}
 	}
 	st.probe()
-	for _, id := range m[key] {
-		cont, err := yield(id)
-		if err != nil || !cont {
-			return err
-		}
-	}
-	return nil
+	return yieldChunks(m[string(key)], cap(sc.ids), yield)
 }
 
-func (a *fatHash) enumerate(ec *execCtx, e env, s *joinStep, st *OpStats, yield rowYield) error {
-	return a.h.enumerate(ec, e, s, st, yield)
+func (a *fatHash) enumerate(ec *execCtx, e env, s *joinStep, st *OpStats, sc *batchScratch, yield batchYield) error {
+	return a.h.enumerate(ec, e, s, st, sc, yield)
 }
 
 // The shape methods below describe each access kind for the exported
@@ -202,7 +239,7 @@ func (a *indexRange) shape(sb *shapeBuilder, t *Table) (AccessShape, error) {
 	return as, nil
 }
 
-func (a *indexRange) enumerate(ec *execCtx, e env, s *joinStep, st *OpStats, yield rowYield) error {
+func (a *indexRange) enumerate(ec *execCtx, e env, s *joinStep, st *OpStats, sc *batchScratch, yield batchYield) error {
 	var lo, hi []byte
 	if a.lo != nil {
 		v, err := a.lo.eval(ec, e)
@@ -212,10 +249,11 @@ func (a *indexRange) enumerate(ec *execCtx, e env, s *joinStep, st *OpStats, yie
 		if v.IsNull() {
 			return nil
 		}
-		lo = encodeValue(nil, v)
+		lo = encodeValue(sc.key[:0], v)
 		if a.loStrict {
 			lo = append(lo, 0xFF)
 		}
+		sc.key = lo
 	}
 	if a.hi != nil {
 		v, err := a.hi.eval(ec, e)
@@ -225,20 +263,32 @@ func (a *indexRange) enumerate(ec *execCtx, e env, s *joinStep, st *OpStats, yie
 		if v.IsNull() {
 			return nil
 		}
-		hi = encodeValue(nil, v)
+		hi = encodeValue(sc.key2[:0], v)
 		if !a.hiStrict {
 			hi = append(hi, 0xFF)
 		}
+		sc.key2 = hi
 	}
 	st.probe()
+	buf := sc.ids[:0]
+	stop := false
 	var scanErr error
 	a.ix.Tree.Scan(lo, hi, func(_ []byte, id int64) bool {
-		cont, err := yield(id)
-		if err != nil {
-			scanErr = err
-			return false
+		buf = append(buf, id)
+		if len(buf) == cap(buf) {
+			cont, err := yield(buf)
+			buf = buf[:0]
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			stop = !cont
+			return cont
 		}
-		return cont
+		return true
 	})
-	return scanErr
+	if scanErr != nil || stop {
+		return scanErr
+	}
+	return flushTail(buf, yield)
 }

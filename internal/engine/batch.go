@@ -1,0 +1,125 @@
+package engine
+
+// Batched execution support: operator boundaries move fixed-size
+// row-id batches (ExecOptions.BatchSize, default DefaultBatchSize)
+// instead of single rows, so dispatch, deadline polls, governor
+// charges and stat updates are paid once per batch. Results, operator
+// stats and EXPLAIN ANALYZE output are identical at every batch size
+// — BatchSize=1 degenerates to the old row-at-a-time execution.
+
+// DefaultBatchSize is the row-id batch capacity used when
+// ExecOptions.BatchSize is unset.
+const DefaultBatchSize = 1024
+
+// batchScratch is the per-step working memory of one active scan:
+// the id batch buffer, the key-encoding buffers its access path
+// builds bounds into, and the column/mask scratch of the vectorized
+// filter pass. Each nesting level of the join pipeline owns its own
+// scratch (pooled on the execCtx) because an outer step's index scan
+// is still walking its key bounds while inner steps run.
+type batchScratch struct {
+	ids   []int64
+	key   []byte
+	key2  []byte
+	paths []string
+	keep  []bool
+	out   []bool
+}
+
+// getScratch returns a scratch whose id buffer has capacity n,
+// reusing a pooled one when available. Early-stopping consumers
+// (EXISTS, scalar subqueries) run with n=1 and draw from a separate
+// free list so their buffers don't shrink the main pipeline's.
+func (ec *execCtx) getScratch(n int) *batchScratch {
+	pool := &ec.free
+	if n == 1 {
+		pool = &ec.freeOne
+	}
+	if k := len(*pool); k > 0 {
+		sc := (*pool)[k-1]
+		*pool = (*pool)[:k-1]
+		return sc
+	}
+	return &batchScratch{ids: make([]int64, 0, n)}
+}
+
+// putScratch returns a scratch to its free list.
+func (ec *execCtx) putScratch(sc *batchScratch) {
+	if cap(sc.ids) == 1 {
+		ec.freeOne = append(ec.freeOne, sc)
+		return
+	}
+	ec.free = append(ec.free, sc)
+}
+
+// ensureStrings grows *s to at least n entries and returns the first
+// n of them.
+func ensureStrings(s *[]string, n int) []string {
+	if cap(*s) < n {
+		*s = make([]string, n)
+	}
+	return (*s)[:n]
+}
+
+// ensureBools grows *s to at least n entries and returns the first n.
+func ensureBools(s *[]bool, n int) []bool {
+	if cap(*s) < n {
+		*s = make([]bool, n)
+	}
+	return (*s)[:n]
+}
+
+// checkBatch amortizes deadline/cancellation checks over batches: the
+// clock is consulted about once per 1024 rows regardless of the batch
+// size, matching the cadence of the old per-row tick counter.
+func (ec *execCtx) checkBatch(n int) error {
+	if ec.deadline.IsZero() && ec.ctx == nil {
+		return nil
+	}
+	ec.ticks += n
+	if ec.ticks < 1024 {
+		return nil
+	}
+	ec.ticks = 0
+	return ec.checkNow()
+}
+
+// vecFilter evaluates the step's vectorized REGEXP_LIKE prefix over a
+// whole batch and returns the keep mask parallel to ids. The
+// vectorized filters are plan-time-compiled constant patterns over a
+// column of the step's own table, so the pass is error-free and
+// allocation-free (path columns are text; Value.String is zero-copy),
+// and a row's filters still short-circuit in source order: the
+// vectorized run is a prefix, residual conjuncts only see surviving
+// rows.
+func (r *stepRunner) vecFilter(s *joinStep, sc *batchScratch, ids []int64) []bool {
+	n := len(ids)
+	keep := ensureBools(&sc.keep, n)
+	paths := ensureStrings(&sc.paths, n)
+	out := ensureBools(&sc.out, n)
+	for i := range keep {
+		keep[i] = true
+	}
+	rows := s.table.Rows
+	for _, vf := range s.vec {
+		for i, id := range ids {
+			if !keep[i] {
+				paths[i] = ""
+				continue
+			}
+			v := rows[id][vf.pos]
+			if v.IsNull() {
+				// SQL REGEXP_LIKE(NULL, p) is false here (see cfunc.eval).
+				keep[i] = false
+				paths[i] = ""
+				continue
+			}
+			paths[i] = v.String()
+		}
+		vf.m.matchAll(paths, out)
+		for i := range keep {
+			keep[i] = keep[i] && out[i]
+		}
+	}
+	return keep
+}

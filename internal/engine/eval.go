@@ -334,10 +334,10 @@ func (c *cexists) eval(ec *execCtx, e env) (Value, error) {
 	var err error
 	if ec.timing {
 		t0 := time.Now()
-		err = ec.runPlan(c.plan, e, emit)
+		err = ec.runPlanFirst(c.plan, e, emit)
 		st.addTime(time.Since(t0))
 	} else {
-		err = ec.runPlan(c.plan, e, emit)
+		err = ec.runPlanFirst(c.plan, e, emit)
 	}
 	if err != nil {
 		return Null, err
@@ -388,10 +388,10 @@ func (c *csubq) eval(ec *execCtx, e env) (Value, error) {
 	var err error
 	if ec.timing {
 		t0 := time.Now()
-		err = ec.runPlan(c.plan, e, emit)
+		err = ec.runPlanFirst(c.plan, e, emit)
 		st.addTime(time.Since(t0))
 	} else {
-		err = ec.runPlan(c.plan, e, emit)
+		err = ec.runPlanFirst(c.plan, e, emit)
 	}
 	if err != nil {
 		return Null, err
@@ -403,17 +403,39 @@ func (c *csubq) eval(ec *execCtx, e env) (Value, error) {
 }
 
 // matcher wraps pathre with a stdlib regexp fallback for patterns
-// outside the ERE subset pathre supports.
+// outside the ERE subset pathre supports. For pathre patterns without
+// a literal fast path, dfa holds the dense byte-class DFA compiled at
+// the same (sole) compilation site — the NFA simulation allocates two
+// state sets per call, the DFA walk allocates nothing, which is what
+// makes the vectorized REGEXP_LIKE pass worthwhile.
 type matcher struct {
 	fast *pathre.Regexp
+	dfa  *pathre.DFA
 	slow *regexp.Regexp
 }
 
 func (m *matcher) match(s string) bool {
+	if m.dfa != nil {
+		return m.dfa.MatchString(s)
+	}
 	if m.fast != nil {
 		return m.fast.MatchString(s)
 	}
 	return m.slow.MatchString(s)
+}
+
+// matchAll evaluates the matcher over a batch of inputs, writing one
+// verdict per input into out. The engine's vectorized filter pass
+// (batch.go) is its only hot caller; non-DFA matchers degrade to the
+// per-row loop.
+func (m *matcher) matchAll(inputs []string, out []bool) {
+	if m.dfa != nil {
+		m.dfa.MatchAll(inputs, out)
+		return
+	}
+	for i, s := range inputs {
+		out[i] = m.match(s)
+	}
 }
 
 // patternCache shares compiled matchers across queries and
@@ -463,6 +485,15 @@ func compilePattern(pat string) (*matcher, error) {
 	}
 	if fast, err := pathre.Compile(pat); err == nil {
 		m = &matcher{fast: fast}
+		if !fast.HasLiteralPath() {
+			// Patterns that would otherwise run the NFA simulation get a
+			// dense DFA; transcheck proves DFA/NFA agreement (VerifyDFA)
+			// for every corpus pattern, and FuzzPathDFA fuzzes it. A
+			// pattern exceeding the DFA state bound just keeps the NFA.
+			if d, derr := pathre.CompileDFA(fast); derr == nil {
+				m.dfa = d
+			}
+		}
 	} else {
 		slow, err2 := regexp.Compile(pat)
 		if err2 != nil {

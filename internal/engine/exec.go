@@ -6,6 +6,7 @@ import (
 	"errors"
 	"time"
 
+	"repro/internal/failpoint"
 	"repro/internal/sqlast"
 )
 
@@ -46,6 +47,12 @@ type ExecOptions struct {
 	// the statement. Execution fails when the verifier rejects the
 	// plan. A no-op when no verifier is installed.
 	VerifyPlan bool
+	// BatchSize is the row-id batch capacity at operator boundaries
+	// (values <= 0 select DefaultBatchSize). Results, operator stats
+	// and EXPLAIN ANALYZE output are identical at every batch size;
+	// BatchSize=1 degenerates to row-at-a-time execution and exists
+	// for debugging and the invariance tests.
+	BatchSize int
 }
 
 // execCtx carries execution state shared across a statement run. Each
@@ -70,6 +77,13 @@ type execCtx struct {
 	// timing enables per-operator wall-clock measurement (EXPLAIN
 	// ANALYZE); plain runs never read the clock per operator.
 	timing bool
+	// batch is the resolved row-id batch capacity (ExecOptions.
+	// BatchSize or DefaultBatchSize); free/freeOne pool the per-step
+	// batch scratches (batch.go). Scratches are execCtx-local: every
+	// parallel worker has a private execCtx.
+	batch   int
+	free    []*batchScratch
+	freeOne []*batchScratch
 }
 
 // op returns the stats slot of an operator node in this execution's
@@ -78,20 +92,6 @@ func (ec *execCtx) op(n *opNode) *OpStats { return &ec.stats[n.id] }
 
 // ErrTimeout is returned when a statement exceeds its deadline.
 var ErrTimeout = errors.New("engine: statement timed out")
-
-// checkDeadline is called periodically from the row loop. The check
-// itself runs every 1024th call so hot loops pay one counter
-// increment, not a clock read.
-func (ec *execCtx) checkDeadline() error {
-	if ec.deadline.IsZero() && ec.ctx == nil {
-		return nil
-	}
-	ec.ticks++
-	if ec.ticks&0x3FF != 0 {
-		return nil
-	}
-	return ec.checkNow()
-}
 
 // checkNow checks cancellation and the deadline unconditionally.
 // Phase boundaries (after a hash-join build, before fan-out) call it
@@ -186,7 +186,11 @@ func (db *DB) runCompiled(ctx context.Context, cs *compiledStmt, opts ExecOption
 func (db *DB) runCompiledFrame(ctx context.Context, cs *compiledStmt, opts ExecOptions, sql string, timing bool) (*Result, opFrame, error) {
 	ec := &execCtx{db: db, parallelism: opts.Parallelism, sql: sql,
 		acct:  newAccountant(opts.MaxMemoryBytes, opts.MaxRows),
-		stats: make(opFrame, cs.nOps), timing: timing}
+		stats: make(opFrame, cs.nOps), timing: timing,
+		batch: opts.BatchSize}
+	if ec.batch <= 0 {
+		ec.batch = DefaultBatchSize
+	}
 	if ctx != nil {
 		ec.ctx = ctx
 		if d, ok := ctx.Deadline(); ok {
@@ -320,6 +324,13 @@ func (ec *execCtx) runTop(plan *selectPlan) (*Result, error) {
 		dst = ec.op(plan.phys.dedup)
 		dst.open()
 	}
+	// Governor charging is batched when no budget is set (the checks
+	// are then no-ops and only the peak matters, which batching
+	// preserves: accounted bytes only grow during collection). With a
+	// budget, every row charges exactly, so the typed error fires at
+	// the same logical row regardless of BatchSize.
+	exact := ec.acct.limited()
+	var pendRows, pendBytes int64
 	err := ec.runPlanOrdered(plan, env{}, func(row, keys []Value) (bool, error) {
 		if plan.distinct {
 			dst.rowIn()
@@ -327,20 +338,40 @@ func (ec *execCtx) runTop(plan *selectPlan) (*Result, error) {
 			if seen[k] {
 				return true, nil
 			}
-			if err := ec.acct.growBytes(int64(len(k)) + mapEntryBytes); err != nil {
-				return false, err
+			cost := int64(len(k)) + mapEntryBytes
+			if exact {
+				if err := ec.acct.growBytes(cost); err != nil {
+					return false, err
+				}
+			} else {
+				pendBytes += cost
 			}
-			dst.charge(int64(len(k)) + mapEntryBytes)
+			dst.charge(cost)
 			seen[k] = true
 			dst.rowOut()
 		}
-		if err := ec.acct.addRow(rowMemBytes(row, keys)); err != nil {
-			return false, err
+		b := rowMemBytes(row, keys)
+		if exact {
+			if err := ec.acct.addRow(b); err != nil {
+				return false, err
+			}
+		} else {
+			pendRows++
+			pendBytes += b
+			if pendRows >= int64(ec.batch) {
+				if err := ec.acct.addRows(pendRows, pendBytes); err != nil {
+					return false, err
+				}
+				pendRows, pendBytes = 0, 0
+			}
 		}
 		rows = append(rows, orderedRow{row: row, keys: keys})
 		return true, nil
 	})
 	if err != nil {
+		return nil, err
+	}
+	if err := ec.acct.addRows(pendRows, pendBytes); err != nil {
 		return nil, err
 	}
 	return ec.finishTop(plan, rows, 0, false), nil
@@ -438,18 +469,31 @@ func lessKeys(a, b []Value, desc []bool) bool {
 // runPlan enumerates matching bindings and emits projected rows.
 // The emit callback returns false to stop enumeration early.
 func (ec *execCtx) runPlan(plan *selectPlan, e env, emit func(row []Value) (bool, error)) error {
-	return ec.runPlanOrdered(plan, e, func(row, _ []Value) (bool, error) { return emit(row) })
+	return ec.runPlanBatch(plan, e, ec.batch, func(row, _ []Value) (bool, error) { return emit(row) })
+}
+
+// runPlanFirst is runPlan with single-row batches, for consumers that
+// stop at the first emitted row (EXISTS, scalar subqueries): a
+// read-ahead batch would make the scan/probe counters — and the work
+// done past the stopping row — depend on the batch size.
+func (ec *execCtx) runPlanFirst(plan *selectPlan, e env, emit func(row []Value) (bool, error)) error {
+	return ec.runPlanBatch(plan, e, 1, func(row, _ []Value) (bool, error) { return emit(row) })
 }
 
 // runPlanOrdered additionally evaluates ORDER BY keys per emitted row.
 func (ec *execCtx) runPlanOrdered(plan *selectPlan, e env, emit func(row, keys []Value) (bool, error)) error {
+	return ec.runPlanBatch(plan, e, ec.batch, emit)
+}
+
+// runPlanBatch enumerates with an explicit batch capacity.
+func (ec *execCtx) runPlanBatch(plan *selectPlan, e env, batch int, emit func(row, keys []Value) (bool, error)) error {
 	if len(plan.preFilters) > 0 {
 		ok, err := ec.evalPreFilters(plan, e)
 		if err != nil || !ok {
 			return err
 		}
 	}
-	r := &stepRunner{ec: ec, plan: plan, e: e, emit: emit}
+	r := &stepRunner{ec: ec, plan: plan, e: e, emit: emit, batch: batch}
 	return r.run(0)
 }
 
@@ -491,19 +535,22 @@ func (ec *execCtx) evalPreFilters(plan *selectPlan, e env) (ok bool, err error) 
 }
 
 // stepRunner walks a plan's physical scan/filter pipeline
-// recursively, binding one row per step. The morsel executor reuses
-// it from step 1 after binding the driving row itself.
+// recursively, binding batches of candidate rows per step. The morsel
+// executor reuses it through runRoot after materializing the driving
+// ids itself. batch is the id-batch capacity (1 for early-stopping
+// subplan consumers, see runPlanFirst).
 type stepRunner struct {
-	ec   *execCtx
-	plan *selectPlan
-	e    env
-	emit func(row, keys []Value) (bool, error)
-	stop bool
+	ec    *execCtx
+	plan  *selectPlan
+	e     env
+	emit  func(row, keys []Value) (bool, error)
+	stop  bool
+	batch int
 }
 
-// run opens the scan operator of the given step and pushes each
-// candidate row down the pipeline (projecting and emitting once all
-// steps are bound). A scan's measured time is inclusive of its
+// run opens the scan operator of the given step and pushes each batch
+// of candidate rows down the pipeline (projecting and emitting once
+// all steps are bound). A scan's measured time is inclusive of its
 // downstream operators, like the nesting of the rendered tree.
 func (r *stepRunner) run(step int) error {
 	if step == len(r.plan.steps) {
@@ -512,76 +559,127 @@ func (r *stepRunner) run(step int) error {
 	s := r.plan.steps[step]
 	st := r.ec.op(r.plan.phys.scans[step])
 	st.open()
-	yield := func(id int64) (bool, error) {
-		st.rowOut()
-		if err := r.tryRow(step, id); err != nil {
+	sc := r.ec.getScratch(r.batch)
+	var err error
+	if r.ec.timing {
+		t0 := time.Now()
+		err = r.runStep(step, s, st, sc)
+		st.addTime(time.Since(t0))
+	} else {
+		err = r.runStep(step, s, st, sc)
+	}
+	r.ec.putScratch(sc)
+	delete(r.e, s.name)
+	return err
+}
+
+// runStep enumerates one step's candidate batches. The yield closure
+// is built once per step activation — never per batch or per row.
+// Consumed-row accounting matches the old per-row executor exactly: a
+// row that caused an early stop or error is counted as scanned, rows
+// after it in the batch are not.
+func (r *stepRunner) runStep(step int, s *joinStep, st *OpStats, sc *batchScratch) error {
+	yield := func(ids []int64) (bool, error) {
+		if err := failpoint.Inject("engine/batch-flush"); err != nil {
+			return false, err
+		}
+		n, err := r.processBatch(step, s, sc, ids)
+		st.rowsOutN(int64(n))
+		if err != nil {
 			return false, err
 		}
 		return !r.stop, nil
 	}
-	if r.ec.timing {
-		t0 := time.Now()
-		err := forEachRow(r.ec, r.e, s, st, yield)
-		st.addTime(time.Since(t0))
-		return err
-	}
-	return forEachRow(r.ec, r.e, s, st, yield)
+	return forEachBatch(r.ec, r.e, s, st, sc, yield)
 }
 
-// tryRow binds one candidate row of a step, applies the step's
-// filter operator, and recurses into the next step. The filter loop
-// is inlined here rather than split into a helper: it runs once per
-// candidate row, and in the common untimed case must cost no more
-// than the counter increments themselves.
-func (r *stepRunner) tryRow(step int, id int64) error {
-	ec := r.ec
-	if err := ec.checkDeadline(); err != nil {
-		return err
+// runRoot pushes already-materialized driving-step ids through the
+// pipeline in batches. The driving scan's enumeration was counted
+// when the ids were materialized (drivingIDs), so batches here go
+// straight to the filter stage without re-crediting the scan.
+func (r *stepRunner) runRoot(ids []int64) error {
+	s := r.plan.steps[0]
+	sc := r.ec.getScratch(r.batch)
+	var err error
+	for len(ids) > 0 && err == nil && !r.stop {
+		n := len(ids)
+		if n > r.batch {
+			n = r.batch
+		}
+		_, err = r.processBatch(0, s, sc, ids[:n])
+		ids = ids[n:]
 	}
-	s := r.plan.steps[step]
-	r.e[s.name] = s.table.Rows[id]
-	defer delete(r.e, s.name)
-	if len(s.filters) > 0 {
-		st := ec.op(r.plan.phys.filters[step])
+	r.ec.putScratch(sc)
+	delete(r.e, s.name)
+	return err
+}
+
+// processBatch pushes one batch of candidate ids through the step's
+// filters and the rest of the pipeline, returning how many of the
+// batch's rows were consumed (all of them unless an early stop or
+// error cut the batch short). The deadline poll, filter-stat
+// attribution, and vectorized filter pass are paid once per batch;
+// binding the env entry is paid once per surviving recursion.
+func (r *stepRunner) processBatch(step int, s *joinStep, sc *batchScratch, ids []int64) (int, error) {
+	ec := r.ec
+	if err := ec.checkBatch(len(ids)); err != nil {
+		return 0, err
+	}
+	var fst *OpStats
+	if f := r.plan.phys.filters[step]; f != nil {
+		fst = ec.op(f)
+	}
+	var keep []bool
+	if len(s.vec) > 0 {
 		if ec.timing {
-			ok, err := r.evalFiltersTimed(s, st)
-			if err != nil || !ok {
-				return err
-			}
+			t0 := time.Now()
+			keep = r.vecFilter(s, sc, ids)
+			fst.addTime(time.Since(t0))
 		} else {
-			// No row counting here: the filter's row flow is derived
-			// once per execution by finalizeFrame. Only expression
-			// attribution (ec.cur) is maintained per row.
-			prev := ec.cur
-			ec.cur = st
-			for _, fx := range s.filters {
-				v, err := fx.eval(ec, r.e)
-				if err != nil {
-					ec.cur = prev
-					return err
-				}
-				if !v.Truth() {
-					ec.cur = prev
-					return nil
-				}
-			}
-			ec.cur = prev
+			keep = r.vecFilter(s, sc, ids)
 		}
 	}
-	return r.run(step + 1)
+	rows := s.table.Rows
+	rest := s.filters[len(s.vec):]
+	for i, id := range ids {
+		if keep != nil && !keep[i] {
+			continue
+		}
+		r.e[s.name] = rows[id]
+		if len(rest) > 0 {
+			pass, err := r.evalFilters(rest, fst)
+			if err != nil {
+				return i + 1, err
+			}
+			if !pass {
+				continue
+			}
+		}
+		if err := r.run(step + 1); err != nil {
+			return i + 1, err
+		}
+		if r.stop {
+			return i + 1, nil
+		}
+	}
+	return len(ids), nil
 }
 
-// evalFiltersTimed is the EXPLAIN ANALYZE variant of tryRow's filter
-// loop: wall-clock attribution of expression work (pattern-cache
-// hits, correlated subplan evaluation) to the filter operator. Row
-// flow is derived by finalizeFrame in both modes.
-func (r *stepRunner) evalFiltersTimed(s *joinStep, st *OpStats) (ok bool, err error) {
+// evalFilters evaluates the step's residual (non-vectorized) filter
+// conjuncts for the currently bound row. No row counting here: the
+// filter's row flow is derived once per execution by finalizeFrame;
+// only expression attribution (ec.cur) and, under EXPLAIN ANALYZE,
+// wall-clock attribution are maintained.
+func (r *stepRunner) evalFilters(filters []cexpr, st *OpStats) (ok bool, err error) {
 	ec := r.ec
 	prev := ec.cur
 	ec.cur = st
-	t0 := time.Now()
+	var t0 time.Time
+	if ec.timing {
+		t0 = time.Now()
+	}
 	pass := true
-	for _, f := range s.filters {
+	for _, f := range filters {
 		v, ferr := f.eval(ec, r.e)
 		if ferr != nil {
 			err = ferr
@@ -592,7 +690,9 @@ func (r *stepRunner) evalFiltersTimed(s *joinStep, st *OpStats) (ok bool, err er
 			break
 		}
 	}
-	st.addTime(time.Since(t0))
+	if ec.timing {
+		st.addTime(time.Since(t0))
+	}
 	ec.cur = prev
 	return err == nil && pass, err
 }

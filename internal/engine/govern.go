@@ -94,6 +94,30 @@ func (a *accountant) addRow(rowBytes int64) error {
 	return a.growBytes(rowBytes)
 }
 
+// addRows charges n materialized rows totaling rowBytes at once —
+// the batch-flush form of addRow. The batched executors only defer
+// charges into an addRows flush when limited() is false (both checks
+// are then no-ops), so budget errors keep firing at the exact row;
+// the flush maintains the peak high-water mark, which batching
+// preserves because accounted bytes only grow during collection.
+func (a *accountant) addRows(n, rowBytes int64) error {
+	if a == nil || (n == 0 && rowBytes == 0) {
+		return nil
+	}
+	total := a.rows.Add(n)
+	if a.maxRows > 0 && total > a.maxRows {
+		return fmt.Errorf("%w: %d rows materialized, budget %d", ErrRowBudget, total, a.maxRows)
+	}
+	return a.growBytes(rowBytes)
+}
+
+// limited reports whether any budget is set. Budgeted statements
+// charge per row so the typed errors trigger at the same logical row
+// at every batch size.
+func (a *accountant) limited() bool {
+	return a != nil && (a.maxBytes > 0 || a.maxRows > 0)
+}
+
 // peakBytes returns the statement's high-water mark of accounted
 // bytes.
 func (a *accountant) peakBytes() int64 {

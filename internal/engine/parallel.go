@@ -86,7 +86,8 @@ func (ec *execCtx) collectParallel(plan *selectPlan) (rows []orderedRow, count i
 			// statement, not the worker.
 			wec := &execCtx{db: ec.db, ctx: ec.ctx, deadline: ec.deadline,
 				acct: ec.acct, sql: ec.sql,
-				stats: make(opFrame, len(ec.stats)), timing: ec.timing}
+				stats: make(opFrame, len(ec.stats)), timing: ec.timing,
+				batch: ec.batch}
 			frames[w] = wec.stats
 			if werr := wec.workerLoop(plan, ids, nMorsels, outs, &next, &aborted); werr != nil {
 				errs[w] = werr
@@ -155,29 +156,38 @@ func (ec *execCtx) workerLoop(plan *selectPlan, ids []int64, nMorsels int,
 	}
 }
 
-// runMorsel drives one morsel's row ids through the join pipeline,
-// buffering projected rows (or the count) into the morsel's private
-// output. Buffered rows are charged to the statement's shared
-// accountant, so a budget overrun surfaces within one morsel of the
-// row that crossed the line.
+// runMorsel drives one morsel's row ids through the join pipeline in
+// batches, buffering projected rows (or the count) into the morsel's
+// private output. With a budget set, buffered rows charge the shared
+// accountant per row so the typed error fires at the exact row
+// regardless of batch size; without one the charges are flushed per
+// morsel (checks are then no-ops and only the peak matters, which
+// only ever grows during collection).
 func runMorsel(ec *execCtx, plan *selectPlan, ids []int64, out *morselOut) error {
-	r := &stepRunner{ec: ec, plan: plan, e: env{}, emit: func(row, keys []Value) (bool, error) {
-		if plan.countStar {
-			out.count++
+	exact := ec.acct.limited()
+	var pendRows, pendBytes int64
+	r := &stepRunner{ec: ec, plan: plan, e: env{}, batch: ec.batch,
+		emit: func(row, keys []Value) (bool, error) {
+			if plan.countStar {
+				out.count++
+				return true, nil
+			}
+			b := rowMemBytes(row, keys)
+			if exact {
+				if err := ec.acct.addRow(b); err != nil {
+					return false, err
+				}
+			} else {
+				pendRows++
+				pendBytes += b
+			}
+			out.rows = append(out.rows, orderedRow{row: row, keys: keys})
 			return true, nil
-		}
-		if err := ec.acct.addRow(rowMemBytes(row, keys)); err != nil {
-			return false, err
-		}
-		out.rows = append(out.rows, orderedRow{row: row, keys: keys})
-		return true, nil
-	}}
-	for _, id := range ids {
-		if err := r.tryRow(0, id); err != nil {
-			return err
-		}
+		}}
+	if err := r.runRoot(ids); err != nil {
+		return err
 	}
-	return nil
+	return ec.acct.addRows(pendRows, pendBytes)
 }
 
 // drivingIDs materializes the driving step's candidate row ids in the
@@ -209,11 +219,13 @@ func drivingIDs(ec *execCtx, plan *selectPlan) ([]int64, error) {
 		return ids, nil
 	}
 	var ids []int64
-	err := forEachRow(ec, env{}, s, st, func(id int64) (bool, error) {
-		st.rowOut()
-		ids = append(ids, id)
+	sc := ec.getScratch(ec.batch)
+	err := forEachBatch(ec, env{}, s, st, sc, func(batch []int64) (bool, error) {
+		st.rowsOutN(int64(len(batch)))
+		ids = append(ids, batch...)
 		return true, nil
 	})
+	ec.putScratch(sc)
 	if err != nil {
 		return nil, err
 	}

@@ -46,6 +46,12 @@ type joinStep struct {
 	filters []cexpr
 	// filterSrc keeps the source text of filters for Explain.
 	filterSrc []string
+	// vec is the leading run of filters the executor evaluates as one
+	// batched REGEXP_LIKE pass per row batch (vectorize.go); the
+	// per-row residual loop skips filters[:len(vec)]. Derived metadata
+	// only: filters itself is untouched, so the plan certificates
+	// (plancheck) and EXPLAIN see the same predicate multiset.
+	vec []vecFilter
 }
 
 // accessPath determines which rows of a table are visited given the
@@ -60,9 +66,11 @@ type accessPath interface {
 	// already-bound tables — the planner's cost metric.
 	est(t *Table) int
 	// enumerate pushes the candidate row ids for the step under the
-	// current bindings, in the executor's canonical order, recording
-	// probes and governor charges against the scan's OpStats.
-	enumerate(ec *execCtx, e env, s *joinStep, st *OpStats, yield rowYield) error
+	// current bindings, in the executor's canonical order, batched
+	// through sc.ids (or zero-copy sub-slices of index postings),
+	// recording probes and governor charges against the scan's
+	// OpStats.
+	enumerate(ec *execCtx, e env, s *joinStep, st *OpStats, sc *batchScratch, yield batchYield) error
 	// shape describes the access path for the exported plan shape
 	// (plantrace.go), decompiling key expressions through sb;
 	// implemented per access kind in access.go.

@@ -105,9 +105,11 @@ func compileStmt(db *DB, st sqlast.Statement) (*compiledStmt, error) {
 	for t := range p.touched {
 		cs.tables = append(cs.tables, tableVer{t: t, ver: t.version})
 	}
-	// Lower to the physical operator tree before the plan can be
-	// published to (and shared through) the plan cache.
+	// Lower to the physical operator tree, then derive the vectorized
+	// filter metadata, before the plan can be published to (and shared
+	// through) the plan cache.
 	lowerStmt(cs)
+	vectorizeStmt(cs)
 	return cs, nil
 }
 

@@ -1,0 +1,52 @@
+package engine
+
+// The vectorize pass runs once per compiled statement, after
+// lowering and before the plan is published to the plan cache. It
+// detects, per join step, the leading run of residual filters the
+// executor can evaluate as one batched pass over the whole row-id
+// batch: REGEXP_LIKE over a column of the step's own table with a
+// constant (plan-time-compiled) pattern — exactly the path-pattern
+// filters the PPF translation emits against the paths relation.
+// Detection stores derived metadata only (joinStep.vec); the filter
+// list itself is untouched, so plan certificates, EXPLAIN, and the
+// plan shape all see the unchanged predicate multiset.
+
+// vecFilter is one vectorizable REGEXP_LIKE conjunct: the source
+// column position in the step's table and its compiled matcher.
+type vecFilter struct {
+	pos int
+	m   *matcher
+}
+
+// vectorizeStmt walks every plan in the statement, including
+// correlated subplans and union branches.
+func vectorizeStmt(cs *compiledStmt) {
+	if cs.sel != nil {
+		vectorizeSelect(cs.sel)
+		return
+	}
+	for _, b := range cs.union.branches {
+		vectorizeSelect(b)
+	}
+}
+
+func vectorizeSelect(p *selectPlan) {
+	for _, s := range p.steps {
+		for _, f := range s.filters {
+			cf, ok := f.(*cfunc)
+			if !ok || cf.name != "REGEXP_LIKE" || cf.re == nil {
+				break
+			}
+			col, ok := cf.args[0].(*ccol)
+			if !ok || col.table != s.name {
+				break
+			}
+			s.vec = append(s.vec, vecFilter{pos: col.pos, m: cf.re})
+		}
+	}
+	for _, n := range p.phys.ops {
+		for _, ref := range n.sub {
+			vectorizeSelect(ref.plan)
+		}
+	}
+}

@@ -96,6 +96,13 @@ func MustCompile(pattern string) *Regexp {
 // String returns the source pattern.
 func (re *Regexp) String() string { return re.pattern }
 
+// HasLiteralPath reports whether MatchString short-circuits through
+// the literal or prefix/suffix fast path without running the
+// automaton. Callers choosing between the NFA simulation and a
+// compiled DFA can skip DFA construction for these: a string
+// comparison already beats a table walk.
+func (re *Regexp) HasLiteralPath() bool { return re.literal != nil || re.prefix != nil }
+
 // analyze detects the literal and prefix/suffix fast paths that cover
 // the vast majority of patterns the translator emits (exact paths and
 // '^.*/name$' suffix filters).

@@ -45,8 +45,14 @@ type Stats struct {
 }
 
 // checkOne verifies one translator pattern against the reference
-// automaton for its construction inputs.
-func checkOne(source, kind string, steps []*xpath.Step, anchored bool, base, pattern string) *Finding {
+// automaton for its construction inputs. With verifyDFA set it
+// additionally proves the dense DFA the engine compiles for the
+// pattern (its batched REGEXP_LIKE path) equivalent to the NFA; the
+// corpus sweep turns this on for every traced pattern, while the
+// synthetic matrix leaves it off — its tens of thousands of patterns
+// would spend minutes in the 256-byte product proof, and arbitrary
+// shapes are already covered by pathre's FuzzPathDFA.
+func checkOne(source, kind string, steps []*xpath.Step, anchored bool, base, pattern string, verifyDFA bool) *Finding {
 	var (
 		ref    *pathre.Regexp
 		domain *pathre.Regexp
@@ -81,6 +87,15 @@ func checkOne(source, kind string, steps []*xpath.Step, anchored bool, base, pat
 	}
 	if !eq {
 		return &Finding{Source: source, Kind: kind, Pattern: pattern, Witness: witness}
+	}
+	// A state-bound overflow in CompileDFA is the engine's sanctioned
+	// NFA fallback, not a finding.
+	if verifyDFA {
+		if d, derr := pathre.CompileDFA(got); derr == nil {
+			if verr := pathre.VerifyDFA(got, d); verr != nil {
+				return &Finding{Source: source, Kind: kind, Pattern: pattern, Err: "DFA disagrees with NFA: " + verr.Error()}
+			}
+		}
 	}
 	return nil
 }
@@ -153,7 +168,7 @@ func CheckCorpus() ([]Finding, Stats, error) {
 	for _, k := range keys {
 		tr := traced[k]
 		stats.Checked++
-		if f := checkOne(sources[k], tr.Kind, tr.Steps, tr.Anchored, tr.Base, tr.Pattern); f != nil {
+		if f := checkOne(sources[k], tr.Kind, tr.Steps, tr.Anchored, tr.Base, tr.Pattern, true); f != nil {
 			findings = append(findings, *f)
 		}
 	}
@@ -181,7 +196,7 @@ func CheckMatrix() ([]Finding, Stats, error) {
 			return
 		}
 		stats.Checked++
-		if f := checkOne("matrix/"+expr, kind, steps, anchored, base, pattern); f != nil {
+		if f := checkOne("matrix/"+expr, kind, steps, anchored, base, pattern, false); f != nil {
 			findings = append(findings, *f)
 		}
 	}

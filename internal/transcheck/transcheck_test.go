@@ -56,7 +56,7 @@ func TestReferenceRejectsBrokenPatterns(t *testing.T) {
 		{"wrong-name", "forward", "^/a/(.+/)?c$"},
 	}
 	for _, tc := range cases {
-		f := checkOne("broken/"+tc.name, tc.kind, steps, true, "", tc.pattern)
+		f := checkOne("broken/"+tc.name, tc.kind, steps, true, "", tc.pattern, true)
 		if f == nil {
 			t.Errorf("%s: checker accepted broken pattern %q", tc.name, tc.pattern)
 			continue
@@ -79,7 +79,7 @@ func TestSegmentGapVsDotPlus(t *testing.T) {
 		{Axis: xpath.Descendant, Test: xpath.NameTest, Name: "a"},
 	}
 	// The translator's own anchored pattern for /descendant::a.
-	if f := checkOne("gap", "forward", steps, true, "", "^/(.+/)?a$"); f != nil {
+	if f := checkOne("gap", "forward", steps, true, "", "^/(.+/)?a$", true); f != nil {
 		t.Errorf("in-domain check rejected translator pattern: %s", f)
 	}
 	// The same pair compared over all of Σ* must differ.

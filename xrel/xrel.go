@@ -70,6 +70,7 @@ type Store struct {
 	parallelism int
 	maxMemBytes int64
 	maxRows     int64
+	batchSize   int
 }
 
 // SetParallelism sets the engine worker count used by Query and
@@ -90,12 +91,20 @@ func (s *Store) SetLimits(maxMemoryBytes, maxRows int64) {
 	s.maxRows = maxRows
 }
 
+// SetBatchSize sets the engine's row-id batch capacity for every
+// subsequent Query/QueryContext/RunSQL (0 or negative = the engine
+// default, currently 1024). Batch size is a pure performance knob:
+// results, operator statistics, and budget errors are identical at
+// every setting.
+func (s *Store) SetBatchSize(n int) { s.batchSize = n }
+
 // execOpts assembles the store-level execution options.
 func (s *Store) execOpts() engine.ExecOptions {
 	return engine.ExecOptions{
 		Parallelism:    s.parallelism,
 		MaxMemoryBytes: s.maxMemBytes,
 		MaxRows:        s.maxRows,
+		BatchSize:      s.batchSize,
 	}
 }
 

@@ -228,6 +228,33 @@ func TestSetParallelism(t *testing.T) {
 	}
 }
 
+// TestSetBatchSize checks the batch-size knob is plumbed through and
+// invariant: every setting — including the degenerate 1 — returns the
+// serial default's nodes.
+func TestSetBatchSize(t *testing.T) {
+	st := open(t)
+	q := "/A/B/C//F"
+	want, err := st.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bs := range []int{1, 7, 256, 4096, 0} {
+		st.SetBatchSize(bs)
+		got, err := st.Query(q)
+		if err != nil {
+			t.Fatalf("batch size %d: %v", bs, err)
+		}
+		if len(got.Nodes) != len(want.Nodes) {
+			t.Fatalf("batch size %d: %d nodes, want %d", bs, len(got.Nodes), len(want.Nodes))
+		}
+		for i := range got.Nodes {
+			if got.Nodes[i] != want.Nodes[i] {
+				t.Fatalf("batch size %d: node %d differs: %+v vs %+v", bs, i, got.Nodes[i], want.Nodes[i])
+			}
+		}
+	}
+}
+
 func TestSetLimits(t *testing.T) {
 	st := open(t)
 	baseline, err := st.Query("/A/B/C//F")
