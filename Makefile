@@ -1,9 +1,9 @@
 # make check mirrors .github/workflows/ci.yml locally.
 GO ?= go
 
-.PHONY: check build fmtcheck vet xvet transcheck plancheck test race chaos batch-smoke fuzz-smoke bench-smoke explain-smoke
+.PHONY: check build fmtcheck vet xvet transcheck plancheck test race chaos batch-smoke crash-smoke fuzz-smoke bench-smoke explain-smoke
 
-check: build fmtcheck vet xvet transcheck plancheck test race chaos batch-smoke
+check: build fmtcheck vet xvet transcheck plancheck test race chaos batch-smoke crash-smoke
 
 build:
 	$(GO) build ./...
@@ -64,6 +64,18 @@ chaos:
 batch-smoke:
 	$(GO) test -race -count=1 -run 'TestBatchSizeInvariance|TestGovernorBatchInvariance|TestChaosBatchFlush|TestBatchSizeOptionPlumbs' ./internal/engine/
 	$(GO) test -race -count=1 -run 'TestBatchSizeInvarianceOnFig3' ./internal/bench/
+
+# crash-smoke is the kill-and-recover matrix: a persistent store is
+# crashed at every durability failpoint (wal/append, wal/fsync,
+# wal/checkpoint, engine/recovery-replay) plus at the file level (torn
+# WAL tail, CRC bit flips), recovery is re-run, and the recovered
+# database must answer the fig3 workload oracle-identically while
+# concurrent readers only ever see whole-document snapshots — all
+# under -race (DESIGN.md section 12).
+crash-smoke:
+	$(GO) test -race -count=1 -run 'TestCrashAtEverySite|TestCrashDuring|TestDoubleReplay|TestCreateIndexRecovery|TestConcurrentWriter|TestWriteBatchMulti|TestConcurrentDDL' ./internal/engine/
+	$(GO) test -race -count=1 ./internal/wal/
+	$(GO) test -race -count=1 -run 'TestCrashSmoke|TestConcurrentLoadAndFig3|TestMixedExperiment' ./internal/bench/
 
 # fuzz-smoke gives each native fuzz target a short budget; regression
 # inputs from past crashes live in each package's testdata/fuzz and

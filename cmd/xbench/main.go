@@ -4,7 +4,7 @@
 // Usage:
 //
 //	xbench -experiment fig3|appc-small|appc-large|appc-dblp|joins|\
-//	                   explain|ablate-pathfilter|ablate-fkjoin|all
+//	                   explain|ablate-pathfilter|ablate-fkjoin|mixed|all
 //	       [-scale N] [-reps N] [-budget 60s] [-seed N] [-noverify]
 //	       [-parallel] [-batch N] [-max-mem BYTES] [-max-rows N]
 //	       [-json out.json]
@@ -13,6 +13,11 @@
 // appc-large uses 10x (the paper's 113 MB document). Timings cannot
 // match a 2006 Oracle installation; the reproduction target is the
 // relative shape of each table (see EXPERIMENTS.md).
+//
+// -experiment mixed is the one non-paper experiment: it measures fig3
+// reader latency with and without a concurrent bulk-loading writer on
+// the snapshot-isolated engine (DESIGN.md §12). It is excluded from
+// "all" (which regenerates exactly the paper's tables).
 //
 // -parallel runs the SQL-based systems with the engine's morsel
 // executor at GOMAXPROCS workers (paper-shape comparisons are serial;
@@ -169,6 +174,12 @@ func run(experiment string, scale float64, reps int, budget time.Duration, seed 
 				return err
 			}
 			return show(bench.AblateFKJoin(w, opts))
+		case "mixed":
+			w, err := xmarkAt(scale)
+			if err != nil {
+				return err
+			}
+			return show(bench.Mixed(w, opts))
 		case "all":
 			x, err := xmarkAt(scale)
 			if err != nil {

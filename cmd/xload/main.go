@@ -6,9 +6,12 @@
 //
 // Usage:
 //
-//	xload [-schema site.schema [-xsd]] doc.xml
+//	xload [-db DIR] [-schema site.schema [-xsd]] doc.xml
 //
 // Without -schema, the schema graph is inferred from the document.
+// With -db DIR the document is committed durably into the persistent
+// store at DIR (created on first use); repeated xload runs against the
+// same directory accumulate documents, and xsql -db DIR queries them.
 package main
 
 import (
@@ -17,26 +20,28 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/engine"
 	"repro/internal/schema"
 	"repro/internal/shred"
 	"repro/internal/xmltree"
 )
 
 func main() {
+	dbDir := flag.String("db", "", "directory of a persistent store to open or create (empty = in-memory)")
 	schemaPath := flag.String("schema", "", "schema file (compact DSL, or XSD with -xsd); inferred when omitted")
 	useXSD := flag.Bool("xsd", false, "parse the schema file as XML Schema")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: xload [-schema FILE [-xsd]] doc.xml")
+		fmt.Fprintln(os.Stderr, "usage: xload [-db DIR] [-schema FILE [-xsd]] doc.xml")
 		os.Exit(2)
 	}
-	if err := run(*schemaPath, *useXSD, flag.Arg(0)); err != nil {
+	if err := run(*dbDir, *schemaPath, *useXSD, flag.Arg(0)); err != nil {
 		fmt.Fprintln(os.Stderr, "xload:", err)
 		os.Exit(1)
 	}
 }
 
-func run(schemaPath string, useXSD bool, docPath string) error {
+func run(dbDir, schemaPath string, useXSD bool, docPath string) (err error) {
 	f, err := os.Open(docPath)
 	if err != nil {
 		return err
@@ -70,7 +75,18 @@ func run(schemaPath string, useXSD bool, docPath string) error {
 		fmt.Println("schema: inferred from document")
 	}
 
-	st, err := shred.NewSchemaAware(s)
+	db := engine.NewDB()
+	if dbDir != "" {
+		if db, err = engine.Open(dbDir); err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := db.Close(); err == nil {
+				err = cerr
+			}
+		}()
+	}
+	st, err := shred.NewSchemaAwareDB(db, s)
 	if err != nil {
 		return err
 	}

@@ -1,38 +1,103 @@
 package main
 
 import (
+	"os"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/schema"
+	"repro/internal/shred"
+	"repro/internal/xmltree"
 )
 
 func td(name string) string { return filepath.Join("..", "..", "testdata", name) }
 
 func TestRunWithSchema(t *testing.T) {
-	if err := run(td("figure1.schema"), false, td("figure1.xml")); err != nil {
+	if err := run("", td("figure1.schema"), false, td("figure1.xml")); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunWithXSD(t *testing.T) {
-	if err := run(td("figure1.xsd"), true, td("figure1.xml")); err != nil {
+	if err := run("", td("figure1.xsd"), true, td("figure1.xml")); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunInferred(t *testing.T) {
-	if err := run("", false, td("figure1.xml")); err != nil {
+	if err := run("", "", false, td("figure1.xml")); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("", false, "nosuch.xml"); err == nil {
+	if err := run("", "", false, "nosuch.xml"); err == nil {
 		t.Error("missing document should fail")
 	}
-	if err := run("nosuch.schema", false, td("figure1.xml")); err == nil {
+	if err := run("", "nosuch.schema", false, td("figure1.xml")); err == nil {
 		t.Error("missing schema should fail")
 	}
-	if err := run(td("figure1.xml"), false, td("figure1.xml")); err == nil {
+	if err := run("", td("figure1.xml"), false, td("figure1.xml")); err == nil {
 		t.Error("document as schema should fail to parse")
 	}
+}
+
+// TestRunPersistent loads the same document twice into a -db store;
+// the second run must attach to the recovered relations and assign
+// the next document id rather than starting over.
+func TestRunPersistent(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	for i := 0; i < 2; i++ {
+		if err := run(dir, td("figure1.schema"), false, td("figure1.xml")); err != nil {
+			t.Fatalf("run %d: %v", i+1, err)
+		}
+	}
+	db, err := engine.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	f := db.Table("F")
+	if f == nil {
+		t.Fatal("relation F missing after two loads")
+	}
+	one := engine.NewDB()
+	st, err := shredFixture(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := f.Stats().Rows, 2*st.DB.Table("F").Stats().Rows; got != want {
+		t.Errorf("F rows after two loads = %d, want %d", got, want)
+	}
+}
+
+// shredFixture loads figure1.xml once into db under its schema, as a
+// single-document row-count baseline.
+func shredFixture(db *engine.DB) (*shred.SchemaAwareStore, error) {
+	data, err := os.ReadFile(td("figure1.schema"))
+	if err != nil {
+		return nil, err
+	}
+	s, err := schema.ParseCompact(string(data))
+	if err != nil {
+		return nil, err
+	}
+	st, err := shred.NewSchemaAwareDB(db, s)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(td("figure1.xml"))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	doc, err := xmltree.Parse(f)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := st.Load(doc); err != nil {
+		return nil, err
+	}
+	return st, nil
 }

@@ -5,8 +5,14 @@
 // optional -schema, the shell starts with an XML document already
 // shredded under the schema-aware mapping.
 //
-//	xsql [-schema site.schema [-xsd]] [-load doc.xml] [-parallel N]
+//	xsql [-db DIR] [-schema site.schema [-xsd]] [-load doc.xml] [-parallel N]
 //	     [-batch-size N] [-max-mem BYTES] [-max-rows N] [-e 'STMT'...]
+//
+// -db DIR opens (or creates) a persistent store rooted at DIR: every
+// INSERT, CREATE TABLE, CREATE INDEX, and -load commits to a
+// write-ahead log before it is acknowledged, and restarting xsql on
+// the same directory recovers the exact prior state. Without -db the
+// store is in-memory and vanishes on exit.
 //
 // -parallel N executes SELECTs with the engine's morsel executor at N
 // workers (0 = serial). -batch-size N sets the engine's row-id batch
@@ -36,6 +42,7 @@ import (
 )
 
 func main() {
+	dbDir := flag.String("db", "", "directory of a persistent store to open or create (empty = in-memory)")
 	schemaPath := flag.String("schema", "", "schema file for -load (compact DSL, or XSD with -xsd); inferred when omitted")
 	useXSD := flag.Bool("xsd", false, "parse the schema file as XML Schema")
 	load := flag.String("load", "", "XML document to shred before starting")
@@ -49,7 +56,7 @@ func main() {
 
 	opts := engine.ExecOptions{Parallelism: *parallel, BatchSize: *batchSize,
 		MaxMemoryBytes: *maxMem, MaxRows: *maxRows}
-	if err := run(*schemaPath, *useXSD, *load, opts, stmts, os.Stdin, os.Stdout); err != nil {
+	if err := run(*dbDir, *schemaPath, *useXSD, *load, opts, stmts, os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "xsql:", err)
 		os.Exit(1)
 	}
@@ -60,8 +67,21 @@ type multiFlag []string
 func (m *multiFlag) String() string     { return strings.Join(*m, "; ") }
 func (m *multiFlag) Set(s string) error { *m = append(*m, s); return nil }
 
-func run(schemaPath string, useXSD bool, load string, opts engine.ExecOptions, stmts []string, in *os.File, out *os.File) error {
+func run(dbDir, schemaPath string, useXSD bool, load string, opts engine.ExecOptions, stmts []string, in *os.File, out *os.File) (err error) {
 	db := engine.NewDB()
+	if dbDir != "" {
+		if db, err = engine.Open(dbDir); err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := db.Close(); err == nil {
+				err = cerr
+			}
+		}()
+		if n := len(db.SortedTableSizes()); n > 0 {
+			fmt.Fprintf(out, "opened %s: %s\n", dbDir, strings.Join(db.SortedTableSizes(), " "))
+		}
+	}
 	if load != "" {
 		f, err := os.Open(load)
 		if err != nil {
@@ -91,14 +111,13 @@ func run(schemaPath string, useXSD bool, load string, opts engine.ExecOptions, s
 		} else if s, err = schema.Infer(doc); err != nil {
 			return err
 		}
-		st, err := shred.NewSchemaAware(s)
+		st, err := shred.NewSchemaAwareDB(db, s)
 		if err != nil {
 			return err
 		}
 		if _, err := st.Load(doc); err != nil {
 			return err
 		}
-		db = st.DB
 		fmt.Fprintf(out, "loaded %s: %s\n", load, strings.Join(db.SortedTableSizes(), " "))
 	}
 

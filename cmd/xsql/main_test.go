@@ -17,7 +17,7 @@ func TestRunStatements(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer out.Close()
-	err = run(td("figure1.schema"), false, td("figure1.xml"), engine.ExecOptions{}, []string{
+	err = run("", td("figure1.schema"), false, td("figure1.xml"), engine.ExecOptions{}, []string{
 		`\d`,
 		"SELECT COUNT(*) FROM F",
 		"SELECT F.id FROM F WHERE F.text = '2';",
@@ -48,7 +48,7 @@ func TestRunExplain(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer out.Close()
-	err = run(td("figure1.schema"), false, td("figure1.xml"), engine.ExecOptions{}, []string{
+	err = run("", td("figure1.schema"), false, td("figure1.xml"), engine.ExecOptions{}, []string{
 		`\explain SELECT F.id FROM F ORDER BY F.id DESC`,
 		"EXPLAIN SELECT F.id FROM F",
 		"EXPLAIN ANALYZE SELECT F.id FROM F",
@@ -80,7 +80,7 @@ func TestRunInteractiveLoop(t *testing.T) {
 	in.Seek(0, 0)
 	out, _ := os.CreateTemp(t.TempDir(), "out")
 	defer out.Close()
-	if err := run("", false, td("figure1.xml"), engine.ExecOptions{}, nil, in, out); err != nil {
+	if err := run("", "", false, td("figure1.xml"), engine.ExecOptions{}, nil, in, out); err != nil {
 		t.Fatal(err)
 	}
 	data, _ := os.ReadFile(out.Name())
@@ -92,10 +92,10 @@ func TestRunInteractiveLoop(t *testing.T) {
 func TestRunErrors(t *testing.T) {
 	out, _ := os.CreateTemp(t.TempDir(), "out")
 	defer out.Close()
-	if err := run("nosuch.schema", false, td("figure1.xml"), engine.ExecOptions{}, nil, nil, out); err == nil {
+	if err := run("", "nosuch.schema", false, td("figure1.xml"), engine.ExecOptions{}, nil, nil, out); err == nil {
 		t.Error("missing schema should fail")
 	}
-	if err := run("", false, "nosuch.xml", engine.ExecOptions{}, nil, nil, out); err == nil {
+	if err := run("", "", false, "nosuch.xml", engine.ExecOptions{}, nil, nil, out); err == nil {
 		t.Error("missing document should fail")
 	}
 }
@@ -111,7 +111,7 @@ func TestRunBudgets(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer out.Close()
-	err = run(td("figure1.schema"), false, td("figure1.xml"),
+	err = run("", td("figure1.schema"), false, td("figure1.xml"),
 		engine.ExecOptions{MaxRows: 1}, []string{
 			"SELECT id FROM F ORDER BY id", // >1 row: budget error
 			"SELECT COUNT(*) FROM F",       // counting is not materializing
@@ -133,5 +133,45 @@ func TestRunBudgets(t *testing.T) {
 	}
 	if !strings.Contains(got, "peak statement memory:") {
 		t.Errorf("\\stats missing peak memory:\n%s", got)
+	}
+}
+
+// TestRunPersistent drives -db: one run creates a store and commits
+// rows, a second run on the same directory sees them after recovery.
+func TestRunPersistent(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	out1, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out1.Close()
+	err = run(dir, td("figure1.schema"), false, td("figure1.xml"), engine.ExecOptions{}, []string{
+		"CREATE TABLE extra (a INT)",
+		"INSERT INTO extra VALUES (7)",
+		"CREATE INDEX extra_a ON extra (a)",
+	}, nil, out1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	out2, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out2.Close()
+	err = run(dir, "", false, "", engine.ExecOptions{}, []string{
+		"SELECT COUNT(*) FROM F",
+		"SELECT e.a FROM extra e WHERE e.a = 7",
+	}, nil, out2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(out2.Name())
+	s := string(data)
+	if !contains(s, "opened "+dir) {
+		t.Errorf("second run did not report reopening:\n%s", s)
+	}
+	if !contains(s, "7") || !contains(s, "(1 row(s))") {
+		t.Errorf("recovered store missing committed rows:\n%s", s)
 	}
 }

@@ -2,8 +2,8 @@
 // `go vet` passes and then the custom invariant analyzers from
 // internal/analysis (rawsql, deweycmp, regexploop, errdrop,
 // recoverguard, opstats, ctxflow, lockscope, sqltaint, hotalloc,
-// goleak, xvetignore) that enforce the paper-derived disciplines the
-// type system cannot see.
+// goleak, syncerr, xvetignore) that enforce the paper-derived
+// disciplines the type system cannot see.
 //
 // Usage:
 //

@@ -12,8 +12,8 @@ import (
 
 func TestSelectAnalyzers(t *testing.T) {
 	all, err := selectAnalyzers("")
-	if err != nil || len(all) != 12 {
-		t.Fatalf("default selection: got %d analyzers, err %v; want 12, nil", len(all), err)
+	if err != nil || len(all) != 13 {
+		t.Fatalf("default selection: got %d analyzers, err %v; want 13, nil", len(all), err)
 	}
 	some, err := selectAnalyzers("rawsql, errdrop")
 	if err != nil {

@@ -1,0 +1,21 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestSyncErr(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.SyncErr, "syncerr/a", "syncerr/ok")
+}
+
+// The durability-critical packages named by the fsyncgate invariant —
+// the WAL, the engine's checkpoint writer, and every file-writing CLI
+// tool — must stay clean under syncerr.
+func TestSyncErrDurabilityPathsClean(t *testing.T) {
+	expectClean(t, analysis.SyncErr,
+		"repro/internal/wal", "repro/internal/engine",
+		"repro/cmd/xsql", "repro/cmd/xload", "repro/cmd/xgen", "repro/cmd/xpsql")
+}

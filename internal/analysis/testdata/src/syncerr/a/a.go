@@ -1,0 +1,95 @@
+// Seeded violations for the syncerr analyzer: discarded durability
+// errors on os.File handles (fsyncgate).
+package a
+
+import "os"
+
+func deferredSync() error {
+	f, err := os.Open("in.dat") // read-only, but Sync is always durability
+	if err != nil {
+		return err
+	}
+	defer f.Sync() // want `defer f.Sync\(\) discards the fsync error`
+	return nil
+}
+
+func deferredCloseWritable() error {
+	f, err := os.Create("out.dat")
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want `defer f.Close\(\) on a writable file discards the close error`
+	_, err = f.WriteString("payload")
+	return err
+}
+
+func bareSync() error {
+	f, err := os.Create("out.dat")
+	if err != nil {
+		return err
+	}
+	f.Sync() // want `f.Sync\(\) error discarded`
+	return f.Close()
+}
+
+func blankedSync() error {
+	f, err := os.Create("out.dat")
+	if err != nil {
+		return err
+	}
+	_ = f.Sync() // want `_ = f.Sync\(\) blanks a durability error`
+	return f.Close()
+}
+
+func blankedCloseWritable() error {
+	f, err := os.OpenFile("out.dat", os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteString("payload"); err != nil {
+		return err
+	}
+	_ = f.Close() // want `_ = f.Close\(\) blanks the close error of a writable file`
+	return nil
+}
+
+func bareCloseWritable() error {
+	f, err := os.OpenFile("out.dat", os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	f.Close() // want `f.Close\(\) error on a writable file discarded`
+	doMore()
+	return nil
+}
+
+func deferredCloseAppend() error {
+	f, err := os.OpenFile("log.txt", os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want `defer f.Close\(\) on a writable file`
+	_, err = f.WriteString("line\n")
+	return err
+}
+
+func deferredCloseTemp() error {
+	f, err := os.CreateTemp("", "scratch")
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want `defer f.Close\(\) on a writable file`
+	_, err = f.WriteString("scratch")
+	return err
+}
+
+func deferredSyncInClosure() func() error {
+	f, _ := os.Create("out.dat")
+	return func() error {
+		defer f.Sync() // want `defer f.Sync\(\) discards the fsync error`
+		_, err := f.WriteString("x")
+		return err
+	}
+}
+
+func doMore() {}

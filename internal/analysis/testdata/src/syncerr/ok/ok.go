@@ -1,0 +1,91 @@
+// Clean idioms for the syncerr analyzer: durability errors checked,
+// propagated, or provably irrelevant (read-only handles).
+package ok
+
+import (
+	"fmt"
+	"os"
+)
+
+// Read-only open: a discarded Close loses no data.
+func readOnlyDeferClose() ([]byte, error) {
+	f, err := os.Open("in.dat")
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, 16)
+	_, err = f.Read(buf)
+	return buf, err
+}
+
+// The canonical writer: sync checked inline, close error captured by
+// a named-error defer closure.
+func namedErrorDefer() (err error) {
+	f, err := os.Create("out.dat")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	if _, err := f.WriteString("payload"); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("fsync out.dat: %w", err)
+	}
+	return nil
+}
+
+// Close as the function's result: the error propagates.
+func returnClose() error {
+	f, err := os.Create("out.dat")
+	if err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Cleanup before returning an earlier error: the close error has
+// nowhere better to go, blanking it is the sanctioned idiom.
+func cleanupOnErrorPath() (*os.File, error) {
+	f, err := os.OpenFile("wal.log", os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.WriteString("frame"); err != nil {
+		_ = f.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
+// Sync result captured into the function's error slot.
+func syncAssigned() error {
+	f, err := os.Create("out.dat")
+	if err != nil {
+		return err
+	}
+	err = f.Sync()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Read-only OpenFile: no write flag, Close may be discarded.
+func readOnlyOpenFile() error {
+	f, err := os.OpenFile("in.dat", os.O_RDONLY, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return nil
+}

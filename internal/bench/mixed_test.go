@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMixedExperiment runs the mixed read/write experiment at a tiny
+// scale: oracle verification on the quiet store, a table row per
+// query with all three latency columns populated, and one JSON record
+// per (query, phase) through the sink. Run under -race in crash-smoke.
+func TestMixedExperiment(t *testing.T) {
+	w, err := NewXMark(0.01, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var records []Record
+	o := Opts{Reps: 2, Verify: true, Sink: func(r Record) { records = append(records, r) }}
+	tb, err := Mixed(w, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != len(w.Queries) {
+		t.Fatalf("table has %d rows, want one per query (%d)", len(tb.Rows), len(w.Queries))
+	}
+	for _, row := range tb.Rows {
+		if len(row) != len(tb.Headers) {
+			t.Fatalf("row %v has %d cells, headers have %d", row, len(row), len(tb.Headers))
+		}
+		for i, cell := range row[2:5] {
+			if cell == "ERR" || cell == "N/A" || cell == "" {
+				t.Errorf("query %s column %q: cell %q", row[0], tb.Headers[2+i], cell)
+			}
+		}
+	}
+	if want := 3 * len(w.Queries); len(records) != want {
+		t.Fatalf("sink got %d records, want %d (3 phases per query)", len(records), want)
+	}
+	phases := map[string]int{}
+	for _, r := range records {
+		if r.Experiment != "mixed" {
+			t.Fatalf("record experiment = %q, want mixed", r.Experiment)
+		}
+		if r.NsPerOp <= 0 {
+			t.Errorf("%s/%s: ns_per_op = %d", r.QueryID, r.System, r.NsPerOp)
+		}
+		phases[r.System]++
+	}
+	for _, sys := range []string{"ppf-quiet", "ppf-writer", "ppf-quiet-after"} {
+		if phases[sys] != len(w.Queries) {
+			t.Errorf("phase %s has %d records, want %d", sys, phases[sys], len(w.Queries))
+		}
+	}
+	// The writer must actually have loaded documents concurrently.
+	if !strings.Contains(tb.Title, "docs at end") || strings.Contains(tb.Title, "(1 docs at end)") {
+		t.Errorf("title does not report writer progress: %q", tb.Title)
+	}
+}

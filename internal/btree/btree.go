@@ -5,9 +5,12 @@
 // are supported directly.
 //
 // The tree supports point lookups, ordered insertion and deletion,
-// and forward range scans over [lo, hi) byte intervals — the access
+// forward range scans over [lo, hi) byte intervals — the access
 // pattern behind the paper's composite (dewey_pos, path_id) index and
-// the Dewey BETWEEN structural joins.
+// the Dewey BETWEEN structural joins — and O(1) copy-on-write clones
+// (Clone), the mechanism behind the engine's snapshot-isolated table
+// versions: a clone shares every node with its source until a write
+// touches it, so published trees are never mutated in place.
 package btree
 
 import "bytes"
@@ -16,6 +19,12 @@ import "bytes"
 // nodes hold up to degree-1 entries.
 const degree = 64
 
+// cowToken marks node ownership for copy-on-write clones: a node may
+// be mutated in place only by the tree whose token it carries. Nodes
+// reachable from a clone but created by an ancestor tree are copied
+// on first write.
+type cowToken struct{ _ byte }
+
 // Tree is a B+tree from byte-string keys to lists of int64 values.
 // The zero value is not usable; call New.
 type Tree struct {
@@ -23,13 +32,14 @@ type Tree struct {
 	height int
 	keys   int // number of distinct keys
 	vals   int // number of (key, value) pairs
+	cow    *cowToken
 }
 
 type node interface{}
 
 type leaf struct {
+	cow     *cowToken
 	entries []entry
-	next    *leaf
 }
 
 type entry struct {
@@ -38,6 +48,7 @@ type entry struct {
 }
 
 type interior struct {
+	cow *cowToken
 	// children[i] covers keys < keys[i] (for i < len(keys)) and
 	// children[len(keys)] covers the rest.
 	keys     [][]byte
@@ -46,7 +57,39 @@ type interior struct {
 
 // New returns an empty tree.
 func New() *Tree {
-	return &Tree{root: &leaf{}, height: 0}
+	c := new(cowToken)
+	return &Tree{root: &leaf{cow: c}, height: 0, cow: c}
+}
+
+// Clone returns a copy-on-write clone: an O(1) snapshot sharing every
+// node with the receiver. Writes to the clone copy shared nodes along
+// the touched path, leaving the source tree untouched, so a published
+// source may keep serving concurrent readers while its clone absorbs
+// inserts. Clones form a linear history (the engine always clones the
+// newest version under its writer lock); cloning the same tree twice
+// and writing to both divergent clones is not supported.
+func (t *Tree) Clone() *Tree {
+	return &Tree{root: t.root, height: t.height, keys: t.keys, vals: t.vals, cow: new(cowToken)}
+}
+
+// mutableLeaf returns lf if this tree owns it, else a copy owned by
+// this tree with one spare entry slot for the pending insert.
+func (t *Tree) mutableLeaf(lf *leaf) *leaf {
+	if lf.cow == t.cow {
+		return lf
+	}
+	return &leaf{cow: t.cow, entries: append(make([]entry, 0, len(lf.entries)+1), lf.entries...)}
+}
+
+// mutableInterior returns in if this tree owns it, else a copy owned
+// by this tree with one spare child slot.
+func (t *Tree) mutableInterior(in *interior) *interior {
+	if in.cow == t.cow {
+		return in
+	}
+	return &interior{cow: t.cow,
+		keys:     append(make([][]byte, 0, len(in.keys)+1), in.keys...),
+		children: append(make([]node, 0, len(in.children)+1), in.children...)}
 }
 
 // Len returns the number of distinct keys in the tree.
@@ -60,50 +103,62 @@ func (t *Tree) Pairs() int { return t.vals }
 func (t *Tree) Insert(key []byte, v int64) {
 	k := make([]byte, len(key))
 	copy(k, key)
-	midKey, sibling := t.insert(t.root, t.height, k, v)
+	repl, midKey, sibling := t.insert(t.root, t.height, k, v)
+	t.root = repl
 	if sibling != nil {
-		t.root = &interior{keys: [][]byte{midKey}, children: []node{t.root, sibling}}
+		t.root = &interior{cow: t.cow, keys: [][]byte{midKey}, children: []node{repl, sibling}}
 		t.height++
 	}
 }
 
 // insert descends to the leaf, inserts, and propagates splits upward.
-// It returns a non-nil sibling (and its separator key) if n split.
-func (t *Tree) insert(n node, height int, key []byte, v int64) ([]byte, node) {
+// It returns the node that replaces n in its parent (n itself, or a
+// copy when n was shared with an older clone), plus a non-nil sibling
+// (and its separator key) if the node split.
+func (t *Tree) insert(n node, height int, key []byte, v int64) (node, []byte, node) {
 	if height == 0 {
 		lf := n.(*leaf)
 		i := searchEntries(lf.entries, key)
 		if i < len(lf.entries) && bytes.Equal(lf.entries[i].key, key) {
-			e := &lf.entries[i]
-			for _, existing := range e.vals {
+			for _, existing := range lf.entries[i].vals {
 				if existing == v {
-					return nil, nil
+					return n, nil, nil
 				}
 			}
+			lf = t.mutableLeaf(lf)
+			e := &lf.entries[i]
+			// Appending may share the backing array with an older
+			// clone's entry; safe because clones form a linear history
+			// and older readers never index past their own length.
 			e.vals = append(e.vals, v)
 			t.vals++
-			return nil, nil
+			return lf, nil, nil
 		}
+		lf = t.mutableLeaf(lf)
 		lf.entries = append(lf.entries, entry{})
 		copy(lf.entries[i+1:], lf.entries[i:])
 		lf.entries[i] = entry{key: key, vals: []int64{v}}
 		t.keys++
 		t.vals++
 		if len(lf.entries) < degree {
-			return nil, nil
+			return lf, nil, nil
 		}
 		mid := len(lf.entries) / 2
-		right := &leaf{entries: append([]entry(nil), lf.entries[mid:]...), next: lf.next}
+		right := &leaf{cow: t.cow, entries: append([]entry(nil), lf.entries[mid:]...)}
 		lf.entries = lf.entries[:mid:mid]
-		lf.next = right
-		return right.entries[0].key, right
+		return lf, right.entries[0].key, right
 	}
 
 	in := n.(*interior)
 	i := searchKeys(in.keys, key)
-	midKey, sibling := t.insert(in.children[i], height-1, key, v)
+	repl, midKey, sibling := t.insert(in.children[i], height-1, key, v)
+	if repl == in.children[i] && sibling == nil {
+		return in, nil, nil
+	}
+	in = t.mutableInterior(in)
+	in.children[i] = repl
 	if sibling == nil {
-		return nil, nil
+		return in, nil, nil
 	}
 	in.keys = append(in.keys, nil)
 	copy(in.keys[i+1:], in.keys[i:])
@@ -112,17 +167,18 @@ func (t *Tree) insert(n node, height int, key []byte, v int64) ([]byte, node) {
 	copy(in.children[i+2:], in.children[i+1:])
 	in.children[i+1] = sibling
 	if len(in.children) <= degree {
-		return nil, nil
+		return in, nil, nil
 	}
 	mid := len(in.keys) / 2
 	sepKey := in.keys[mid]
 	right := &interior{
+		cow:      t.cow,
 		keys:     append([][]byte(nil), in.keys[mid+1:]...),
 		children: append([]node(nil), in.children[mid+1:]...),
 	}
 	in.keys = in.keys[:mid:mid]
 	in.children = in.children[: mid+1 : mid+1]
-	return sepKey, right
+	return in, sepKey, right
 }
 
 // searchEntries returns the first index i with entries[i].key >= key.
@@ -166,25 +222,55 @@ func (t *Tree) Get(key []byte) []int64 {
 // Delete removes value v from key, returning whether the pair existed.
 // Underfull nodes are not rebalanced (deletions are rare in the
 // workloads; lookups remain correct and space is reclaimed when the
-// tree is rebuilt).
+// tree is rebuilt). Like Insert, Delete is copy-on-write: shared
+// nodes along the path are copied, never mutated.
 func (t *Tree) Delete(key []byte, v int64) bool {
-	lf, i := t.findLeaf(key)
-	if i >= len(lf.entries) || !bytes.Equal(lf.entries[i].key, key) {
-		return false
+	repl, ok := t.delete(t.root, t.height, key, v)
+	if ok {
+		t.root = repl
 	}
-	e := &lf.entries[i]
-	for j, existing := range e.vals {
-		if existing == v {
-			e.vals = append(e.vals[:j], e.vals[j+1:]...)
+	return ok
+}
+
+func (t *Tree) delete(n node, height int, key []byte, v int64) (node, bool) {
+	if height == 0 {
+		lf := n.(*leaf)
+		i := searchEntries(lf.entries, key)
+		if i >= len(lf.entries) || !bytes.Equal(lf.entries[i].key, key) {
+			return n, false
+		}
+		for j, existing := range lf.entries[i].vals {
+			if existing != v {
+				continue
+			}
+			lf = t.mutableLeaf(lf)
+			e := &lf.entries[i]
+			// Copy-on-shrink: removal must not disturb value slices
+			// shared with older clones.
+			vals := make([]int64, 0, len(e.vals)-1)
+			vals = append(vals, e.vals[:j]...)
+			vals = append(vals, e.vals[j+1:]...)
+			e.vals = vals
 			t.vals--
 			if len(e.vals) == 0 {
 				lf.entries = append(lf.entries[:i], lf.entries[i+1:]...)
 				t.keys--
 			}
-			return true
+			return lf, true
 		}
+		return n, false
 	}
-	return false
+	in := n.(*interior)
+	i := searchKeys(in.keys, key)
+	repl, ok := t.delete(in.children[i], height-1, key, v)
+	if !ok {
+		return n, false
+	}
+	if repl != in.children[i] {
+		in = t.mutableInterior(in)
+		in.children[i] = repl
+	}
+	return in, true
 }
 
 func (t *Tree) findLeaf(key []byte) (*leaf, int) {
@@ -201,31 +287,54 @@ func (t *Tree) findLeaf(key []byte) (*leaf, int) {
 // ascending key order, stopping early if fn returns false. A nil hi
 // means "no upper bound"; a nil lo starts at the smallest key.
 func (t *Tree) Scan(lo, hi []byte, fn func(key []byte, v int64) bool) {
-	var lf *leaf
-	var i int
-	if lo == nil {
-		n := t.root
-		for h := t.height; h > 0; h-- {
-			n = n.(*interior).children[0]
+	t.scan(t.root, t.height, lo, hi, fn)
+}
+
+// scan descends the subtree in key order; it returns false when fn
+// stopped the scan or the upper bound was reached. Leaves carry no
+// next-pointer chain (threading one would break structural sharing
+// across clones), so the range walk recurses through the interior
+// nodes instead — one recursion per degree-wide node, negligible next
+// to the per-entry callback.
+func (t *Tree) scan(n node, height int, lo, hi []byte, fn func(key []byte, v int64) bool) bool {
+	if height == 0 {
+		lf := n.(*leaf)
+		i := 0
+		if lo != nil {
+			i = searchEntries(lf.entries, lo)
 		}
-		lf, i = n.(*leaf), 0
-	} else {
-		lf, i = t.findLeaf(lo)
-	}
-	for lf != nil {
 		for ; i < len(lf.entries); i++ {
 			e := &lf.entries[i]
 			if hi != nil && bytes.Compare(e.key, hi) >= 0 {
-				return
+				return false
 			}
 			for _, v := range e.vals {
 				if !fn(e.key, v) {
-					return
+					return false
 				}
 			}
 		}
-		lf, i = lf.next, 0
+		return true
 	}
+	in := n.(*interior)
+	start := 0
+	if lo != nil {
+		start = searchKeys(in.keys, lo)
+	}
+	for i := start; i < len(in.children); i++ {
+		// children[i] covers keys >= keys[i-1]; once that floor passes
+		// the upper bound the walk is done.
+		if hi != nil && i > start && bytes.Compare(in.keys[i-1], hi) >= 0 {
+			return false
+		}
+		if i > start {
+			lo = nil // only the first child needs the lower bound
+		}
+		if !t.scan(in.children[i], height-1, lo, hi, fn) {
+			return false
+		}
+	}
+	return true
 }
 
 // ScanAll calls fn for every pair in ascending key order.

@@ -67,7 +67,7 @@ func yieldChunks(ids []int64, batch int, yield batchYield) error {
 }
 
 func (fullScan) enumerate(ec *execCtx, e env, s *joinStep, st *OpStats, sc *batchScratch, yield batchYield) error {
-	n := len(s.table.Rows)
+	n := len(s.st.rows)
 	buf := sc.ids[:0]
 	for id := 0; id < n; id++ {
 		buf = append(buf, int64(id))
@@ -152,7 +152,7 @@ func (a *hashEq) enumerate(ec *execCtx, e env, s *joinStep, st *OpStats, sc *bat
 	}
 	key := encodeValue(sc.key[:0], v)
 	sc.key = key
-	m, built, bytes, err := s.table.hashFor(a.col, ec.acct)
+	m, built, bytes, err := s.st.hashFor(a.col, ec.acct)
 	if err != nil {
 		return err
 	}

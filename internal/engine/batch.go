@@ -100,7 +100,7 @@ func (r *stepRunner) vecFilter(s *joinStep, sc *batchScratch, ids []int64) []boo
 	for i := range keep {
 		keep[i] = true
 	}
-	rows := s.table.Rows
+	rows := s.st.rows
 	for _, vf := range s.vec {
 		for i, id := range ids {
 			if !keep[i] {

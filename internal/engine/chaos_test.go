@@ -308,11 +308,11 @@ func TestChaosDeadlineObservedAfterHashBuild(t *testing.T) {
 	// Drop the cached build sides so execution must rebuild, and
 	// stall that rebuild past the deadline.
 	for _, name := range db.TableNames() {
-		tb := db.Table(name)
-		tb.hashMu.Lock()
-		tb.hashIdx = map[int]map[string][]int64{}
-		tb.hashMax = map[int]int{}
-		tb.hashMu.Unlock()
+		st := db.Table(name).state()
+		st.hashMu.Lock()
+		st.hashIdx = map[int]map[string][]int64{}
+		st.hashMax = map[int]int{}
+		st.hashMu.Unlock()
 	}
 	if err := failpoint.Enable("engine/hash-build", failpoint.Sleep(15*time.Millisecond)); err != nil {
 		t.Fatal(err)

@@ -55,7 +55,8 @@ func (db *DB) ExecWithOptions(st sqlast.Statement, opts ExecOptions) (*Result, e
 		if t == nil {
 			return nil, fmt.Errorf("engine: unknown table %q", s.Table)
 		}
-		for _, exprRow := range s.Rows {
+		rows := make([][]Value, len(s.Rows))
+		for j, exprRow := range s.Rows {
 			row := make([]Value, len(exprRow))
 			for i, e := range exprRow {
 				v, err := literalValue(e)
@@ -68,9 +69,12 @@ func (db *DB) ExecWithOptions(st sqlast.Statement, opts ExecOptions) (*Result, e
 				}
 				row[i] = v
 			}
-			if _, err := t.Insert(row); err != nil {
-				return nil, err
-			}
+			rows[j] = row
+		}
+		// One batch: a multi-row INSERT commits atomically (single WAL
+		// record, single published snapshot) or not at all.
+		if _, err := t.InsertBatch(rows); err != nil {
+			return nil, err
 		}
 		return status(fmt.Sprintf("%d row(s) inserted", len(s.Rows))), nil
 	default:

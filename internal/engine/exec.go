@@ -639,7 +639,7 @@ func (r *stepRunner) processBatch(step int, s *joinStep, sc *batchScratch, ids [
 			keep = r.vecFilter(s, sc, ids)
 		}
 	}
-	rows := s.table.Rows
+	rows := s.st.rows
 	rest := s.filters[len(s.vec):]
 	for i, id := range ids {
 		if keep != nil && !keep[i] {

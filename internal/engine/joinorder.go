@@ -31,7 +31,7 @@ func (p *planner) chooseJoinOrder(names []string, local map[string]*Table, conju
 	fanout := func(name string, bound map[string]bool, atStart bool) float64 {
 		t := local[name]
 		access, connected := p.bestAccess(name, t, conjuncts, bound, sc)
-		e := float64(access.est(t))
+		e := float64(access.est(p.snap.stateOf(t)))
 		e *= sel[name]
 		if e < 1 {
 			e = 1
@@ -147,7 +147,8 @@ func (p *planner) sampleSelectivities(names []string, local map[string]*Table, c
 		if len(own) == 0 {
 			continue
 		}
-		if len(t.Rows) > 0 && len(t.Rows) <= sampleLimit {
+		rows := p.snap.stateOf(t).rows
+		if len(rows) > 0 && len(rows) <= sampleLimit {
 			compiled := make([]cexpr, 0, len(own))
 			ok := true
 			for _, e := range own {
@@ -172,14 +173,14 @@ func (p *planner) sampleSelectivities(names []string, local map[string]*Table, c
 					}
 					return true
 				}
-				for _, row := range t.Rows {
+				for _, row := range rows {
 					if count(row) {
 						matches++
 					}
 				}
-				out[name] = float64(matches) / float64(len(t.Rows))
+				out[name] = float64(matches) / float64(len(rows))
 				if out[name] == 0 {
-					out[name] = 0.5 / float64(len(t.Rows))
+					out[name] = 0.5 / float64(len(rows))
 				}
 				continue
 			}

@@ -211,7 +211,7 @@ func drivingIDs(ec *execCtx, plan *selectPlan) ([]int64, error) {
 		}
 	}()
 	if _, ok := s.access.(fullScan); ok {
-		ids := make([]int64, len(s.table.Rows))
+		ids := make([]int64, len(s.st.rows))
 		for i := range ids {
 			ids[i] = int64(i)
 		}
@@ -248,7 +248,7 @@ func prebuildHashJoins(ec *execCtx, plan *selectPlan) error {
 		if col < 0 {
 			continue
 		}
-		_, built, bytes, err := s.table.hashFor(col, ec.acct)
+		_, built, bytes, err := s.st.hashFor(col, ec.acct)
 		if err != nil {
 			return err
 		}

@@ -40,8 +40,14 @@ type corder struct {
 // joinStep binds one FROM table using an access path, then applies
 // residual filters.
 type joinStep struct {
-	name    string
-	table   *Table
+	name  string
+	table *Table
+	// st is the table state the plan was compiled against: the
+	// statement's snapshot pin. Execution reads rows and builds hash
+	// indexes through st, never through the live table, so a running
+	// query is untouched by concurrent commits; the plan cache retires
+	// the plan (plancache.go) once the live state moves on.
+	st      *tableState
 	access  accessPath
 	filters []cexpr
 	// filterSrc keeps the source text of filters for Explain.
@@ -63,8 +69,9 @@ type accessPath interface {
 	// rank orders access kinds for tie-breaking (lower is better).
 	rank() int
 	// est estimates the rows this access yields per binding of the
-	// already-bound tables — the planner's cost metric.
-	est(t *Table) int
+	// already-bound tables — the planner's cost metric, evaluated
+	// against the snapshot state the plan is compiled for.
+	est(st *tableState) int
 	// enumerate pushes the candidate row ids for the step under the
 	// current bindings, in the executor's canonical order, batched
 	// through sc.ids (or zero-copy sub-slices of index postings),
@@ -79,9 +86,9 @@ type accessPath interface {
 
 type fullScan struct{}
 
-func (fullScan) describe() string { return "full scan" }
-func (fullScan) rank() int        { return 8 }
-func (fullScan) est(t *Table) int { return len(t.Rows) }
+func (fullScan) describe() string       { return "full scan" }
+func (fullScan) rank() int              { return 8 }
+func (fullScan) est(st *tableState) int { return len(st.rows) }
 
 // indexEq is a point lookup on an index whose leading columns are all
 // bound by equality.
@@ -92,7 +99,7 @@ type indexEq struct {
 
 func (a *indexEq) describe() string { return "index lookup " + a.ix.Name }
 func (a *indexEq) rank() int        { return 1 }
-func (a *indexEq) est(t *Table) int {
+func (a *indexEq) est(st *tableState) int {
 	if n := a.ix.Tree.Len(); n > 0 {
 		return maxInt(1, a.ix.Tree.Pairs()/n)
 	}
@@ -108,10 +115,10 @@ type hashEq struct {
 
 func (a *hashEq) describe() string { return "hash join" }
 func (a *hashEq) rank() int        { return 2 }
-func (a *hashEq) est(t *Table) int {
+func (a *hashEq) est(st *tableState) int {
 	// Estimate with the largest bucket: skewed join columns (e.g. a
 	// path id shared by half the relation) must not look selective.
-	return maxInt(1, t.hashMaxBucket(a.col))
+	return maxInt(1, st.hashMaxBucket(a.col))
 }
 
 // indexPrefixes is the ancestor access path: for a condition
@@ -125,9 +132,9 @@ type indexPrefixes struct {
 
 func (a *indexPrefixes) describe() string { return "index prefix lookups " + a.ix.Name }
 func (a *indexPrefixes) rank() int        { return 2 }
-func (a *indexPrefixes) est(t *Table) int {
-	if len(t.Rows) < 8 {
-		return len(t.Rows)
+func (a *indexPrefixes) est(st *tableState) int {
+	if len(st.rows) < 8 {
+		return len(st.rows)
 	}
 	return 8
 }
@@ -137,9 +144,9 @@ func (a *indexPrefixes) est(t *Table) int {
 // prefers genuinely selective paths.
 type fatHash struct{ h *hashEq }
 
-func (a *fatHash) describe() string { return "hash join (low selectivity)" }
-func (a *fatHash) rank() int        { return 8 }
-func (a *fatHash) est(t *Table) int { return a.h.est(t) }
+func (a *fatHash) describe() string       { return "hash join (low selectivity)" }
+func (a *fatHash) rank() int              { return 8 }
+func (a *fatHash) est(st *tableState) int { return a.h.est(st) }
 
 // indexRange scans an index over a [lo, hi] interval computed from
 // the bound rows. Either bound may be absent.
@@ -164,11 +171,11 @@ func (a *indexRange) rank() int {
 	return 5
 }
 
-func (a *indexRange) est(t *Table) int {
+func (a *indexRange) est(st *tableState) int {
 	if a.lo != nil && a.hi != nil {
-		return len(t.Rows)/16 + 1
+		return len(st.rows)/16 + 1
 	}
-	return len(t.Rows)/4 + 1
+	return len(st.rows)/4 + 1
 }
 
 func maxInt(a, b int) int {
@@ -178,12 +185,16 @@ func maxInt(a, b int) int {
 	return b
 }
 
-// planner compiles statements against a database.
+// planner compiles statements against one database snapshot: every
+// table resolution, cost estimate, and pinned joinStep state comes
+// from snap, so a plan is internally consistent even when a writer
+// commits mid-compile (the plan cache then simply retires it early).
 type planner struct {
-	db *DB
+	db   *DB
+	snap *dbSnap
 	// touched records every table resolved while planning (including
 	// tables of correlated subselects) so the plan cache can pin the
-	// table versions a cached plan depends on. Nil when the caller
+	// table states a cached plan depends on. Nil when the caller
 	// doesn't need dependency tracking.
 	touched map[*Table]bool
 }
@@ -201,7 +212,7 @@ func (p *planner) planSelect(sel *sqlast.Select, outer *scope) (*selectPlan, err
 	local := map[string]*Table{}
 	var localOrder []string
 	for _, ref := range sel.From {
-		t := p.db.Table(ref.Table)
+		t := p.snap.table(ref.Table)
 		if t == nil {
 			return nil, fmt.Errorf("engine: unknown table %q", ref.Table)
 		}
@@ -264,7 +275,8 @@ func (p *planner) planSelect(sel *sqlast.Select, outer *scope) (*selectPlan, err
 	for _, name := range order {
 		access, _ := p.bestAccess(name, local[name], conjuncts, bound, sc)
 		bound[name] = true
-		step := &joinStep{name: name, table: local[name], access: access}
+		step := &joinStep{name: name, table: local[name],
+			st: p.snap.stateOf(local[name]), access: access}
 		// Attach every not-yet-attached conjunct whose local references
 		// are now fully bound.
 		for _, c := range conjuncts {
@@ -427,12 +439,13 @@ func (p *planner) localRefs(e sqlast.Expr, local map[string]*Table) map[string]b
 // usable conjunct references the table at all — a table without one
 // joins as a cross product and is deferred by the caller.
 func (p *planner) bestAccess(name string, t *Table, conjuncts []*conjunct, bound map[string]bool, sc *scope) (access accessPath, connected bool) {
+	st := p.snap.stateOf(t)
 	var best accessPath = fullScan{}
 	consider := func(a accessPath) {
 		if a == nil {
 			return
 		}
-		if a.est(t) < best.est(t) || (a.est(t) == best.est(t) && a.rank() < best.rank()) {
+		if a.est(st) < best.est(st) || (a.est(st) == best.est(st) && a.rank() < best.rank()) {
 			best = a
 		}
 	}
@@ -540,14 +553,15 @@ func (p *planner) eqAccess(name string, t *Table, colSide, keySide sqlast.Expr, 
 	if err != nil {
 		return nil
 	}
-	if ix := t.FindIndex(col); ix != nil && len(ix.Cols) == 1 {
+	st := p.snap.stateOf(t)
+	if ix := st.findIndex(col); ix != nil && len(ix.Cols) == 1 {
 		return &indexEq{ix: ix, keys: []cexpr{key}}
 	}
 	h := &hashEq{col: col, key: key}
 	// A hash join on a low-cardinality column degenerates to a scan;
 	// rank it accordingly so selective paths win.
-	if len(t.Rows) > 64 {
-		if m := t.hash(col); len(m) > 0 && len(t.Rows)/len(m) > 16 {
+	if len(st.rows) > 64 {
+		if m := st.hash(col); len(m) > 0 && len(st.rows)/len(m) > 16 {
 			return &fatHash{h: h}
 		}
 	}
@@ -571,7 +585,7 @@ func (p *planner) rangeAccess(name string, t *Table, colSide sqlast.Expr, op sql
 		}
 		concat = true
 	}
-	ix := t.FindIndex(col)
+	ix := p.snap.stateOf(t).findIndex(col)
 	if ix == nil {
 		return nil
 	}
@@ -611,7 +625,7 @@ func (p *planner) accessFromBetween(name string, t *Table, b *sqlast.Between, sc
 		hiCol := p.concatColOf(b.Hi, name, t, sc)
 		if loCol >= 0 && loCol == hiCol && p.freeOf(b.X, name, t) && t.Cols[loCol].Type == TBytes {
 			if k, ok := p.staticKind(b.X, sc); ok && k == KBytes {
-				if ix := t.FindIndex(loCol); ix != nil {
+				if ix := p.snap.stateOf(t).findIndex(loCol); ix != nil {
 					if x, err := p.compile(b.X, sc); err == nil {
 						return &indexPrefixes{ix: ix, x: x}
 					}
@@ -623,7 +637,7 @@ func (p *planner) accessFromBetween(name string, t *Table, b *sqlast.Between, sc
 	if !p.freeOf(b.Lo, name, t) || !p.freeOf(b.Hi, name, t) {
 		return nil
 	}
-	ix := t.FindIndex(col)
+	ix := p.snap.stateOf(t).findIndex(col)
 	if ix == nil {
 		return nil
 	}

@@ -14,7 +14,8 @@ import (
 const planCacheCap = 256
 
 // compiledStmt is a fully planned statement (exactly one of sel/union
-// is set) plus the versions of every table it was planned against.
+// is set) plus the snapshot states of every table it was planned
+// against.
 type compiledStmt struct {
 	sel    *selectPlan
 	union  *unionPlan
@@ -25,17 +26,20 @@ type compiledStmt struct {
 	nOps int
 }
 
-// tableVer pins the version a table had at plan time.
+// tableVer pins the state a table had at plan time. States are
+// immutable and never reused across versions, so pointer equality
+// against the current snapshot is exactly "the table has not been
+// mutated since planning".
 type tableVer struct {
-	t   *Table
-	ver uint64
+	t  *Table
+	st *tableState
 }
 
 // fresh reports whether none of the plan's tables have been mutated
-// since planning.
-func (cs *compiledStmt) fresh() bool {
+// since planning, judged against the given snapshot.
+func (cs *compiledStmt) fresh(snap *dbSnap) bool {
 	for _, tv := range cs.tables {
-		if tv.t.version != tv.ver {
+		if snap.stateOf(tv.t) != tv.st {
 			return false
 		}
 	}
@@ -53,10 +57,11 @@ type unionPlan struct {
 	phys      *physUnion // union-level operators, set by lowerStmt
 }
 
-// compileStmt plans a statement from scratch, recording the versions
-// of all tables it touches (including correlated-subquery tables).
+// compileStmt plans a statement from scratch against one database
+// snapshot, recording the pinned states of all tables it touches
+// (including correlated-subquery tables).
 func compileStmt(db *DB, st sqlast.Statement) (*compiledStmt, error) {
-	p := &planner{db: db, touched: map[*Table]bool{}}
+	p := &planner{db: db, snap: db.loadSnap(), touched: map[*Table]bool{}}
 	cs := &compiledStmt{}
 	switch s := st.(type) {
 	case *sqlast.Select:
@@ -103,7 +108,7 @@ func compileStmt(db *DB, st sqlast.Statement) (*compiledStmt, error) {
 		return nil, fmt.Errorf("engine: unsupported statement %T", st)
 	}
 	for t := range p.touched {
-		cs.tables = append(cs.tables, tableVer{t: t, ver: t.version})
+		cs.tables = append(cs.tables, tableVer{t: t, st: p.snap.stateOf(t)})
 	}
 	// Lower to the physical operator tree, then derive the vectorized
 	// filter metadata, before the plan can be published to (and shared
@@ -129,14 +134,15 @@ type planEntry struct {
 	cs  *compiledStmt
 }
 
-// get returns the cached plan for key, or nil on miss/stale.
-func (c *planCache) get(key string) *compiledStmt {
+// get returns the cached plan for key, or nil on miss/stale; snap is
+// the snapshot freshness is judged against.
+func (c *planCache) get(key string, snap *dbSnap) *compiledStmt {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.byKey[key]
 	if ok {
 		cs := el.Value.(*planEntry).cs
-		if cs.fresh() {
+		if cs.fresh(snap) {
 			c.hits++
 			c.lru.MoveToFront(el)
 			return cs
@@ -149,16 +155,16 @@ func (c *planCache) get(key string) *compiledStmt {
 }
 
 // put inserts a freshly compiled plan, evicting the least recently
-// used entry beyond capacity. A plan whose table versions have
+// used entry beyond capacity. A plan whose table states have
 // already moved on is not inserted: a compile that raced with a
 // mutation (or an evicted plan whose execution was still in flight)
-// must not re-enter the cache with stale versions, where it would
+// must not re-enter the cache with stale pins, where it would
 // evict a good entry and force the next lookup through the
 // stale-detection miss path.
-func (c *planCache) put(key string, cs *compiledStmt) {
+func (c *planCache) put(key string, cs *compiledStmt, snap *dbSnap) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if !cs.fresh() {
+	if !cs.fresh(snap) {
 		return
 	}
 	if c.lru == nil {
@@ -202,7 +208,7 @@ func (db *DB) compiledFor(st sqlast.Statement, key string) (*compiledStmt, error
 	if key == "" {
 		key = sqlast.Render(st)
 	}
-	if cs := db.plans.get(key); cs != nil {
+	if cs := db.plans.get(key, db.loadSnap()); cs != nil {
 		return cs, nil
 	}
 	cs, err := compileStmt(db, st)
@@ -213,7 +219,7 @@ func (db *DB) compiledFor(st sqlast.Statement, key string) (*compiledStmt, error
 	if err := failpoint.Inject("engine/plancache-insert"); err != nil {
 		return nil, err
 	}
-	db.plans.put(key, cs)
+	db.plans.put(key, cs, db.loadSnap())
 	return cs, nil
 }
 

@@ -201,11 +201,11 @@ func TestPlanCacheStaleReinsert(t *testing.T) {
 	if _, err := f.Insert([]Value{NewInt(999), NewInt(6), NewBytes(dewey.New(1, 1, 2, 1, 3)), NewInt(6), NewText("2")}); err != nil {
 		t.Fatal(err)
 	}
-	if cs.fresh() {
+	if cs.fresh(db.loadSnap()) {
 		t.Fatal("test setup: plan still fresh after Insert")
 	}
-	db.plans.put(key, cs)
-	if got := db.plans.get(key); got != nil {
+	db.plans.put(key, cs, db.loadSnap())
+	if got := db.plans.get(key, db.loadSnap()); got != nil {
 		t.Fatal("stale plan was re-inserted and served")
 	}
 	if n := db.PlanCacheSize(); n != 0 {

@@ -17,26 +17,46 @@ type Column struct {
 	Type Type
 }
 
-// Table is a row-store table with optional B+tree indexes.
+// Table is a stable handle to a row-store table with optional B+tree
+// indexes. The handle carries only the schema (name, columns) and the
+// table's slot in the database snapshot; the versioned contents live
+// in immutable tableState values published atomically by the single
+// writer (see dbSnap). A statement — serial or morsel-parallel — pins
+// the states its plan was compiled against and never observes a
+// concurrent writer's partial work: readers are isolated by
+// construction, not by external serialization.
 type Table struct {
-	Name    string
-	Cols    []Column
-	Rows    [][]Value
-	colIdx  map[string]int
+	Name   string
+	Cols   []Column
+	colIdx map[string]int
+	pos    int // slot in dbSnap.states
+	db     *DB
+}
+
+// tableState is one immutable version of a table's contents. Rows and
+// index trees are never mutated after the state is published: a write
+// builds a successor state sharing structure with its predecessor
+// (rows by slice extension, trees by copy-on-write cloning) and
+// publishes it in a new database snapshot.
+type tableState struct {
+	// version counts mutations (Insert, CreateIndex) monotonically per
+	// table, so cached plans can detect that a table they were planned
+	// against has changed. Distinct states always carry distinct
+	// versions; the plan cache compares state pointers directly.
+	version uint64
+	rows    [][]Value
 	indexes []*Index
 	// hashIdx caches transient single-column hash indexes built on
 	// demand by the executor for equijoins on non-indexed columns — the
-	// engine's hash-join mechanism. Keyed by column position. hashMu
-	// makes concurrent read-only queries safe; writes (Insert) are not
-	// concurrency-safe and must be externally serialized.
+	// engine's hash-join mechanism. Keyed by column position. The cache
+	// is a lazy memo over this state's immutable rows, guarded by
+	// hashMu; successor states start with an empty cache, which is the
+	// snapshot-world equivalent of the old drop-on-insert invalidation
+	// (and structurally fixes the reader/writer race that invalidation
+	// had: a writer never touches the cache a running query is using).
 	hashMu  sync.Mutex
 	hashIdx map[int]map[string][]int64
 	hashMax map[int]int // largest bucket per hashed column
-	// version counts mutations (Insert, CreateIndex) so cached plans
-	// can detect that a table they were planned against has changed.
-	// Mutations follow the same contract as the fields above: they
-	// must be externally serialized against concurrent queries.
-	version uint64
 }
 
 // Index is a B+tree index over one or more columns.
@@ -46,15 +66,58 @@ type Index struct {
 	Tree *btree.Tree
 }
 
-// DB is a database: a set of tables.
-type DB struct {
-	tables map[string]*Table
+// dbSnap is an immutable snapshot of the whole database: the table
+// handles (by name and creation order) plus the current state of
+// every table, indexed by Table.pos. The single writer publishes a
+// new snapshot per commit; a reader loads one pointer and sees a
+// consistent multi-table view — a batch commit spanning several
+// tables becomes visible all at once or not at all.
+type dbSnap struct {
+	seq    uint64
+	byName map[string]*Table
 	names  []string
-	plans  planCache
+	states []*tableState
+}
+
+// table resolves a name in this snapshot, or nil.
+func (s *dbSnap) table(name string) *Table { return s.byName[name] }
+
+// stateOf returns the pinned state of a table in this snapshot.
+func (s *dbSnap) stateOf(t *Table) *tableState { return s.states[t.pos] }
+
+// clone copies the snapshot's mutable containers for the writer to
+// edit before publishing. Table states are shared by pointer; the
+// writer replaces only the slots it touches.
+func (s *dbSnap) clone() *dbSnap {
+	return &dbSnap{
+		seq:    s.seq + 1,
+		byName: s.byName, // copied on CreateTable only
+		names:  s.names,
+		states: append(make([]*tableState, 0, len(s.states)+1), s.states...),
+	}
+}
+
+// DB is a database: a set of tables with snapshot-isolated reads, a
+// single serialized writer, and (when opened with Open) a write-ahead
+// log making every committed statement durable.
+type DB struct {
+	snap atomic.Pointer[dbSnap]
+	// writeMu serializes all mutations: statement-level writes append
+	// their WAL record, build successor table states, and publish the
+	// new snapshot under this lock. Readers never take it.
+	writeMu sync.Mutex
+	plans   planCache
+	// pers is the durability hook: nil for in-memory databases,
+	// otherwise the WAL writer commits are logged to before they are
+	// applied (see persist.go).
+	pers *persister
 	// peakMem is the high-water mark of per-statement accounted
 	// memory across every statement run against this DB.
 	peakMem atomic.Int64
 }
+
+// loadSnap returns the current snapshot.
+func (db *DB) loadSnap() *dbSnap { return db.snap.Load() }
 
 // notePeakMemory folds one statement's peak accounted memory into
 // the DB-level high-water mark.
@@ -71,36 +134,77 @@ func (db *DB) notePeakMemory(peak int64) {
 // single statement has reached on this DB (see Result.PeakMemBytes).
 func (db *DB) PeakStatementMemory() int64 { return db.peakMem.Load() }
 
-// NewDB returns an empty database.
-func NewDB() *DB { return &DB{tables: map[string]*Table{}} }
+// NewDB returns an empty in-memory database.
+func NewDB() *DB {
+	db := &DB{}
+	db.snap.Store(&dbSnap{byName: map[string]*Table{}})
+	return db
+}
 
 // CreateTable creates a table. The column list must be non-empty with
-// unique names.
+// unique names. Like every mutation it is durably logged first when
+// the database is persistent.
 func (db *DB) CreateTable(name string, cols ...Column) (*Table, error) {
-	if _, exists := db.tables[name]; exists {
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+	t, err := db.applyCreateTable(name, cols)
+	if err != nil {
+		return nil, err
+	}
+	if err := db.logCreateTable(name, cols); err != nil {
+		return nil, err
+	}
+	db.commitCreateTable(t)
+	return t, nil
+}
+
+// applyCreateTable validates and builds the table handle without
+// publishing it; the caller holds writeMu.
+func (db *DB) applyCreateTable(name string, cols []Column) (*Table, error) {
+	snap := db.loadSnap()
+	if _, exists := snap.byName[name]; exists {
 		return nil, fmt.Errorf("engine: table %q already exists", name)
 	}
 	if len(cols) == 0 {
 		return nil, fmt.Errorf("engine: table %q needs at least one column", name)
 	}
-	t := &Table{Name: name, Cols: cols, colIdx: map[string]int{},
-		hashIdx: map[int]map[string][]int64{}, hashMax: map[int]int{}}
+	t := &Table{Name: name, Cols: cols, colIdx: map[string]int{}, pos: len(snap.states), db: db}
 	for i, c := range cols {
 		if _, dup := t.colIdx[c.Name]; dup {
 			return nil, fmt.Errorf("engine: duplicate column %q in table %q", c.Name, name)
 		}
 		t.colIdx[c.Name] = i
 	}
-	db.tables[name] = t
-	db.names = append(db.names, name)
 	return t, nil
 }
 
+// commitCreateTable publishes the new table; the caller holds writeMu
+// and has validated via applyCreateTable.
+func (db *DB) commitCreateTable(t *Table) {
+	snap := db.loadSnap()
+	next := snap.clone()
+	byName := make(map[string]*Table, len(snap.byName)+1)
+	for k, v := range snap.byName {
+		byName[k] = v
+	}
+	byName[t.Name] = t
+	next.byName = byName
+	next.names = append(append([]string(nil), snap.names...), t.Name)
+	next.states = append(next.states, newTableState())
+	db.snap.Store(next)
+}
+
+func newTableState() *tableState {
+	return &tableState{hashIdx: map[int]map[string][]int64{}, hashMax: map[int]int{}}
+}
+
 // Table returns the named table, or nil.
-func (db *DB) Table(name string) *Table { return db.tables[name] }
+func (db *DB) Table(name string) *Table { return db.loadSnap().table(name) }
 
 // TableNames returns the table names in creation order.
-func (db *DB) TableNames() []string { return append([]string(nil), db.names...) }
+func (db *DB) TableNames() []string {
+	return append([]string(nil), db.loadSnap().names...)
+}
 
 // ColIndex returns the position of the named column, or -1.
 func (t *Table) ColIndex(name string) int {
@@ -110,12 +214,23 @@ func (t *Table) ColIndex(name string) int {
 	return -1
 }
 
-// Insert appends a row. The row length must match the column count;
-// value kinds must be compatible with the column types (or NULL).
-// All indexes are maintained.
-func (t *Table) Insert(row []Value) (int64, error) {
+// state returns the table's current published state.
+func (t *Table) state() *tableState { return t.db.loadSnap().stateOf(t) }
+
+// Rows returns the rows of the table's current snapshot. The returned
+// slice (and its rows) is immutable shared state: callers must not
+// modify it. Later inserts do not change it — re-call Rows to observe
+// them.
+func (t *Table) Rows() [][]Value { return t.state().rows }
+
+// Version returns the table's mutation counter: it increments on
+// every Insert/InsertBatch/CreateIndex commit.
+func (t *Table) Version() uint64 { return t.state().version }
+
+// validateRow checks arity and value kinds against the schema.
+func (t *Table) validateRow(row []Value) error {
 	if len(row) != len(t.Cols) {
-		return 0, fmt.Errorf("engine: table %q expects %d values, got %d", t.Name, len(t.Cols), len(row))
+		return fmt.Errorf("engine: table %q expects %d values, got %d", t.Name, len(t.Cols), len(row))
 	}
 	for i, v := range row {
 		if v.IsNull() {
@@ -133,22 +248,87 @@ func (t *Table) Insert(row []Value) (int64, error) {
 			ok = v.Kind == KBytes
 		}
 		if !ok {
-			return 0, fmt.Errorf("engine: table %q column %q (%s) cannot hold %s",
+			return fmt.Errorf("engine: table %q column %q (%s) cannot hold %s",
 				t.Name, t.Cols[i].Name, t.Cols[i].Type, v.Kind)
 		}
 	}
-	id := int64(len(t.Rows))
-	t.Rows = append(t.Rows, row)
-	for _, ix := range t.indexes {
-		ix.Tree.Insert(ix.key(row), id)
+	return nil
+}
+
+// applyInsert builds the successor state appending rows; it never
+// mutates st. Row storage is extended in place when capacity allows:
+// safe, because the predecessor state's readers are bounded by their
+// own slice length and the single writer is serialized by writeMu.
+// Index trees are copy-on-write clones, so the predecessor's trees
+// keep serving concurrent readers unchanged.
+func applyInsert(st *tableState, rows [][]Value) *tableState {
+	next := newTableState()
+	next.version = st.version + 1
+	next.rows = st.rows
+	base := int64(len(st.rows))
+	for _, row := range rows {
+		next.rows = append(next.rows, row)
 	}
-	// Transient hash indexes become stale; drop them.
-	if len(t.hashIdx) > 0 {
-		t.hashIdx = map[int]map[string][]int64{}
-		t.hashMax = map[int]int{}
+	next.indexes = make([]*Index, len(st.indexes))
+	for i, ix := range st.indexes {
+		nix := &Index{Name: ix.Name, Cols: ix.Cols, Tree: ix.Tree.Clone()}
+		for j, row := range rows {
+			nix.Tree.Insert(nix.key(row), base+int64(j))
+		}
+		next.indexes[i] = nix
 	}
-	t.version++
+	return next
+}
+
+// Insert appends a row. The row length must match the column count;
+// value kinds must be compatible with the column types (or NULL).
+// All indexes are maintained; the commit is durable (WAL + fsync)
+// before it becomes visible when the database is persistent.
+func (t *Table) Insert(row []Value) (int64, error) {
+	if err := t.validateRow(row); err != nil {
+		return 0, err
+	}
+	t.db.writeMu.Lock()
+	defer t.db.writeMu.Unlock()
+	st := t.state()
+	id := int64(len(st.rows))
+	if err := t.db.logInsert(t.Name, [][]Value{row}); err != nil {
+		return 0, err
+	}
+	t.commitState(applyInsert(st, [][]Value{row}))
 	return id, nil
+}
+
+// InsertBatch appends rows atomically: one commit, one WAL record,
+// one fsync, one published snapshot. Readers observe all of the batch
+// or none of it. It returns the row id assigned to the first row.
+func (t *Table) InsertBatch(rows [][]Value) (int64, error) {
+	if len(rows) == 0 {
+		return 0, nil
+	}
+	for _, row := range rows {
+		if err := t.validateRow(row); err != nil {
+			return 0, err
+		}
+	}
+	t.db.writeMu.Lock()
+	defer t.db.writeMu.Unlock()
+	st := t.state()
+	id := int64(len(st.rows))
+	if err := t.db.logInsert(t.Name, rows); err != nil {
+		return 0, err
+	}
+	t.commitState(applyInsert(st, rows))
+	return id, nil
+}
+
+// commitState publishes a successor state for the table; the caller
+// holds writeMu.
+func (t *Table) commitState(next *tableState) {
+	snap := t.db.loadSnap()
+	ns := snap.clone()
+	ns.states[t.pos] = next
+	t.db.snap.Store(ns)
 }
 
 // MustInsert is Insert that panics on error, for loaders with
@@ -161,9 +341,23 @@ func (t *Table) MustInsert(row ...Value) int64 {
 	return id
 }
 
-// CreateIndex builds a B+tree index over the named columns. Existing
-// rows are indexed immediately.
-func (t *Table) CreateIndex(name string, cols ...string) (*Index, error) {
+// applyCreateIndex builds the successor state carrying the new index;
+// existing rows are indexed immediately.
+func applyCreateIndex(st *tableState, name string, positions []int) *tableState {
+	next := newTableState()
+	next.version = st.version + 1
+	next.rows = st.rows
+	ix := &Index{Name: name, Cols: positions, Tree: btree.New()}
+	for id, row := range st.rows {
+		ix.Tree.Insert(ix.key(row), int64(id))
+	}
+	next.indexes = append(append([]*Index(nil), st.indexes...), ix)
+	return next
+}
+
+// resolveIndexCols validates a CreateIndex request against the
+// table's schema and current indexes.
+func (t *Table) resolveIndexCols(st *tableState, name string, cols []string) ([]int, error) {
 	if len(cols) == 0 {
 		return nil, fmt.Errorf("engine: index %q needs at least one column", name)
 	}
@@ -175,30 +369,47 @@ func (t *Table) CreateIndex(name string, cols ...string) (*Index, error) {
 		}
 		positions[i] = p
 	}
-	for _, existing := range t.indexes {
+	for _, existing := range st.indexes {
 		if existing.Name == name {
 			return nil, fmt.Errorf("engine: index %q already exists on table %q", name, t.Name)
 		}
 	}
-	ix := &Index{Name: name, Cols: positions, Tree: btree.New()}
-	for id, row := range t.Rows {
-		ix.Tree.Insert(ix.key(row), int64(id))
-	}
-	t.indexes = append(t.indexes, ix)
-	// A new index can change the chosen access paths of cached plans.
-	t.version++
-	return ix, nil
+	return positions, nil
 }
 
-// Indexes returns the table's indexes.
-func (t *Table) Indexes() []*Index { return t.indexes }
+// CreateIndex builds a B+tree index over the named columns. Existing
+// rows are indexed immediately. A new index changes the chosen access
+// paths of cached plans, so the commit bumps the table version like
+// any other mutation.
+func (t *Table) CreateIndex(name string, cols ...string) (*Index, error) {
+	t.db.writeMu.Lock()
+	defer t.db.writeMu.Unlock()
+	st := t.state()
+	positions, err := t.resolveIndexCols(st, name, cols)
+	if err != nil {
+		return nil, err
+	}
+	if err := t.db.logCreateIndex(t.Name, name, cols); err != nil {
+		return nil, err
+	}
+	next := applyCreateIndex(st, name, positions)
+	t.commitState(next)
+	return next.indexes[len(next.indexes)-1], nil
+}
 
-// FindIndex returns an index whose leading columns are exactly the
-// given column positions (in order), preferring the shortest such
-// index; nil if none exists.
-func (t *Table) FindIndex(leading ...int) *Index {
+// Indexes returns the indexes of the table's current snapshot.
+func (t *Table) Indexes() []*Index { return t.state().indexes }
+
+// FindIndex returns an index of the current snapshot whose leading
+// columns are exactly the given column positions (in order),
+// preferring the shortest such index; nil if none exists.
+func (t *Table) FindIndex(leading ...int) *Index { return t.state().findIndex(leading...) }
+
+// findIndex is FindIndex against a pinned state (the planner resolves
+// access paths against the snapshot its plan is compiled for).
+func (st *tableState) findIndex(leading ...int) *Index {
 	var best *Index
-	for _, ix := range t.indexes {
+	for _, ix := range st.indexes {
 		if len(ix.Cols) < len(leading) {
 			continue
 		}
@@ -248,8 +459,8 @@ func encodeValue(dst []byte, v Value) []byte {
 // column: the executor's hash-join build side. This unaccounted form
 // serves the planner's cost estimation; execution paths go through
 // hashFor so builds are charged to the running statement.
-func (t *Table) hash(col int) map[string][]int64 {
-	m, _, _, err := t.hashFor(col, nil)
+func (st *tableState) hash(col int) map[string][]int64 {
+	m, _, _, err := st.hashFor(col, nil)
 	if err != nil {
 		// With a nil accountant the only failure mode is an armed
 		// failpoint; planner-side estimation has no error path, so an
@@ -261,26 +472,27 @@ func (t *Table) hash(col int) map[string][]int64 {
 }
 
 // hashFor returns the transient hash index for a column, building it
-// on demand. A build is charged to the statement's accountant and
-// aborts (without publishing a partial map) when the memory budget
-// is exceeded; built reports whether this call performed the build
-// (so callers can re-check deadlines after a long one) and bytes the
-// amount it charged, for attribution to the probing operator's
-// OpStats. The "engine/hash-build" failpoint fires on every access,
-// built or cached, making the hash path's error handling injectable
-// regardless of which statement performed the build.
-func (t *Table) hashFor(col int, ac *accountant) (m map[string][]int64, built bool, bytes int64, err error) {
+// on demand over this state's immutable rows. A build is charged to
+// the statement's accountant and aborts (without publishing a partial
+// map) when the memory budget is exceeded; built reports whether this
+// call performed the build (so callers can re-check deadlines after a
+// long one) and bytes the amount it charged, for attribution to the
+// probing operator's OpStats. The "engine/hash-build" failpoint fires
+// on every access, built or cached, making the hash path's error
+// handling injectable regardless of which statement performed the
+// build.
+func (st *tableState) hashFor(col int, ac *accountant) (m map[string][]int64, built bool, bytes int64, err error) {
 	if err := failpoint.Inject("engine/hash-build"); err != nil {
 		return nil, false, 0, err
 	}
-	t.hashMu.Lock()
-	defer t.hashMu.Unlock()
-	if m, ok := t.hashIdx[col]; ok {
+	st.hashMu.Lock()
+	defer st.hashMu.Unlock()
+	if m, ok := st.hashIdx[col]; ok {
 		return m, false, 0, nil
 	}
-	m = make(map[string][]int64, len(t.Rows))
+	m = make(map[string][]int64, len(st.rows))
 	var buf []byte
-	for id, row := range t.Rows {
+	for id, row := range st.rows {
 		buf = encodeValue(buf[:0], row[col])
 		key := string(buf)
 		ids, ok := m[key]
@@ -306,19 +518,19 @@ func (t *Table) hashFor(col int, ac *accountant) (m map[string][]int64, built bo
 			max = len(ids)
 		}
 	}
-	t.hashIdx[col] = m
-	t.hashMax[col] = max
+	st.hashIdx[col] = m
+	st.hashMax[col] = max
 	return m, true, bytes, nil
 }
 
 // hashMaxBucket returns the largest bucket of the column's transient
 // hash index (building it if needed) — the planner's worst-case
 // estimate for a hash join probe.
-func (t *Table) hashMaxBucket(col int) int {
-	t.hash(col)
-	t.hashMu.Lock()
-	defer t.hashMu.Unlock()
-	return t.hashMax[col]
+func (st *tableState) hashMaxBucket(col int) int {
+	st.hash(col)
+	st.hashMu.Lock()
+	defer st.hashMu.Unlock()
+	return st.hashMax[col]
 }
 
 // Stats returns simple statistics used by the planner and reports.
@@ -327,17 +539,22 @@ type Stats struct {
 	Indexes int
 }
 
-// Stats returns the table's statistics.
-func (t *Table) Stats() Stats { return Stats{Rows: len(t.Rows), Indexes: len(t.indexes)} }
+// Stats returns the statistics of the table's current snapshot.
+func (t *Table) Stats() Stats {
+	st := t.state()
+	return Stats{Rows: len(st.rows), Indexes: len(st.indexes)}
+}
 
 // SortedTableSizes renders "name=rows" pairs sorted by name, for
-// loader diagnostics.
+// loader diagnostics. The counts come from one snapshot: a batch
+// commit is reflected in all of them or none.
 func (db *DB) SortedTableSizes() []string {
-	names := db.TableNames()
+	snap := db.loadSnap()
+	names := append([]string(nil), snap.names...)
 	sort.Strings(names)
 	out := make([]string, len(names))
 	for i, n := range names {
-		out[i] = fmt.Sprintf("%s=%d", n, len(db.tables[n].Rows))
+		out[i] = fmt.Sprintf("%s=%d", n, len(snap.stateOf(snap.byName[n]).rows))
 	}
 	return out
 }

@@ -76,9 +76,33 @@ func AttrCol(attr string) string {
 type pathRegistry struct {
 	table *engine.Table
 	ids   map[string]int64
+	// fresh accumulates paths first seen during the current load, so a
+	// failed batch commit can forget them (their rows never landed).
+	fresh []string
 }
 
+// rollback removes the paths registered since the last commit; drop
+// discards the rollback list after a successful commit.
+func (r *pathRegistry) rollback() {
+	for _, p := range r.fresh {
+		delete(r.ids, p)
+	}
+	r.fresh = nil
+}
+
+func (r *pathRegistry) drop() { r.fresh = nil }
+
+// newPathRegistry creates the paths relation, or attaches to an
+// existing one (a reopened persistent store) by rebuilding the
+// path→id map from its rows.
 func newPathRegistry(db *engine.DB) (*pathRegistry, error) {
+	if t := db.Table(PathsTable); t != nil {
+		r := &pathRegistry{table: t, ids: map[string]int64{}}
+		for _, row := range t.Rows() {
+			r.ids[row[1].S] = row[0].I
+		}
+		return r, nil
+	}
 	t, err := db.CreateTable(PathsTable,
 		engine.Column{Name: ColID, Type: engine.TInt},
 		engine.Column{Name: "path", Type: engine.TText})
@@ -91,13 +115,19 @@ func newPathRegistry(db *engine.DB) (*pathRegistry, error) {
 	return &pathRegistry{table: t, ids: map[string]int64{}}, nil
 }
 
-func (r *pathRegistry) id(path string) int64 {
+// id returns the path's id, buffering a new paths row into the
+// batch on first sight so the row commits atomically with the
+// document that introduced the path.
+func (r *pathRegistry) id(b *engine.WriteBatch, path string) int64 {
 	if id, ok := r.ids[path]; ok {
 		return id
 	}
 	id := int64(len(r.ids) + 1)
 	r.ids[path] = id
-	r.table.MustInsert(engine.NewInt(id), engine.NewText(path))
+	r.fresh = append(r.fresh, path)
+	if err := b.Insert(r.table, []engine.Value{engine.NewInt(id), engine.NewText(path)}); err != nil {
+		panic(err) // statically shaped row; unreachable
+	}
 	return id
 }
 
@@ -117,12 +147,41 @@ type SchemaAwareStore struct {
 // Section 3.1 indexes (primary key, parent foreign key, composite
 // (dewey_pos, path_id)).
 func NewSchemaAware(s *schema.Schema) (*SchemaAwareStore, error) {
-	db := engine.NewDB()
+	return NewSchemaAwareDB(engine.NewDB(), s)
+}
+
+// NewSchemaAwareDB is NewSchemaAware against a caller-provided
+// database — typically a persistent one (engine.Open). On an empty
+// database it creates the relational schema; on a database that
+// already holds it (a reopened store), it attaches instead, rebuilding
+// the path registry and the id/document counters from the stored
+// rows so loading can continue where the previous process stopped.
+func NewSchemaAwareDB(db *engine.DB, s *schema.Schema) (*SchemaAwareStore, error) {
+	attach := db.Table(PathsTable) != nil
 	paths, err := newPathRegistry(db)
 	if err != nil {
 		return nil, err
 	}
+	st := &SchemaAwareStore{DB: db, Schema: s, paths: paths}
 	for _, n := range s.Nodes() {
+		rel := RelName(n.Name)
+		if attach {
+			t := db.Table(rel)
+			if t == nil {
+				return nil, fmt.Errorf("shred: existing database has no relation %q for element %q", rel, n.Name)
+			}
+			for _, row := range t.Rows() {
+				if id := row[0].I; id > st.nextID {
+					st.nextID = id
+				}
+				if n.IsRoot {
+					if d := row[t.ColIndex(ColDoc)].I; d > st.docs {
+						st.docs = d
+					}
+				}
+			}
+			continue
+		}
 		cols := []engine.Column{
 			{Name: ColID, Type: engine.TInt},
 			{Name: ColPar, Type: engine.TInt},
@@ -138,7 +197,6 @@ func NewSchemaAware(s *schema.Schema) (*SchemaAwareStore, error) {
 		for _, a := range n.Attrs {
 			cols = append(cols, engine.Column{Name: AttrCol(a), Type: engine.TText})
 		}
-		rel := RelName(n.Name)
 		t, err := db.CreateTable(rel, cols...)
 		if err != nil {
 			return nil, fmt.Errorf("shred: element %q: %w", n.Name, err)
@@ -156,20 +214,24 @@ func NewSchemaAware(s *schema.Schema) (*SchemaAwareStore, error) {
 			}
 		}
 	}
-	return &SchemaAwareStore{DB: db, Schema: s, paths: paths}, nil
+	return st, nil
 }
 
 // Load shreds one document, returning its document id. Node ids are
 // globally unique across documents; the first document's element ids
-// equal the document's own node ids.
+// equal the document's own node ids. The whole document commits as
+// one write batch: a single WAL record and a single published
+// snapshot, so concurrent readers (and crash recovery) see either all
+// of the document's rows — across every element relation and the
+// paths relation — or none of them.
 func (st *SchemaAwareStore) Load(doc *xmltree.Document) (int64, error) {
 	if err := st.Schema.Validate(doc); err != nil {
 		return 0, err
 	}
-	st.docs++
-	docID := st.docs
+	docID := st.docs + 1
 	base := st.nextID
 	maxID := base
+	batch := st.DB.NewWriteBatch()
 	for _, n := range doc.Nodes() {
 		if n.Kind != xmltree.Element {
 			continue
@@ -187,7 +249,7 @@ func (st *SchemaAwareStore) Load(doc *xmltree.Document) (int64, error) {
 		} else {
 			row = append(row, engine.Null)
 		}
-		row = append(row, engine.NewBytes(dewey.WithRoot(n.Pos, int(docID))), engine.NewInt(st.paths.id(n.Path)))
+		row = append(row, engine.NewBytes(dewey.WithRoot(n.Pos, int(docID))), engine.NewInt(st.paths.id(batch, n.Path)))
 		if sn.IsRoot {
 			row = append(row, engine.NewInt(docID))
 		}
@@ -201,10 +263,16 @@ func (st *SchemaAwareStore) Load(doc *xmltree.Document) (int64, error) {
 				row = append(row, engine.Null)
 			}
 		}
-		if _, err := t.Insert(row); err != nil {
+		if err := batch.Insert(t, row); err != nil {
 			return 0, fmt.Errorf("shred: load %q: %w", n.Path, err)
 		}
 	}
+	if err := batch.Commit(); err != nil {
+		st.paths.rollback()
+		return 0, fmt.Errorf("shred: load document %d: %w", docID, err)
+	}
+	st.paths.drop()
+	st.docs = docID
 	st.nextID = maxID
 	return docID, nil
 }
@@ -250,8 +318,33 @@ const (
 )
 
 // NewEdge creates the Edge-like relational schema.
-func NewEdge() (*EdgeStore, error) {
-	db := engine.NewDB()
+func NewEdge() (*EdgeStore, error) { return NewEdgeDB(engine.NewDB()) }
+
+// NewEdgeDB is NewEdge against a caller-provided database, attaching
+// to an existing Edge schema (a reopened persistent store) when the
+// edge relation is already present.
+func NewEdgeDB(db *engine.DB) (*EdgeStore, error) {
+	if edge := db.Table(EdgeTable); edge != nil {
+		attr := db.Table(AttrTable)
+		if attr == nil {
+			return nil, fmt.Errorf("shred: existing database has %q but no %q", EdgeTable, AttrTable)
+		}
+		paths, err := newPathRegistry(db)
+		if err != nil {
+			return nil, err
+		}
+		st := &EdgeStore{DB: db, paths: paths, Edge: edge, Attr: attr}
+		docCol := edge.ColIndex(ColDoc)
+		for _, row := range edge.Rows() {
+			if id := row[0].I; id > st.nextID {
+				st.nextID = id
+			}
+			if d := row[docCol].I; d > st.docs {
+				st.docs = d
+			}
+		}
+		return st, nil
+	}
 	paths, err := newPathRegistry(db)
 	if err != nil {
 		return nil, err
@@ -294,12 +387,14 @@ func NewEdge() (*EdgeStore, error) {
 	return &EdgeStore{DB: db, paths: paths, Edge: edge, Attr: attr}, nil
 }
 
-// Load shreds one document into the Edge mapping.
+// Load shreds one document into the Edge mapping. Like the
+// schema-aware loader it commits the document as one write batch —
+// edge rows, attribute rows, and new paths rows together.
 func (st *EdgeStore) Load(doc *xmltree.Document) (int64, error) {
-	st.docs++
-	docID := st.docs
+	docID := st.docs + 1
 	base := st.nextID
 	maxID := base
+	batch := st.DB.NewWriteBatch()
 	for _, n := range doc.Nodes() {
 		if n.Kind != xmltree.Element {
 			continue
@@ -312,15 +407,27 @@ func (st *EdgeStore) Load(doc *xmltree.Document) (int64, error) {
 		if n.Parent != nil {
 			par = engine.NewInt(base + n.Parent.ID)
 		}
-		st.Edge.MustInsert(
+		if err := batch.Insert(st.Edge, []engine.Value{
 			engine.NewInt(id), par, engine.NewBytes(dewey.WithRoot(n.Pos, int(docID))),
-			engine.NewInt(st.paths.id(n.Path)), engine.NewInt(docID),
+			engine.NewInt(st.paths.id(batch, n.Path)), engine.NewInt(docID),
 			engine.NewText(n.Name), directText(n),
-		)
+		}); err != nil {
+			return 0, fmt.Errorf("shred: load %q: %w", n.Path, err)
+		}
 		for _, a := range n.Attrs {
-			st.Attr.MustInsert(engine.NewInt(id), engine.NewText(a.Name), engine.NewText(a.Value))
+			if err := batch.Insert(st.Attr, []engine.Value{
+				engine.NewInt(id), engine.NewText(a.Name), engine.NewText(a.Value),
+			}); err != nil {
+				return 0, fmt.Errorf("shred: load %q attr %q: %w", n.Path, a.Name, err)
+			}
 		}
 	}
+	if err := batch.Commit(); err != nil {
+		st.paths.rollback()
+		return 0, fmt.Errorf("shred: load document %d: %w", docID, err)
+	}
+	st.paths.drop()
+	st.docs = docID
 	st.nextID = maxID
 	return docID, nil
 }

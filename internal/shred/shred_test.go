@@ -70,7 +70,7 @@ func TestSchemaAwareLoad(t *testing.T) {
 	// Counts per relation.
 	for rel, want := range map[string]int{"A": 1, "B": 2, "C": 2, "D": 1, "E": 1, "F": 2, "G": 3} {
 		tb := st.DB.Table(rel)
-		if tb == nil || len(tb.Rows) != want {
+		if tb == nil || len(tb.Rows()) != want {
 			t.Errorf("relation %s has %v rows, want %d", rel, tb, want)
 		}
 	}
@@ -152,11 +152,11 @@ func TestEdgeLoad(t *testing.T) {
 	if _, err := st.Load(paperDoc(t)); err != nil {
 		t.Fatal(err)
 	}
-	if len(st.Edge.Rows) != 12 {
-		t.Fatalf("edge rows = %d", len(st.Edge.Rows))
+	if len(st.Edge.Rows()) != 12 {
+		t.Fatalf("edge rows = %d", len(st.Edge.Rows()))
 	}
-	if len(st.Attr.Rows) != 1 {
-		t.Fatalf("attr rows = %d", len(st.Attr.Rows))
+	if len(st.Attr.Rows()) != 1 {
+		t.Fatalf("attr rows = %d", len(st.Attr.Rows()))
 	}
 	if st.PathCount() != 8 {
 		t.Errorf("path count = %d", st.PathCount())
@@ -187,8 +187,8 @@ func TestAccelLoad(t *testing.T) {
 	if _, err := st.Load(paperDoc(t)); err != nil {
 		t.Fatal(err)
 	}
-	if len(st.Accel.Rows) != 12 {
-		t.Fatalf("accel rows = %d", len(st.Accel.Rows))
+	if len(st.Accel.Rows()) != 12 {
+		t.Fatalf("accel rows = %d", len(st.Accel.Rows()))
 	}
 	// Region containment: descendants of B(pre of node id 2) are those
 	// with pre > and post < the B row.

@@ -1,0 +1,287 @@
+// Package wal implements a write-ahead log: an append-only file of
+// length-prefixed, CRC32C-framed records with fsync-on-commit
+// durability. The engine logs every mutation (insert batch, create
+// table/index) as one record before applying it, so a crash at any
+// instant loses at most the uncommitted suffix; Open replays the
+// surviving records and tolerates a torn or corrupt tail by
+// truncating the log at the last valid frame — recovery never
+// panics, it degrades to the longest valid prefix.
+//
+// Frame layout (all integers little-endian):
+//
+//	offset  size  field
+//	0       4     length of the framed body (LSN + payload) = 8 + len(payload)
+//	4       4     CRC32C (Castagnoli) of the framed body
+//	8       8     LSN, a monotonically increasing record sequence number
+//	16      n     payload (opaque to this package)
+//
+// The CRC covers the LSN so a frame cannot be relabeled to a
+// different sequence position undetected, and the length field is
+// validated both against the remaining file size and a sanity cap
+// before the body is read, so a corrupt length cannot cause a huge
+// allocation. LSNs survive checkpoints: a checkpoint records the LSN
+// up to which its state is complete, and replay skips records at or
+// below it, making re-replay idempotent.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"repro/internal/failpoint"
+)
+
+// headerSize is the fixed prefix of a frame: length + CRC.
+const headerSize = 8
+
+// lsnSize is the framed LSN field.
+const lsnSize = 8
+
+// MaxRecordSize caps one record's payload. A corrupt length field
+// beyond the cap is treated like any other torn tail.
+const MaxRecordSize = 1 << 30
+
+// castagnoli is the CRC32C polynomial table, the checksum used by
+// most production WALs (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Record is one replayed log record.
+type Record struct {
+	LSN     uint64
+	Payload []byte
+}
+
+// Log is an open write-ahead log. A Log is single-writer: callers
+// serialize Append/Commit externally (the engine holds its writer
+// lock across every commit).
+type Log struct {
+	f    *os.File
+	path string
+	next uint64 // LSN to assign to the next appended record
+	buf  []byte // frame assembly buffer, reused across appends
+}
+
+// Open opens (creating if absent) the log at path and replays every
+// valid record through fn in LSN order. A torn or corrupt tail — a
+// partial header, a length running past EOF or beyond MaxRecordSize,
+// or a CRC mismatch — ends replay: the tail is discarded by
+// truncating the file at the last valid frame, and the log is ready
+// to append after it. Replay is sequential and stops with fn's error
+// if fn fails (the file is not truncated in that case).
+func Open(path string, fn func(rec Record) error) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{f: f, path: path, next: 1}
+	valid, last, err := l.replay(fn)
+	if err != nil {
+		_ = f.Close()
+		return nil, err
+	}
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		_ = f.Close()
+		return nil, err
+	}
+	if size > valid {
+		// Torn or corrupt tail: drop it. The discarded bytes were never
+		// acknowledged as committed (Commit returns only after fsync of
+		// the full frame), so truncation loses no durable write.
+		if err := f.Truncate(valid); err != nil {
+			_ = f.Close()
+			return nil, err
+		}
+		if err := f.Sync(); err != nil {
+			_ = f.Close()
+			return nil, err
+		}
+		if _, err := f.Seek(valid, io.SeekStart); err != nil {
+			_ = f.Close()
+			return nil, err
+		}
+	}
+	l.next = last + 1
+	return l, nil
+}
+
+// replay scans frames from the start of the file, calling fn per
+// valid record. It returns the byte offset of the end of the last
+// valid frame and the highest LSN seen.
+func (l *Log) replay(fn func(rec Record) error) (valid int64, last uint64, err error) {
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return 0, 0, err
+	}
+	var hdr [headerSize]byte
+	var body []byte
+	for {
+		if _, err := io.ReadFull(l.f, hdr[:]); err != nil {
+			// EOF here is the clean end of the log; a partial header is a
+			// torn tail. Both end replay at the current valid offset.
+			return valid, last, nil
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		crc := binary.LittleEndian.Uint32(hdr[4:8])
+		if length < lsnSize || length > MaxRecordSize+lsnSize {
+			return valid, last, nil // corrupt length: tail ends here
+		}
+		if cap(body) < int(length) {
+			body = make([]byte, length)
+		}
+		body = body[:length]
+		if _, err := io.ReadFull(l.f, body); err != nil {
+			return valid, last, nil // torn body
+		}
+		if crc32.Checksum(body, castagnoli) != crc {
+			return valid, last, nil // bit rot or torn overwrite
+		}
+		lsn := binary.LittleEndian.Uint64(body[0:lsnSize])
+		if fn != nil {
+			if err := fn(Record{LSN: lsn, Payload: body[lsnSize:]}); err != nil {
+				return 0, 0, err
+			}
+		}
+		valid += int64(headerSize) + int64(length)
+		if lsn > last {
+			last = lsn
+		}
+	}
+}
+
+// Scan reads every record of the file at path in order, calling fn
+// per record. Unlike Open it is read-only and strict: an invalid
+// frame anywhere is an error, not a tolerated tail. It is the reader
+// for checkpoint files, which are renamed into place atomically and
+// therefore are never legitimately torn — corruption there means the
+// storage lied, and recovery must say so rather than silently load a
+// prefix of the database.
+func Scan(path string, fn func(rec Record) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var hdr [headerSize]byte
+	var body []byte
+	for {
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return fmt.Errorf("wal: partial frame header in %s", path)
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		crc := binary.LittleEndian.Uint32(hdr[4:8])
+		if length < lsnSize || length > MaxRecordSize+lsnSize {
+			return fmt.Errorf("wal: corrupt frame length %d in %s", length, path)
+		}
+		if cap(body) < int(length) {
+			body = make([]byte, length)
+		}
+		body = body[:length]
+		if _, err := io.ReadFull(f, body); err != nil {
+			return fmt.Errorf("wal: truncated frame body in %s", path)
+		}
+		if crc32.Checksum(body, castagnoli) != crc {
+			return fmt.Errorf("wal: frame checksum mismatch in %s", path)
+		}
+		if err := fn(Record{LSN: binary.LittleEndian.Uint64(body[0:lsnSize]), Payload: body[lsnSize:]}); err != nil {
+			return err
+		}
+	}
+}
+
+// Append writes one record frame without syncing; the record is not
+// durable until Sync returns. It returns the record's LSN.
+func (l *Log) Append(payload []byte) (uint64, error) {
+	if err := failpoint.Inject("wal/append"); err != nil {
+		return 0, err
+	}
+	if len(payload) > MaxRecordSize {
+		return 0, fmt.Errorf("wal: record of %d bytes exceeds maximum %d", len(payload), MaxRecordSize)
+	}
+	lsn := l.next
+	length := lsnSize + len(payload)
+	need := headerSize + length
+	if cap(l.buf) < need {
+		l.buf = make([]byte, need)
+	}
+	frame := l.buf[:need]
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(length))
+	binary.LittleEndian.PutUint64(frame[8:16], lsn)
+	copy(frame[16:], payload)
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(frame[8:], castagnoli))
+	if _, err := l.f.Write(frame); err != nil {
+		return 0, err
+	}
+	l.next = lsn + 1
+	return lsn, nil
+}
+
+// Sync makes every appended record durable (fsync). An error means
+// the most recent appends may or may not survive a crash; the caller
+// must not report them as committed.
+func (l *Log) Sync() error {
+	if err := failpoint.Inject("wal/fsync"); err != nil {
+		return err
+	}
+	return l.f.Sync()
+}
+
+// Commit appends one record and syncs: the write-ahead contract's
+// "durable before visible" step, one fsync per commit.
+func (l *Log) Commit(payload []byte) (uint64, error) {
+	lsn, err := l.Append(payload)
+	if err != nil {
+		return 0, err
+	}
+	if err := l.Sync(); err != nil {
+		return 0, err
+	}
+	return lsn, nil
+}
+
+// LastLSN returns the LSN of the most recently appended record (0 if
+// none were ever appended).
+func (l *Log) LastLSN() uint64 { return l.next - 1 }
+
+// EnsureNext raises the next assigned LSN to at least lsn. Recovery
+// calls this with baseLSN+1 after loading a checkpoint: the WAL file
+// may be freshly reset (so its own replay saw no records), but new
+// appends must still land above the checkpoint's base LSN or a later
+// replay would skip them as already checkpointed.
+func (l *Log) EnsureNext(lsn uint64) {
+	if lsn > l.next {
+		l.next = lsn
+	}
+}
+
+// Reset truncates the log to empty after a checkpoint has captured
+// its effects. LSNs keep counting from where they were, so records
+// appended after the reset stay above the checkpoint's base LSN.
+func (l *Log) Reset() error {
+	if err := l.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	return l.f.Sync()
+}
+
+// Close syncs and closes the log file. The sync error (fsyncgate:
+// a failed fsync may mean previously "written" pages were dropped)
+// takes precedence over the close error.
+func (l *Log) Close() error {
+	err := l.f.Sync()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Path returns the log's file path.
+func (l *Log) Path() string { return l.path }

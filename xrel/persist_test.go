@@ -1,0 +1,112 @@
+package xrel
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestOpenPersistentRoundTrip loads a document into a durable store,
+// closes it, reopens the same directory, and checks that queries see
+// the recovered data without reloading.
+func TestOpenPersistentRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := ParseCompactSchema(testSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := OpenPersistent(dir, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.LoadXML(strings.NewReader(testDoc)); err != nil {
+		t.Fatal(err)
+	}
+	want, err := st.Query("/A/B/C//F")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Nodes) != 2 {
+		t.Fatalf("nodes before close = %v", want.Nodes)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenPersistent(dir, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	got, err := re.Query("/A/B/C//F")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Nodes) != len(want.Nodes) {
+		t.Fatalf("nodes after reopen = %v, want %v", got.Nodes, want.Nodes)
+	}
+	for i := range got.Nodes {
+		if got.Nodes[i] != want.Nodes[i] {
+			t.Errorf("node %d = %+v, want %+v", i, got.Nodes[i], want.Nodes[i])
+		}
+	}
+	if re.PathCount() != st.PathCount() {
+		t.Errorf("PathCount after reopen = %d, want %d", re.PathCount(), st.PathCount())
+	}
+}
+
+// TestOpenPersistentAccumulates checks that separate sessions against
+// the same directory accumulate documents with fresh document ids.
+func TestOpenPersistentAccumulates(t *testing.T) {
+	dir := t.TempDir()
+	s, err := ParseCompactSchema(testSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for want := int64(1); want <= 3; want++ {
+		st, err := OpenPersistent(dir, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		id, err := st.LoadXML(strings.NewReader(testDoc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != want {
+			t.Fatalf("doc id = %d, want %d", id, want)
+		}
+		if want == 2 {
+			// A checkpoint mid-sequence must not disturb recovery.
+			if err := st.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := OpenPersistent(dir, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	res, err := st.Query("/A/B/C//F")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Nodes) != 6 {
+		t.Fatalf("nodes across 3 documents = %d, want 6", len(res.Nodes))
+	}
+}
+
+// TestCheckpointInMemoryNoop checks Checkpoint and Close are harmless
+// on in-memory stores.
+func TestCheckpointInMemoryNoop(t *testing.T) {
+	st := open(t)
+	if err := st.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -127,6 +127,44 @@ func OpenWithOptions(s *Schema, opts *Options) (*Store, error) {
 	return &Store{schema: s, shred: st, tr: core.New(s, opts)}, nil
 }
 
+// OpenPersistent opens (or creates) a durable store rooted at dir.
+// Every Load commits its document to a write-ahead log before it
+// becomes visible; reopening the same directory recovers the exact
+// pre-crash store state (see internal/engine.Open). The schema must
+// match the one the directory was created with.
+func OpenPersistent(dir string, s *Schema) (*Store, error) {
+	return OpenPersistentWithOptions(dir, s, nil)
+}
+
+// OpenPersistentWithOptions is OpenPersistent with custom translation
+// options.
+func OpenPersistentWithOptions(dir string, s *Schema, opts *Options) (*Store, error) {
+	db, err := engine.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	st, err := shred.NewSchemaAwareDB(db, s)
+	if err != nil {
+		_ = db.Close()
+		return nil, err
+	}
+	return &Store{schema: s, shred: st, tr: core.New(s, opts)}, nil
+}
+
+// Checkpoint compacts the store's write-ahead log into a checkpoint
+// file so the next OpenPersistent replays less. It is a no-op on
+// in-memory stores.
+func (s *Store) Checkpoint() error {
+	if !s.shred.DB.Persistent() {
+		return nil
+	}
+	return s.shred.DB.Checkpoint()
+}
+
+// Close flushes and closes the store's write-ahead log. In-memory
+// stores close trivially. The store must not be used after Close.
+func (s *Store) Close() error { return s.shred.DB.Close() }
+
 // Load shreds a parsed document into the store, returning its
 // document id.
 func (s *Store) Load(doc *Document) (int64, error) { return s.shred.Load(doc) }
