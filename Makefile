@@ -1,9 +1,9 @@
 # make check mirrors .github/workflows/ci.yml locally.
 GO ?= go
 
-.PHONY: check build fmtcheck vet xvet transcheck plancheck test race chaos batch-smoke crash-smoke fuzz-smoke bench-smoke explain-smoke
+.PHONY: check build fmtcheck vet xvet transcheck plancheck test race chaos batch-smoke crash-smoke fuzz-smoke bench-smoke explain-smoke planquality-smoke
 
-check: build fmtcheck vet xvet transcheck plancheck test race chaos batch-smoke crash-smoke
+check: build fmtcheck vet xvet transcheck plancheck test race chaos batch-smoke crash-smoke planquality-smoke
 
 build:
 	$(GO) build ./...
@@ -18,9 +18,9 @@ vet:
 
 # The custom invariant analyzers (rawsql, deweycmp, regexploop,
 # errdrop, recoverguard, opstats, ctxflow, lockscope, sqltaint,
-# hotalloc, goleak, xvetignore); -novet because `make vet` already ran
-# the standard passes. Results are cached per package under
-# .xvetcache/; pass -nocache to force a full re-check.
+# hotalloc, goleak, syncerr, statflow, xvetignore); -novet because
+# `make vet` already ran the standard passes. Results are cached per
+# package under .xvetcache/; pass -nocache to force a full re-check.
 xvet:
 	$(GO) run ./cmd/xvet -novet ./...
 
@@ -100,3 +100,11 @@ bench-smoke:
 # Edge-like translation's widest branch.
 explain-smoke:
 	$(GO) run ./cmd/xbench -experiment explain -scale 0.02 -reps 1
+
+# planquality-smoke compares synopsis-costed plans against the
+# pre-synopsis heuristic planner on the fig3 corpus: after adaptive
+# settling every operator's cardinality q-error must be at most 2 and
+# no query's intermediate-result work may regress past the slack
+# bound, with oracle verification on (DESIGN.md section 13).
+planquality-smoke:
+	$(GO) run ./cmd/xbench -experiment planquality -scale 0.02 -reps 1

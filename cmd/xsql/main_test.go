@@ -60,8 +60,10 @@ func TestRunExplain(t *testing.T) {
 	data, _ := os.ReadFile(out.Name())
 	s := string(data)
 	for _, want := range []string{
-		"sort: F.id DESC [loops=", // \explain runs EXPLAIN ANALYZE
-		"scan F: full scan\n",     // bare EXPLAIN carries no stats
+		"sort: F.id DESC [loops=",        // \explain runs EXPLAIN ANALYZE
+		"scan F: full scan est_rows=2\n", // bare EXPLAIN: estimate, no stats
+		"scan F: full scan [loops=",      // ANALYZE: stats block precedes est
+		"q=1.00",                         // ANALYZE appends per-operator q-error
 		"total: rows=",
 		"error:",
 	} {

@@ -12,8 +12,8 @@ import (
 
 func TestSelectAnalyzers(t *testing.T) {
 	all, err := selectAnalyzers("")
-	if err != nil || len(all) != 13 {
-		t.Fatalf("default selection: got %d analyzers, err %v; want 13, nil", len(all), err)
+	if err != nil || len(all) != 14 {
+		t.Fatalf("default selection: got %d analyzers, err %v; want 14, nil", len(all), err)
 	}
 	some, err := selectAnalyzers("rawsql, errdrop")
 	if err != nil {
@@ -25,7 +25,7 @@ func TestSelectAnalyzers(t *testing.T) {
 	if _, err := selectAnalyzers("nosuch"); err == nil {
 		t.Fatal("unknown analyzer name must error")
 	}
-	for _, name := range []string{"ctxflow", "lockscope", "sqltaint", "hotalloc", "goleak", "xvetignore"} {
+	for _, name := range []string{"ctxflow", "lockscope", "sqltaint", "hotalloc", "goleak", "statflow", "xvetignore"} {
 		if _, err := selectAnalyzers(name); err != nil {
 			t.Errorf("analyzer %s not registered: %v", name, err)
 		}

@@ -102,7 +102,7 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 // order.
 func All() []*Analyzer {
 	return []*Analyzer{RawSQL, DeweyCmp, RegexpLoop, ErrDrop, RecoverGuard, OpStatsMut,
-		CtxFlow, LockScope, SQLTaint, HotAlloc, GoLeak, SyncErr, BadIgnore}
+		CtxFlow, LockScope, SQLTaint, HotAlloc, GoLeak, SyncErr, Statflow, BadIgnore}
 }
 
 // ByName resolves a comma-free analyzer name, or nil.

@@ -28,6 +28,7 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
 	if err != nil {
 		t.Fatalf("analysistest: %v", err)
 	}
+	loader.AddSrcDir(filepath.Join(testdata, "src"))
 	for _, pkgPath := range pkgs {
 		dir := filepath.Join(testdata, "src", filepath.FromSlash(pkgPath))
 		pkg, err := loader.LoadDir(dir, pkgPath)

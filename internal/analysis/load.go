@@ -44,6 +44,16 @@ type Loader struct {
 
 	pkgs    map[string]*Package // by import path
 	loading map[string]bool     // import cycle detection
+	srcDirs []string            // extra GOPATH-style roots (testdata/src)
+}
+
+// AddSrcDir registers a GOPATH-style source root: an import path that
+// is neither std nor module-internal resolves to <dir>/<path> if that
+// directory holds Go files. analysistest uses this so one testdata
+// package can import another (e.g. a miniature internal/synopsis that
+// the statflow violation cases write to).
+func (l *Loader) AddSrcDir(dir string) {
+	l.srcDirs = append(l.srcDirs, dir)
 }
 
 // NewLoader finds the enclosing module of dir (walking up to go.mod)
@@ -312,6 +322,23 @@ func (i *loaderImporter) Import(path string) (*types.Package, error) {
 	}
 	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
 		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	for _, src := range l.srcDirs {
+		dir := filepath.Join(src, filepath.FromSlash(path))
+		if !l.hasGoFiles(dir) {
+			continue
+		}
+		if p, ok := l.pkgs[path]; ok {
+			return p.Types, nil
+		}
+		if l.loading[path] {
+			return nil, fmt.Errorf("analysis: import cycle through %s", path)
+		}
+		p, err := l.check(dir, path, true)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// Statflow enforces the estimator discipline that cost-based planning
+// rests on (DESIGN.md §13). Two rules:
+//
+//  1. Synopsis statistics are mutated only through internal/synopsis's
+//     own API: a raw field write (or address-of escape) from another
+//     package would bypass the copy-on-write snapshot contract that
+//     makes a pinned synopsis exact for its table state.
+//  2. Planner files (joinorder.go, plan.go, access.go, plancache.go,
+//     physplan.go in internal/engine) contain no raw fractional
+//     constants: every selectivity guess must be a named, documented
+//     constant in estimate.go, where its provenance is recorded and
+//     plancheck's estimate-provenance obligation can account for it.
+var Statflow = &Analyzer{
+	Name: "statflow",
+	Doc: "flag synopsis field mutations outside internal/synopsis and raw " +
+		"fractional selectivity constants in planner files outside estimate.go",
+	Run: runStatflow,
+}
+
+// plannerFiles is the rule-2 file set: the engine files that consume
+// estimates but must not invent them.
+var plannerFiles = map[string]bool{
+	"joinorder.go": true,
+	"plan.go":      true,
+	"access.go":    true,
+	"plancache.go": true,
+	"physplan.go":  true,
+}
+
+func runStatflow(pass *Pass) error {
+	if strings.HasSuffix(pass.Pkg.Path(), "internal/synopsis") {
+		return nil
+	}
+	inEngine := strings.HasSuffix(pass.Pkg.Path(), "internal/engine")
+	pass.inspect(func(n ast.Node, stack []ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				pass.checkSynopsisWrite(lhs)
+			}
+		case *ast.IncDecStmt:
+			pass.checkSynopsisWrite(st.X)
+		case *ast.UnaryExpr:
+			// &syn.field escapes the statistic for arbitrary later writes.
+			if st.Op == token.AND {
+				pass.checkSynopsisWrite(st.X)
+			}
+		case *ast.BasicLit:
+			if inEngine && st.Kind == token.FLOAT {
+				file := filepath.Base(pass.Fset.Position(st.Pos()).Filename)
+				if !plannerFiles[file] {
+					return true
+				}
+				if v, err := strconv.ParseFloat(st.Value, 64); err == nil && v > 0 && v < 1 {
+					pass.Reportf(st.Pos(),
+						"raw fractional constant %s in planner file %s; selectivities must be named constants in estimate.go",
+						st.Value, file)
+				}
+			}
+		}
+		return true
+	})
+	return nil
+}
+
+// checkSynopsisWrite reports e when it selects a field of an
+// internal/synopsis type from outside that package.
+func (p *Pass) checkSynopsisWrite(e ast.Expr) {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	selection, ok := p.TypesInfo.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return
+	}
+	if !isSynopsisType(selection.Recv()) {
+		return
+	}
+	p.Reportf(sel.Pos(),
+		"direct write to synopsis field %s outside internal/synopsis; statistics must go through the synopsis API",
+		sel.Sel.Name)
+}
+
+// isSynopsisType reports whether t is a named type declared in
+// internal/synopsis (possibly behind a pointer).
+func isSynopsisType(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return strings.HasSuffix(named.Obj().Pkg().Path(), "internal/synopsis")
+}

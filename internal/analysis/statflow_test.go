@@ -1,0 +1,21 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestStatflow(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Statflow,
+		"statflow/internal/engine", "statflow/ok")
+}
+
+// The real planner must satisfy its own discipline: no synopsis field
+// writes outside internal/synopsis, and no raw selectivity fractions
+// outside estimate.go in the planner files.
+func TestStatflowClean(t *testing.T) {
+	expectClean(t, analysis.Statflow,
+		"repro/internal/engine", "repro/internal/shred", "repro/internal/bench")
+}

@@ -1,0 +1,7 @@
+// estimate.go is the sanctioned home for fractional constants: the
+// file is excluded from the planner-file rule by name.
+package engine
+
+const defaultFilterSelectivity = 0.1
+
+const minSelectivity = 1e-4

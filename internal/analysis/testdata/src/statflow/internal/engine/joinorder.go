@@ -1,0 +1,15 @@
+// Violation cases: a planner file inventing selectivity fractions and
+// mutating synopsis statistics directly.
+package engine
+
+import "statflow/internal/synopsis"
+
+func fanout(t *synopsis.Table, c *synopsis.Col) float64 {
+	t.AddRow()                      // sanctioned: the synopsis API
+	rows := float64(t.Rows()) * 0.1 // want `raw fractional constant 0.1 in planner file joinorder.go`
+	if rows < 1 {
+		rows = 1 // integer literal: fine
+	}
+	sel := 1e-4 // want `raw fractional constant 1e-4 in planner file joinorder.go`
+	return rows * sel * float64(c.Count) * 4096.0
+}

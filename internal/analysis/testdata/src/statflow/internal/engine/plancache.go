@@ -1,0 +1,23 @@
+// Violation cases: synopsis field writes from outside the package.
+package engine
+
+import "statflow/internal/synopsis"
+
+type tableState struct {
+	syn *synopsis.Table
+}
+
+func corrupt(st *tableState, c *synopsis.Col) {
+	c.Count++        // want `direct write to synopsis field Count outside internal/synopsis`
+	c.Nulls = 0      // want `direct write to synopsis field Nulls outside internal/synopsis`
+	st.syn.NRows = 7 // want `direct write to synopsis field NRows outside internal/synopsis`
+	leak := &c.Count // want `direct write to synopsis field Count outside internal/synopsis`
+	_ = leak
+}
+
+// Reads and API calls are the sanctioned path.
+func ok(st *tableState, c *synopsis.Col) int64 {
+	c.Add(false)
+	st.syn.AddRow()
+	return st.syn.Rows() + c.Count
+}

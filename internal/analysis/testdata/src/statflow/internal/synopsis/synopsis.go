@@ -1,0 +1,29 @@
+// A miniature of internal/synopsis with exported statistic fields
+// (as a serialization change might introduce): the analyzer keeps the
+// API boundary enforced even where the type system stops helping. The
+// package itself may write its fields freely.
+package synopsis
+
+type Col struct {
+	Count int64
+	Nulls int64
+}
+
+func (c *Col) Add(isNull bool) {
+	c.Count++
+	if isNull {
+		c.Nulls++
+	}
+}
+
+type Table struct {
+	NRows int64
+	Cols  []Col
+}
+
+func (t *Table) AddRow() *Col {
+	t.NRows = t.NRows + 1
+	return &t.Cols[0]
+}
+
+func (t *Table) Rows() int64 { return t.NRows }

@@ -1,0 +1,14 @@
+// Outside internal/engine the fraction rule is silent, and writes to
+// non-synopsis types with statistic-like fields are not flagged.
+package ok
+
+type counters struct {
+	count int64
+	rows  int64
+}
+
+func bump(c *counters) float64 {
+	c.count++
+	c.rows = 7
+	return 0.25 // not a planner file: fine
+}

@@ -1,0 +1,33 @@
+package bench
+
+import (
+	"testing"
+)
+
+// TestPlanQualityTable runs the plan-quality experiment at a tiny
+// scale: every row must satisfy the experiment's own assertions (the
+// settled q-error bar and the work non-regression), the synopsis
+// planner must verify against the heuristic baseline, and at least one
+// join-heavy query must actually plan differently — the experiment's
+// reason to exist.
+func TestPlanQualityTable(t *testing.T) {
+	w, err := NewXMark(0.02, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := PlanQuality([]*Workload{w}, tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != len(w.Queries) {
+		t.Fatalf("rows = %d, want %d", len(tb.Rows), len(w.Queries))
+	}
+	for _, r := range tb.Rows {
+		if len(r) != len(tb.Headers) {
+			t.Fatalf("ragged row %v", r)
+		}
+	}
+	if !PlanQualityChangedJoinHeavy(tb, "Q2", "Q3", "Q4", "Q6", "Q7", "Q13") {
+		t.Errorf("synopsis planning never changed a join-heavy plan:\n%s", tb.String())
+	}
+}

@@ -1,0 +1,81 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sqlast"
+)
+
+// Cardinality estimates are a function of the data (the snapshot's
+// synopsis) and of observed per-binding cardinalities — never of how
+// a plan happens to be executed. If parallel morsels or small batches
+// skewed the OpStats a plan feeds back, the same workload would settle
+// on different plans per execution mode and EXPLAIN would stop being
+// reproducible. This test runs the same statements to a settled state
+// under serial, parallel, and several batch capacities on identically
+// seeded databases and requires the final plans — operator labels and
+// est_rows included — to agree exactly.
+func TestEstimateDeterminismAcrossExecModes(t *testing.T) {
+	queries := []string{
+		"SELECT a.id FROM n a WHERE a.val >= 2",
+		"SELECT DISTINCT a.tag FROM n a WHERE EXISTS " +
+			"(SELECT b.id FROM n b WHERE b.par = a.id) ORDER BY a.tag DESC",
+		"SELECT a.id, b.id FROM n a, n b WHERE a.val = 1 AND b.par = a.id",
+	}
+	modes := []struct {
+		name string
+		opts ExecOptions
+	}{
+		{"serial", ExecOptions{}},
+		{"parallel8", ExecOptions{Parallelism: 8}},
+		{"batch1", ExecOptions{BatchSize: 1}},
+		{"batch7", ExecOptions{BatchSize: 7}},
+		{"parallel4batch3", ExecOptions{Parallelism: 4, BatchSize: 3}},
+	}
+
+	// settledPlan executes st under opts until the plan stops adapting
+	// (bounded by maxAdaptiveReplans), then renders its estimates.
+	settledPlan := func(t *testing.T, db *DB, st sqlast.Statement, opts ExecOptions) string {
+		t.Helper()
+		var out string
+		for i := 0; i <= maxAdaptiveReplans+1; i++ {
+			reports, _, err := db.AnalyzeReport(st, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = ""
+			for _, r := range reports {
+				if r.HasEst {
+					out += fmt.Sprintf("%s est_rows=%.3f\n", r.Label, r.EstRows)
+				} else {
+					out += r.Label + "\n"
+				}
+			}
+		}
+		return out
+	}
+
+	for _, sql := range queries {
+		st, err := sqlast.Parse(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want string
+		for _, m := range modes {
+			// A fresh identically-seeded DB per mode: plans, caches, and
+			// feedback state start equal, so any divergence below is the
+			// execution mode leaking into estimation.
+			db, _ := buildPair(t, 17, 400)
+			got := settledPlan(t, db, st, m.opts)
+			if m.name == modes[0].name {
+				want = got
+				continue
+			}
+			if got != want {
+				t.Errorf("%s: settled plan under %s differs from serial:\n%s\nwant:\n%s",
+					sql, m.name, got, want)
+			}
+		}
+	}
+}

@@ -222,6 +222,11 @@ func (db *DB) runCompiledFrame(ctx context.Context, cs *compiledStmt, opts ExecO
 		return nil, ec.stats, err
 	}
 	finalizeFrame(cs, ec.stats)
+	// Publish the finalized frame as planning feedback: the next
+	// plan-cache hit compares it against the plan's cardinality
+	// estimates and re-plans when they disagree (plancache.go).
+	frame := ec.stats
+	cs.feedback.Store(&frame)
 	res.PeakMemBytes = ec.acct.peakBytes()
 	return res, ec.stats, nil
 }

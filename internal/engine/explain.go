@@ -65,6 +65,54 @@ func (db *DB) runExplainStmt(ctx context.Context, ex *sqlast.Explain, opts ExecO
 	return res, nil
 }
 
+// OpReport is one operator's estimate-vs-observed record from an
+// AnalyzeReport run, the structured companion to EXPLAIN ANALYZE's
+// est_rows/q annotations for experiment harnesses (bench planquality).
+type OpReport struct {
+	Label string
+	// Kind classifies the operator ("scan", "filter", "project",
+	// "count", "distinct", "sort", "union", "subplan") so harnesses can
+	// compute structural metrics (e.g. intermediate result sizes) without
+	// parsing labels. Reports arrive in render order: a step's filter
+	// immediately follows its scan.
+	Kind string
+	// EstRows is the planner's per-loop output estimate, valid when
+	// HasEst (scans and filters carry estimates; projections, sorts and
+	// union machinery do not).
+	EstRows float64
+	HasEst  bool
+	Loops   int64
+	RowsOut int64
+	// QError is the symmetric ratio error between EstRows and the
+	// observed per-loop output, 0 when the operator has no estimate or
+	// never ran.
+	QError float64
+}
+
+// AnalyzeReport executes the statement and returns the per-operator
+// estimate/observation records in render order, plus the result.
+func (db *DB) AnalyzeReport(st sqlast.Statement, opts ExecOptions) (reports []OpReport, res *Result, err error) {
+	key := sqlast.Render(st)
+	defer guardPanics(key, &err)
+	cs, err := db.compiledFor(st, key)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, frame, err := db.runCompiledFrame(nil, cs, opts, key, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	walkOps(cs, func(n *opNode) {
+		r := OpReport{Label: n.label, Kind: n.kind.String(), EstRows: n.est, HasEst: n.hasEst,
+			Loops: frame[n.id].loops, RowsOut: frame[n.id].rowsOut}
+		if n.hasEst && r.Loops > 0 {
+			r.QError = qError(n.est, float64(r.RowsOut)/float64(r.Loops))
+		}
+		reports = append(reports, r)
+	})
+	return reports, res, nil
+}
+
 // OperatorCount returns the number of physical operator nodes the
 // statement lowers to (scans, filters, projections, dedup, sorts,
 // union machinery, and correlated-subplan boundaries) — the

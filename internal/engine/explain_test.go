@@ -20,24 +20,24 @@ func TestExplainGolden(t *testing.T) {
 		{
 			name: "full scan",
 			sql:  "SELECT a.id FROM A a",
-			want: "scan a: full scan\n" +
+			want: "scan a: full scan est_rows=1\n" +
 				"project: a.id\n",
 		},
 		{
 			name: "index point lookup",
 			sql:  "SELECT b.id FROM B b WHERE b.id = 2",
-			want: "scan b: index lookup B_pk\n" +
-				"filter b: b.id = 2\n" +
+			want: "scan b: index lookup B_pk est_rows=1\n" +
+				"filter b: b.id = 2 est_rows=1\n" +
 				"project: b.id\n",
 		},
 		{
 			name: "descendant Dewey range",
 			sql: "SELECT d.id FROM C c, D d WHERE c.id = 3 AND " +
 				"d.dewey_pos BETWEEN c.dewey_pos AND c.dewey_pos || X'FF' ORDER BY d.id",
-			want: "scan c: index lookup C_pk\n" +
-				"filter c: c.id = 3\n" +
-				"scan d: index range scan (two-sided) D_dp\n" +
-				"filter d: d.dewey_pos BETWEEN c.dewey_pos AND c.dewey_pos || X'FF'\n" +
+			want: "scan c: index lookup C_pk est_rows=1\n" +
+				"filter c: c.id = 3 est_rows=1\n" +
+				"scan d: index range scan (two-sided) D_dp est_rows=1\n" +
+				"filter d: d.dewey_pos BETWEEN c.dewey_pos AND c.dewey_pos || X'FF' est_rows=1\n" +
 				"project: d.id\n" +
 				"sort: d.id\n",
 		},
@@ -45,19 +45,19 @@ func TestExplainGolden(t *testing.T) {
 			name: "ancestor prefix probe",
 			sql: "SELECT c.id FROM D d, C c WHERE d.id = 4 AND " +
 				"d.dewey_pos BETWEEN c.dewey_pos AND c.dewey_pos || X'FF' ORDER BY c.id DESC",
-			want: "scan d: index lookup D_pk\n" +
-				"filter d: d.id = 4\n" +
-				"scan c: index prefix lookups C_dp\n" +
-				"filter c: d.dewey_pos BETWEEN c.dewey_pos AND c.dewey_pos || X'FF'\n" +
+			want: "scan d: index lookup D_pk est_rows=1\n" +
+				"filter d: d.id = 4 est_rows=1\n" +
+				"scan c: index prefix lookups C_dp est_rows=2\n" +
+				"filter c: d.dewey_pos BETWEEN c.dewey_pos AND c.dewey_pos || X'FF' est_rows=2\n" +
 				"project: c.id\n" +
 				"sort: c.id DESC\n",
 		},
 		{
 			name: "distinct over hash-joinable pair",
 			sql:  "SELECT DISTINCT g.id FROM G g, B b WHERE g.par = b.id",
-			want: "scan b: full scan\n" +
-				"scan g: index lookup G_par\n" +
-				"filter g: g.par = b.id\n" +
+			want: "scan b: full scan est_rows=2\n" +
+				"scan g: index lookup G_par est_rows=1\n" +
+				"filter g: g.par = b.id est_rows=1\n" +
 				"project: g.id\n" +
 				"distinct\n",
 		},
@@ -136,7 +136,7 @@ func TestExplainStatementSurface(t *testing.T) {
 	if len(res.Cols) != 1 || res.Cols[0] != "plan" {
 		t.Fatalf("cols = %v", res.Cols)
 	}
-	if len(res.Rows) != 3 || res.Rows[0][0].S != "scan b: index lookup B_pk" {
+	if len(res.Rows) != 3 || res.Rows[0][0].S != "scan b: index lookup B_pk est_rows=1" {
 		t.Fatalf("rows = %v", res.Rows)
 	}
 	res = mustRun(t, db, "EXPLAIN ANALYZE SELECT b.id FROM B b WHERE b.id = 2")

@@ -9,15 +9,14 @@ import (
 // maxDPTables bounds the exhaustive join-order search (2^n states).
 const maxDPTables = 10
 
-// sampleLimit bounds precise single-table selectivity evaluation.
-const sampleLimit = 4096
-
 // chooseJoinOrder picks the binding order of the FROM tables. For up
 // to maxDPTables it runs a Selinger-style dynamic program over table
 // subsets minimizing the sum of estimated intermediate result sizes;
 // beyond that it falls back to a greedy minimum-fanout order. Both
-// use per-step access-path estimates scaled by sampled single-table
-// filter selectivities, with a heavy penalty for cross products.
+// use per-step access-path estimates scaled by single-table filter
+// selectivities from the estimator (estimate.go) — synopsis-backed
+// when the snapshot's statistics cover the predicate, the named
+// defaults otherwise — with a heavy penalty for cross products.
 // The returned method name ("single", "dp", "greedy") is recorded on
 // the plan for the exported shape (plantrace.go).
 func (p *planner) chooseJoinOrder(names []string, local map[string]*Table, conjuncts []*conjunct, sc *scope) ([]string, string) {
@@ -25,14 +24,20 @@ func (p *planner) chooseJoinOrder(names []string, local map[string]*Table, conju
 	if n <= 1 {
 		return names, "single"
 	}
-	sel := p.sampleSelectivities(names, local, conjuncts, sc)
-
 	// fanout estimates one step's multiplier given the bound set.
 	fanout := func(name string, bound map[string]bool, atStart bool) float64 {
 		t := local[name]
-		access, connected := p.bestAccess(name, t, conjuncts, bound, sc)
-		e := float64(access.est(p.snap.stateOf(t)))
-		e *= sel[name]
+		st := p.snap.stateOf(t)
+		access, connected, src := p.bestAccess(name, t, conjuncts, bound, sc)
+		e, _ := p.accessEstimate(access, st)
+		sel, _ := p.tableSelectivity(name, t, st, conjuncts, src, sc)
+		e *= sel
+		// Observed cardinalities from adaptive re-planning trump the
+		// synopsis — they already include join-predicate effects — but
+		// only at the join position they were observed in (ovEst.after).
+		if ov, ok := p.overrides[name]; ok && !p.heuristicOnly() && ov.after == boundKey(bound) {
+			e = ov.rows
+		}
 		if e < 1 {
 			e = 1
 		}
@@ -123,81 +128,9 @@ func (p *planner) greedyOrder(names []string, local map[string]*Table, conjuncts
 	return out
 }
 
-// sampleSelectivities estimates, per table, the fraction of rows that
-// survive its single-table filters. Small tables are evaluated
-// exactly (dynamic sampling); larger ones use a flat heuristic per
-// filtering conjunct.
-func (p *planner) sampleSelectivities(names []string, local map[string]*Table, conjuncts []*conjunct, sc *scope) map[string]float64 {
-	out := make(map[string]float64, len(names))
-	ec := &execCtx{db: p.db}
-	for _, name := range names {
-		out[name] = 1
-		t := local[name]
-		// Collect this table's single-table, uncorrelated conjuncts.
-		var own []sqlast.Expr
-		for _, c := range conjuncts {
-			if c.expr == nil || len(c.localRef) != 1 || !c.localRef[name] {
-				continue
-			}
-			if !refsOnlyTable(c.expr, name, t) {
-				continue
-			}
-			own = append(own, c.expr)
-		}
-		if len(own) == 0 {
-			continue
-		}
-		rows := p.snap.stateOf(t).rows
-		if len(rows) > 0 && len(rows) <= sampleLimit {
-			compiled := make([]cexpr, 0, len(own))
-			ok := true
-			for _, e := range own {
-				ce, err := p.compile(e, sc)
-				if err != nil {
-					ok = false
-					break
-				}
-				compiled = append(compiled, ce)
-			}
-			if ok {
-				matches := 0
-				e := env{}
-				count := func(row []Value) bool {
-					e[name] = row
-					defer delete(e, name)
-					for _, ce := range compiled {
-						v, err := ce.eval(ec, e)
-						if err != nil || !v.Truth() {
-							return false
-						}
-					}
-					return true
-				}
-				for _, row := range rows {
-					if count(row) {
-						matches++
-					}
-				}
-				out[name] = float64(matches) / float64(len(rows))
-				if out[name] == 0 {
-					out[name] = 0.5 / float64(len(rows))
-				}
-				continue
-			}
-		}
-		// Heuristic: each filter keeps a tenth.
-		s := math.Pow(0.1, float64(len(own)))
-		if s < 1e-4 {
-			s = 1e-4
-		}
-		out[name] = s
-	}
-	return out
-}
-
 // refsOnlyTable reports whether an expression references only columns
-// of the given table (no other tables, no subqueries), so it can be
-// evaluated row-by-row for sampling.
+// of the given table (no other tables, no subqueries), so the
+// estimator can treat it as a single-table filter.
 func refsOnlyTable(e sqlast.Expr, name string, t *Table) bool {
 	switch x := e.(type) {
 	case *sqlast.Col:

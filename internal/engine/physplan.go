@@ -27,6 +27,29 @@ const (
 	opSubplan               // correlated EXISTS / scalar subquery boundary
 )
 
+// String names the kind for structured reports (OpReport.Kind).
+func (k opKind) String() string {
+	switch k {
+	case opScan:
+		return "scan"
+	case opFilter:
+		return "filter"
+	case opProject:
+		return "project"
+	case opCount:
+		return "count"
+	case opDedup:
+		return "distinct"
+	case opSort:
+		return "sort"
+	case opUnion:
+		return "union"
+	case opSubplan:
+		return "subplan"
+	}
+	return "op?"
+}
+
 // opNode is one operator of the physical tree. id indexes the
 // statement's stats frame; ids are dense and statement-global, so a
 // single []OpStats covers the whole tree including nested subplans
@@ -35,6 +58,13 @@ type opNode struct {
 	id    int
 	kind  opKind
 	label string
+	// est is the planner's cardinality estimate for this operator's
+	// output per loop (scan: access-path rows, filter: rows surviving
+	// the step's residuals), valid when hasEst is set. EXPLAIN renders
+	// it as est_rows and EXPLAIN ANALYZE derives the per-operator
+	// q-error against the observed OpStats.
+	est    float64
+	hasEst bool
 	// sub lists the correlated subplans evaluated inside this
 	// operator's expressions, in source order.
 	sub []*subplanRef
@@ -119,12 +149,18 @@ func (l *lowerer) lowerSelect(p *selectPlan) {
 		l.attachSubplans(ps.prefilter, p.preFilters)
 	}
 	for _, s := range p.steps {
-		ps.scans = append(ps.scans, add(l.node(opScan, "scan "+s.name+": "+s.access.describe())))
+		scan := add(l.node(opScan, "scan "+s.name+": "+s.access.describe()))
+		scan.est, scan.hasEst = s.estAccess, true
+		ps.scans = append(ps.scans, scan)
 		if len(s.filters) == 0 {
+			// With no filter node the step's post-filter estimate (which
+			// carries any re-planning override) belongs to the scan.
+			scan.est = s.estRows
 			ps.filters = append(ps.filters, nil)
 			continue
 		}
 		f := add(l.node(opFilter, "filter "+s.name+": "+strings.Join(s.filterSrc, " AND ")))
+		f.est, f.hasEst = s.estRows, true
 		ps.filters = append(ps.filters, f)
 		l.attachSubplans(f, s.filters)
 	}
@@ -327,5 +363,51 @@ func writeNode(b *strings.Builder, n *opNode, frame opFrame, indent string) {
 		b.WriteString(frame[n.id].String())
 		b.WriteString("]")
 	}
+	if n.hasEst {
+		b.WriteString(" est_rows=")
+		b.WriteString(formatEst(n.est))
+		if frame != nil {
+			if loops := frame[n.id].loops; loops > 0 {
+				q := qError(n.est, float64(frame[n.id].rowsOut)/float64(loops))
+				fmt.Fprintf(b, " q=%.2f", q)
+			}
+		}
+	}
 	b.WriteByte('\n')
+}
+
+// formatEst renders a cardinality estimate compactly: whole numbers
+// without a fraction, everything else with two decimals.
+func formatEst(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+// walkOps visits every operator node of the compiled statement in
+// render order (union branches, then union-level operators; subplan
+// boundaries before their nested pipelines).
+func walkOps(cs *compiledStmt, fn func(n *opNode)) {
+	var walkSel func(p *selectPlan)
+	walkSel = func(p *selectPlan) {
+		for _, n := range p.phys.ops {
+			fn(n)
+			for _, ref := range n.sub {
+				fn(ref.node)
+				walkSel(ref.plan)
+			}
+		}
+	}
+	if cs.sel != nil {
+		walkSel(cs.sel)
+		return
+	}
+	for _, branch := range cs.union.branches {
+		walkSel(branch)
+	}
+	fn(cs.union.phys.union)
+	if cs.union.phys.sort != nil {
+		fn(cs.union.phys.sort)
+	}
 }

@@ -29,6 +29,12 @@ type selectPlan struct {
 	// set by lowerStmt for every plan reachable from a compiled
 	// statement — including correlated subplans.
 	phys *physSelect
+	// src is the rendered source of a correlated subselect (empty for
+	// top-level plans): the key adaptive re-planning uses to route a
+	// subplan's observed cardinalities back to the same subselect on
+	// the next compile. Rendered text is stable across join-order
+	// changes, which reorder compilation but not the statement.
+	src string
 }
 
 type corder struct {
@@ -58,6 +64,20 @@ type joinStep struct {
 	// only: filters itself is untouched, so the plan certificates
 	// (plancheck) and EXPLAIN see the same predicate multiset.
 	vec []vecFilter
+	// estAccess/estRows are the planner's cardinality estimates for
+	// this step — rows the access path yields per binding, and rows
+	// surviving the residual filters — with estSource recording their
+	// provenance (EstSynopsis/EstDefault/EstOverride, estimate.go).
+	// They feed EXPLAIN's est_rows, the adaptive re-planning q-error
+	// check, and plancheck's estimate-provenance obligation.
+	estAccess float64
+	estRows   float64
+	estSource string
+	// omitted holds single-table conjuncts the planner dropped because
+	// the snapshot's synopsis proves them true for every row (§4.5-style
+	// omission beyond schema proofs). Never executed; exported through
+	// the plan shape so plancheck can re-justify each omission.
+	omitted []omittedFilter
 }
 
 // accessPath determines which rows of a table are visited given the
@@ -197,6 +217,17 @@ type planner struct {
 	// table states a cached plan depends on. Nil when the caller
 	// doesn't need dependency tracking.
 	touched map[*Table]bool
+	// overrides maps FROM aliases of the select being planned to
+	// observed per-binding cardinalities injected by adaptive
+	// re-planning (plancache.go). It always holds the map of the
+	// select currently being planned: planSelect swaps in the matching
+	// subOverrides entry for each correlated subselect, whose aliases
+	// could collide with the outer select's.
+	overrides map[string]ovEst
+	// subOverrides routes observed cardinalities to correlated
+	// subselects, keyed by the subselect's rendered source text
+	// (selectPlan.src).
+	subOverrides map[string]map[string]ovEst
 }
 
 // conjunct is one ANDed term of a WHERE clause during planning.
@@ -208,6 +239,17 @@ type conjunct struct {
 // planSelect compiles a SELECT. The outer scope carries tables of
 // enclosing queries for correlated subselects.
 func (p *planner) planSelect(sel *sqlast.Select, outer *scope) (*selectPlan, error) {
+	// Observed-cardinality overrides are keyed by the FROM aliases of
+	// the select being re-planned; a correlated subselect has its own
+	// alias space, so the outer map must not leak into it — the
+	// subselect gets its own map, routed by rendered source text.
+	var subSrc string
+	if outer != nil {
+		subSrc = sqlast.Render(sel)
+		saved := p.overrides
+		p.overrides = p.subOverrides[subSrc]
+		defer func() { p.overrides = saved }()
+	}
 	sc := newScope(outer)
 	local := map[string]*Table{}
 	var localOrder []string
@@ -226,7 +268,7 @@ func (p *planner) planSelect(sel *sqlast.Select, outer *scope) (*selectPlan, err
 		localOrder = append(localOrder, ref.Name())
 	}
 
-	plan := &selectPlan{distinct: sel.Distinct}
+	plan := &selectPlan{distinct: sel.Distinct, src: subSrc}
 
 	// Projection.
 	if len(sel.Cols) == 1 {
@@ -265,6 +307,40 @@ func (p *planner) planSelect(sel *sqlast.Select, outer *scope) (*selectPlan, err
 		flatten(sel.Where)
 	}
 
+	// §4.5-style filter omission beyond schema proofs: drop
+	// single-table conjuncts the pinned synopsis proves true for every
+	// row, before access-path and join-order selection see them (an
+	// index probe for a tautological predicate would justify an access
+	// path plancheck could no longer tie to a retained filter). Each
+	// omission is recorded with its synopsis evidence on the step it
+	// would have filtered.
+	omittedBy := map[string][]omittedFilter{}
+	for _, c := range conjuncts {
+		if c.expr == nil || len(c.localRef) != 1 {
+			continue
+		}
+		var name string
+		for n := range c.localRef {
+			name = n
+		}
+		t := local[name]
+		if !refsOnlyTable(c.expr, name, t) {
+			continue
+		}
+		of, ok := p.proveRedundant(c.expr, name, t, p.snap.stateOf(t), sc)
+		if !ok {
+			continue
+		}
+		ce, err := p.compile(c.expr, sc)
+		if err != nil {
+			continue
+		}
+		of.ce = ce
+		of.src = c.expr.String()
+		omittedBy[name] = append(omittedBy[name], of)
+		c.expr = nil
+	}
+
 	// Join ordering: exhaustive dynamic programming over join orders
 	// for small FROM lists (Selinger-style, cumulative-rows cost),
 	// greedy fallback beyond that.
@@ -273,10 +349,29 @@ func (p *planner) planSelect(sel *sqlast.Select, outer *scope) (*selectPlan, err
 	plan.joinMethod = method
 	bound := map[string]bool{}
 	for _, name := range order {
-		access, _ := p.bestAccess(name, local[name], conjuncts, bound, sc)
+		access, _, accessSrc := p.bestAccess(name, local[name], conjuncts, bound, sc)
+		atKey := boundKey(bound)
 		bound[name] = true
-		step := &joinStep{name: name, table: local[name],
-			st: p.snap.stateOf(local[name]), access: access}
+		st := p.snap.stateOf(local[name])
+		step := &joinStep{name: name, table: local[name], st: st, access: access}
+		step.omitted = omittedBy[name]
+		// Record the step's cardinality estimate and its provenance for
+		// EXPLAIN, adaptive re-planning, and plancheck.
+		accessEst, synAccess := p.accessEstimate(access, st)
+		selOwn, synSel := p.tableSelectivity(name, local[name], st, conjuncts, accessSrc, sc)
+		step.estAccess = accessEst
+		step.estRows = accessEst * selOwn
+		if ov, ok := p.overrides[name]; ok && !p.heuristicOnly() && ov.after == atKey {
+			step.estRows = ov.rows
+			if ov.access > 0 {
+				step.estAccess = ov.access
+			}
+			step.estSource = EstOverride
+		} else if synAccess || synSel {
+			step.estSource = EstSynopsis
+		} else {
+			step.estSource = EstDefault
+		}
 		// Attach every not-yet-attached conjunct whose local references
 		// are now fully bound.
 		for _, c := range conjuncts {
@@ -435,18 +530,23 @@ func (p *planner) localRefs(e sqlast.Expr, local map[string]*Table) map[string]b
 }
 
 // bestAccess finds the cheapest access path for table t (named name)
-// given the currently bound tables. connected reports whether any
-// usable conjunct references the table at all — a table without one
-// joins as a cross product and is deferred by the caller.
-func (p *planner) bestAccess(name string, t *Table, conjuncts []*conjunct, bound map[string]bool, sc *scope) (access accessPath, connected bool) {
+// given the currently bound tables, comparing synopsis-backed
+// estimates (estimate.go). connected reports whether any usable
+// conjunct references the table at all — a table without one joins as
+// a cross product and is deferred by the caller. src is the conjunct
+// that produced the chosen path (nil for the full-scan default) so
+// the estimator can avoid double-counting its selectivity.
+func (p *planner) bestAccess(name string, t *Table, conjuncts []*conjunct, bound map[string]bool, sc *scope) (access accessPath, connected bool, src *conjunct) {
 	st := p.snap.stateOf(t)
 	var best accessPath = fullScan{}
-	consider := func(a accessPath) {
+	bestEst, _ := p.accessEstimate(best, st)
+	consider := func(a accessPath, c *conjunct) {
 		if a == nil {
 			return
 		}
-		if a.est(st) < best.est(st) || (a.est(st) == best.est(st) && a.rank() < best.rank()) {
-			best = a
+		e, _ := p.accessEstimate(a, st)
+		if e < bestEst || (e == bestEst && a.rank() < best.rank()) {
+			best, bestEst, src = a, e, c
 		}
 	}
 	for _, c := range conjuncts {
@@ -467,12 +567,12 @@ func (p *planner) bestAccess(name string, t *Table, conjuncts []*conjunct, bound
 		connected = true
 		switch x := c.expr.(type) {
 		case *sqlast.Binary:
-			consider(p.accessFromBinary(name, t, x, sc))
+			consider(p.accessFromBinary(name, t, x, sc), c)
 		case *sqlast.Between:
-			consider(p.accessFromBetween(name, t, x, sc))
+			consider(p.accessFromBetween(name, t, x, sc), c)
 		}
 	}
-	return best, connected
+	return best, connected, src
 }
 
 // colOf returns the column position if e is a column of the table
@@ -559,9 +659,11 @@ func (p *planner) eqAccess(name string, t *Table, colSide, keySide sqlast.Expr, 
 	}
 	h := &hashEq{col: col, key: key}
 	// A hash join on a low-cardinality column degenerates to a scan;
-	// rank it accordingly so selective paths win.
+	// rank it accordingly so selective paths win. The decision reads
+	// the synopsis's distinct count instead of building the hash index
+	// at plan time (the two agree exactly below the histogram cap).
 	if len(st.rows) > 64 {
-		if m := st.hash(col); len(m) > 0 && len(st.rows)/len(m) > 16 {
+		if d := st.syn.Col(col).Distinct(); d > 0 && int64(len(st.rows))/d > 16 {
 			return &fatHash{h: h}
 		}
 	}

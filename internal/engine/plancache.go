@@ -4,7 +4,10 @@ import (
 	"container/list"
 	"context"
 	"fmt"
+	"sort"
+	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/failpoint"
 	"repro/internal/sqlast"
@@ -24,6 +27,15 @@ type compiledStmt struct {
 	// the whole statement (including subplans and union branches): the
 	// size of the per-execution stats frame.
 	nOps int
+	// feedback holds the merged OpStats frame of the most recent
+	// successful execution (stored by runCompiledFrame after the frame
+	// is finalized), read on the next plan-cache hit to detect
+	// mis-estimated plans. Atomic: executions and cache lookups race.
+	feedback atomic.Pointer[opFrame]
+	// replans counts how many adaptive re-plans led to this plan,
+	// bounded by maxAdaptiveReplans so estimation noise cannot cause
+	// plan flapping. Written only at compile time.
+	replans int
 }
 
 // tableVer pins the state a table had at plan time. States are
@@ -57,14 +69,65 @@ type unionPlan struct {
 	phys      *physUnion // union-level operators, set by lowerStmt
 }
 
+// ovEst is one alias's observed cardinalities injected by adaptive
+// re-planning: rows is the per-binding output after the step's
+// residual filters, access the per-binding output of its access path
+// (0 = not observed separately). after pins the join position the
+// numbers were observed in (boundKey of the aliases bound before the
+// step): a per-binding cardinality is meaningless at any other
+// position — a probed table yields ~1 row per binding where a leading
+// scan of the same table yields the whole relation — and applying it
+// regardless of position makes consecutive re-plans invert the join
+// order and chase their own estimates.
+type ovEst struct {
+	rows, access float64
+	after        string
+}
+
+// boundKey canonicalizes a bound-alias set for ovEst.after matching.
+func boundKey(bound map[string]bool) string {
+	names := make([]string, 0, len(bound))
+	for n := range bound {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ",")
+}
+
+// planOverrides carries observed per-alias cardinalities for adaptive
+// re-planning: sel for a plain SELECT, branches aligned with a UNION's
+// branch order (branch alias spaces are independent, so one flat map
+// would cross-contaminate branches that reuse aliases), and subs for
+// correlated subselects keyed by their rendered source text (join
+// reordering changes the order subselects are compiled in, so a
+// positional index would misroute them; identical subqueries share one
+// map, which is sound because identical text is identical semantics).
+type planOverrides struct {
+	sel      map[string]ovEst
+	branches []map[string]ovEst
+	subs     map[string]map[string]ovEst
+}
+
 // compileStmt plans a statement from scratch against one database
 // snapshot, recording the pinned states of all tables it touches
 // (including correlated-subquery tables).
 func compileStmt(db *DB, st sqlast.Statement) (*compiledStmt, error) {
+	return compileStmtOverrides(db, st, nil)
+}
+
+// compileStmtOverrides is compileStmt with observed-cardinality
+// overrides injected into the planner (adaptive re-planning).
+func compileStmtOverrides(db *DB, st sqlast.Statement, ov *planOverrides) (*compiledStmt, error) {
 	p := &planner{db: db, snap: db.loadSnap(), touched: map[*Table]bool{}}
+	if ov != nil {
+		p.subOverrides = ov.subs
+	}
 	cs := &compiledStmt{}
 	switch s := st.(type) {
 	case *sqlast.Select:
+		if ov != nil {
+			p.overrides = ov.sel
+		}
 		plan, err := p.planSelect(s, nil)
 		if err != nil {
 			return nil, err
@@ -72,7 +135,11 @@ func compileStmt(db *DB, st sqlast.Statement) (*compiledStmt, error) {
 		cs.sel = plan
 	case *sqlast.Union:
 		u := &unionPlan{}
-		for _, branch := range s.Selects {
+		for i, branch := range s.Selects {
+			p.overrides = nil
+			if ov != nil && i < len(ov.branches) {
+				p.overrides = ov.branches[i]
+			}
 			plan, err := p.planSelect(branch, nil)
 			if err != nil {
 				return nil, err
@@ -209,6 +276,9 @@ func (db *DB) compiledFor(st sqlast.Statement, key string) (*compiledStmt, error
 		key = sqlast.Render(st)
 	}
 	if cs := db.plans.get(key, db.loadSnap()); cs != nil {
+		if next := db.maybeReplan(st, key, cs); next != nil {
+			return next, nil
+		}
 		return cs, nil
 	}
 	cs, err := compileStmt(db, st)
@@ -221,6 +291,103 @@ func (db *DB) compiledFor(st sqlast.Statement, key string) (*compiledStmt, error
 	}
 	db.plans.put(key, cs, db.loadSnap())
 	return cs, nil
+}
+
+// planFeedback compares the plan's per-step estimates with the
+// observed stats of its last execution and returns the observed
+// per-binding cardinalities keyed the way compileStmtOverrides
+// expects, plus the worst per-step q-error. Steps that never executed
+// (loops == 0) contribute nothing.
+func planFeedback(cs *compiledStmt, frame opFrame) (*planOverrides, float64) {
+	worst := 1.0
+	collect := func(p *selectPlan) map[string]ovEst {
+		m := map[string]ovEst{}
+		bound := map[string]bool{}
+		for i, s := range p.steps {
+			after := boundKey(bound)
+			bound[s.name] = true
+			// The scan operator observes the access path's output; the
+			// filter operator (when the step has one) the post-filter
+			// rows — mirroring exactly what lowerSelect annotates each
+			// node with, so a re-planned plan's q-errors collapse to 1.
+			scan := frame[p.phys.scans[i].id]
+			if scan.loops == 0 {
+				continue
+			}
+			obsAccess := float64(scan.rowsOut) / float64(scan.loops)
+			obsRows := obsAccess
+			if f := p.phys.filters[i]; f != nil {
+				// Vectorized filters run per scan batch, not per binding,
+				// so their own loop counter stays zero; the total filter
+				// output over the scan's bindings is the per-binding
+				// post-filter cardinality either way.
+				obsRows = float64(frame[f.id].rowsOut) / float64(scan.loops)
+				if q := qError(s.estAccess, obsAccess); q > worst {
+					worst = q
+				}
+			}
+			m[s.name] = ovEst{rows: obsRows, access: obsAccess, after: after}
+			if q := qError(s.estRows, obsRows); q > worst {
+				worst = q
+			}
+		}
+		return m
+	}
+	ov := &planOverrides{subs: map[string]map[string]ovEst{}}
+	// Correlated subplans carry their own per-step estimates and stats;
+	// their observations route back by rendered source (selectPlan.src).
+	var collectSubs func(p *selectPlan)
+	collectSubs = func(p *selectPlan) {
+		for _, n := range p.phys.ops {
+			for _, ref := range n.sub {
+				if m := collect(ref.plan); len(m) > 0 && ref.plan.src != "" {
+					ov.subs[ref.plan.src] = m
+				}
+				collectSubs(ref.plan)
+			}
+		}
+	}
+	if cs.sel != nil {
+		ov.sel = collect(cs.sel)
+		collectSubs(cs.sel)
+	} else {
+		for _, b := range cs.union.branches {
+			ov.branches = append(ov.branches, collect(b))
+			collectSubs(b)
+		}
+	}
+	return ov, worst
+}
+
+// maybeReplan implements adaptive re-planning on a plan-cache hit:
+// when the cached plan's last observed OpStats contradict its
+// cardinality estimates beyond replanQErrorThreshold, the statement is
+// re-planned with the observed cardinalities injected as overrides and
+// the cache entry replaced. Returns nil when the cached plan stands.
+// Re-planning is bounded (maxAdaptiveReplans) and version-safe: the
+// new plan pins the current snapshot like any fresh compile, so a
+// racing commit simply retires it through the normal freshness check.
+func (db *DB) maybeReplan(st sqlast.Statement, key string, cs *compiledStmt) *compiledStmt {
+	if db.heuristicPlans.Load() || cs.replans >= maxAdaptiveReplans {
+		return nil
+	}
+	fb := cs.feedback.Load()
+	if fb == nil {
+		return nil
+	}
+	ov, worst := planFeedback(cs, *fb)
+	if worst <= replanQErrorThreshold {
+		return nil
+	}
+	next, err := compileStmtOverrides(db, st, ov)
+	if err != nil {
+		return nil
+	}
+	next.replans = cs.replans + 1
+	db.replanCount.Add(1)
+	traceCompiled(st, key, next)
+	db.plans.put(key, next, db.loadSnap())
+	return next
 }
 
 // PlanCacheSize returns the number of cached query plans.

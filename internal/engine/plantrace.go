@@ -74,13 +74,38 @@ type AccessShape struct {
 	HiStrict bool
 }
 
+// OmittedShape is one residual conjunct the planner dropped because
+// the pinned synopsis proves it true for every row of the step's
+// table. The evidence fields pin the exact synopsis facts the decision
+// used; plancheck re-derives the proof from them (and re-checks them
+// against the table's synopsis) rather than trusting Reason.
+type OmittedShape struct {
+	Pred ExprShape
+	// Reason is "not-null", "int-range" or "empty-table".
+	Reason string
+	// Rows/Nulls/Min/Max are the synopsis facts claimed as evidence:
+	// table row count, the column's null count, and (for "int-range")
+	// the column's exact integer min/max.
+	Rows, Nulls int64
+	Min, Max    int64
+}
+
 // StepShape is one join step: table binding, access path, residual
-// filters.
+// filters, and the planner's cardinality estimate with provenance.
 type StepShape struct {
 	Alias   string
 	Table   string
 	Access  AccessShape
 	Filters []ExprShape
+	// EstRows is the estimated rows this step yields per binding of the
+	// earlier steps after residual filters; EstSource records where the
+	// number came from ("synopsis", "default" or "override").
+	EstRows   float64
+	EstSource string
+	// Omitted lists filters proven redundant and dropped (never
+	// executed); plancheck adds them back into the predicate multiset
+	// and re-justifies each omission from its evidence.
+	Omitted []OmittedShape
 }
 
 // SubplanShape is one correlated subquery of a select, referenced from
@@ -290,6 +315,19 @@ func shapeSelect(p *selectPlan, outer map[string]*Table) (*SelectShape, error) {
 				return nil, err
 			}
 			ss.Filters = append(ss.Filters, es)
+			all = append(all, es)
+		}
+		ss.EstRows = s.estRows
+		ss.EstSource = s.estSource
+		for _, of := range s.omitted {
+			es, err := sb.expr(of.ce)
+			if err != nil {
+				return nil, err
+			}
+			ss.Omitted = append(ss.Omitted, OmittedShape{
+				Pred: es, Reason: of.reason,
+				Rows: of.rows, Nulls: of.nulls, Min: of.min, Max: of.max,
+			})
 			all = append(all, es)
 		}
 		sh.Steps = append(sh.Steps, ss)

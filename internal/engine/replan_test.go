@@ -1,0 +1,147 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/sqlast"
+)
+
+// scanOrder lists the alias of every scan operator in execution
+// order — the join order the plan actually committed to.
+func scanOrder(reports []OpReport) []string {
+	var order []string
+	for _, r := range reports {
+		if r.Kind != "scan" {
+			continue
+		}
+		// Labels read "scan <alias>: <access path>".
+		rest := strings.TrimPrefix(r.Label, "scan ")
+		if i := strings.IndexByte(rest, ':'); i >= 0 {
+			rest = rest[:i]
+		}
+		order = append(order, rest)
+	}
+	return order
+}
+
+func sortedRows(res *Result) []string {
+	out := make([]string, len(res.Rows))
+	for i, r := range res.Rows {
+		parts := make([]string, len(r))
+		for j, v := range r {
+			parts[j] = v.String()
+		}
+		out[i] = strings.Join(parts, "|")
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestAdaptiveReplanOnSkew builds the situation the feedback loop
+// exists for: a heavy-hitter value hidden past the synopsis histogram
+// cap, so the planner's equality estimate (overflow mass spread
+// uniformly) is off by three orders of magnitude and it leads the join
+// with the "selective" skewed table. The first execution's OpStats
+// expose the mis-estimate; the next plan-cache hit must re-plan with
+// the observed cardinality, flip the join order, return identical
+// results, and settle (no further re-plans once estimates match
+// observations).
+func TestAdaptiveReplanOnSkew(t *testing.T) {
+	db := NewDB()
+	a, err := db.CreateTable("A", Column{"j", TInt}, Column{"k", TInt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.CreateIndex("A_j", "j"); err != nil {
+		t.Fatal(err)
+	}
+	b, err := db.CreateTable("B", Column{"j", TInt}, Column{"tag", TText})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fill A's k-histogram to HistCap with singletons, then push 1000
+	// more singletons and 1000 copies of k=5000 into the overflow: the
+	// synopsis estimates k=5000 at other/outside ≈ 1 row while the table
+	// holds 1000. j is unique per row except that the heavy rows carry
+	// j = 0..999, overlapping B's j = 0..9.
+	var rows [][]Value
+	for i := 0; i < 1024; i++ {
+		rows = append(rows, []Value{NewInt(int64(10000 + i)), NewInt(int64(i))})
+	}
+	for i := 0; i < 1000; i++ {
+		rows = append(rows, []Value{NewInt(int64(20000 + i)), NewInt(int64(2000 + i))})
+	}
+	for i := 0; i < 1000; i++ {
+		rows = append(rows, []Value{NewInt(int64(i)), NewInt(5000)})
+	}
+	if _, err := a.InsertBatch(rows); err != nil {
+		t.Fatal(err)
+	}
+	var brows [][]Value
+	for i := 0; i < 10; i++ {
+		brows = append(brows, []Value{NewInt(int64(i)), NewText(fmt.Sprintf("b%d", i))})
+	}
+	if _, err := b.InsertBatch(brows); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := sqlast.Parse("SELECT A.j, B.tag FROM A, B WHERE A.k = 5000 AND A.j = B.j")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rep1, res1, err := db.AnalyzeReport(st, ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := db.AdaptiveReplans(); got != 0 {
+		t.Fatalf("replans after first execution = %d, want 0", got)
+	}
+	order1 := scanOrder(rep1)
+	if len(order1) != 2 || order1[0] != "A" {
+		t.Fatalf("initial plan should lead with the mis-estimated table A, got %v", order1)
+	}
+
+	rep2, res2, err := db.AnalyzeReport(st, ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := db.AdaptiveReplans(); got != 1 {
+		t.Fatalf("replans after second execution = %d, want 1", got)
+	}
+	order2 := scanOrder(rep2)
+	if len(order2) != 2 || order2[0] != "B" {
+		t.Fatalf("re-planned join order = %v, want B leading", order2)
+	}
+	if g, w := sortedRows(res2), sortedRows(res1); strings.Join(g, ";") != strings.Join(w, ";") {
+		t.Fatalf("re-planned results differ:\n got %v\nwant %v", g, w)
+	}
+	if len(res1.Rows) != 10 {
+		t.Fatalf("query returned %d rows, want 10", len(res1.Rows))
+	}
+
+	// Third execution: the re-planned estimates now match observations,
+	// so the plan must stand (no flapping) and its q-errors collapse.
+	rep3, res3, err := db.AnalyzeReport(st, ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := db.AdaptiveReplans(); got != 1 {
+		t.Fatalf("replans after third execution = %d, want 1 (plan must settle)", got)
+	}
+	if got := scanOrder(rep3); strings.Join(got, ">") != strings.Join(order2, ">") {
+		t.Fatalf("settled plan changed shape: %v then %v", order2, got)
+	}
+	for _, r := range rep3 {
+		if r.HasEst && r.Loops > 0 && r.QError > replanQErrorThreshold {
+			t.Errorf("settled plan still mis-estimates %q: q-error %.2f", r.Label, r.QError)
+		}
+	}
+	if g, w := sortedRows(res3), sortedRows(res1); strings.Join(g, ";") != strings.Join(w, ";") {
+		t.Fatalf("settled results differ:\n got %v\nwant %v", g, w)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/btree"
 	"repro/internal/failpoint"
 	"repro/internal/keyenc"
+	"repro/internal/synopsis"
 )
 
 // Column describes one column of a table.
@@ -57,6 +58,14 @@ type tableState struct {
 	hashMu  sync.Mutex
 	hashIdx map[int]map[string][]int64
 	hashMax map[int]int // largest bucket per hashed column
+	// syn is the state's path/column synopsis: per-column counts,
+	// min/max, value histograms, and distinct sketches maintained
+	// incrementally by applyInsert. Like rows and indexes it is
+	// immutable once the state is published, so the planner's
+	// estimates are snapshot-consistent by construction; recovery and
+	// checkpoint reload rebuild it by replaying inserts through the
+	// same applyInsert path as live writes (persist.go).
+	syn *synopsis.Table
 }
 
 // Index is a B+tree index over one or more columns.
@@ -114,7 +123,17 @@ type DB struct {
 	// peakMem is the high-water mark of per-statement accounted
 	// memory across every statement run against this DB.
 	peakMem atomic.Int64
+	// heuristicPlans disables synopsis-backed estimation (the
+	// planquality experiment baseline, SetHeuristicOnlyPlanning).
+	heuristicPlans atomic.Bool
+	// replanCount counts adaptive re-plans performed on this DB
+	// (plancache.go maybeReplan), exposed via AdaptiveReplans.
+	replanCount atomic.Uint64
 }
+
+// AdaptiveReplans returns how many cached plans this DB has re-planned
+// because observed OpStats contradicted their cardinality estimates.
+func (db *DB) AdaptiveReplans() uint64 { return db.replanCount.Load() }
 
 // loadSnap returns the current snapshot.
 func (db *DB) loadSnap() *dbSnap { return db.snap.Load() }
@@ -195,7 +214,7 @@ func (db *DB) commitCreateTable(t *Table) {
 }
 
 func newTableState() *tableState {
-	return &tableState{hashIdx: map[int]map[string][]int64{}, hashMax: map[int]int{}}
+	return &tableState{hashIdx: map[int]map[string][]int64{}, hashMax: map[int]int{}, syn: synopsis.Empty()}
 }
 
 // Table returns the named table, or nil.
@@ -266,9 +285,12 @@ func applyInsert(st *tableState, rows [][]Value) *tableState {
 	next.version = st.version + 1
 	next.rows = st.rows
 	base := int64(len(st.rows))
+	syn := synopsis.Extend(st.syn)
 	for _, row := range rows {
 		next.rows = append(next.rows, row)
+		observeRow(syn, row)
 	}
+	next.syn = syn.Seal()
 	next.indexes = make([]*Index, len(st.indexes))
 	for i, ix := range st.indexes {
 		nix := &Index{Name: ix.Name, Cols: ix.Cols, Tree: ix.Tree.Clone()}
@@ -341,12 +363,34 @@ func (t *Table) MustInsert(row ...Value) int64 {
 	return id
 }
 
+// observeRow feeds one row's values into the synopsis builder,
+// dispatching on value kind (the synopsis package is engine-agnostic).
+func observeRow(b *synopsis.Builder, row []Value) {
+	for i, v := range row {
+		switch v.Kind {
+		case KNull:
+			b.Null(i)
+		case KInt, KBool:
+			b.Int(i, v.I)
+		case KFloat:
+			b.Float(i, v.F)
+		case KText:
+			b.Text(i, v.S)
+		case KBytes:
+			b.Bytes(i, v.B)
+		}
+	}
+	b.Row()
+}
+
 // applyCreateIndex builds the successor state carrying the new index;
-// existing rows are indexed immediately.
+// existing rows are indexed immediately. The synopsis is shared with
+// the predecessor: an index changes access paths, not contents.
 func applyCreateIndex(st *tableState, name string, positions []int) *tableState {
 	next := newTableState()
 	next.version = st.version + 1
 	next.rows = st.rows
+	next.syn = st.syn
 	ix := &Index{Name: name, Cols: positions, Tree: btree.New()}
 	for id, row := range st.rows {
 		ix.Tree.Insert(ix.key(row), int64(id))
@@ -532,6 +576,10 @@ func (st *tableState) hashMaxBucket(col int) int {
 	defer st.hashMu.Unlock()
 	return st.hashMax[col]
 }
+
+// Synopsis returns the synopsis of the table's current snapshot. It
+// is immutable; later inserts publish a successor.
+func (t *Table) Synopsis() *synopsis.Table { return t.state().syn }
 
 // Stats returns simple statistics used by the planner and reports.
 type Stats struct {

@@ -127,6 +127,69 @@ func Mutations() []Mutation {
 			},
 		},
 		{
+			Name:   "forge-est-source",
+			Defect: "planner reports a cardinality estimate with unknown provenance",
+			Apply: func(sh *engine.StmtShape) bool {
+				sel := firstSelect(sh)
+				if sel == nil || len(sel.Steps) == 0 {
+					return false
+				}
+				sel.Steps[0].EstSource = "hunch"
+				return true
+			},
+		},
+		{
+			Name:   "smuggle-filter-as-omission",
+			Defect: "planner drops a live filter claiming a synopsis proof with fabricated evidence",
+			Apply: func(sh *engine.StmtShape) bool {
+				sel := firstSelect(sh)
+				if sel == nil {
+					return false
+				}
+				// Prefer a step that keeps another filter so the
+				// conjunct multiset and pipeline stay balanced and only
+				// the omission re-proof can catch the forgery.
+				best := -1
+				for si := range sel.Steps {
+					if n := len(sel.Steps[si].Filters); n >= 2 || (n == 1 && best < 0) {
+						best = si
+						if n >= 2 {
+							break
+						}
+					}
+				}
+				if best < 0 {
+					return false
+				}
+				s := &sel.Steps[best]
+				last := len(s.Filters) - 1
+				s.Omitted = append(s.Omitted, engine.OmittedShape{
+					Pred:   s.Filters[last],
+					Reason: "not-null",
+					Rows:   1 << 60, // fabricated: no synopsis counts this many rows
+				})
+				s.Filters = s.Filters[:last]
+				return true
+			},
+		},
+		{
+			Name:   "corrupt-omission-evidence",
+			Defect: "omission evidence disagrees with the synopsis it cites",
+			Apply: func(sh *engine.StmtShape) bool {
+				sel := firstSelect(sh)
+				if sel == nil {
+					return false
+				}
+				for si := range sel.Steps {
+					if len(sel.Steps[si].Omitted) > 0 {
+						sel.Steps[si].Omitted[0].Rows++
+						return true
+					}
+				}
+				return false
+			},
+		},
+		{
 			Name:   "reorder-binding",
 			Defect: "join order binds a table after an expression that reads it",
 			Apply: func(sh *engine.StmtShape) bool {

@@ -89,6 +89,14 @@ func physicalSelectIR(sh *engine.SelectShape) (*SelIR, error) {
 				return nil, err
 			}
 		}
+		// Omitted filters are part of the statement's conjunct multiset
+		// even though the plan never evaluates them; the separate
+		// estimate-provenance obligation proves each omission sound.
+		for _, o := range s.Omitted {
+			if err := addFilter(o.Pred); err != nil {
+				return nil, err
+			}
+		}
 	}
 	ir.Preds, ir.predExprs = sortPreds(conjuncts)
 	for _, o := range sh.OrderBy {
@@ -168,8 +176,10 @@ func replaceMarkers(e sqlast.Expr, fps []string) (sqlast.Expr, error) {
 // checkShapeSelect validates one select shape's certificate
 // obligations, recursing into subplans. outer is the alias set of
 // enclosing selects; loc labels findings. Validated obligations are
-// appended to cert.Steps.
-func checkShapeSelect(sh *engine.SelectShape, outer map[string]bool, loc string, cert *Certificate) []Finding {
+// appended to cert.Steps. db is needed for the estimate-provenance
+// obligation, which cross-checks omission evidence against the live
+// table synopses.
+func checkShapeSelect(db *engine.DB, sh *engine.SelectShape, outer map[string]bool, loc string, cert *Certificate) []Finding {
 	var fs []Finding
 	report := func(rule, detail string) {
 		fs = append(fs, Finding{Rule: rule, Detail: loc + ": " + detail})
@@ -240,6 +250,13 @@ func checkShapeSelect(sh *engine.SelectShape, outer map[string]bool, loc string,
 		}
 	}
 
+	// Estimate provenance: every step's cardinality estimate must carry
+	// a known source, and every omitted filter must be independently
+	// re-provable from its recorded synopsis evidence.
+	for _, s := range sh.Steps {
+		fs = append(fs, checkEstimates(db, s, loc, cert)...)
+	}
+
 	// Pipeline legality: the lowered operator sequence must place
 	// scans, filters, projection, DISTINCT and ORDER BY exactly where
 	// the select shape dictates.
@@ -259,7 +276,7 @@ func checkShapeSelect(sh *engine.SelectShape, outer map[string]bool, loc string,
 		inner[s.Alias] = true
 	}
 	for k, sp := range sh.Subplans {
-		fs = append(fs, checkShapeSelect(sp.Select, inner, fmt.Sprintf("%s/subplan[%d]", loc, k), cert)...)
+		fs = append(fs, checkShapeSelect(db, sp.Select, inner, fmt.Sprintf("%s/subplan[%d]", loc, k), cert)...)
 	}
 	return fs
 }
