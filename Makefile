@@ -1,9 +1,9 @@
 # make check mirrors .github/workflows/ci.yml locally.
 GO ?= go
 
-.PHONY: check build fmtcheck vet xvet transcheck plancheck test race chaos batch-smoke crash-smoke fuzz-smoke bench-smoke explain-smoke planquality-smoke
+.PHONY: check build fmtcheck vet xvet transcheck plancheck protocheck test race chaos batch-smoke crash-smoke fuzz-smoke bench-smoke explain-smoke planquality-smoke
 
-check: build fmtcheck vet xvet transcheck plancheck test race chaos batch-smoke crash-smoke planquality-smoke
+check: build fmtcheck vet xvet transcheck plancheck protocheck test race chaos batch-smoke crash-smoke planquality-smoke
 
 build:
 	$(GO) build ./...
@@ -18,9 +18,12 @@ vet:
 
 # The custom invariant analyzers (rawsql, deweycmp, regexploop,
 # errdrop, recoverguard, opstats, ctxflow, lockscope, sqltaint,
-# hotalloc, goleak, syncerr, statflow, xvetignore); -novet because
-# `make vet` already ran the standard passes. Results are cached per
-# package under .xvetcache/; pass -nocache to force a full re-check.
+# hotalloc, goleak, syncerr, statflow, snapfreeze, guardedby,
+# walorder, xvetignore); -novet because `make vet` already ran the
+# standard passes. Results are cached per package under .xvetcache/
+# (keyed on the xvet binary's own signature, so a rebuilt analyzer
+# re-checks everything); pass -nocache to force a full re-check, or
+# -timing for a per-analyzer wall-time summary.
 xvet:
 	$(GO) run ./cmd/xvet -novet ./...
 
@@ -40,6 +43,16 @@ transcheck:
 # (DESIGN.md section 10).
 plancheck:
 	$(GO) run ./cmd/xvet -plancheck
+
+# Publication-protocol verification: the interprocedural analyzers
+# (snapfreeze, guardedby, walorder) sweep the tree, the seeded-defect
+# harness proves every protocol violation class is rejected with a
+# call-path witness, and the golden call-graph dumps pin the commit
+# protocol's graph shape (DESIGN.md sections 6 and 12).
+protocheck:
+	$(GO) run ./cmd/xvet -novet -only snapfreeze,guardedby,walorder ./...
+	$(GO) test -count=1 -run 'TestProtocolMutations|TestSnapFreeze|TestWALOrder|TestGuardedBy|TestProtocolPackagesClean' ./internal/analysis/
+	$(GO) test -count=1 ./internal/analysis/callgraph/
 
 test:
 	$(GO) test ./...

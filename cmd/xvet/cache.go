@@ -18,9 +18,11 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/analysis"
 )
@@ -45,16 +47,47 @@ type pkgMeta struct {
 type resultCache struct {
 	loader *analysis.Loader
 	dir    string // <module>/.xvetcache
-	salt   string // toolchain version + analyzer set
+	salt   string // toolchain version + xvet binary signature + analyzer set
 
 	metas    map[string]*pkgMeta
 	keys     map[string]string
 	visiting map[string]bool
 }
 
+// buildSig fingerprints the running xvet binary: its build info
+// (module version, vcs revision, build flags) plus a hash of the
+// executable's own bytes, which catches locally rebuilt binaries whose
+// build info is unchanged. Keying the cache on it means editing an
+// analyzer invalidates warm results even though no analyzed source
+// changed — analyzer names alone cannot see a changed Run body.
+// Overridable so tests can simulate a rebuilt binary.
+var buildSig = binarySig
+
+var (
+	binarySigOnce sync.Once
+	binarySigVal  string
+)
+
+func binarySig() string {
+	binarySigOnce.Do(func() {
+		h := sha256.New()
+		if bi, ok := debug.ReadBuildInfo(); ok {
+			fmt.Fprintln(h, bi.String())
+		}
+		if exe, err := os.Executable(); err == nil {
+			if data, err := os.ReadFile(exe); err == nil {
+				_, _ = h.Write(data)
+			}
+		}
+		binarySigVal = hex.EncodeToString(h.Sum(nil))
+	})
+	return binarySigVal
+}
+
 func newResultCache(loader *analysis.Loader, analyzers []*analysis.Analyzer) (*resultCache, error) {
 	h := sha256.New()
 	fmt.Fprintln(h, runtime.Version())
+	fmt.Fprintln(h, buildSig())
 	for _, a := range analyzers {
 		fmt.Fprintln(h, a.Name)
 	}

@@ -2,12 +2,15 @@
 // `go vet` passes and then the custom invariant analyzers from
 // internal/analysis (rawsql, deweycmp, regexploop, errdrop,
 // recoverguard, opstats, ctxflow, lockscope, sqltaint, hotalloc,
-// goleak, syncerr, xvetignore) that enforce the paper-derived
-// disciplines the type system cannot see.
+// goleak, syncerr, statflow, snapfreeze, guardedby, walorder,
+// xvetignore) that enforce the paper-derived disciplines the type
+// system cannot see — including the interprocedural publication
+// protocol (snapshot immutability, lock annotations, WAL-before-
+// publish ordering) checked over the callgraph package.
 //
 // Usage:
 //
-//	xvet [-novet] [-only name,name] [-nocache] [-list] [-json] [packages]
+//	xvet [-novet] [-only name,name] [-nocache] [-timing] [-list] [-json] [packages]
 //	xvet -transcheck [-json]
 //	xvet -plancheck [-matrix n] [-json]
 //
@@ -20,9 +23,10 @@
 // machine-readable diagnostics on stdout instead of the text form.
 //
 // Analyzer results are cached per package under <module>/.xvetcache/,
-// keyed by the analyzer set and the content of the package and its
-// module-internal dependencies, so a warm run re-checks only what
-// changed. -nocache bypasses the cache entirely.
+// keyed by the analyzer set, the xvet binary's own signature, and the
+// content of the package and its module-internal dependencies, so a
+// warm run re-checks only what changed. -nocache bypasses the cache
+// entirely. -timing reports per-analyzer wall time after the sweep.
 //
 // -transcheck runs the static translation validator instead of the
 // analyzers: every Table 1 pattern derivation — over a synthetic
@@ -46,7 +50,9 @@ import (
 	"io"
 	"os"
 	"os/exec"
+	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/plancheck"
@@ -89,6 +95,7 @@ func run(dir string, args []string, stdout, stderr io.Writer) int {
 	nocache := fs.Bool("nocache", false, "ignore and do not update the per-package result cache")
 	list := fs.Bool("list", false, "list the custom analyzers and exit")
 	asJSON := fs.Bool("json", false, "emit diagnostics as JSON Lines on stdout")
+	timing := fs.Bool("timing", false, "report per-analyzer wall time after the sweep")
 	trans := fs.Bool("transcheck", false, "run the static translation validator instead of the analyzers")
 	plan := fs.Bool("plancheck", false, "run the static plan-equivalence checker instead of the analyzers")
 	matrixN := fs.Int("matrix", 2500, "with -plancheck: random queries per workload in the seeded matrix")
@@ -135,6 +142,12 @@ func run(dir string, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "xvet:", err)
 		return exitInternal
 	}
+	if *timing {
+		if err := reportTiming(res, *asJSON, stdout); err != nil {
+			fmt.Fprintln(stderr, "xvet:", err)
+			return exitInternal
+		}
+	}
 	if findings || res.Findings > 0 {
 		return exitFindings
 	}
@@ -162,6 +175,55 @@ type analyzerRun struct {
 	Findings int // diagnostics emitted
 	Loaded   int // packages type-checked and analyzed this run
 	Hits     int // packages answered from the result cache
+
+	// Timing accumulates each analyzer's wall time across the packages
+	// loaded this run. Cache hits contribute nothing: their analyzers
+	// never ran, which is exactly what -timing should show.
+	Timing map[string]time.Duration
+}
+
+// jsonTiming is the -timing record emitted alongside diagnostics under
+// -json: one object per analyzer, distinguished from jsonDiag by its
+// "millis" field.
+type jsonTiming struct {
+	Analyzer string  `json:"analyzer"`
+	Millis   float64 `json:"millis"`
+}
+
+// reportTiming prints the per-analyzer wall-time summary, slowest
+// first, so the cost of the interprocedural passes (snapfreeze,
+// guardedby, walorder build call graphs per package) stays visible.
+func reportTiming(res analyzerRun, asJSON bool, stdout io.Writer) error {
+	names := make([]string, 0, len(res.Timing))
+	for name := range res.Timing {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if res.Timing[names[i]] != res.Timing[names[j]] {
+			return res.Timing[names[i]] > res.Timing[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	if asJSON {
+		enc := json.NewEncoder(stdout)
+		for _, name := range names {
+			rec := jsonTiming{Analyzer: name, Millis: float64(res.Timing[name]) / float64(time.Millisecond)}
+			if err := enc.Encode(rec); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var total time.Duration
+	for _, name := range names {
+		total += res.Timing[name]
+	}
+	fmt.Fprintf(stdout, "xvet: timing: %d packages analyzed, %d from cache, analyzers %v total\n",
+		res.Loaded, res.Hits, total.Round(time.Millisecond))
+	for _, name := range names {
+		fmt.Fprintf(stdout, "xvet: timing: %-12s %v\n", name, res.Timing[name].Round(time.Millisecond))
+	}
+	return nil
 }
 
 func runAnalyzers(dir string, analyzers []*analysis.Analyzer, patterns []string, asJSON, useCache bool, stdout io.Writer) (analyzerRun, error) {
@@ -211,11 +273,17 @@ func runAnalyzers(dir string, analyzers []*analysis.Analyzer, patterns []string,
 		if err != nil {
 			return res, err
 		}
-		diags, err := analysis.Run(pkg, analyzers)
+		diags, timings, err := analysis.RunTimed(pkg, analyzers)
 		if err != nil {
 			return res, err
 		}
 		res.Loaded++
+		if res.Timing == nil {
+			res.Timing = make(map[string]time.Duration, len(timings))
+		}
+		for name, d := range timings {
+			res.Timing[name] += d
+		}
 		jds := make([]jsonDiag, 0, len(diags))
 		for _, d := range diags {
 			pos := pkg.Fset.Position(d.Pos)

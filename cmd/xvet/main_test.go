@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -12,8 +13,8 @@ import (
 
 func TestSelectAnalyzers(t *testing.T) {
 	all, err := selectAnalyzers("")
-	if err != nil || len(all) != 14 {
-		t.Fatalf("default selection: got %d analyzers, err %v; want 14, nil", len(all), err)
+	if err != nil || len(all) != 17 {
+		t.Fatalf("default selection: got %d analyzers, err %v; want 17, nil", len(all), err)
 	}
 	some, err := selectAnalyzers("rawsql, errdrop")
 	if err != nil {
@@ -25,7 +26,7 @@ func TestSelectAnalyzers(t *testing.T) {
 	if _, err := selectAnalyzers("nosuch"); err == nil {
 		t.Fatal("unknown analyzer name must error")
 	}
-	for _, name := range []string{"ctxflow", "lockscope", "sqltaint", "hotalloc", "goleak", "statflow", "xvetignore"} {
+	for _, name := range []string{"ctxflow", "lockscope", "sqltaint", "hotalloc", "goleak", "statflow", "snapfreeze", "guardedby", "walorder", "xvetignore"} {
 		if _, err := selectAnalyzers(name); err != nil {
 			t.Errorf("analyzer %s not registered: %v", name, err)
 		}
@@ -154,6 +155,137 @@ func TestCacheWarmFasterThanCold(t *testing.T) {
 	if nocache.Hits != 0 || nocache.Loaded != 2 {
 		t.Fatalf("-nocache run: %+v, want 2 loaded, 0 hits", nocache)
 	}
+}
+
+// A rebuilt xvet binary must invalidate warm results even when no
+// analyzed source changed: an analyzer's Run body can change without
+// the analyzer set changing, and stale diagnostics are worse than a
+// cold run. The binary signature is part of the cache salt; swapping
+// it must force a full reload.
+func TestCacheInvalidatedByBinaryChange(t *testing.T) {
+	root := t.TempDir()
+	writeTree(t, root, map[string]string{
+		"go.mod": tmpGoMod,
+		"a/a.go": "package a\n\nfunc A() int { return 1 }\n",
+		"b/b.go": "package b\n\nfunc B() int { return 2 }\n",
+	})
+	analyzers, err := selectAnalyzers("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+
+	if _, err := runAnalyzers(root, analyzers, []string{"./..."}, false, true, &out); err != nil {
+		t.Fatal(err)
+	}
+	warm, err := runAnalyzers(root, analyzers, []string{"./..."}, false, true, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Hits != 2 || warm.Loaded != 0 {
+		t.Fatalf("warm run before binary change: %+v, want 2 hits, 0 loaded", warm)
+	}
+
+	orig := buildSig
+	buildSig = func() string { return "rebuilt-binary-signature" }
+	defer func() { buildSig = orig }()
+
+	after, err := runAnalyzers(root, analyzers, []string{"./..."}, false, true, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Hits != 0 || after.Loaded != 2 {
+		t.Fatalf("run under new binary signature: %+v, want 0 hits, 2 loaded", after)
+	}
+
+	// And the new signature's results are themselves cacheable.
+	again, err := runAnalyzers(root, analyzers, []string{"./..."}, false, true, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Hits != 2 || again.Loaded != 0 {
+		t.Fatalf("warm run after binary change: %+v, want 2 hits, 0 loaded", again)
+	}
+}
+
+// -timing must attribute wall time to every analyzer that ran, and a
+// fully cached run must attribute nothing (its analyzers never ran).
+func TestTimingAggregation(t *testing.T) {
+	root := t.TempDir()
+	writeTree(t, root, map[string]string{
+		"go.mod": tmpGoMod,
+		"a/a.go": "package a\n\nfunc A() int { return 1 }\n",
+	})
+	analyzers, err := selectAnalyzers("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+
+	cold, err := runAnalyzers(root, analyzers, []string{"./..."}, false, true, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cold.Timing) != len(analyzers) {
+		t.Fatalf("cold run timed %d analyzers, want %d", len(cold.Timing), len(analyzers))
+	}
+	for _, a := range analyzers {
+		if _, ok := cold.Timing[a.Name]; !ok {
+			t.Errorf("no timing entry for %s", a.Name)
+		}
+	}
+	if err := reportTiming(cold, false, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "xvet: timing:") {
+		t.Fatalf("human timing summary missing:\n%s", out.String())
+	}
+	out.Reset()
+	if err := reportTiming(cold, true, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"millis"`) {
+		t.Fatalf("JSON timing records missing:\n%s", out.String())
+	}
+
+	warm, err := runAnalyzers(root, analyzers, []string{"./..."}, false, true, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warm.Timing) != 0 {
+		t.Fatalf("fully cached run attributed timing: %v", warm.Timing)
+	}
+}
+
+// The interprocedural analyzers must not make the edit loop sluggish:
+// a warm sweep of this repository — the real tree, all analyzers —
+// stays under five seconds.
+func TestWarmSweepUnderFiveSeconds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-tree sweep")
+	}
+	analyzers, err := selectAnalyzers("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First sweep warms the cache (it may already be warm from a
+	// previous xvet run; either way it is untimed).
+	if _, err := runAnalyzers(".", analyzers, []string{"./..."}, false, true, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	warm, err := runAnalyzers(".", analyzers, []string{"./..."}, false, true, io.Discard)
+	dur := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Loaded != 0 {
+		t.Fatalf("second sweep loaded %d packages, want 0 (all cached)", warm.Loaded)
+	}
+	if dur >= 5*time.Second {
+		t.Errorf("warm sweep took %v, want < 5s", dur)
+	}
+	t.Logf("warm sweep: %v over %d packages", dur, warm.Hits)
 }
 
 // Touching one file invalidates only its own package and the packages

@@ -18,6 +18,8 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"strings"
+	"time"
 )
 
 // An Analyzer describes one invariant check.
@@ -45,7 +47,28 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	pkg         *Package // loader-backed package, for Dep
 	diagnostics []Diagnostic
+}
+
+// Dep returns the module-internal dependency package whose import
+// path is pathSuffix (exact, or a "/"-suffix of a direct import), with
+// its AST and type info. The loader type-checked every module-internal
+// import from source while checking this package, so the lookup never
+// loads anything — it is the cache hit that lets interprocedural
+// analyzers (guardedby, walorder) read annotations and compute
+// summaries on dependency bodies. Returns nil when the pass was built
+// without a loader or the import is absent.
+func (p *Pass) Dep(pathSuffix string) *Package {
+	if p.pkg == nil || p.pkg.ldr == nil || p.Pkg == nil {
+		return nil
+	}
+	for _, imp := range p.Pkg.Imports() {
+		if imp.Path() == pathSuffix || strings.HasSuffix(imp.Path(), "/"+pathSuffix) {
+			return p.pkg.ldr.loaded(imp.Path())
+		}
+	}
+	return nil
 }
 
 // Report records a diagnostic.
@@ -66,6 +89,14 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // its own or the following line; malformed directives are themselves
 // reported under the xvetignore name.
 func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags, _, err := RunTimed(pkg, analyzers)
+	return diags, err
+}
+
+// RunTimed is Run, additionally reporting each analyzer's wall time on
+// this package (xvet -timing aggregates these across packages so the
+// cost of the interprocedural passes stays visible and bounded).
+func RunTimed(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, map[string]time.Duration, error) {
 	badPass := &Pass{
 		Analyzer: BadIgnore,
 		Fset:     pkg.Fset,
@@ -76,6 +107,7 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		directives = append(directives, parseIgnores(pkg.Fset, f, badPass.Reportf)...)
 	}
 	out := append([]Diagnostic(nil), badPass.diagnostics...)
+	timings := make(map[string]time.Duration, len(analyzers))
 	for _, a := range analyzers {
 		pass := &Pass{
 			Analyzer:  a,
@@ -83,9 +115,13 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			Files:     pkg.Files,
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.Info,
+			pkg:       pkg,
 		}
-		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+		start := time.Now()
+		err := a.Run(pass)
+		timings[a.Name] += time.Since(start)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
 		}
 		for _, d := range pass.diagnostics {
 			if suppressed(pkg.Fset, directives, d) {
@@ -95,14 +131,15 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
-	return out, nil
+	return out, timings, nil
 }
 
 // All returns the full analyzer suite run by cmd/xvet, in reporting
 // order.
 func All() []*Analyzer {
 	return []*Analyzer{RawSQL, DeweyCmp, RegexpLoop, ErrDrop, RecoverGuard, OpStatsMut,
-		CtxFlow, LockScope, SQLTaint, HotAlloc, GoLeak, SyncErr, Statflow, BadIgnore}
+		CtxFlow, LockScope, SQLTaint, HotAlloc, GoLeak, SyncErr, Statflow,
+		SnapFreeze, GuardedBy, WALOrder, BadIgnore}
 }
 
 // ByName resolves a comma-free analyzer name, or nil.

@@ -47,3 +47,18 @@ func expectClean(t *testing.T, a *analysis.Analyzer, pkgPaths ...string) {
 		}
 	}
 }
+
+// TestProtocolPackagesCleanUnderAllAnalyzers pins the two packages at
+// the heart of the publication protocol — the WAL and the synopsis
+// store — clean under the full analyzer set: the annotated contract
+// (//guardedby:caller on wal.Log, the engine-side publish field) must
+// describe the code as written, not just reject mutations of it.
+func TestProtocolPackagesCleanUnderAllAnalyzers(t *testing.T) {
+	all := analysis.All()
+	if len(all) != 17 {
+		t.Fatalf("analyzer registry has %d entries, want 17", len(all))
+	}
+	for _, a := range all {
+		expectClean(t, a, "repro/internal/wal", "repro/internal/synopsis")
+	}
+}

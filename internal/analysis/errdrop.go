@@ -17,11 +17,18 @@ import (
 // entirely, so an error-returning f loses its error with no
 // assignment to grep for. Goroutine bodies must be funcs that return
 // nothing (collect errors via channels or per-worker slots, as the
-// engine's morsel executor does).
+// engine's morsel executor does). `defer f()` is the same drop with a
+// delay: the deferred call's error vanishes at scope exit — defer a
+// func literal that checks it instead (deferred Close is exempt; the
+// sync-before-close discipline is syncerr's domain). Finally,
+// `_ = errors.Join(...)` pierces the usual blank-assign opt-out:
+// Join's only purpose is to carry the errors being blanked, so
+// discarding its result is always a collected-then-lost bug.
 var ErrDrop = &Analyzer{
 	Name: "errdrop",
 	Doc: "flag discarded error returns (bare call statements, _ for the error " +
-		"position while keeping other results, or `go f()` on an error-returning f); " +
+		"position while keeping other results, `go f()` or `defer f()` on an " +
+		"error-returning f, or a blanked errors.Join result); " +
 		"use `_ = f()` to discard explicitly",
 	Run: runErrDrop,
 }
@@ -45,6 +52,12 @@ func runErrDrop(pass *Pass) error {
 					pass.Reportf(x.Pos(), "go %s discards the callee's error result; wrap it in a func that routes the error to a channel or error slot",
 						calleeLabel(x.Call))
 				}
+			case *ast.DeferStmt:
+				if callReturnsError(pass, x.Call, errType) && !errdropExempt(pass, x.Call) &&
+					!deferCloseIdiom(x.Call) {
+					pass.Reportf(x.Pos(), "defer %s discards the callee's error result; defer a func literal that checks it",
+						calleeLabel(x.Call))
+				}
 			}
 			return true
 		})
@@ -63,7 +76,15 @@ func checkBlankedErrors(pass *Pass, as *ast.AssignStmt, errType types.Type) {
 		}
 	}
 	if allBlank {
-		return // explicit discard idiom
+		// `_ = f()` is the explicit opt-out — except for errors.Join,
+		// whose result IS the errors being blanked: collecting errors
+		// and then discarding the collection is never intentional.
+		for _, rhs := range as.Rhs {
+			if call, ok := rhs.(*ast.CallExpr); ok && isErrorsJoin(pass, call) {
+				pass.Reportf(call.Pos(), "errors.Join result blanked; the joined errors are lost — handle or return them")
+			}
+		}
+		return
 	}
 	// Tuple form: v, _ := f().
 	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
@@ -146,6 +167,21 @@ func errdropExempt(pass *Pass, call *ast.CallExpr) bool {
 		}
 	}
 	return false
+}
+
+// deferCloseIdiom reports whether the deferred call is a Close method:
+// `defer f.Close()` is the universal cleanup idiom, and the cases where
+// a Close error matters (writable files ahead of durability claims)
+// are owned by the syncerr analyzer.
+func deferCloseIdiom(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "Close"
+}
+
+// isErrorsJoin matches a call to the standard errors.Join.
+func isErrorsJoin(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "Join" && pass.importedPkg(sel.X) == "errors"
 }
 
 // calleeLabel renders the called function for a diagnostic.

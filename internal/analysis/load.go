@@ -22,6 +22,12 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+
+	// ldr is the loader that produced this package. Module-internal
+	// imports were type-checked from source through the same loader,
+	// so their ASTs are already cached there — Pass.Dep exposes them
+	// to interprocedural analyzers without a second load.
+	ldr *Loader
 }
 
 // The loader shares one FileSet and one source-importer across every
@@ -306,9 +312,17 @@ func (l *Loader) check(dir, importPath string, includeTests bool) (*Package, err
 	if err != nil {
 		return nil, fmt.Errorf("analysis: %s: %w", importPath, err)
 	}
-	p := &Package{Path: importPath, Dir: dir, Fset: sharedFset, Files: files, Types: tpkg, Info: info}
+	p := &Package{Path: importPath, Dir: dir, Fset: sharedFset, Files: files, Types: tpkg, Info: info, ldr: l}
 	l.pkgs[importPath] = p
 	return p, nil
+}
+
+// loaded returns the already-type-checked package with the given
+// import path, or nil. It never triggers a load.
+func (l *Loader) loaded(importPath string) *Package {
+	loadMu.Lock()
+	defer loadMu.Unlock()
+	return l.pkgs[importPath]
 }
 
 // loaderImporter routes module-internal imports back through the

@@ -1,0 +1,20 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestSnapFreeze(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.SnapFreeze, "snapfreeze")
+}
+
+func TestWALOrder(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.WALOrder, "walorder", "walorder/internal/wal")
+}
+
+func TestGuardedBy(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.GuardedBy, "guardedby", "guardedby/internal/wal")
+}

@@ -1,0 +1,70 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestProtocolMutations is the mutation harness for the publication
+// protocol analyzers: each protodefect package seeds one protocol
+// violation (the defect classes a careless engine edit would
+// introduce), and every one must be rejected by the owning analyzer —
+// with a call-path witness where the defect spans call edges.
+func TestProtocolMutations(t *testing.T) {
+	cases := []struct {
+		pkg      string
+		analyzer string
+		wantMsg  string // substring every matching diagnostic set must contain
+		wantPath bool   // a " -> " call-path witness is required
+	}{
+		{"protodefect/afterpublish", "snapfreeze", "after it was published", false},
+		{"protodefect/unguarded", "guardedby", "without mu held", false},
+		{"protodefect/prefsync", "walorder", "without a preceding WAL commit", true},
+		{"protodefect/lockdrop", "guardedby", "lock-free call path", true},
+		{"protodefect/badann", "guardedby", "names no sibling sync.Mutex", false},
+		{"protodefect/badann", "walorder", "malformed //walorder:replay", false},
+	}
+
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	loader.AddSrcDir(filepath.Join("testdata", "src"))
+
+	for _, tc := range cases {
+		t.Run(tc.pkg+"/"+tc.analyzer, func(t *testing.T) {
+			a := analysis.ByName(tc.analyzer)
+			if a == nil {
+				t.Fatalf("no analyzer %q", tc.analyzer)
+			}
+			pkg, err := loader.LoadDir(filepath.Join("testdata", "src", filepath.FromSlash(tc.pkg)), tc.pkg)
+			if err != nil {
+				t.Fatalf("load %s: %v", tc.pkg, err)
+			}
+			diags, err := analysis.Run(pkg, []*analysis.Analyzer{a})
+			if err != nil {
+				t.Fatalf("run %s: %v", tc.analyzer, err)
+			}
+			matched := false
+			for _, d := range diags {
+				if !strings.Contains(d.Message, tc.wantMsg) {
+					continue
+				}
+				if tc.wantPath && !strings.Contains(d.Message, " -> ") {
+					continue
+				}
+				matched = true
+			}
+			if !matched {
+				t.Errorf("%s: defect not rejected: no %s diagnostic containing %q (path witness: %v); got %d diagnostics:",
+					tc.pkg, tc.analyzer, tc.wantMsg, tc.wantPath, len(diags))
+				for _, d := range diags {
+					t.Errorf("  %s: %s", pkg.Fset.Position(d.Pos), d.Message)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,609 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis/callgraph"
+	"repro/internal/analysis/cfg"
+)
+
+// SnapFreeze enforces the frozen-after-publish half of the COW
+// contract: memory reachable from a published snapshot — any value
+// derived from a Load of the //walorder:publish atomic.Pointer field,
+// directly or through a function summarized as returning published
+// memory (loadSnap) — must never be written. Writes are legal only in
+// builder scope: through values the function provably allocated
+// itself (clone results, newTableState, composite literals), and only
+// until the Store that publishes them — a write after the Store is
+// flagged even on fresh memory, because readers may already hold the
+// pointer. The check is interprocedural: per-function summaries record
+// which parameters (receiver included) each function writes through,
+// so passing a published value into a writer is rejected at the call
+// site with the call-path witness down to the write. Fields annotated
+// //guardedby: are excluded — mutex-serialized lazy state (hash index
+// builds) is guardedby's domain, not a COW violation.
+var SnapFreeze = &Analyzer{
+	Name: "snapfreeze",
+	Doc: "no write may reach memory derived from a published snapshot " +
+		"(Load of the //walorder:publish field); builder-scope writes through " +
+		"provably fresh values are legal until the publishing Store",
+	Run: runSnapFreeze,
+}
+
+func runSnapFreeze(pass *Pass) error {
+	ann := pass.annotations()
+	if len(ann.publishes) == 0 {
+		return nil
+	}
+	g := pass.callGraph()
+	extern := pass.externFresh()
+	fresh := g.FreshReturns(extern)
+
+	sf := &snapFreezer{
+		pass:     pass,
+		g:        g,
+		ann:      ann,
+		retPub:   map[*callgraph.Node]bool{},
+		retParam: map[*callgraph.Node]map[int]bool{},
+		writes:   map[*callgraph.Node]map[int]string{},
+		params:   map[*callgraph.Node]map[types.Object]int{},
+	}
+	for _, n := range g.Nodes {
+		sf.params[n] = paramIndexes(g, n)
+		sf.retParam[n] = map[int]bool{}
+	}
+
+	// Fixpoint 1: return summaries. retPub marks functions returning
+	// published-derived memory outright (loadSnap and wrappers);
+	// retParam marks results derived from a parameter (stateOf returns
+	// receiver memory), which become published exactly when the call
+	// site passes a published argument. publishedLocals depends on
+	// both, so re-derive until stable.
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.Nodes {
+			if n.Body == nil {
+				continue
+			}
+			node := n
+			locals := sf.publishedLocals(n)
+			ownWalkNode(n.Body, func(m ast.Node) {
+				r, ok := m.(*ast.ReturnStmt)
+				if !ok || len(r.Results) == 0 {
+					return
+				}
+				res := r.Results[0]
+				if !sf.retPub[node] && sf.publishedExpr(res, locals) {
+					sf.retPub[node] = true
+					changed = true
+				}
+				if !refLike(sf.g.Info.TypeOf(res)) {
+					return
+				}
+				if base := chainBase(res); base != nil {
+					if obj := identObj(sf.g.Info, base); obj != nil {
+						if i, isParam := sf.params[node][obj]; isParam && !sf.retParam[node][i] {
+							sf.retParam[node][i] = true
+							changed = true
+						}
+					}
+				}
+			})
+		}
+	}
+
+	// Fixpoint 2: writesParam summaries with witness chains — which
+	// parameter's pointed-to memory does each function write, directly
+	// or by forwarding the parameter into another writer.
+	for _, n := range g.Nodes {
+		sf.writes[n] = map[int]string{}
+	}
+	for _, n := range g.Nodes {
+		if n.Body == nil {
+			continue
+		}
+		node := n
+		ownWalkNode(n.Body, func(m ast.Node) {
+			lhs, ok := writeLHS(m)
+			if !ok {
+				return
+			}
+			for _, l := range lhs {
+				base, deep := sf.writeBase(l)
+				if base == nil || !deep || pass.annotatedField(l, ann) != nil {
+					continue
+				}
+				obj := identObj(pass.TypesInfo, base)
+				if obj == nil {
+					continue
+				}
+				if i, isParam := sf.params[node][obj]; isParam {
+					if _, seen := sf.writes[node][i]; !seen {
+						pos := pass.Fset.Position(l.Pos())
+						sf.writes[node][i] = node.Name + " (write to " +
+							exprText(pass.Fset, l) + " at line " + itoa(pos.Line) + ")"
+					}
+				}
+			}
+		})
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.Nodes {
+			if n.Body == nil {
+				continue
+			}
+			node := n
+			ownWalkNode(n.Body, func(m ast.Node) {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return
+				}
+				callee, argAt := sf.calleeOf(call)
+				if callee == nil {
+					return
+				}
+				for j, why := range sf.writes[callee] {
+					arg := argAt(j)
+					if arg == nil {
+						continue
+					}
+					base := chainBase(arg)
+					if base == nil {
+						continue
+					}
+					obj := identObj(pass.TypesInfo, base)
+					if obj == nil {
+						continue
+					}
+					if i, isParam := sf.params[node][obj]; isParam {
+						if _, seen := sf.writes[node][i]; !seen {
+							sf.writes[node][i] = node.Name + " -> " + why
+							changed = true
+						}
+					}
+				}
+			})
+		}
+	}
+
+	// Findings.
+	for _, n := range g.Nodes {
+		if n.Body == nil {
+			continue
+		}
+		sf.checkNode(n, fresh, extern)
+	}
+	return nil
+}
+
+type snapFreezer struct {
+	pass     *Pass
+	g        *callgraph.Graph
+	ann      *protoAnnotations
+	retPub   map[*callgraph.Node]bool
+	retParam map[*callgraph.Node]map[int]bool
+	writes   map[*callgraph.Node]map[int]string
+	params   map[*callgraph.Node]map[types.Object]int
+}
+
+func (sf *snapFreezer) checkNode(n *callgraph.Node, fresh map[*callgraph.Node]bool, extern func(*types.Func) bool) {
+	pass := sf.pass
+	locals := sf.publishedLocals(n)
+	freshLocals := sf.g.FreshLocals(n, fresh, extern)
+	isFresh := func(base *ast.Ident) bool {
+		obj := identObj(pass.TypesInfo, base)
+		return obj != nil && freshLocals[obj]
+	}
+	isPub := func(base *ast.Ident) bool {
+		obj := identObj(pass.TypesInfo, base)
+		return obj != nil && locals[obj]
+	}
+
+	ownWalkNode(n.Body, func(m ast.Node) {
+		if lhs, ok := writeLHS(m); ok {
+			for _, l := range lhs {
+				base, deep := sf.writeBase(l)
+				if !deep || pass.annotatedField(l, sf.ann) != nil {
+					continue
+				}
+				if base == nil {
+					// Write straight through a published-returning call
+					// chain: db.snap.Load().tables[k] = v.
+					if sf.chainHitsPublishedCall(l, locals) {
+						pass.Reportf(l.Pos(),
+							"write to %s reaches published snapshot memory; snapshots are "+
+								"frozen after publish — clone before mutating", exprText(pass.Fset, l))
+					}
+					continue
+				}
+				if isPub(base) && !isFresh(base) {
+					pass.Reportf(l.Pos(),
+						"write to %s, which is derived from a published snapshot "+
+							"(frozen after publish; clone before mutating)", exprText(pass.Fset, l))
+				}
+			}
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		callee, argAt := sf.calleeOf(call)
+		if callee == nil {
+			return
+		}
+		for j, why := range sf.writes[callee] {
+			arg := argAt(j)
+			if arg == nil {
+				continue
+			}
+			if !sf.publishedExpr(arg, locals) {
+				continue
+			}
+			if base := chainBase(arg); base != nil && isFresh(base) {
+				continue
+			}
+			pass.Reportf(call.Pos(),
+				"published snapshot value %s passed to a function that writes it: %s",
+				exprText(pass.Fset, arg), why)
+		}
+	})
+
+	sf.checkAfterPublish(n)
+}
+
+// checkAfterPublish flags writes to the stored value on any CFG path
+// after the publishing Store: the builder-scope exemption ends at the
+// Store, because concurrent readers may already hold the pointer.
+func (sf *snapFreezer) checkAfterPublish(n *callgraph.Node) {
+	pass := sf.pass
+
+	type storeSite struct {
+		call *ast.CallExpr
+		obj  types.Object
+	}
+	var stores []storeSite
+	ownWalkNode(n.Body, func(m ast.Node) {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		_, stored, field, isStore, okA := atomicStoreLoad(pass.TypesInfo, call)
+		if !okA || !isStore || field == nil || !sf.ann.publishes[field] {
+			return
+		}
+		e := ast.Unparen(stored)
+		if u, isU := e.(*ast.UnaryExpr); isU && u.Op == token.AND {
+			e = ast.Unparen(u.X)
+		}
+		if id, isID := e.(*ast.Ident); isID {
+			if obj := identObj(pass.TypesInfo, id); obj != nil {
+				stores = append(stores, storeSite{call: call, obj: obj})
+			}
+		}
+	})
+	if len(stores) == 0 {
+		return
+	}
+
+	cg := cfg.New(n.Name, n.Body)
+	for _, st := range stores {
+		after := stmtsAfter(cg, st.call)
+		for _, stmt := range after {
+			ast.Inspect(stmt, func(m ast.Node) bool {
+				if _, isLit := m.(*ast.FuncLit); isLit {
+					return false
+				}
+				lhs, ok := writeLHS(m)
+				if !ok {
+					return true
+				}
+				for _, l := range lhs {
+					base, deep := sf.writeBase(l)
+					if base == nil || !deep {
+						continue
+					}
+					if identObj(pass.TypesInfo, base) == st.obj {
+						storePos := pass.Fset.Position(st.call.Pos())
+						pass.Reportf(l.Pos(),
+							"write to %s after it was published by the Store at line %d; "+
+								"published snapshots are frozen — mutate before the Store, or clone",
+							exprText(pass.Fset, l), storePos.Line)
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// stmtsAfter returns the CFG statements strictly after the statement
+// containing target, on any forward path.
+func stmtsAfter(cg *cfg.Graph, target ast.Node) []ast.Node {
+	containsTarget := func(stmt ast.Node) bool {
+		found := false
+		ast.Inspect(stmt, func(m ast.Node) bool {
+			if m == ast.Node(target) {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	var out []ast.Node
+	var startBlocks []*cfg.Block
+	for _, b := range cg.Blocks {
+		for i, stmt := range b.Nodes {
+			if containsTarget(stmt) {
+				out = append(out, b.Nodes[i+1:]...)
+				startBlocks = append(startBlocks, b.Succs...)
+			}
+		}
+	}
+	seen := map[int]bool{}
+	work := startBlocks
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		if seen[b.Index] {
+			continue
+		}
+		seen[b.Index] = true
+		out = append(out, b.Nodes...)
+		work = append(work, b.Succs...)
+	}
+	return out
+}
+
+// publishedLocals classifies the function's own variables: published
+// iff some assignment (or range binding) derives them from published
+// memory. May-analysis — one publishing assignment taints the var.
+func (sf *snapFreezer) publishedLocals(n *callgraph.Node) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	if n.Body == nil {
+		return out
+	}
+	mark := func(id *ast.Ident) {
+		if obj := identObj(sf.g.Info, id); obj != nil {
+			out[obj] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		before := len(out)
+		ownWalkNode(n.Body, func(m ast.Node) {
+			switch x := m.(type) {
+			case *ast.AssignStmt:
+				if len(x.Lhs) == len(x.Rhs) {
+					for i := range x.Lhs {
+						if id, ok := ast.Unparen(x.Lhs[i]).(*ast.Ident); ok && sf.publishedExpr(x.Rhs[i], out) {
+							mark(id)
+						}
+					}
+				} else if len(x.Rhs) == 1 && sf.publishedExpr(x.Rhs[0], out) {
+					for _, l := range x.Lhs {
+						if id, ok := ast.Unparen(l).(*ast.Ident); ok {
+							mark(id)
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				if sf.publishedExpr(x.X, out) {
+					if id, ok := x.Value.(*ast.Ident); ok && refLike(sf.g.Info.TypeOf(id)) {
+						mark(id)
+					}
+					if id, ok := x.Key.(*ast.Ident); ok && refLike(sf.g.Info.TypeOf(id)) {
+						mark(id)
+					}
+				}
+			}
+		})
+		if len(out) != before {
+			changed = true
+		}
+	}
+	return out
+}
+
+// publishedExpr reports whether e denotes memory derived from a
+// published snapshot: a Load of the publish field, a call to a
+// published-returning function, or a reference-typed chain rooted at a
+// published local.
+func (sf *snapFreezer) publishedExpr(e ast.Expr, locals map[types.Object]bool) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		return sf.publishedCall(x, locals)
+	case *ast.Ident:
+		obj := identObj(sf.g.Info, x)
+		return obj != nil && locals[obj]
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return sf.publishedExpr(x.X, locals)
+		}
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr, *ast.SliceExpr:
+		if !refLike(sf.g.Info.TypeOf(e)) {
+			return false // copies detach from the published tree
+		}
+		if base := chainBase(e); base != nil {
+			obj := identObj(sf.g.Info, base)
+			return obj != nil && locals[obj]
+		}
+		return sf.chainHitsPublishedCall(e, locals)
+	}
+	return false
+}
+
+// publishedCall: a Load on the //walorder:publish field, a call to a
+// function summarized as returning published memory, or a call whose
+// result derives from a parameter that is published at this site
+// (snap.stateOf(t) with snap published).
+func (sf *snapFreezer) publishedCall(call *ast.CallExpr, locals map[types.Object]bool) bool {
+	if _, _, field, isStore, ok := atomicStoreLoad(sf.g.Info, call); ok && !isStore {
+		return field != nil && sf.ann.publishes[field]
+	}
+	callee, argAt := sf.calleeOf(call)
+	if callee == nil {
+		return false
+	}
+	if sf.retPub[callee] {
+		return true
+	}
+	for i := range sf.retParam[callee] {
+		if arg := argAt(i); arg != nil && sf.publishedExpr(arg, locals) {
+			return true
+		}
+	}
+	return false
+}
+
+// chainHitsPublishedCall walks a selector/index chain looking for a
+// published-returning call in base position (db.snap.Load().tables[k]).
+func (sf *snapFreezer) chainHitsPublishedCall(e ast.Expr, locals map[types.Object]bool) bool {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.CallExpr:
+			return sf.publishedCall(x, locals)
+		default:
+			return false
+		}
+	}
+}
+
+// writeBase resolves a write target to its base identifier and whether
+// the write goes through the heap (at least one selector/index/deref —
+// reassigning a local wholesale is not a heap write).
+func (sf *snapFreezer) writeBase(lhs ast.Expr) (*ast.Ident, bool) {
+	deep := false
+	e := lhs
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			deep = true
+			e = x.X
+		case *ast.IndexExpr:
+			deep = true
+			e = x.X
+		case *ast.StarExpr:
+			deep = true
+			e = x.X
+		case *ast.SliceExpr:
+			deep = true
+			e = x.X
+		case *ast.Ident:
+			return x, deep
+		default:
+			return nil, deep
+		}
+	}
+}
+
+// calleeOf resolves a call to its in-package graph node plus an
+// accessor mapping callee parameter index (receiver = 0 for methods)
+// to the argument expression at this site.
+func (sf *snapFreezer) calleeOf(call *ast.CallExpr) (*callgraph.Node, func(int) ast.Expr) {
+	var node *callgraph.Node
+	var recv ast.Expr
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := sf.g.Info.Uses[f].(*types.Func); ok {
+			node = sf.g.NodeOf(fn)
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := sf.g.Info.Uses[f.Sel].(*types.Func); ok {
+			node = sf.g.NodeOf(fn)
+			if sel, okS := sf.g.Info.Selections[f]; okS && sel.Kind() == types.MethodVal {
+				recv = f.X
+			}
+		}
+	case *ast.FuncLit:
+		node = sf.g.LitNode(f)
+	}
+	if node == nil {
+		return nil, nil
+	}
+	hasRecv := recv != nil
+	return node, func(i int) ast.Expr {
+		if hasRecv {
+			if i == 0 {
+				return recv
+			}
+			i--
+		}
+		if i >= 0 && i < len(call.Args) {
+			return call.Args[i]
+		}
+		return nil
+	}
+}
+
+// paramIndexes maps a node's parameter objects (receiver first, when
+// present) to their summary indexes.
+func paramIndexes(g *callgraph.Graph, n *callgraph.Node) map[types.Object]int {
+	out := map[types.Object]int{}
+	idx := 0
+	add := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			if len(f.Names) == 0 {
+				idx++
+				continue
+			}
+			for _, name := range f.Names {
+				if obj := g.Info.Defs[name]; obj != nil {
+					out[obj] = idx
+				}
+				idx++
+			}
+		}
+	}
+	if n.Decl != nil {
+		add(n.Decl.Recv)
+		add(n.Decl.Type.Params)
+	} else if n.Lit != nil {
+		add(n.Lit.Type.Params)
+	}
+	return out
+}
+
+// writeLHS extracts write targets from a statement node.
+func writeLHS(m ast.Node) ([]ast.Expr, bool) {
+	switch x := m.(type) {
+	case *ast.AssignStmt:
+		return x.Lhs, true
+	case *ast.IncDecStmt:
+		return []ast.Expr{x.X}, true
+	}
+	return nil, false
+}
+
+// refLike: writing through a value of this type mutates shared memory
+// (pointers, maps, slices); plain copies detach.
+func refLike(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Slice, *types.Chan, *types.Interface:
+		return true
+	}
+	return false
+}
+
+func identObj(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}

@@ -28,3 +28,26 @@ func methodCall(c closer) {
 func detached() {
 	go fail() // want `go fail discards the callee's error result`
 }
+
+type flusher struct{}
+
+func (flusher) Flush() error { return errors.New("boom") }
+
+func deferredDrop(f flusher) {
+	defer fail()    // want `defer fail discards the callee's error result`
+	defer f.Flush() // want `defer f.Flush discards the callee's error result`
+}
+
+// A bare drop inside a deferred func literal is still a drop: the
+// literal's body is ordinary statement context.
+func deferredLiteralDrop(f flusher) {
+	defer func() {
+		f.Flush() // want `f.Flush returns an error that is discarded`
+	}()
+}
+
+// Blanking errors.Join pierces the `_ =` opt-out: the collection was
+// built only to be handled.
+func joinedThenDropped(errs []error) {
+	_ = errors.Join(errs...) // want `errors.Join result blanked; the joined errors are lost`
+}

@@ -37,6 +37,34 @@ func exemptions() string {
 	return b.String()
 }
 
+type file struct{}
+
+func (file) Close() error { return nil }
+
+func (file) Sync() error { return errors.New("boom") }
+
+// Deferred Close is the universal cleanup idiom (syncerr owns the
+// cases where its error matters); deferred literals that route the
+// error somewhere are the fix for other deferred calls.
+func deferredIdioms(f file) error {
+	defer f.Close()
+	var retErr error
+	defer func() {
+		if err := f.Sync(); err != nil && retErr == nil {
+			retErr = err
+		}
+	}()
+	return retErr
+}
+
+// errors.Join handled or returned is fine; only blanking it is not.
+func joinedHandled(errs []error) error {
+	if err := errors.Join(errs...); err != nil {
+		return err
+	}
+	return errors.Join(errs...)
+}
+
 // Worker-pool idiom: the goroutine body returns nothing; the error is
 // captured into a slot inside the wrapper.
 func workerPool() error {

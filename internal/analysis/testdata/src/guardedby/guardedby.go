@@ -1,0 +1,95 @@
+// Package guardedby exercises //guardedby: lockset checking: writes
+// to annotated fields need the named mutex in the may-held lockset,
+// with entry locksets propagated across static call edges; calls into
+// //guardedby:caller() structs of another package need the caller's
+// mutex at the call site.
+package guardedby
+
+import (
+	"sync"
+
+	"guardedby/internal/wal"
+)
+
+type cache struct {
+	mu sync.Mutex
+	//guardedby:mu
+	hits int
+	//guardedby:mu
+	byKey map[string]int
+}
+
+// Get holds the lock across the write: fine, including under defer.
+func (c *cache) Get(k string) (int, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.byKey[k]
+	if ok {
+		c.hits++
+	}
+	return v, ok
+}
+
+// GetRacy writes an annotated field with no lock anywhere.
+func (c *cache) GetRacy(k string) int {
+	c.hits++ // want `write to c.hits \(field guarded by mu\) without mu held`
+	return c.byKey[k]
+}
+
+// put relies on its callers' lock; every caller holds it, so the
+// intersected entry lockset carries mu in.
+func (c *cache) put(k string, v int) {
+	c.byKey[k] = v
+}
+
+func (c *cache) Fill(k string, v int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.put(k, v)
+}
+
+// putRacy is reached by one locked and one lock-free caller: the
+// entry intersection is empty and the finding names the lock-free
+// path.
+func (c *cache) putRacy(k string, v int) {
+	c.byKey[k] = v // want `without mu held; lock-free call path`
+}
+
+func (c *cache) FillLocked(k string, v int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.putRacy(k, v)
+}
+
+func (c *cache) FillUnlocked(k string, v int) {
+	c.putRacy(k, v)
+}
+
+// DB owns the mutex that serializes the wal.Log it holds.
+type DB struct {
+	writeMu sync.Mutex
+	log     *wal.Log
+}
+
+// Commit appends under writeMu, as the Log's annotations demand.
+func (db *DB) Commit(p []byte) uint64 {
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+	return db.log.Append(p)
+}
+
+// CommitRacy calls a mutating method without the caller-held mutex.
+func (db *DB) CommitRacy(p []byte) uint64 {
+	return db.log.Append(p) // want `mutates fields guarded by caller-held writeMu`
+}
+
+// Tail only reads; read-only methods are not mutators.
+func (db *DB) Tail() uint64 {
+	return db.log.LastLSN()
+}
+
+// Fresh appends to a handle built here: construction is exempt.
+func Fresh(p []byte) uint64 {
+	l := wal.Open()
+	return l.Append(p)
+}

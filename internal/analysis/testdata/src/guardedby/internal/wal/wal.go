@@ -1,0 +1,26 @@
+// Package wal is a miniature externally-serialized log for the
+// guardedby fixtures: its fields are //guardedby:caller(writeMu), so
+// its own methods are exempt while cross-package callers must hold a
+// writeMu.
+package wal
+
+type Log struct {
+	//guardedby:caller(writeMu)
+	next uint64
+	//guardedby:caller(writeMu)
+	buf []byte
+}
+
+func Open() *Log { return &Log{} }
+
+// Append mutates caller-serialized state; legal here (own method),
+// checked at every cross-package call site.
+func (l *Log) Append(p []byte) uint64 {
+	lsn := l.next
+	l.next++
+	l.buf = append(l.buf[:0], p...)
+	return lsn
+}
+
+// LastLSN is read-only and free to call without the lock.
+func (l *Log) LastLSN() uint64 { return l.next }

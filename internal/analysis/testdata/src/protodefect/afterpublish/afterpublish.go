@@ -1,0 +1,19 @@
+// Package afterpublish seeds a write-after-publish protocol defect:
+// the builder mutates the snapshot it already made visible.
+package afterpublish
+
+import "sync/atomic"
+
+type snap struct{ seq int }
+
+type DB struct {
+	//walorder:publish
+	snap atomic.Pointer[snap]
+}
+
+// Swap publishes first and patches the published value after.
+func (db *DB) Swap(v int) {
+	next := &snap{}
+	db.snap.Store(next)
+	next.seq = v
+}

@@ -1,0 +1,18 @@
+// Package badann seeds malformed protocol annotations: a //guardedby:
+// naming no sibling mutex and a //walorder:replay without a reason.
+package badann
+
+import "sync"
+
+type c struct {
+	mu sync.Mutex
+	//guardedby:nosuch
+	n int
+}
+
+//walorder:replay
+func republish(x *c) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.n++
+}

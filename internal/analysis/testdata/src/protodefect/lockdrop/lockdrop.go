@@ -1,0 +1,23 @@
+// Package lockdrop seeds a lock-dropped-across-a-call-edge defect:
+// the caller releases the mutex before calling the helper that writes
+// the guarded field, so the helper's entry lockset is empty.
+package lockdrop
+
+import "sync"
+
+type cache struct {
+	mu sync.Mutex
+	//guardedby:mu
+	n int
+}
+
+func (c *cache) bump() {
+	c.n++
+}
+
+// Update unlocks too early: the guarded write in bump runs lock-free.
+func (c *cache) Update() {
+	c.mu.Lock()
+	c.mu.Unlock()
+	c.bump()
+}

@@ -1,0 +1,37 @@
+// Package wal is the miniature log the prefsync defect commits to.
+package wal
+
+import "os"
+
+type Log struct {
+	f    *os.File
+	next uint64
+}
+
+func Open(path string) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &Log{f: f}, nil
+}
+
+func (l *Log) Append(p []byte) (uint64, error) {
+	lsn := l.next
+	l.next++
+	_, err := l.f.Write(p)
+	return lsn, err
+}
+
+func (l *Log) Sync() error { return l.f.Sync() }
+
+func (l *Log) Commit(p []byte) (uint64, error) {
+	lsn, err := l.Append(p)
+	if err != nil {
+		return 0, err
+	}
+	if err := l.Sync(); err != nil {
+		return 0, err
+	}
+	return lsn, nil
+}

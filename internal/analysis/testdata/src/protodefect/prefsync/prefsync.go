@@ -1,0 +1,29 @@
+// Package prefsync seeds a publish-before-fsync defect: the commit
+// becomes visible to readers before its WAL record is durable.
+package prefsync
+
+import (
+	"sync/atomic"
+
+	"protodefect/prefsync/internal/wal"
+)
+
+type snap struct{ seq uint64 }
+
+type DB struct {
+	//walorder:publish
+	snap atomic.Pointer[snap]
+	log  *wal.Log
+}
+
+func (db *DB) publish() {
+	db.snap.Store(&snap{seq: db.snap.Load().seq + 1})
+}
+
+// Commit publishes first; a crash before the Commit call loses an
+// acknowledged write.
+func (db *DB) Commit(p []byte) error {
+	db.publish()
+	_, err := db.log.Commit(p)
+	return err
+}

@@ -1,0 +1,23 @@
+// Package unguarded seeds an unguarded-field-write defect: an
+// annotated field written without its mutex anywhere in scope.
+package unguarded
+
+import "sync"
+
+type cache struct {
+	mu sync.Mutex
+	//guardedby:mu
+	hits int
+}
+
+// Touch writes the guarded counter lock-free.
+func (c *cache) Touch() {
+	c.hits++
+}
+
+// Count holds the lock, so the struct has one legal accessor.
+func (c *cache) Count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits
+}

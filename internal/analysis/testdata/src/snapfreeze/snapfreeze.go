@@ -1,0 +1,80 @@
+// Package snapfreeze exercises the frozen-after-publish analyzer: a
+// miniature COW engine whose snapshots are published through an
+// annotated atomic.Pointer.
+package snapfreeze
+
+import "sync/atomic"
+
+type state struct {
+	rows []int
+	seq  int
+}
+
+type snap struct {
+	states []*state
+	seq    int
+}
+
+func (s *snap) clone() *snap {
+	return &snap{states: append([]*state(nil), s.states...), seq: s.seq + 1}
+}
+
+type DB struct {
+	//walorder:publish
+	snap atomic.Pointer[snap]
+}
+
+// New publishes through a fresh receiver: construction, not mutation.
+func New() *DB {
+	db := &DB{}
+	db.snap.Store(&snap{})
+	return db
+}
+
+func (db *DB) load() *snap { return db.snap.Load() }
+
+// stateOf returns published memory through a parameter-derived chain.
+func (db *DB) stateOf(i int) *state { return db.load().states[i] }
+
+// Commit is the legal shape: clone, mutate the fresh copy, publish.
+func (db *DB) Commit(v int) {
+	cur := db.load()
+	next := cur.clone()
+	next.seq = v
+	db.snap.Store(next)
+}
+
+// BumpSeq writes directly into the published snapshot.
+func (db *DB) BumpSeq() {
+	s := db.load()
+	s.seq++ // want `derived from a published snapshot`
+}
+
+// Zero writes through the whole call chain without naming a local.
+func (db *DB) Zero(i int) {
+	db.load().states[i].rows[0] = 0 // want `reaches published snapshot memory`
+}
+
+func scrub(st *state) { st.rows = nil }
+
+// Scrub hands published memory to a function that writes it.
+func (db *DB) Scrub(i int) {
+	scrub(db.stateOf(i)) // want `passed to a function that writes it`
+}
+
+// Sum only reads: always legal.
+func (db *DB) Sum(i int) int {
+	n := 0
+	for _, v := range db.stateOf(i).rows {
+		n += v
+	}
+	return n
+}
+
+// PublishThenPatch mutates the value it just published: the builder
+// exemption ends at the Store.
+func (db *DB) PublishThenPatch(v int) {
+	next := db.load().clone()
+	db.snap.Store(next)
+	next.seq = v // want `after it was published`
+}

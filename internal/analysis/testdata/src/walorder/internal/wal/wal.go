@@ -1,0 +1,44 @@
+// Package wal is a miniature log for the walorder fixtures: Append
+// writes a frame, Sync makes it durable, Commit does both.
+package wal
+
+import "os"
+
+type Log struct {
+	f    *os.File
+	next uint64
+}
+
+func Open(path string) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &Log{f: f}, nil
+}
+
+func (l *Log) Append(p []byte) (uint64, error) {
+	lsn := l.next
+	l.next++
+	_, err := l.f.Write(p)
+	return lsn, err
+}
+
+func (l *Log) Sync() error { return l.f.Sync() }
+
+// Commit appends and syncs: durable before the caller publishes.
+func (l *Log) Commit(p []byte) (uint64, error) {
+	lsn, err := l.Append(p)
+	if err != nil {
+		return 0, err
+	}
+	if err := l.Sync(); err != nil {
+		return 0, err
+	}
+	return lsn, nil
+}
+
+// FastCommit drops the fsync a commit path depends on.
+func (l *Log) FastCommit(p []byte) (uint64, error) {
+	return l.Append(p) // want `appends WAL frames but never syncs`
+}

@@ -1,0 +1,73 @@
+// Package walorder exercises the durable-before-visible ordering
+// analyzer: every publish of the annotated snapshot pointer must be
+// dominated by a WAL Commit/Sync on every call path.
+package walorder
+
+import (
+	"sync/atomic"
+
+	"walorder/internal/wal"
+)
+
+type snap struct{ seq uint64 }
+
+func (s *snap) clone() *snap { return &snap{seq: s.seq + 1} }
+
+type DB struct {
+	//walorder:publish
+	snap atomic.Pointer[snap]
+	log  *wal.Log
+}
+
+// New publishes through a fresh DB: construction, no ordering duty.
+func New(path string) (*DB, error) {
+	log, err := wal.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	db := &DB{log: log}
+	db.snap.Store(&snap{})
+	return db, nil
+}
+
+// publish carries the requirement; its callers must discharge it.
+func (db *DB) publish() {
+	db.snap.Store(db.snap.Load().clone())
+}
+
+// Commit is the legal order: durable first, visible second.
+func (db *DB) Commit(p []byte) error {
+	if _, err := db.log.Commit(p); err != nil {
+		return err
+	}
+	db.publish()
+	return nil
+}
+
+// EarlyPublish makes the commit visible before it is durable.
+func (db *DB) EarlyPublish(p []byte) error { // want `snapshot publish reachable without a preceding WAL commit`
+	db.publish()
+	_, err := db.log.Commit(p)
+	return err
+}
+
+// AppendOnly appends but never syncs: the record is not durable when
+// the snapshot becomes visible.
+func (db *DB) AppendOnly(p []byte) error { // want `snapshot publish reachable without a preceding WAL commit`
+	if _, err := db.log.Append(p); err != nil {
+		return err
+	}
+	db.publish()
+	return nil
+}
+
+// replay republishes state rebuilt from records that were already
+// fsynced before the crash; the annotation cuts the requirement.
+//
+//walorder:replay -- records decoded during recovery were fsynced before the crash
+func (db *DB) replay() {
+	db.publish()
+}
+
+// Recover drives replay; nothing propagates through the cut.
+func (db *DB) Recover() { db.replay() }

@@ -258,6 +258,8 @@ func (db *DB) logCreateIndex(table, index string, cols []string) error {
 // single-goroutine; commits go through the same apply/publish helpers
 // as live writes, so a recovered DB is structurally identical to one
 // that executed the statements directly.
+//
+//walorder:replay -- recovery republishes state decoded from records already framed and fsynced in the WAL or checkpoint; there is nothing left to make durable
 func (db *DB) applyRecord(payload []byte) error {
 	db.writeMu.Lock()
 	defer db.writeMu.Unlock()

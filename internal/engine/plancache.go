@@ -189,10 +189,14 @@ func compileStmtOverrides(db *DB, st sqlast.Statement, ov *planOverrides) (*comp
 // SQL. A hit whose table versions are stale counts as a miss and is
 // evicted; the caller then re-plans and re-inserts.
 type planCache struct {
-	mu     sync.Mutex
-	lru    *list.List // front = most recently used; values are *planEntry
-	byKey  map[string]*list.Element
-	hits   uint64
+	mu sync.Mutex
+	//guardedby:mu
+	lru *list.List // front = most recently used; values are *planEntry
+	//guardedby:mu
+	byKey map[string]*list.Element
+	//guardedby:mu
+	hits uint64
+	//guardedby:mu
 	misses uint64
 }
 

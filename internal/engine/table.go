@@ -55,8 +55,10 @@ type tableState struct {
 	// snapshot-world equivalent of the old drop-on-insert invalidation
 	// (and structurally fixes the reader/writer race that invalidation
 	// had: a writer never touches the cache a running query is using).
-	hashMu  sync.Mutex
+	hashMu sync.Mutex
+	//guardedby:hashMu
 	hashIdx map[int]map[string][]int64
+	//guardedby:hashMu
 	hashMax map[int]int // largest bucket per hashed column
 	// syn is the state's path/column synopsis: per-column counts,
 	// min/max, value histograms, and distinct sketches maintained
@@ -110,6 +112,7 @@ func (s *dbSnap) clone() *dbSnap {
 // single serialized writer, and (when opened with Open) a write-ahead
 // log making every committed statement durable.
 type DB struct {
+	//walorder:publish
 	snap atomic.Pointer[dbSnap]
 	// writeMu serializes all mutations: statement-level writes append
 	// their WAL record, build successor table states, and publish the
@@ -119,6 +122,7 @@ type DB struct {
 	// pers is the durability hook: nil for in-memory databases,
 	// otherwise the WAL writer commits are logged to before they are
 	// applied (see persist.go).
+	//guardedby:writeMu
 	pers *persister
 	// peakMem is the high-water mark of per-statement accounted
 	// memory across every statement run against this DB.

@@ -58,10 +58,13 @@ type Record struct {
 // serialize Append/Commit externally (the engine holds its writer
 // lock across every commit).
 type Log struct {
+	//guardedby:caller(writeMu)
 	f    *os.File
 	path string
+	//guardedby:caller(writeMu)
 	next uint64 // LSN to assign to the next appended record
-	buf  []byte // frame assembly buffer, reused across appends
+	//guardedby:caller(writeMu)
+	buf []byte // frame assembly buffer, reused across appends
 }
 
 // Open opens (creating if absent) the log at path and replays every
